@@ -1,0 +1,26 @@
+//! E3 (wall-clock): Corollary 1.3 `(k+1, kβ)`-ruling sets across β.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powersparse::ruling::beta_ruling_set;
+use powersparse_bench::{bench_params, measure};
+use powersparse_graphs::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beta_ruling");
+    group.sample_size(10);
+    let params = bench_params();
+    let g = generators::connected_gnp(160, 12.0 / 160.0, 5);
+    for k in [1usize, 2] {
+        for beta in [2usize, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), format!("beta{beta}")),
+                &g,
+                |b, g| b.iter(|| measure(g, |sim| beta_ruling_set(sim, k, beta, &params, 5))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

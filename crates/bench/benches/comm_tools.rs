@@ -1,0 +1,36 @@
+//! E4 (wall-clock): the Lemma 4.2 communication tools on the Figure-1
+//! gadget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powersparse_congest::primitives::{extend_trees, init_knowledge_and_trees, q_broadcast};
+use powersparse_congest::sim::{SimConfig, Simulator};
+use powersparse_graphs::generators;
+use std::collections::BTreeMap;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_tools");
+    group.sample_size(10);
+    for hatd in [8usize, 16, 32] {
+        let (g, q, _v, _w) = generators::figure1(hatd, 3);
+        group.bench_with_input(BenchmarkId::new("q_broadcast", hatd), &g, |b, g| {
+            b.iter(|| {
+                let mut sim = Simulator::new(g, SimConfig::for_graph(g));
+                let (mut sets, mut trees) = init_knowledge_and_trees(&mut sim, &q);
+                for _ in 1..3 {
+                    sets = extend_trees(&mut sim, &sets, &mut trees);
+                }
+                let msgs: BTreeMap<u32, (u64, usize)> = q
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m)
+                    .map(|(i, _)| (i as u32, (i as u64, 8)))
+                    .collect();
+                q_broadcast(&mut sim, &trees, &msgs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E1 (wall-clock): deterministic ruling sets of `G^k` — Corollary 6.2
+//! baselines vs Theorem 1.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powersparse::ruling::{det_ruling_set_k2, id_ruling_set};
+use powersparse_bench::{bench_params, measure};
+use powersparse_graphs::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("det_ruling");
+    group.sample_size(10);
+    let params = bench_params();
+    for n in [96usize, 192] {
+        let g = generators::connected_gnp(n, 8.0 / n as f64, 42);
+        for k in [1usize, 2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("cor6.2_c2_k{k}"), n),
+                &g,
+                |b, g| b.iter(|| measure(g, |sim| id_ruling_set(sim, k, 2))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("thm1.1_k{k}"), n),
+                &g,
+                |b, g| {
+                    b.iter(|| measure(g, |sim| det_ruling_set_k2(sim, k, &params, 0)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

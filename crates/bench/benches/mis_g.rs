@@ -1,0 +1,31 @@
+//! E6 (wall-clock): MIS of `G` — Luby vs shattering (Theorem 1.4), Δ
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powersparse::mis::{luby_mis, mis_power, PostShattering};
+use powersparse_bench::{bench_params, measure};
+use powersparse_graphs::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis_g");
+    group.sample_size(10);
+    let params = bench_params();
+    let n = 256;
+    for avg_deg in [8u32, 24] {
+        let g = generators::connected_gnp(n, avg_deg as f64 / n as f64, 77);
+        group.bench_with_input(BenchmarkId::new("luby", avg_deg), &g, |b, g| {
+            b.iter(|| measure(g, |sim| luby_mis(sim, 1, 3)))
+        });
+        group.bench_with_input(BenchmarkId::new("thm1.4", avg_deg), &g, |b, g| {
+            b.iter(|| {
+                measure(g, |sim| {
+                    mis_power(sim, 1, &params, 3, PostShattering::OnePhase).expect("mis")
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

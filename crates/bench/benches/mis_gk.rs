@@ -1,0 +1,36 @@
+//! E2 (wall-clock): randomized MIS of `G^k` — Luby vs Theorem 1.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powersparse::mis::{luby_mis, mis_power, PostShattering};
+use powersparse_bench::{bench_params, measure};
+use powersparse_graphs::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis_gk");
+    group.sample_size(10);
+    let params = bench_params();
+    for n in [96usize, 192] {
+        let g = generators::connected_gnp(n, 10.0 / n as f64, 7);
+        for k in [1usize, 2] {
+            group.bench_with_input(BenchmarkId::new(format!("luby_k{k}"), n), &g, |b, g| {
+                b.iter(|| measure(g, |sim| luby_mis(sim, k, 7)))
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("thm1.2_k{k}"), n),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        measure(g, |sim| {
+                            mis_power(sim, k, &params, 7, PostShattering::OnePhase)
+                                .expect("mis")
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

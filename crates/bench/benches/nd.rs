@@ -1,0 +1,27 @@
+//! E7 (wall-clock): network decomposition of `G^k` (Theorem A.1
+//! interface) — small-diameter vs large-diameter regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powersparse::nd::power_nd;
+use powersparse_bench::{bench_params, measure};
+use powersparse_graphs::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nd");
+    group.sample_size(10);
+    let params = bench_params();
+    let small_diam = generators::connected_gnp(128, 10.0 / 128.0, 3);
+    let large_diam = generators::cycle(900);
+    for k in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("gnp128", k), &small_diam, |b, g| {
+            b.iter(|| measure(g, |sim| power_nd(sim, k, &params).expect("nd")))
+        });
+        group.bench_with_input(BenchmarkId::new("cycle900", k), &large_diam, |b, g| {
+            b.iter(|| measure(g, |sim| power_nd(sim, k, &params).expect("nd")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

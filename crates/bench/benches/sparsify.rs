@@ -1,0 +1,48 @@
+//! E5 (wall-clock): power-graph sparsification (Lemma 3.1) across `k`
+//! and strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powersparse::sparsify::{sparsify_power, SamplingStrategy};
+use powersparse_bench::{bench_params, measure};
+use powersparse_graphs::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsify");
+    group.sample_size(10);
+    let params = bench_params();
+    let g = generators::connected_gnp(128, 12.0 / 128.0, 11);
+    for k in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("randomized", k), &g, |b, g| {
+            b.iter(|| {
+                measure(g, |sim| {
+                    sparsify_power(
+                        sim,
+                        k,
+                        &vec![true; g.n()],
+                        &params,
+                        SamplingStrategy::Randomized { seed: 11 },
+                    )
+                    .expect("sparsify")
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("seed_search", k), &g, |b, g| {
+            b.iter(|| {
+                measure(g, |sim| {
+                    sparsify_power(
+                        sim,
+                        k,
+                        &vec![true; g.n()],
+                        &params,
+                        SamplingStrategy::SeedSearch,
+                    )
+                    .expect("sparsify")
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

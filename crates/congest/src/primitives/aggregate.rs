@@ -1,0 +1,184 @@
+//! Convergecast and broadcast on the global spanning tree (Lemma 4.3).
+//!
+//! The sum of `m`-bit non-negative integers over all nodes is computed at
+//! the root in `O(diam(G) + (m + log n)/bandwidth)` rounds; the engine's
+//! fragmentation makes that cost emerge naturally from a single
+//! `(m + log n)`-bit message per tree edge.
+
+use crate::sim::Simulator;
+use crate::trees::GlobalTree;
+
+/// Computes `Σ_v values[v]` at the root of `tree` by convergecast
+/// (Lemma 4.3). `value_bits` is the paper's `m`; partial sums are sent as
+/// `(m + log n)`-bit messages so they cannot overflow.
+///
+/// Returns the sum (as known by the root).
+///
+/// # Panics
+///
+/// Panics if the convergecast has not completed within
+/// `8 · (depth + value_bits + log n)` rounds (indicates an engine bug).
+pub fn converge_sum(sim: &mut Simulator<'_>, tree: &GlobalTree, values: &[u64], value_bits: usize) -> u64 {
+    let n = tree.n();
+    assert_eq!(values.len(), n);
+    let id_bits = sim.graph().id_bits();
+    let msg_bits = value_bits + id_bits;
+    let budget = 8 * (tree.depth as u64 + msg_bits as u64 + 2);
+
+    // Per-node: how many children still owed a partial sum; own
+    // accumulator.
+    let mut waiting: Vec<usize> = (0..n).map(|i| tree.children[i].len()).collect();
+    let mut acc: Vec<u64> = values.to_vec();
+    let mut sent: Vec<bool> = vec![false; n];
+
+    let mut phase = sim.phase::<u64>();
+    let mut spent = 0u64;
+    loop {
+        let mut root_done = false;
+        phase.round(|v, inbox, out| {
+            for &(_, s) in inbox {
+                acc[v.index()] += s;
+                waiting[v.index()] -= 1;
+            }
+            if waiting[v.index()] == 0 && !sent[v.index()] {
+                sent[v.index()] = true;
+                match tree.parent[v.index()] {
+                    Some(p) => out.send(v, p, acc[v.index()], msg_bits),
+                    None => root_done = true,
+                }
+            }
+        });
+        spent += 1;
+        if root_done {
+            break;
+        }
+        assert!(spent < budget, "convergecast did not finish within {budget} rounds");
+    }
+    drop(phase);
+    acc[tree.root.index()]
+}
+
+/// Broadcasts `value` (of `value_bits` bits) from the root to every node
+/// down the tree. Returns once every node has received it.
+pub fn broadcast_from_root(
+    sim: &mut Simulator<'_>,
+    tree: &GlobalTree,
+    value: u64,
+    value_bits: usize,
+) -> Vec<u64> {
+    let n = tree.n();
+    let budget = 8 * (tree.depth as u64 + value_bits as u64 + 2);
+    let mut known: Vec<Option<u64>> = vec![None; n];
+    known[tree.root.index()] = Some(value);
+    let mut forwarded: Vec<bool> = vec![false; n];
+    let mut phase = sim.phase::<u64>();
+    let mut spent = 0u64;
+    while known.iter().any(Option::is_none) {
+        phase.round(|v, inbox, out| {
+            if let Some(&(_, m)) = inbox.first() {
+                known[v.index()] = Some(m);
+            }
+            if let Some(m) = known[v.index()] {
+                if !forwarded[v.index()] {
+                    forwarded[v.index()] = true;
+                    for &c in &tree.children[v.index()] {
+                        out.send(v, c, m, value_bits);
+                    }
+                }
+            }
+        });
+        spent += 1;
+        assert!(spent < budget, "broadcast did not finish within {budget} rounds");
+    }
+    drop(phase);
+    known.into_iter().map(|k| k.expect("all received")).collect()
+}
+
+/// The derandomization inner step (Claim 5.6): aggregate the per-node
+/// values at the root, let the root `decide`, and broadcast the decision
+/// to everyone. Returns the decision.
+pub fn sum_and_broadcast(
+    sim: &mut Simulator<'_>,
+    tree: &GlobalTree,
+    values: &[u64],
+    value_bits: usize,
+    decide: impl FnOnce(u64) -> u64,
+    decision_bits: usize,
+) -> u64 {
+    let total = converge_sum(sim, tree, values, value_bits);
+    let decision = decide(total);
+    broadcast_from_root(sim, tree, decision, decision_bits);
+    decision
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::spanning::elect_leader_and_tree;
+    use crate::sim::SimConfig;
+    use powersparse_graphs::generators;
+
+    fn setup(g: &powersparse_graphs::Graph) -> (Simulator<'_>, GlobalTree) {
+        let mut sim = Simulator::new(g, SimConfig::for_graph(g));
+        let tree = elect_leader_and_tree(&mut sim);
+        (sim, tree)
+    }
+
+    #[test]
+    fn sum_over_path() {
+        let g = generators::path(10);
+        let (mut sim, tree) = setup(&g);
+        let values: Vec<u64> = (0..10).collect();
+        assert_eq!(converge_sum(&mut sim, &tree, &values, 8), 45);
+    }
+
+    #[test]
+    fn sum_over_random_graph() {
+        let g = generators::connected_gnp(60, 0.05, 9);
+        let (mut sim, tree) = setup(&g);
+        let values: Vec<u64> = (0..60).map(|i| (i * 7) % 13).collect();
+        let expect: u64 = values.iter().sum();
+        assert_eq!(converge_sum(&mut sim, &tree, &values, 16), expect);
+    }
+
+    #[test]
+    fn rounds_scale_with_depth_not_n() {
+        let g = generators::star(100);
+        let (mut sim, tree) = setup(&g);
+        let before = sim.metrics().rounds;
+        converge_sum(&mut sim, &tree, &vec![1; 101], 8);
+        let spent = sim.metrics().rounds - before;
+        assert!(spent <= 6, "star convergecast took {spent} rounds");
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let g = generators::binary_tree(5);
+        let (mut sim, tree) = setup(&g);
+        let got = broadcast_from_root(&mut sim, &tree, 424242, 20);
+        assert!(got.iter().all(|&x| x == 424242));
+    }
+
+    #[test]
+    fn large_values_cost_extra_rounds() {
+        // With bandwidth 8 and 64-bit values, each tree hop takes ~8+ rounds.
+        let g = generators::path(4);
+        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(8));
+        let tree = elect_leader_and_tree(&mut sim);
+        let before = sim.metrics().rounds;
+        let s = converge_sum(&mut sim, &tree, &[1u64 << 40, 0, 0, 0], 60);
+        assert_eq!(s, 1u64 << 40);
+        let spent = sim.metrics().rounds - before;
+        assert!(spent >= 3 * (60 / 8) as u64, "pipelining cost missing: {spent}");
+    }
+
+    #[test]
+    fn sum_and_broadcast_decision() {
+        let g = generators::cycle(8);
+        let (mut sim, tree) = setup(&g);
+        let d = sum_and_broadcast(&mut sim, &tree, &vec![2; 8], 8, |total| {
+            u64::from(total > 10)
+        }, 1);
+        assert_eq!(d, 1);
+    }
+}

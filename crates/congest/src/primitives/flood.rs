@@ -1,0 +1,173 @@
+//! k-hop floods: anonymous flag propagation (deactivation flags, Section
+//! 5.1: "sending a flag from each sampled node, propagated for two hops,
+//! where multiple incoming flags can be forwarded as one") and
+//! accept-first ball growing (Lemma 8.3 border construction).
+
+use crate::sim::Simulator;
+
+/// Floods a 1-bit flag from every source for `hops` hops. Multiple
+/// incoming flags merge into one, so each node broadcasts at most once and
+/// a step costs one round. Returns the mask of nodes within distance
+/// `hops` of a source (sources included).
+pub fn flood_flags(sim: &mut Simulator<'_>, sources: &[bool], hops: usize) -> Vec<bool> {
+    let n = sim.graph().n();
+    assert_eq!(sources.len(), n);
+    let mut reached: Vec<bool> = sources.to_vec();
+    // `fresh[v]`: v was reached in the previous step and must forward.
+    let mut fresh: Vec<bool> = sources.to_vec();
+    let mut phase = sim.phase::<()>();
+    for _ in 0..hops {
+        phase.round(|v, inbox, out| {
+            if !inbox.is_empty() && !reached[v.index()] {
+                reached[v.index()] = true;
+                fresh[v.index()] = true;
+            }
+            if fresh[v.index()] {
+                fresh[v.index()] = false;
+                out.broadcast(v, (), 1);
+            }
+        });
+    }
+    // Deliver the last step's sends.
+    phase.drain(4, |v, inbox| {
+        if !inbox.is_empty() && !reached[v.index()] {
+            reached[v.index()] = true;
+        }
+    });
+    reached
+}
+
+/// Accept-first ball growing (the BFS of Lemma 8.3): every node with
+/// `origin[v] = Some(ball)` starts a search carrying `ball` for `hops`
+/// hops. A node with no origin that is not `blocked` **accepts** the
+/// smallest ball ID among the searches arriving first and forwards that
+/// search onward with the remaining hop budget. Blocked nodes neither
+/// accept nor forward. Origin nodes forward nothing besides their own
+/// initial search (they are already members).
+///
+/// Returns the final assignment (origins keep theirs; accepting nodes get
+/// their accepted ball; blocked/unreached nodes stay `None`).
+pub fn grow_balls(
+    sim: &mut Simulator<'_>,
+    origin: &[Option<u32>],
+    hops: usize,
+    blocked: &[bool],
+) -> Vec<Option<u32>> {
+    let n = sim.graph().n();
+    assert_eq!(origin.len(), n);
+    assert_eq!(blocked.len(), n);
+    let id_bits = sim.graph().id_bits();
+    let hop_bits = usize::BITS as usize - hops.leading_zeros() as usize + 1;
+    let msg_bits = id_bits + hop_bits;
+
+    let mut assignment: Vec<Option<u32>> = origin.to_vec();
+    // Pending forward: (ball, hops_left).
+    let mut pending: Vec<Option<(u32, u32)>> = origin
+        .iter()
+        .map(|o| o.map(|b| (b, hops as u32)))
+        .collect();
+    let mut phase = sim.phase::<(u32, u32)>();
+    for _ in 0..=hops {
+        phase.round(|v, inbox, out| {
+            // Accept the best arriving search if not yet assigned.
+            if assignment[v.index()].is_none() && !blocked[v.index()] {
+                let best = inbox
+                    .iter()
+                    .map(|&(_, (ball, left))| (ball, left))
+                    .min_by_key(|&(ball, left)| (ball, std::cmp::Reverse(left)));
+                if let Some((ball, left)) = best {
+                    assignment[v.index()] = Some(ball);
+                    if left > 0 {
+                        pending[v.index()] = Some((ball, left));
+                    }
+                }
+            }
+            if let Some((ball, left)) = pending[v.index()].take() {
+                out.broadcast(v, (ball, left - 1), msg_bits);
+            }
+        });
+    }
+    drop(phase);
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimConfig;
+    use powersparse_graphs::{bfs, generators, NodeId};
+
+    #[test]
+    fn flood_reaches_exact_radius() {
+        let g = generators::path(9);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let mut src = vec![false; 9];
+        src[4] = true;
+        let reached = flood_flags(&mut sim, &src, 2);
+        let expect: Vec<bool> = (0..9).map(|i: i32| (i - 4).abs() <= 2).collect();
+        assert_eq!(reached, expect);
+    }
+
+    #[test]
+    fn flood_merges_flags_in_one_round_per_hop() {
+        // Many sources: still `hops + O(1)` rounds because flags merge.
+        let g = generators::grid(6, 6);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let sources: Vec<bool> = (0..36).map(|i| i % 5 == 0).collect();
+        let before = sim.metrics().rounds;
+        let _ = flood_flags(&mut sim, &sources, 3);
+        let spent = sim.metrics().rounds - before;
+        assert!(spent <= 3 + 2, "flood of 3 hops took {spent} rounds");
+    }
+
+    #[test]
+    fn flood_matches_multi_source_bfs() {
+        let g = generators::connected_gnp(50, 0.06, 4);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let sources: Vec<bool> = (0..50).map(|i| i % 11 == 0).collect();
+        let reached = flood_flags(&mut sim, &sources, 2);
+        let src: Vec<NodeId> = generators::members(&sources);
+        let d = bfs::multi_source_distances(&g, &src);
+        for v in g.nodes() {
+            let expect = matches!(d[v.index()], Some(x) if x <= 2);
+            assert_eq!(reached[v.index()], expect, "node {v}");
+        }
+    }
+
+    #[test]
+    fn balls_partition_by_distance_then_id() {
+        let g = generators::path(7);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let mut origin = vec![None; 7];
+        origin[0] = Some(0);
+        origin[6] = Some(6);
+        let blocked = vec![false; 7];
+        let got = grow_balls(&mut sim, &origin, 3, &blocked);
+        // Node 3 is at distance 3 from both; both searches arrive the same
+        // round; min ball ID (0) wins.
+        assert_eq!(got, vec![Some(0), Some(0), Some(0), Some(0), Some(6), Some(6), Some(6)]);
+    }
+
+    #[test]
+    fn blocked_nodes_stop_searches() {
+        let g = generators::path(5);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let mut origin = vec![None; 5];
+        origin[0] = Some(0);
+        let mut blocked = vec![false; 5];
+        blocked[2] = true;
+        let got = grow_balls(&mut sim, &origin, 4, &blocked);
+        // The search dies at blocked node 2: nodes 3, 4 stay unassigned.
+        assert_eq!(got, vec![Some(0), Some(0), None, None, None]);
+    }
+
+    #[test]
+    fn hop_budget_limits_growth() {
+        let g = generators::path(6);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let mut origin = vec![None; 6];
+        origin[0] = Some(0);
+        let got = grow_balls(&mut sim, &origin, 2, &vec![false; 6]);
+        assert_eq!(got, vec![Some(0), Some(0), Some(0), None, None, None]);
+    }
+}

@@ -1,0 +1,360 @@
+//! The *Broadcast* and *Q-message* operations of Lemma 4.2: sending
+//! messages from the members of a sparse set `Q` through their distributed
+//! depth-`s` BFS trees.
+//!
+//! Shared edges carry the traffic of up to `2Δ̂` trees (proved in
+//! Lemma 4.2); the engine's per-edge bandwidth makes the resulting
+//! pipelining delay *measured* rather than assumed. Messages are tagged
+//! with the root ID for demultiplexing; the tag's bits are **not**
+//! charged, because the GGR21 piece-ordering scheme used in the paper
+//! demultiplexes positionally (receivers know `ancestor(T, v)` for every
+//! tree through them) — see Lemma 4.2's proof.
+
+use crate::sim::Simulator;
+use crate::trees::QTrees;
+use powersparse_graphs::NodeId;
+use std::collections::BTreeMap;
+
+/// **Broadcast** (Lemma 4.2): each root `x ∈ Q` with an entry in `msgs`
+/// sends its `m`-bit message to all nodes of its tree `T_x` (its
+/// distance-`s` neighborhood). Returns, per node, the received
+/// `(root, message)` pairs (the root itself does not receive its own).
+///
+/// Measured cost: `O(s + m·Δ̂ / bandwidth)` rounds.
+pub fn q_broadcast<M: Clone>(
+    sim: &mut Simulator<'_>,
+    trees: &QTrees,
+    msgs: &BTreeMap<u32, (M, usize)>,
+) -> Vec<Vec<(u32, M)>> {
+    let n = sim.graph().n();
+    let mut received: Vec<Vec<(u32, M)>> = vec![Vec::new(); n];
+    // Pending forwards per node: (root, msg, bits).
+    let mut pending: Vec<Vec<(u32, M, usize)>> = vec![Vec::new(); n];
+    for (&root, (m, bits)) in msgs {
+        let r = NodeId(root);
+        assert!(
+            trees.parent[r.index()].get(&root) == Some(&None),
+            "message root v{root} is not a tree root"
+        );
+        pending[r.index()].push((root, m.clone(), *bits));
+    }
+    let mut phase = sim.phase::<(u32, M)>();
+    let budget = 1_000_000u64;
+    let mut spent = 0u64;
+    loop {
+        let mut any = false;
+        phase.round(|v, inbox, out| {
+            for (_, (root, m)) in inbox {
+                received[v.index()].push((*root, m.clone()));
+                // Forward down this tree, with the original bit size.
+                let bits = msgs.get(root).expect("known root").1;
+                pending[v.index()].push((*root, m.clone(), bits));
+            }
+            for (root, m, bits) in pending[v.index()].drain(..) {
+                if let Some(children) = trees.children[v.index()].get(&root) {
+                    for &c in children {
+                        any = true;
+                        out.send(v, c, (root, m.clone()), bits);
+                    }
+                }
+            }
+        });
+        spent += 1;
+        assert!(spent < budget, "q_broadcast exceeded round budget");
+        if !any && phase.idle() {
+            break;
+        }
+    }
+    received
+}
+
+/// **Q-message** (Lemma 4.2): each root `x ∈ Q` sends an individual
+/// `m`-bit message to each `y ∈ N^s(x, Q)`.
+///
+/// Inputs follow the lemma's knowledge assumptions:
+/// * `trees`: depth-`s` BFS trees rooted at `Q`;
+/// * `neighbor_sets[v]`: for each neighbor `w` of `v`, the set
+///   `N^{s-1}(w, Q)` (as obtained from
+///   [`crate::primitives::exchange_with_neighbors`]);
+/// * `msgs[x]`: the list of `(target ID, message)` pairs from root `x`.
+///
+/// Step 1 distributes `S_{x,w} = {(msg_{x,y}, ID(y)) : y ∈ N^{s-1}(w,Q)}`
+/// to each neighbor `w` of `x`; step 2 broadcasts `S_{x,w}` down the
+/// subtree `T_{x,w}`. Each `y` extracts its own messages by ID. Duplicate
+/// deliveries (a tuple can travel via several neighbors) are deduplicated.
+///
+/// Returns, per node `y`, the `(root, message)` pairs addressed to `y`.
+///
+/// Measured cost: `O(s + (m + a)·Δ̂² / bandwidth)` rounds.
+pub fn q_message<M: Clone>(
+    sim: &mut Simulator<'_>,
+    trees: &QTrees,
+    neighbor_sets: &[BTreeMap<u32, std::collections::BTreeSet<u32>>],
+    msgs: &BTreeMap<u32, Vec<(u32, M)>>,
+    m_bits: usize,
+) -> Vec<Vec<(u32, M)>> {
+    let n = sim.graph().n();
+    let id_bits = sim.graph().id_bits();
+    let tuple_bits = m_bits + id_bits;
+
+    // delivered[y]: root -> messages (dedup by root; one message per root
+    // per target in this primitive, as in the lemma).
+    let mut delivered: Vec<BTreeMap<u32, M>> = vec![BTreeMap::new(); n];
+    // Payload travelling the trees: (root, Vec<(target, M)>).
+    type Packet<M> = (u32, Vec<(u32, M)>);
+    // Pending per node: packets to push to children of the given tree.
+    let mut pending: Vec<Vec<(Packet<M>, usize)>> = vec![Vec::new(); n];
+
+    // Step 1: roots package per-neighbor tuple sets.
+    let mut phase = sim.phase::<Packet<M>>();
+    phase.round(|v, _in, out| {
+        let Some(targets) = msgs.get(&v.0) else { return };
+        let by_id: BTreeMap<u32, &M> = targets.iter().map(|(y, m)| (*y, m)).collect();
+        for i in 0..out.neighbors(v).len() {
+            let w = out.neighbors(v)[i];
+            // `N^{s-1}(w, Q)` is non-inclusive; a neighbor w ∈ Q that is
+            // itself a target must still get its tuple, so the package
+            // for w is keyed on `N^{s-1}(w, Q) ∪ {w}`.
+            let wset = neighbor_sets[v.index()].get(&w.0);
+            let mut tuples: Vec<(u32, M)> = wset
+                .into_iter()
+                .flatten()
+                .filter_map(|y| by_id.get(y).map(|m| (*y, (*m).clone())))
+                .collect();
+            if let Some(m) = by_id.get(&w.0) {
+                tuples.push((w.0, (*m).clone()));
+            }
+            if tuples.is_empty() {
+                continue;
+            }
+            let bits = tuples.len() * tuple_bits;
+            out.send(v, w, (v.0, tuples), bits);
+        }
+    });
+
+    // Step 2: receivers extract their own tuples and forward the set down
+    // the subtree of the originating tree.
+    let budget = 1_000_000u64;
+    let mut spent = 0u64;
+    loop {
+        let mut any = false;
+        phase.round(|v, inbox, out| {
+            for (_, (root, tuples)) in inbox {
+                for (y, m) in tuples {
+                    if *y == v.0 {
+                        delivered[v.index()].entry(*root).or_insert_with(|| m.clone());
+                    }
+                }
+                let bits = tuples.len() * tuple_bits;
+                pending[v.index()].push(((*root, tuples.clone()), bits));
+            }
+            for ((root, tuples), bits) in pending[v.index()].drain(..) {
+                if let Some(children) = trees.children[v.index()].get(&root) {
+                    for &c in children {
+                        any = true;
+                        out.send(v, c, (root, tuples.clone()), bits);
+                    }
+                }
+            }
+        });
+        spent += 1;
+        assert!(spent < budget, "q_message exceeded round budget");
+        if !any && phase.idle() {
+            break;
+        }
+    }
+    delivered
+        .into_iter()
+        .map(|m| m.into_iter().collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::idexchange::{
+        exchange_with_neighbors, extend_trees, init_knowledge_and_trees,
+    };
+    use crate::sim::SimConfig;
+    use powersparse_graphs::{generators, power, Graph};
+    use std::collections::BTreeSet;
+
+    /// Builds depth-`s` trees + knowledge with the Lemma 4.1 machinery.
+    fn build(
+        sim: &mut Simulator<'_>,
+        q: &[bool],
+        s: usize,
+    ) -> (Vec<BTreeSet<u32>>, QTrees) {
+        let (mut sets, mut trees) = init_knowledge_and_trees(sim, q);
+        for _ in 1..s {
+            sets = extend_trees(sim, &sets, &mut trees);
+        }
+        (sets, trees)
+    }
+
+    #[test]
+    fn broadcast_covers_distance_s_neighborhood() {
+        let g = generators::grid(5, 6);
+        let q: Vec<bool> = (0..30).map(|i| i % 9 == 0).collect();
+        let s = 3;
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let (_sets, trees) = build(&mut sim, &q, s);
+        let msgs: BTreeMap<u32, (u64, usize)> = q
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| (i as u32, (1000 + i as u64, 16)))
+            .collect();
+        let got = q_broadcast(&mut sim, &trees, &msgs);
+        for v in g.nodes() {
+            let mut expect: Vec<u32> = power::q_neighborhood(&g, v, s, &q)
+                .into_iter()
+                .map(|w| w.0)
+                .collect();
+            expect.sort_unstable();
+            let mut have: Vec<u32> = got[v.index()].iter().map(|(r, _)| *r).collect();
+            have.sort_unstable();
+            have.dedup();
+            assert_eq!(have, expect, "node {v}");
+            for (r, m) in &got[v.index()] {
+                assert_eq!(*m, 1000 + *r as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn qmessage_delivers_to_q_targets() {
+        let g = generators::grid(4, 7);
+        let q: Vec<bool> = (0..28).map(|i| i % 5 == 0).collect();
+        let s = 3;
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        // Knowledge: N^{s-1}(v, Q) for every v, then neighbor's sets.
+        let (mut sets, mut trees) = init_knowledge_and_trees(&mut sim, &q);
+        for _ in 1..(s - 1) {
+            sets = extend_trees(&mut sim, &sets, &mut trees);
+        }
+        // Trees must have depth s.
+        let _deeper = extend_trees(&mut sim, &sets, &mut trees);
+        let neighbor_sets = exchange_with_neighbors(&mut sim, &sets);
+        // Every root x sends "x*1000 + y" to each y in N^s(x, Q).
+        let mut msgs: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
+        for x in g.nodes().filter(|x| q[x.index()]) {
+            let targets: Vec<(u32, u64)> = power::q_neighborhood(&g, x, s, &q)
+                .into_iter()
+                .map(|y| (y.0, x.0 as u64 * 1000 + y.0 as u64))
+                .collect();
+            msgs.insert(x.0, targets);
+        }
+        let got = q_message(&mut sim, &trees, &neighbor_sets, &msgs, 24);
+        for y in g.nodes() {
+            let mut expect: Vec<u32> = power::q_neighborhood(&g, y, s, &q)
+                .into_iter()
+                .filter(|x| q[x.index()])
+                .map(|x| x.0)
+                .collect();
+            // Only Q-members receive q_messages.
+            if !q[y.index()] {
+                expect.clear();
+            }
+            expect.sort_unstable();
+            let have: Vec<u32> = got[y.index()].iter().map(|(r, _)| *r).collect();
+            assert_eq!(have, expect, "node {y}");
+            for (x, m) in &got[y.index()] {
+                assert_eq!(*m, *x as u64 * 1000 + y.0 as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_broadcast_load_is_linear_in_hatd() {
+        // Figure 1: with s = 3, broadcasts from Q put exactly Δ̂ messages
+        // across the bottleneck edge {v, w} (one per tree containing it).
+        for hatd in [2usize, 4, 8] {
+            let (g, q, v, w) = generators::figure1(hatd, 3);
+            let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+            let (_sets, trees) = build(&mut sim, &q, 3);
+            let msgs: BTreeMap<u32, (u64, usize)> = q
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| (i as u32, (i as u64, 8)))
+                .collect();
+            let before = sim.messages_across(v, w) + sim.messages_across(w, v);
+            let _ = q_broadcast(&mut sim, &trees, &msgs);
+            let after = sim.messages_across(v, w) + sim.messages_across(w, v);
+            let crossing = after - before;
+            assert_eq!(
+                crossing, hatd as u64,
+                "hatd {hatd}: {crossing} messages crossed the bottleneck"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_qmessage_load_is_quadratic_in_hatd() {
+        // Figure 1's second claim: Q-message puts Θ(Δ̂²/4) tuples across
+        // the bottleneck. We measure bits and check the growth is
+        // quadratic: quadrupling when Δ̂ doubles (±30%).
+        let mut loads = Vec::new();
+        for hatd in [4usize, 8, 16] {
+            let (g, q, v, w) = generators::figure1(hatd, 3);
+            let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+            let (sets, trees) = build(&mut sim, &q, 3);
+            // Knowledge of N^{s-1}: rebuild depth-2 sets, share them.
+            let mut sim2 = Simulator::new(&g, SimConfig::for_graph(&g));
+            let (s1, _t1) = build(&mut sim2, &q, 2);
+            let neighbor_sets = exchange_with_neighbors(&mut sim, &s1);
+            let _ = sets;
+            let mut msgs: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
+            for x in g.nodes().filter(|x| q[x.index()]) {
+                let targets: Vec<(u32, u64)> = power::q_neighborhood(&g, x, 3, &q)
+                    .into_iter()
+                    .map(|y| (y.0, 1))
+                    .collect();
+                msgs.insert(x.0, targets);
+            }
+            let before = sim.bits_across(v, w) + sim.bits_across(w, v);
+            let got = q_message(&mut sim, &trees, &neighbor_sets, &msgs, 8);
+            let after = sim.bits_across(v, w) + sim.bits_across(w, v);
+            loads.push((after - before) as f64);
+            // Deliveries are complete while we're here.
+            for y in g.nodes().filter(|y| q[y.index()]) {
+                let expect = power::q_degree(&g, y, 3, &q);
+                assert_eq!(got[y.index()].len(), expect, "node {y}");
+            }
+        }
+        let r1 = loads[1] / loads[0];
+        let r2 = loads[2] / loads[1];
+        assert!((2.8..=5.2).contains(&r1), "growth {r1} not quadratic: {loads:?}");
+        assert!((2.8..=5.2).contains(&r2), "growth {r2} not quadratic: {loads:?}");
+    }
+
+    #[test]
+    fn empty_messages_cost_nothing() {
+        let g = generators::path(5);
+        let q: Vec<bool> = vec![true, false, false, false, true];
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let (_sets, trees) = build(&mut sim, &q, 2);
+        let before = sim.metrics().messages;
+        let got = q_broadcast::<u64>(&mut sim, &trees, &BTreeMap::new());
+        assert!(got.iter().all(Vec::is_empty));
+        // Only the final emptiness-check round; no messages.
+        assert_eq!(sim.metrics().messages, before);
+    }
+
+    #[test]
+    fn broadcast_through_non_q_relays() {
+        // Q = endpoints of a path; s large enough to cross the middle.
+        let g: Graph = generators::path(5);
+        let q = vec![true, false, false, false, true];
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let (_sets, trees) = build(&mut sim, &q, 4);
+        let mut msgs = BTreeMap::new();
+        msgs.insert(0u32, (7u64, 8));
+        let got = q_broadcast(&mut sim, &trees, &msgs);
+        // Node 4 (∈ Q) and middle nodes all hear root 0.
+        for i in 1..5 {
+            assert_eq!(got[i], vec![(0u32, 7u64)], "node {i}");
+        }
+    }
+}

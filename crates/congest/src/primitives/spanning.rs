@@ -1,0 +1,179 @@
+//! Leader election and global BFS-tree construction.
+//!
+//! "A spanning BFS tree for Lemma 4.3 can be formed by leader election in
+//! `O(diam(G))` time, by starting a BFS token from each node and forwarding
+//! the token of the tree whose root has the smallest identifier."
+//! (Section 4 of the paper.)
+
+use crate::sim::Simulator;
+use crate::trees::GlobalTree;
+use powersparse_graphs::NodeId;
+
+/// Per-node election state.
+#[derive(Clone, Copy)]
+struct Best {
+    root: u32,
+    dist: u32,
+    parent: Option<NodeId>,
+}
+
+/// Elects the minimum-ID node as leader and builds a spanning BFS tree
+/// rooted at it, in `O(diam(G))` measured rounds.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected (no spanning tree exists) or empty.
+pub fn elect_leader_and_tree(sim: &mut Simulator<'_>) -> GlobalTree {
+    run_election(sim, None)
+}
+
+/// Builds a BFS tree from a designated root (no election), in
+/// `O(ecc(root))` measured rounds.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or empty.
+pub fn bfs_tree_from(sim: &mut Simulator<'_>, root: NodeId) -> GlobalTree {
+    run_election(sim, Some(root))
+}
+
+fn run_election(sim: &mut Simulator<'_>, fixed_root: Option<NodeId>) -> GlobalTree {
+    let g = sim.graph();
+    let n = g.n();
+    assert!(n > 0, "cannot build a tree on the empty graph");
+    let id_bits = g.id_bits();
+    let msg_bits = 2 * id_bits + 1;
+
+    let mut best: Vec<Option<Best>> = vec![None; n];
+    let mut dirty: Vec<bool> = vec![false; n];
+    for v in g.nodes() {
+        let is_origin = match fixed_root {
+            Some(r) => v == r,
+            None => true,
+        };
+        if is_origin {
+            best[v.index()] = Some(Best { root: v.0, dist: 0, parent: None });
+            dirty[v.index()] = true;
+        }
+    }
+
+    let mut phase = sim.phase::<(u32, u32)>();
+    loop {
+        let mut improved_any = false;
+        phase.round(|v, inbox, out| {
+            // Relax on incoming tokens.
+            for &(from, (root, dist)) in inbox {
+                let better = match best[v.index()] {
+                    None => true,
+                    Some(b) => root < b.root || (root == b.root && dist + 1 < b.dist),
+                };
+                if better {
+                    best[v.index()] =
+                        Some(Best { root, dist: dist + 1, parent: Some(from) });
+                    dirty[v.index()] = true;
+                }
+            }
+            // Forward own best if it changed.
+            if dirty[v.index()] {
+                dirty[v.index()] = false;
+                improved_any = true;
+                let b = best[v.index()].expect("dirty implies known");
+                out.broadcast(v, (b.root, b.dist), msg_bits);
+            }
+        });
+        if !improved_any && phase.idle() {
+            break;
+        }
+    }
+    drop(phase);
+
+    // One round: every non-root announces itself to its parent so parents
+    // learn their children (1-bit message; sender identity is implicit).
+    let mut phase = sim.phase::<()>();
+    phase.round(|v, _in, out| {
+        if let Some(Best { parent: Some(p), .. }) = best[v.index()] {
+            out.send(v, p, (), 1);
+        }
+    });
+    phase.drain(4, |_, _| {});
+    drop(phase);
+
+    let states: Vec<Best> = best
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| b.unwrap_or_else(|| panic!("node v{i} unreachable: graph disconnected")))
+        .collect();
+    let root = NodeId(states.iter().map(|b| b.root).min().expect("nonempty"));
+    for s in &states {
+        assert_eq!(s.root, root.0, "graph disconnected: multiple roots survived");
+    }
+    GlobalTree::from_parents(
+        root,
+        states.iter().map(|s| s.parent).collect(),
+        states.iter().map(|s| s.dist).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimConfig;
+    use powersparse_graphs::{bfs, generators};
+
+    #[test]
+    fn elects_min_id_and_bfs_levels() {
+        let g = generators::grid(4, 4);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let t = elect_leader_and_tree(&mut sim);
+        assert_eq!(t.root, NodeId(0));
+        let d = bfs::distances(&g, NodeId(0));
+        for v in g.nodes() {
+            assert_eq!(Some(t.level[v.index()]), d[v.index()]);
+        }
+        // O(diam) rounds: diam(grid 4x4) = 6; allow small constant factor.
+        assert!(sim.metrics().rounds <= 4 * 6 + 8, "rounds {}", sim.metrics().rounds);
+    }
+
+    #[test]
+    fn fixed_root_tree() {
+        let g = generators::path(6);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let t = bfs_tree_from(&mut sim, NodeId(3));
+        assert_eq!(t.root, NodeId(3));
+        assert_eq!(t.level[0], 3);
+        assert_eq!(t.depth, 3);
+        assert_eq!(t.children[3].len(), 2);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = powersparse_graphs::Graph::from_edges(1, &[]);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let t = elect_leader_and_tree(&mut sim);
+        assert_eq!(t.root, NodeId(0));
+        assert_eq!(t.depth, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_panics() {
+        let g = powersparse_graphs::Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let _ = elect_leader_and_tree(&mut sim);
+    }
+
+    #[test]
+    fn children_consistent_with_parents() {
+        let g = generators::connected_gnp(40, 0.08, 5);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let t = elect_leader_and_tree(&mut sim);
+        let mut count = 0;
+        for v in g.nodes() {
+            for &c in &t.children[v.index()] {
+                assert_eq!(t.parent[c.index()], Some(v));
+                count += 1;
+            }
+        }
+        assert_eq!(count, g.n() - 1); // spanning tree edges
+    }
+}

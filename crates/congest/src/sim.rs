@@ -1,0 +1,524 @@
+//! The synchronous round engine with per-edge bandwidth accounting.
+
+use powersparse_graphs::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Configuration of a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Bits a single directed edge can carry per round (the CONGEST
+    /// message size `Θ(log n)`).
+    pub bandwidth: usize,
+}
+
+impl SimConfig {
+    /// The standard CONGEST bandwidth for this graph:
+    /// `max(64, 8·⌈log₂ n⌉)` bits. The constant 8 gives algorithms the
+    /// usual "a constant number of IDs plus change per message" headroom
+    /// (Lemma 4.2 of the paper assumes `bandwidth ≥ Δ̂` with
+    /// `Δ̂ = O(log n)`, which this satisfies at reproduction scales).
+    pub fn for_graph(g: &Graph) -> Self {
+        Self { bandwidth: 8 * g.id_bits().max(8) }
+    }
+
+    /// Explicit bandwidth in bits.
+    pub fn with_bandwidth(bandwidth: usize) -> Self {
+        assert!(bandwidth >= 1, "bandwidth must be positive");
+        Self { bandwidth }
+    }
+}
+
+/// Cumulative cost counters of a simulation.
+///
+/// All counters accumulate across phases of the same [`Simulator`].
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Synchronous rounds executed (including rounds charged via
+    /// [`Simulator::charge_rounds`]).
+    pub rounds: u64,
+    /// Rounds charged analytically via [`Simulator::charge_rounds`]
+    /// (a subset of `rounds`; nonzero only where DESIGN.md documents a
+    /// cost-accounting substitution).
+    pub charged_rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total bits sent.
+    pub bits: u64,
+    /// Per-directed-edge delivered message counts, indexed like the CSR
+    /// adjacency (edge `u→neighbors(u)[i]` has index `offset(u) + i`).
+    edge_messages: Vec<u64>,
+    /// Per-directed-edge cumulative bits.
+    edge_bits: Vec<u64>,
+}
+
+impl Metrics {
+    fn new(g: &Graph) -> Self {
+        let dir_edges = 2 * g.m();
+        Self {
+            edge_messages: vec![0; dir_edges],
+            edge_bits: vec![0; dir_edges],
+            ..Self::default()
+        }
+    }
+}
+
+/// A message in flight or delivered.
+type Delivery<M> = (NodeId, M);
+
+/// The simulator: owns cost metrics across algorithm phases on one graph.
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    config: SimConfig,
+    metrics: Metrics,
+    /// CSR offsets for directed edge indexing (mirrors the graph's).
+    dir_offsets: Vec<u32>,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator over communication network `graph`.
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        let mut dir_offsets = Vec::with_capacity(graph.n() + 1);
+        let mut acc = 0u32;
+        dir_offsets.push(0);
+        for v in graph.nodes() {
+            acc += graph.degree(v) as u32;
+            dir_offsets.push(acc);
+        }
+        Self { graph, config, metrics: Metrics::new(graph), dir_offsets }
+    }
+
+    /// The communication network.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Per-edge-per-round bit budget.
+    pub fn bandwidth(&self) -> usize {
+        self.config.bandwidth
+    }
+
+    /// Cost metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Charges `r` rounds without running them. Only used for
+    /// cost-accounting substitutions documented in DESIGN.md (the charge
+    /// is also recorded separately in [`Metrics::charged_rounds`]).
+    pub fn charge_rounds(&mut self, r: u64) {
+        self.metrics.rounds += r;
+        self.metrics.charged_rounds += r;
+    }
+
+    /// Messages delivered across the directed edge `u → v` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge.
+    pub fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
+        self.metrics.edge_messages[self.dir_edge(u, v)]
+    }
+
+    /// Bits sent across the directed edge `u → v` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge.
+    pub fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
+        self.metrics.edge_bits[self.dir_edge(u, v)]
+    }
+
+    fn dir_edge(&self, u: NodeId, v: NodeId) -> usize {
+        let pos = self
+            .graph
+            .neighbors(u)
+            .binary_search(&v)
+            .unwrap_or_else(|_| panic!("{u} → {v} is not an edge"));
+        self.dir_offsets[u.index()] as usize + pos
+    }
+
+    /// Opens a communication phase with message type `M`.
+    pub fn phase<M: Clone>(&mut self) -> Phase<'_, 'g, M> {
+        let n = self.graph.n();
+        let dir_edges = 2 * self.graph.m();
+        Phase {
+            queues: vec![VecDeque::new(); dir_edges],
+            inboxes: vec![Vec::new(); n],
+            sim: self,
+        }
+    }
+}
+
+/// One typed communication phase: a sequence of synchronous rounds
+/// exchanging messages of type `M`.
+///
+/// Messages sent in round `r` begin transferring in round `r`; a message
+/// of `b` bits is delivered at the start of round `r + ⌈(queue + b) /
+/// bandwidth⌉` — i.e. fragmentation and pipelining are handled by the
+/// engine.
+#[derive(Debug)]
+pub struct Phase<'s, 'g, M> {
+    sim: &'s mut Simulator<'g>,
+    /// Per directed edge: FIFO of (remaining bits, sender, message).
+    queues: Vec<VecDeque<(u64, NodeId, M)>>,
+    /// Messages available to each node in the *next* `round` call.
+    inboxes: Vec<Vec<Delivery<M>>>,
+}
+
+impl<M: Clone> Phase<'_, '_, M> {
+    /// The communication network.
+    pub fn graph(&self) -> &Graph {
+        self.sim.graph
+    }
+
+    /// Executes one synchronous round. For every node `v`, `f` receives
+    /// the messages delivered to `v` this round (as `(sender, message)`
+    /// pairs) and an [`Outbox`] for sending. After all nodes have acted,
+    /// every directed edge transfers up to `bandwidth` bits from its
+    /// queue; fully transferred messages are delivered next round.
+    pub fn round(&mut self, mut f: impl FnMut(NodeId, &[Delivery<M>], &mut Outbox<'_, M>)) {
+        let n = self.sim.graph.n();
+        let mut sends: Vec<(usize, u64, NodeId, M)> = Vec::new();
+        for i in 0..n {
+            let v = NodeId::from(i);
+            let inbox = std::mem::take(&mut self.inboxes[i]);
+            let mut out = Outbox {
+                graph: self.sim.graph,
+                from_expected: v,
+                sends: &mut sends,
+                dir_offsets: &self.sim.dir_offsets,
+            };
+            f(v, &inbox, &mut out);
+        }
+        for (edge, bits, from, msg) in sends {
+            self.sim.metrics.bits += bits;
+            self.sim.metrics.edge_bits[edge] += bits;
+            self.queues[edge].push_back((bits, from, msg));
+        }
+        self.transfer();
+        self.sim.metrics.rounds += 1;
+    }
+
+    /// Runs `t` rounds with the same handler.
+    pub fn rounds(&mut self, t: usize, mut f: impl FnMut(NodeId, &[Delivery<M>], &mut Outbox<'_, M>)) {
+        for _ in 0..t {
+            self.round(&mut f);
+        }
+    }
+
+    /// Runs silent rounds (no new sends) until all in-flight messages
+    /// have been delivered, handing **every** delivery (including those
+    /// completing in intermediate rounds) to `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if draining takes more than `max_rounds` rounds.
+    pub fn drain(&mut self, max_rounds: u64, mut f: impl FnMut(NodeId, &[Delivery<M>])) {
+        let mut spent = 0;
+        loop {
+            for i in 0..self.inboxes.len() {
+                let inbox = std::mem::take(&mut self.inboxes[i]);
+                if !inbox.is_empty() {
+                    f(NodeId::from(i), &inbox);
+                }
+            }
+            if !self.in_flight() {
+                break;
+            }
+            assert!(spent < max_rounds, "drain exceeded {max_rounds} rounds");
+            self.round(|_, _, _| {});
+            spent += 1;
+        }
+    }
+
+    /// Whether any message is still queued on an edge.
+    pub fn in_flight(&self) -> bool {
+        self.queues.iter().any(|q| !q.is_empty())
+    }
+
+    /// Whether the phase is fully quiescent: nothing queued on any edge
+    /// **and** nothing delivered-but-unread in any inbox. Termination
+    /// checks must use this rather than [`Phase::in_flight`] alone — a
+    /// message delivered at the end of the last round is no longer "in
+    /// flight" but still awaits processing.
+    pub fn idle(&self) -> bool {
+        !self.in_flight() && self.inboxes.iter().all(Vec::is_empty)
+    }
+
+    /// Moves up to `bandwidth` bits on every directed edge; delivers
+    /// completed messages.
+    fn transfer(&mut self) {
+        let bw = self.sim.config.bandwidth as u64;
+        for (edge, queue) in self.queues.iter_mut().enumerate() {
+            if queue.is_empty() {
+                continue;
+            }
+            let to = to_of_edge(self.sim.graph, &self.sim.dir_offsets, edge);
+            let mut cap = bw;
+            while cap > 0 {
+                let Some(front) = queue.front_mut() else { break };
+                let take = cap.min(front.0);
+                front.0 -= take;
+                cap -= take;
+                if front.0 == 0 {
+                    let (_, from, msg) = queue.pop_front().expect("front exists");
+                    self.sim.metrics.messages += 1;
+                    self.sim.metrics.edge_messages[edge] += 1;
+                    self.inboxes[to.index()].push((from, msg));
+                }
+            }
+        }
+    }
+}
+
+/// Resolves the head (receiver) of a directed edge index.
+fn to_of_edge(g: &Graph, dir_offsets: &[u32], edge: usize) -> NodeId {
+    // Binary search for the tail u with offset(u) <= edge < offset(u+1).
+    let u = match dir_offsets.binary_search(&(edge as u32)) {
+        Ok(mut i) => {
+            // Skip runs of equal offsets (degree-0 nodes).
+            while i + 1 < dir_offsets.len() && dir_offsets[i + 1] == edge as u32 {
+                i += 1;
+            }
+            i
+        }
+        Err(i) => i - 1,
+    };
+    let pos = edge - dir_offsets[u] as usize;
+    g.neighbors(NodeId::from(u))[pos]
+}
+
+/// Send interface handed to the per-node round handler.
+#[derive(Debug)]
+pub struct Outbox<'a, M> {
+    graph: &'a Graph,
+    from_expected: NodeId,
+    dir_offsets: &'a [u32],
+    sends: &'a mut Vec<(usize, u64, NodeId, M)>,
+}
+
+impl<M: Clone> Outbox<'_, M> {
+    /// Neighbors of `v` in the communication network (the only legal
+    /// message destinations).
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.graph.neighbors(v)
+    }
+
+    /// Sends `msg` of `bits` bits from `from` to neighbor `to`. Large
+    /// messages are fragmented automatically and arrive once the last bit
+    /// has crossed the edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not the node currently acting, if `to` is not a
+    /// `G`-neighbor of `from`, or if `bits == 0`.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, bits: usize) {
+        assert_eq!(
+            from, self.from_expected,
+            "node {} attempted to send as {}",
+            self.from_expected, from
+        );
+        assert!(bits > 0, "messages must have positive size");
+        let pos = self
+            .graph
+            .neighbors(from)
+            .binary_search(&to)
+            .unwrap_or_else(|_| panic!("{from} → {to} is not an edge"));
+        let edge = self.dir_offsets[from.index()] as usize + pos;
+        self.sends.push((edge, bits as u64, from, msg));
+    }
+
+    /// Sends `msg` to every neighbor of `from`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Outbox::send`].
+    pub fn broadcast(&mut self, from: NodeId, msg: M, bits: usize) {
+        for i in 0..self.graph.degree(from) {
+            let to = self.graph.neighbors(from)[i];
+            self.send(from, to, msg.clone(), bits);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powersparse_graphs::generators;
+
+    #[test]
+    fn single_round_delivery() {
+        let g = generators::path(3);
+        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(32));
+        let mut phase = sim.phase::<u32>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 99, 8);
+            }
+        });
+        let mut seen = None;
+        phase.round(|v, inbox, _out| {
+            if v == NodeId(1) && !inbox.is_empty() {
+                seen = Some((inbox[0].0, inbox[0].1));
+            }
+        });
+        assert_eq!(seen, Some((NodeId(0), 99)));
+        drop(phase);
+        assert_eq!(sim.metrics().rounds, 2);
+        assert_eq!(sim.metrics().messages, 1);
+        assert_eq!(sim.metrics().bits, 8);
+    }
+
+    #[test]
+    fn fragmentation_delays_delivery() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(10));
+        let mut phase = sim.phase::<&'static str>();
+        // 35 bits at 10 bits/round: arrives after 4 transfer steps.
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), "big", 35);
+            }
+        });
+        let mut arrived_at_round = None;
+        for r in 2..=6 {
+            phase.round(|v, inbox, _out| {
+                if v == NodeId(1) && !inbox.is_empty() && arrived_at_round.is_none() {
+                    arrived_at_round = Some(r);
+                }
+            });
+        }
+        // Sent in round 1; transfers rounds 1-4; readable in round 5's inbox.
+        assert_eq!(arrived_at_round, Some(5));
+    }
+
+    #[test]
+    fn fifo_order_per_edge() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(8));
+        let mut phase = sim.phase::<u32>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 1, 8);
+                out.send(v, NodeId(1), 2, 8);
+                out.send(v, NodeId(1), 3, 8);
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            phase.round(|v, inbox, _out| {
+                if v == NodeId(1) {
+                    got.extend(inbox.iter().map(|(_, m)| *m));
+                }
+            });
+        }
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bandwidth_shared_across_messages_not_across_edges() {
+        // Node 1 (center of a star) sends 8 bits to each of 3 leaves:
+        // distinct edges, so all arrive next round.
+        let g = generators::star(3);
+        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(8));
+        let mut phase = sim.phase::<u32>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.broadcast(v, 7, 8);
+            }
+        });
+        let mut deliveries = 0;
+        phase.round(|_, inbox, _out| deliveries += inbox.len());
+        assert_eq!(deliveries, 3);
+    }
+
+    #[test]
+    fn drain_completes_inflight() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(4));
+        let mut phase = sim.phase::<u8>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 1, 40); // 10 transfer rounds
+            }
+        });
+        let mut got = false;
+        phase.drain(64, |v, inbox| {
+            if v == NodeId(1) && !inbox.is_empty() {
+                got = true;
+            }
+        });
+        assert!(got);
+        drop(phase);
+        // Round 1 (send) + 9 more transfer rounds.
+        assert_eq!(sim.metrics().rounds, 10);
+    }
+
+    #[test]
+    fn per_edge_counters() {
+        let g = generators::path(3);
+        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(16));
+        let mut phase = sim.phase::<u8>();
+        phase.rounds(3, |v, _in, out| {
+            if v == NodeId(1) {
+                out.send(v, NodeId(2), 0, 5);
+            }
+        });
+        phase.drain(16, |_, _| {});
+        drop(phase);
+        assert_eq!(sim.messages_across(NodeId(1), NodeId(2)), 3);
+        assert_eq!(sim.bits_across(NodeId(1), NodeId(2)), 15);
+        assert_eq!(sim.messages_across(NodeId(2), NodeId(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an edge")]
+    fn nonneighbor_send_panics() {
+        let g = generators::path(3);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let mut phase = sim.phase::<u8>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(2), 0, 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "attempted to send as")]
+    fn spoofed_sender_panics() {
+        let g = generators::path(3);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let mut phase = sim.phase::<u8>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(NodeId(1), NodeId(2), 0, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn charge_rounds_tracked_separately() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        sim.charge_rounds(5);
+        assert_eq!(sim.metrics().rounds, 5);
+        assert_eq!(sim.metrics().charged_rounds, 5);
+    }
+
+    #[test]
+    fn degree_zero_nodes_are_fine() {
+        let g = Graph::from_edges(3, &[(0, 1)]); // node 2 isolated
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let mut phase = sim.phase::<u8>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 9, 4);
+            }
+        });
+        let mut got = 0;
+        phase.round(|_, inbox, _| got += inbox.len());
+        assert_eq!(got, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Distributed tree structures: the global spanning BFS tree and the
+//! per-root depth-bounded BFS trees around a sparse set `Q` ("known
+//! distributedly" in the sense of Section 2 of the paper: each node knows
+//! its ancestor and descendants per tree plus the root's ID).
+
+use powersparse_graphs::NodeId;
+use std::collections::BTreeMap;
+
+/// A spanning BFS tree rooted at `root`, known distributedly.
+#[derive(Debug, Clone)]
+pub struct GlobalTree {
+    /// The root (e.g. the elected leader).
+    pub root: NodeId,
+    /// `parent[v]`; `None` for the root.
+    pub parent: Vec<Option<NodeId>>,
+    /// Children lists (derived from `parent`).
+    pub children: Vec<Vec<NodeId>>,
+    /// `level[v] = dist(root, v)`.
+    pub level: Vec<u32>,
+    /// Tree depth: `max level`.
+    pub depth: u32,
+}
+
+impl GlobalTree {
+    /// Builds the derived fields from parent pointers and levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if exactly the root lacks a parent or levels are
+    /// inconsistent with parents.
+    pub fn from_parents(root: NodeId, parent: Vec<Option<NodeId>>, level: Vec<u32>) -> Self {
+        assert_eq!(parent.len(), level.len());
+        assert!(parent[root.index()].is_none(), "root must have no parent");
+        assert_eq!(level[root.index()], 0, "root level must be 0");
+        let mut children = vec![Vec::new(); parent.len()];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                assert_eq!(
+                    level[i],
+                    level[p.index()] + 1,
+                    "level of node {i} inconsistent with parent"
+                );
+                children[p.index()].push(NodeId::from(i));
+            } else {
+                assert_eq!(i, root.index(), "non-root node {i} has no parent");
+            }
+        }
+        let depth = level.iter().copied().max().unwrap_or(0);
+        Self { root, parent, children, level, depth }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+}
+
+/// Depth-`s` BFS trees rooted at every node of a set `Q`, represented by
+/// per-node links as the paper requires for invariant **I3** (each node
+/// knows, for each tree it belongs to, the root's ID, its ancestor and its
+/// descendants).
+#[derive(Debug, Clone, Default)]
+pub struct QTrees {
+    /// Current tree depth.
+    pub depth: usize,
+    /// `parent[v]`: map root-ID → `v`'s ancestor in that tree (`None` when
+    /// `v` *is* the root).
+    pub parent: Vec<BTreeMap<u32, Option<NodeId>>>,
+    /// `children[v]`: map root-ID → `v`'s descendants in that tree.
+    pub children: Vec<BTreeMap<u32, Vec<NodeId>>>,
+    /// `level[v]`: map root-ID → `dist(root, v)`.
+    pub level: Vec<BTreeMap<u32, u32>>,
+}
+
+impl QTrees {
+    /// Depth-0 trees: each root is alone in its tree.
+    pub fn new_roots(n: usize, roots: &[NodeId]) -> Self {
+        let mut t = Self {
+            depth: 0,
+            parent: vec![BTreeMap::new(); n],
+            children: vec![BTreeMap::new(); n],
+            level: vec![BTreeMap::new(); n],
+        };
+        for &r in roots {
+            t.parent[r.index()].insert(r.0, None);
+            t.level[r.index()].insert(r.0, 0);
+        }
+        t
+    }
+
+    /// IDs of the tree roots.
+    pub fn roots(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for (i, p) in self.parent.iter().enumerate() {
+            let v = NodeId::from(i);
+            if p.get(&v.0) == Some(&None) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Trees that `v` belongs to, by root ID.
+    pub fn trees_of(&self, v: NodeId) -> Vec<u32> {
+        self.parent[v.index()].keys().copied().collect()
+    }
+
+    /// Adds `v` as a child of `w` in the tree rooted at `root`, at level
+    /// `lvl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is already in that tree.
+    pub fn attach(&mut self, root: u32, v: NodeId, w: NodeId, lvl: u32) {
+        let prev = self.parent[v.index()].insert(root, Some(w));
+        assert!(prev.is_none(), "{v} already in tree of root {root}");
+        self.level[v.index()].insert(root, lvl);
+        self.children[w.index()].entry(root).or_default().push(v);
+    }
+
+    /// Drops every tree whose root is not in `keep` (mask over node IDs).
+    /// Used when a sparsification iteration discards `Q_{s-1} \ Q_s`
+    /// ("the trees of nodes in `Q_{s-1} \ Q_s` are not used anymore").
+    pub fn retain_roots(&mut self, keep: &[bool]) {
+        let keep_root = |root: &u32| keep[*root as usize];
+        for map in &mut self.parent {
+            map.retain(|r, _| keep_root(r));
+        }
+        for map in &mut self.children {
+            map.retain(|r, _| keep_root(r));
+        }
+        for map in &mut self.level {
+            map.retain(|r, _| keep_root(r));
+        }
+    }
+
+    /// Number of trees that use the directed edge `w → v` or `v → w`
+    /// (i.e. `v` is a child of `w` or vice versa), summed over roots.
+    /// Used to verify the `P = 2Δ̂` tree-congestion bound of Lemma 4.2.
+    pub fn trees_using_edge(&self, v: NodeId, w: NodeId) -> usize {
+        let a = self.parent[v.index()]
+            .values()
+            .filter(|p| **p == Some(w))
+            .count();
+        let b = self.parent[w.index()]
+            .values()
+            .filter(|p| **p == Some(v))
+            .count();
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_tree_from_parents() {
+        // Path 0-1-2 rooted at 1.
+        let t = GlobalTree::from_parents(
+            NodeId(1),
+            vec![Some(NodeId(1)), None, Some(NodeId(1))],
+            vec![1, 0, 1],
+        );
+        assert_eq!(t.depth, 1);
+        assert_eq!(t.children[1], vec![NodeId(0), NodeId(2)]);
+        assert_eq!(t.n(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent with parent")]
+    fn inconsistent_levels_panic() {
+        GlobalTree::from_parents(
+            NodeId(0),
+            vec![None, Some(NodeId(0))],
+            vec![0, 2],
+        );
+    }
+
+    #[test]
+    fn qtrees_roots_and_attach() {
+        let mut t = QTrees::new_roots(5, &[NodeId(0), NodeId(4)]);
+        assert_eq!(t.roots(), vec![NodeId(0), NodeId(4)]);
+        t.attach(0, NodeId(1), NodeId(0), 1);
+        t.attach(4, NodeId(3), NodeId(4), 1);
+        t.attach(0, NodeId(2), NodeId(1), 2);
+        assert_eq!(t.trees_of(NodeId(1)), vec![0]);
+        assert_eq!(t.children[0].get(&0).unwrap(), &vec![NodeId(1)]);
+        assert_eq!(t.level[2].get(&0), Some(&2));
+        assert_eq!(t.trees_using_edge(NodeId(1), NodeId(0)), 1);
+        assert_eq!(t.trees_using_edge(NodeId(2), NodeId(3)), 0);
+    }
+
+    #[test]
+    fn retain_roots_drops_trees() {
+        let mut t = QTrees::new_roots(4, &[NodeId(0), NodeId(3)]);
+        t.attach(0, NodeId(1), NodeId(0), 1);
+        t.attach(3, NodeId(1), NodeId(3), 1);
+        let mut keep = vec![false; 4];
+        keep[3] = true;
+        t.retain_roots(&keep);
+        assert_eq!(t.roots(), vec![NodeId(3)]);
+        assert_eq!(t.trees_of(NodeId(1)), vec![3]);
+    }
+
+    #[test]
+    fn node_in_multiple_trees() {
+        let mut t = QTrees::new_roots(3, &[NodeId(0), NodeId(2)]);
+        t.attach(0, NodeId(1), NodeId(0), 1);
+        t.attach(2, NodeId(1), NodeId(2), 1);
+        assert_eq!(t.trees_of(NodeId(1)), vec![0, 2]);
+        assert_eq!(t.trees_using_edge(NodeId(1), NodeId(0)), 1);
+        assert_eq!(t.trees_using_edge(NodeId(1), NodeId(2)), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Maximal independent sets: Luby's algorithm on `G^k` (Section 8.1),
+//! Ghaffari's BeepingMIS simulated on `G^k` (Lemma 8.2), and the
+//! shattering framework (Sections 7 and 8.2) giving **Theorem 1.4**
+//! (MIS of `G`) and **Theorem 1.2** (MIS of `G^k`).
+
+mod beeping;
+mod luby;
+mod shatter;
+
+pub use beeping::{beeping_mis, beeping_mis_run, BeepingOutcome};
+pub use luby::{luby_mis, luby_mis_on};
+pub use shatter::{mis_power, MisError, PostShattering, ShatterReport};

@@ -1,0 +1,157 @@
+//! Distance-`k` ball graphs (Lemma 8.3).
+
+use powersparse_congest::primitives::grow_balls;
+use powersparse_congest::sim::Simulator;
+use powersparse_graphs::{Graph, GraphBuilder, NodeId};
+use std::collections::BTreeMap;
+
+/// A distance-`k` ball graph for a partition of a node set `B` into balls
+/// around ruling-set nodes (Lemma 8.3): ball `u` and ball `w` are
+/// adjacent whenever their *extended* balls (`Ball⁺`, with the grown
+/// disjoint borders) share a `G`-edge, which guarantees
+/// `dist_G(Ball(u), Ball(w)) ≤ k ⟹ dist_B(u, w) ≤ k`.
+#[derive(Debug, Clone)]
+pub struct BallGraph {
+    /// The ball graph itself (nodes are ball indices).
+    pub graph: Graph,
+    /// Ball index → the ruling-set node at its center.
+    pub roots: Vec<NodeId>,
+    /// Node → ball index in `Ball⁺` (members and borders; `None` for
+    /// nodes in no extended ball).
+    pub assignment: Vec<Option<usize>>,
+}
+
+/// Builds the distance-`k` ball graph from a ball partition of `B`
+/// (`ball_of[v] = Some(ruler ID)` for `v ∈ B`).
+///
+/// Step 1 (the BFS of Lemma 8.3, `O(k)` rounds): nodes outside `B` join
+/// the border of the first-arriving ball (ties: smaller ID). Step 2 (one
+/// round): neighbors exchange ball indices; balls with adjacent `Ball⁺`
+/// members become ball-graph edges.
+pub fn build_ball_graph(
+    sim: &mut Simulator<'_>,
+    ball_of: &[Option<u32>],
+    k: usize,
+) -> BallGraph {
+    let n = sim.graph().n();
+    assert_eq!(ball_of.len(), n);
+    // Grow disjoint borders: members are already assigned; only
+    // unassigned (V \ B) nodes accept.
+    let extended = grow_balls(sim, ball_of, k, &vec![false; n]);
+
+    // Compact ball ids.
+    let mut root_to_idx: BTreeMap<u32, usize> = BTreeMap::new();
+    for r in ball_of.iter().flatten() {
+        let next = root_to_idx.len();
+        root_to_idx.entry(*r).or_insert(next);
+    }
+    let roots: Vec<NodeId> = root_to_idx.keys().map(|&r| NodeId(r)).collect();
+    let assignment: Vec<Option<usize>> = extended
+        .iter()
+        .map(|b| b.map(|r| root_to_idx[&r]))
+        .collect();
+
+    // One exchange round: every node tells neighbors its extended-ball id;
+    // boundary edges become ball-graph edges.
+    let id_bits = sim.graph().id_bits();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut phase = sim.phase::<Option<u32>>();
+    phase.round(|v, _in, out| {
+        out.broadcast(v, extended[v.index()], id_bits + 1);
+    });
+    phase.drain(8 * (id_bits as u64 + 1), |v, inbox| {
+        let Some(mine) = assignment[v.index()] else { return };
+        for &(_, other) in inbox {
+            if let Some(r) = other {
+                let oi = root_to_idx[&r];
+                if oi != mine {
+                    edges.push((mine.min(oi), mine.max(oi)));
+                }
+            }
+        }
+    });
+    drop(phase);
+
+    let mut b = GraphBuilder::new(roots.len());
+    for (u, w) in edges {
+        b.add_edge(NodeId::from(u), NodeId::from(w));
+    }
+    BallGraph { graph: b.build(), roots, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powersparse_congest::sim::SimConfig;
+    use powersparse_graphs::{bfs, generators};
+
+    #[test]
+    fn ball_graph_on_path() {
+        // B = {0, 1, 8, 9} in two balls {0,1} and {8,9}; k = 2 borders
+        // grow toward the middle but never touch (path length 10).
+        let g = generators::path(10);
+        let ball_of: Vec<Option<u32>> = (0..10)
+            .map(|i| match i {
+                0 | 1 => Some(0),
+                8 | 9 => Some(8),
+                _ => None,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let bg = build_ball_graph(&mut sim, &ball_of, 2);
+        assert_eq!(bg.graph.n(), 2);
+        assert_eq!(bg.roots, vec![NodeId(0), NodeId(8)]);
+        // Borders: nodes 2,3 join ball 0; 6,7 join ball 8; middle gap
+        // nodes 4,5... also reached within 2 of node 3? Border growth is
+        // k = 2 hops from ball members: node 3 is 2 hops from node 1.
+        assert_eq!(bg.assignment[3], Some(0));
+        assert_eq!(bg.assignment[6], Some(1));
+        // Extended balls meet at 3-4? dist: Ball+(0) = {0,1,2,3},
+        // Ball+(8) = {6,7,8,9}; nodes 4,5 unassigned → no edge.
+        assert_eq!(bg.graph.m(), 0);
+    }
+
+    #[test]
+    fn distance_k_property() {
+        // Lemma 8.3: dist_G(Ball(u), Ball(w)) ≤ k ⟹ dist_B(u, w) ≤ k.
+        let g = generators::grid(6, 6);
+        // Four singleton balls in a row, 2 apart.
+        let rulers = [0u32, 2, 4, 14];
+        let ball_of: Vec<Option<u32>> = (0..36)
+            .map(|i| rulers.contains(&(i as u32)).then_some(i as u32))
+            .collect();
+        let k = 2;
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let bg = build_ball_graph(&mut sim, &ball_of, k);
+        for (ai, &a) in bg.roots.iter().enumerate() {
+            for (bi, &b) in bg.roots.iter().enumerate() {
+                if ai >= bi {
+                    continue;
+                }
+                let dg = bfs::distance(&g, a, b).unwrap() as usize;
+                if dg <= k {
+                    let db = bfs::distance(&bg.graph, NodeId::from(ai), NodeId::from(bi))
+                        .expect("connected in ball graph") as usize;
+                    assert!(db <= k, "balls {a},{b}: dist_G {dg} but dist_B {db}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn borders_are_disjoint_and_outside_b() {
+        let g = generators::connected_gnp(50, 0.08, 21);
+        let ball_of: Vec<Option<u32>> = (0..50)
+            .map(|i| (i % 13 == 0).then_some((i - i % 13) as u32))
+            .collect();
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let bg = build_ball_graph(&mut sim, &ball_of, 3);
+        for i in 0..50 {
+            if let Some(r) = ball_of[i] {
+                // Members keep their ball.
+                let idx = bg.roots.iter().position(|x| x.0 == r).unwrap();
+                assert_eq!(bg.assignment[i], Some(idx));
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Ruling sets: the deterministic coloring-digit algorithm (Theorem 6.1 /
+//! Corollary 6.2), the headline sparsification-based `(k+1, k²)`-ruling
+//! set (Theorem 1.1), KP12 degree reduction and the randomized
+//! `(k+1, kβ)`-ruling set (Corollary 1.3), and ruling sets with ball
+//! partitions (Claim 7.6) for the shattering framework.
+
+mod aglp;
+mod det_k2;
+mod kp12;
+
+pub use aglp::{aglp_ruling_set, id_ruling_set, ruling_set_with_balls, RulingBalls};
+pub use det_k2::{det_ruling_set_k2, mis_on_sparse_power, try_det_ruling_set_k2, DetRulingOutcome};
+pub use kp12::{beta_ruling_set, kp12_sparsify};

@@ -1,0 +1,184 @@
+//! Breadth-first search, distances, eccentricities and diameters.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Result of a BFS: parent pointers and levels, i.e. a BFS tree in the
+/// sense of the paper (Section 2): `dist_T(v, root) = dist_G(v, root)`.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// Root of the tree.
+    pub root: NodeId,
+    /// `parent[v]` is the BFS parent of `v`; `None` for the root and for
+    /// unreachable nodes.
+    pub parent: Vec<Option<NodeId>>,
+    /// `level[v] = dist_G(root, v)`; `None` for unreachable nodes.
+    pub level: Vec<Option<u32>>,
+}
+
+impl BfsTree {
+    /// Depth of the tree: maximum level over reachable nodes.
+    pub fn depth(&self) -> u32 {
+        self.level.iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// Children lists derived from the parent pointers.
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[p.index()].push(NodeId::from(i));
+            }
+        }
+        ch
+    }
+
+    /// Whether `v` is reachable from the root.
+    pub fn reaches(&self, v: NodeId) -> bool {
+        self.level[v.index()].is_some()
+    }
+}
+
+/// Runs a BFS from `root`, returning the tree.
+pub fn tree(g: &Graph, root: NodeId) -> BfsTree {
+    let mut parent = vec![None; g.n()];
+    let mut level = vec![None; g.n()];
+    let mut queue = VecDeque::new();
+    level[root.index()] = Some(0);
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        let lu = level[u.index()].expect("queued node has level");
+        for &w in g.neighbors(u) {
+            if level[w.index()].is_none() {
+                level[w.index()] = Some(lu + 1);
+                parent[w.index()] = Some(u);
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsTree { root, parent, level }
+}
+
+/// Distances from `source` to every node (`None` if unreachable).
+pub fn distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    tree(g, source).level
+}
+
+/// Multi-source BFS: distance from each node to the nearest source
+/// (`None` if no source is reachable). With `sources` empty, everything is
+/// `None`.
+pub fn multi_source_distances(g: &Graph, sources: &[NodeId]) -> Vec<Option<u32>> {
+    let mut level: Vec<Option<u32>> = vec![None; g.n()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if level[s.index()].is_none() {
+            level[s.index()] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let lu = level[u.index()].expect("queued node has level");
+        for &w in g.neighbors(u) {
+            if level[w.index()].is_none() {
+                level[w.index()] = Some(lu + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    level
+}
+
+/// Distance between two nodes, `None` if disconnected.
+pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> Option<u32> {
+    distances(g, u)[v.index()]
+}
+
+/// Eccentricity of `v`: the maximum distance to any reachable node.
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    distances(g, v).iter().flatten().copied().max().unwrap_or(0)
+}
+
+/// Exact diameter of the graph, ignoring unreachable pairs
+/// (i.e. max eccentricity over nodes, within components). `O(n·m)`.
+pub fn diameter(g: &Graph) -> u32 {
+    g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Distance from every node to the nearest node of the set `q`
+/// (`usize::MAX` encoded as `None` for unreachable). Convenience wrapper
+/// used by domination checkers.
+pub fn distances_to_set(g: &Graph, q: &[NodeId]) -> Vec<Option<u32>> {
+    multi_source_distances(g, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_distances() {
+        let g = generators::path(5);
+        let d = distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn disconnected_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = distances(&g, NodeId(0));
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+        assert_eq!(distance(&g, NodeId(0), NodeId(3)), None);
+    }
+
+    #[test]
+    fn bfs_tree_structure() {
+        let g = generators::star(5); // center 0, leaves 1..=5
+        let t = tree(&g, NodeId(0));
+        assert_eq!(t.depth(), 1);
+        for leaf in 1..=5u32 {
+            assert_eq!(t.parent[leaf as usize], Some(NodeId(0)));
+        }
+        assert_eq!(t.children()[0].len(), 5);
+    }
+
+    #[test]
+    fn bfs_tree_levels_are_distances() {
+        let g = generators::grid(4, 5);
+        let t = tree(&g, NodeId(7));
+        let d = distances(&g, NodeId(7));
+        assert_eq!(t.level, d);
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = generators::path(7);
+        let d = multi_source_distances(&g, &[NodeId(0), NodeId(6)]);
+        assert_eq!(
+            d,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(2), Some(1), Some(0)]
+        );
+    }
+
+    #[test]
+    fn multi_source_empty() {
+        let g = generators::path(3);
+        let d = multi_source_distances(&g, &[]);
+        assert!(d.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(diameter(&generators::cycle(8)), 4);
+        assert_eq!(diameter(&generators::cycle(9)), 4);
+        assert_eq!(diameter(&generators::path(10)), 9);
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = generators::path(9);
+        assert_eq!(eccentricity(&g, NodeId(4)), 4);
+        assert_eq!(eccentricity(&g, NodeId(0)), 8);
+    }
+}

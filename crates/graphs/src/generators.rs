@@ -1,0 +1,397 @@
+//! Graph families used by tests, examples and the benchmark harness.
+//!
+//! All randomized generators take an explicit seed so every experiment is
+//! reproducible bit-for-bit.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Cycle on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3, got {n}");
+    let mut edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+    edges.push((n - 1, 0));
+    Graph::from_edges(n, &edges)
+}
+
+/// Star with `leaves` leaves: node 0 is the center, nodes `1..=leaves` are
+/// leaves.
+pub fn star(leaves: usize) -> Graph {
+    let edges: Vec<_> = (1..=leaves).map(|i| (0, i)).collect();
+    Graph::from_edges(leaves + 1, &edges)
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// `rows × cols` grid; node `(r, c)` has index `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(NodeId::from(v), NodeId::from(v + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(NodeId::from(v), NodeId::from(v + cols));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` torus (grid with wraparound). Requires `rows, cols ≥ 3`
+/// so that wraparound does not create parallel edges.
+///
+/// # Panics
+///
+/// Panics if `rows < 3` or `cols < 3`.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs rows, cols >= 3");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            let right = r * cols + (c + 1) % cols;
+            let down = ((r + 1) % rows) * cols + c;
+            b.add_edge(NodeId::from(v), NodeId::from(right));
+            b.add_edge(NodeId::from(v), NodeId::from(down));
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with `levels` levels (`2^levels − 1` nodes).
+pub fn binary_tree(levels: u32) -> Graph {
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(NodeId::from(v), NodeId::from((v - 1) / 2));
+    }
+    b.build()
+}
+
+/// Hypercube on `2^dim` nodes: nodes adjacent iff their indices differ in
+/// exactly one bit.
+pub fn hypercube(dim: u32) -> Graph {
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..dim {
+            let w = v ^ (1 << bit);
+            if w > v {
+                b.add_edge(NodeId::from(v), NodeId::from(w));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each carrying `legs` leaves.
+/// Spine nodes come first (`0..spine`), then the leaves.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    for i in 1..spine {
+        b.add_edge(NodeId::from(i - 1), NodeId::from(i));
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(NodeId::from(s), NodeId::from(spine + s * legs + l));
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`, seeded.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(NodeId::from(u), NodeId::from(v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `G(n, p)` with expected average degree `d` (i.e. `p = d/(n-1)` clamped
+/// to `[0, 1]`), seeded.
+pub fn gnp_with_avg_degree(n: usize, d: f64, seed: u64) -> Graph {
+    let p = if n > 1 { (d / (n as f64 - 1.0)).clamp(0.0, 1.0) } else { 0.0 };
+    gnp(n, p, seed)
+}
+
+/// A connected `G(n, p)`-like graph: a random spanning path (over a seeded
+/// permutation) plus `G(n, p)` edges. Guarantees connectivity, which many
+/// experiments need (e.g. global BFS-tree aggregation).
+pub fn connected_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Fisher–Yates with the seeded RNG.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut b = GraphBuilder::new(n);
+    for w in perm.windows(2) {
+        b.add_edge(NodeId::from(w[0]), NodeId::from(w[1]));
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(NodeId::from(u), NodeId::from(v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random graph with maximum degree at most `max_deg`: repeatedly attempts
+/// random edges, accepting only those that keep both endpoints under the
+/// cap. Produces graphs whose max degree is close to (and never exceeds)
+/// `max_deg`. Seeded.
+pub fn random_bounded_degree(n: usize, max_deg: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut deg = vec![0usize; n];
+    let mut b = GraphBuilder::new(n);
+    let mut present = std::collections::HashSet::new();
+    let attempts = n * max_deg * 4;
+    for _ in 0..attempts {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || deg[u] >= max_deg || deg[v] >= max_deg {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if present.insert(key) {
+            deg[u] += 1;
+            deg[v] += 1;
+            b.add_edge(NodeId::from(u), NodeId::from(v));
+        }
+    }
+    b.build()
+}
+
+/// Cluster graph: `clusters` cliques of size `cluster_size`, arranged on a
+/// ring with a single bridge edge between consecutive cliques. Used to
+/// exercise component/ball-graph logic.
+pub fn clustered_ring(clusters: usize, cluster_size: usize) -> Graph {
+    assert!(clusters >= 3, "clustered_ring needs >= 3 clusters");
+    assert!(cluster_size >= 1);
+    let n = clusters * cluster_size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..clusters {
+        let base = c * cluster_size;
+        for i in 0..cluster_size {
+            for j in (i + 1)..cluster_size {
+                b.add_edge(NodeId::from(base + i), NodeId::from(base + j));
+            }
+        }
+        // Bridge: last node of cluster c to first node of cluster c+1.
+        let next = ((c + 1) % clusters) * cluster_size;
+        b.add_edge(NodeId::from(base + cluster_size - 1), NodeId::from(next));
+    }
+    b.build()
+}
+
+/// The example graph of **Figure 1** of the paper, parameterized by `hatd`
+/// (the sparsity bound `Δ̂ = max_u d_{s-1}(u, Q)`). Requires `s ≥ 3`.
+///
+/// Structure: a bottleneck edge `{v, w}`; `⌈Δ̂/2⌉` grey `Q`-leaves attached
+/// to `v` and `⌊Δ̂/2⌋` attached to `w`. Then `d_{s-1}(v, Q) = Δ̂` (all
+/// leaves are within distance 2 ≤ s−1 of `v`), depth-`s` broadcasts from
+/// every `Q`-leaf cross `{v, w}` exactly once (load `Θ(Δ̂)`), and
+/// Q-messages between the left and right leaves (pairwise distance
+/// 3 ≤ s) put `Θ(Δ̂²/4)` tuples across `{v, w}` — the tightness claimed in
+/// the figure's caption.
+///
+/// Returns `(graph, q, v, w)` where `q` is the membership mask of `Q`.
+///
+/// # Panics
+///
+/// Panics if `s < 3` or `hatd < 2`.
+pub fn figure1(hatd: usize, s: usize) -> (Graph, Vec<bool>, NodeId, NodeId) {
+    assert!(s >= 3, "figure1 needs s >= 3 so leaves across the edge are Q-neighbors");
+    assert!(hatd >= 2);
+    let left = hatd.div_ceil(2);
+    let right = hatd / 2;
+    let n = 2 + left + right;
+    let mut b = GraphBuilder::new(n);
+    let v = NodeId(0);
+    let w = NodeId(1);
+    b.add_edge(v, w);
+    let mut q = vec![false; n];
+    for i in 0..left {
+        let leaf = NodeId::from(2 + i);
+        b.add_edge(v, leaf);
+        q[leaf.index()] = true;
+    }
+    for i in 0..right {
+        let leaf = NodeId::from(2 + left + i);
+        b.add_edge(w, leaf);
+        q[leaf.index()] = true;
+    }
+    (b.build(), q, v, w)
+}
+
+/// Converts a membership vector to the list of member node IDs.
+pub fn members(mask: &[bool]) -> Vec<NodeId> {
+    mask.iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| NodeId::from(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+
+    #[test]
+    fn path_shape() {
+        let g = path(4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn cycle_regular() {
+        let g = cycle(6);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert_eq!(g.m(), 6);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(5);
+        assert_eq!(g.m(), 10);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid(3, 3);
+        assert_eq!(g.degree(NodeId(4)), 4); // center
+        assert_eq!(g.degree(NodeId(0)), 2); // corner
+        assert_eq!(g.m(), 12);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 2 * 20);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(4);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert_eq!(g.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn hypercube_regular() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(3, 2);
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.degree(NodeId(1)), 4); // middle spine: 2 spine + 2 legs
+        assert_eq!(g.degree(NodeId(3)), 1); // a leaf
+    }
+
+    #[test]
+    fn gnp_seeded_reproducible() {
+        let a = gnp(50, 0.1, 7);
+        let b = gnp(50, 0.1, 7);
+        let c = gnp(50, 0.1, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, 1).m(), 0);
+        assert_eq!(gnp(20, 1.0, 1).m(), 190);
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        for seed in 0..5 {
+            let g = connected_gnp(64, 0.01, seed);
+            let d = bfs::distances(&g, NodeId(0));
+            assert!(d.iter().all(Option::is_some), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn bounded_degree_respects_cap() {
+        let g = random_bounded_degree(100, 5, 3);
+        assert!(g.max_degree() <= 5);
+        assert!(g.max_degree() >= 4, "should get close to cap");
+    }
+
+    #[test]
+    fn clustered_ring_shape() {
+        let g = clustered_ring(4, 3);
+        assert_eq!(g.n(), 12);
+        // Each clique has 3 edges; 4 bridges.
+        assert_eq!(g.m(), 4 * 3 + 4);
+    }
+
+    #[test]
+    fn figure1_layout() {
+        let (g, q, v, w) = figure1(6, 3);
+        assert_eq!(g.n(), 2 + 6);
+        assert!(g.has_edge(v, w));
+        assert_eq!(q.iter().filter(|&&b| b).count(), 6);
+        // Δ̂ realized: v has all 6 leaves within distance s-1 = 2.
+        let dv = bfs::distances(&g, v);
+        let within: usize = q
+            .iter()
+            .enumerate()
+            .filter(|(i, &inq)| inq && dv[*i].unwrap() <= 2)
+            .count();
+        assert_eq!(within, 6);
+        // Left and right leaves are at distance 3 (= s) of each other.
+        assert_eq!(bfs::distance(&g, NodeId(2), NodeId(2 + 3)), Some(3));
+    }
+
+    #[test]
+    fn avg_degree_generator_close() {
+        let g = gnp_with_avg_degree(400, 10.0, 42);
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!((avg - 10.0).abs() < 2.0, "avg degree {avg} too far from 10");
+    }
+}

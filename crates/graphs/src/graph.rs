@@ -1,0 +1,275 @@
+//! Immutable undirected graphs in CSR (compressed sparse row) layout.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node IDs are dense indices `0..n`. Algorithms that need the paper's
+/// `O(log n)`-bit unique identifiers use these indices directly (a dense
+/// index fits in `⌈log₂ n⌉` bits); where an algorithm's correctness depends
+/// on IDs being *arbitrary* (not consecutive), tests permute them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the ID as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+/// An immutable, simple, undirected graph in CSR layout.
+///
+/// Invariants (enforced by [`GraphBuilder`]):
+/// * no self-loops,
+/// * no parallel edges,
+/// * adjacency lists are sorted ascending.
+///
+/// # Example
+///
+/// ```
+/// use powersparse_graphs::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(2));
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// assert!(g.has_edge(NodeId(0), NodeId(1)));
+/// assert!(!g.has_edge(NodeId(0), NodeId(2)));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `adjacency` for node `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-node-sorted adjacency lists.
+    adjacency: Vec<NodeId>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds a graph from an edge list over `n` nodes.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(NodeId::from(u), NodeId::from(v));
+        }
+        b.build()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// Degree of `v` in `G`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Maximum degree `Δ` of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Sorted slice of neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.adjacency[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Whether `{u, v}` is an edge. `O(log deg(u))`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node IDs `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n()).map(NodeId::from)
+    }
+
+    /// Iterator over all undirected edges, each reported once as `(u, v)`
+    /// with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Number of bits needed to represent a node ID, i.e. `⌈log₂ n⌉`
+    /// (at least 1). This is the paper's identifier width `a`.
+    pub fn id_bits(&self) -> usize {
+        let n = self.n().max(2);
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Accepts edges in any order; deduplicates and drops self-loops at
+/// [`GraphBuilder::build`] time.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(u.index() < self.n, "node {u} out of range (n = {})", self.n);
+        assert!(v.index() < self.n, "node {v} out of range (n = {})", self.n);
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Finalizes the graph: sorts adjacency lists, removes duplicates and
+    /// self-loops.
+    pub fn build(&self) -> Graph {
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            if u != v {
+                adj[u.index()].push(v);
+                adj[v.index()].push(u);
+            }
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut adjacency = Vec::new();
+        offsets.push(0u32);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            adjacency.extend_from_slice(list);
+            offsets.push(u32::try_from(adjacency.len()).expect("too many edges"));
+        }
+        Graph { offsets, adjacency }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::from_edges(1, &[]);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.degree(NodeId(0)), 0);
+        assert_eq!(g.id_bits(), 1);
+    }
+
+    #[test]
+    fn triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.m(), 3);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(g.edges().count(), 3);
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(NodeId(2)), 0);
+        assert!(!g.has_edge(NodeId(2), NodeId(2)));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, &[(3, 0), (3, 4), (3, 1), (3, 2)]);
+        assert_eq!(
+            g.neighbors(NodeId(3)),
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn edges_reported_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 4);
+        for (u, v) in es {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn id_bits_values() {
+        assert_eq!(Graph::from_edges(2, &[]).id_bits(), 1);
+        assert_eq!(Graph::from_edges(3, &[]).id_bits(), 2);
+        assert_eq!(Graph::from_edges(4, &[]).id_bits(), 2);
+        assert_eq!(Graph::from_edges(5, &[]).id_bits(), 3);
+        assert_eq!(Graph::from_edges(1024, &[]).id_bits(), 10);
+        assert_eq!(Graph::from_edges(1025, &[]).id_bits(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(5));
+    }
+}

@@ -1,0 +1,232 @@
+//! Derandomization strategies (DESIGN.md §3, substitution 1).
+//!
+//! Both strategies produce a seed under which **zero bad events** occur.
+//! The existence of such a seed is exactly the paper's argument in
+//! Claim 5.6: `E[Σ_v Φ_v + Ψ_v] ≤ 2n/n³ < 1`, so some seed realizes 0.
+//!
+//! * [`seed_search`] — deterministically scans seeds expanded from the
+//!   counters `0, 1, 2, …` and returns the first seed with zero bad
+//!   events. Since a uniformly random seed is good with probability
+//!   `≥ 1 − 2/n²`, the scan terminates after a handful of candidates on
+//!   any instance where the probabilistic analysis applies.
+//! * [`conditional_expectations`] — the paper's bit-by-bit method with
+//!   *exact* conditional expectations computed by enumerating all
+//!   completions of the remaining free bits (the paper's own footnote 5
+//!   describes exactly this exhaustive local averaging). Exponential in
+//!   the seed length, so only usable for small families; the test suite
+//!   uses it to validate that bit-by-bit fixing reaches a good seed
+//!   whenever the expectation argument applies.
+
+use crate::seed::{PartialSeed, Seed};
+
+/// Failure of a derandomization strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DerandError {
+    /// `seed_search` exhausted its attempt budget. Either the instance
+    /// violates the preconditions of the probabilistic analysis (bad
+    /// events are not rare) or the budget is too small.
+    SearchExhausted {
+        /// Number of seeds tried.
+        attempts: u64,
+        /// Fewest bad events seen across all attempts.
+        best_bad_events: u64,
+    },
+    /// The seed space is too large for exhaustive conditional
+    /// expectations.
+    SeedSpaceTooLarge {
+        /// Seed length in bits.
+        seed_len: usize,
+        /// Maximum supported seed length.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for DerandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SearchExhausted { attempts, best_bad_events } => write!(
+                f,
+                "seed search exhausted after {attempts} attempts (best seed still had {best_bad_events} bad events)"
+            ),
+            Self::SeedSpaceTooLarge { seed_len, max } => write!(
+                f,
+                "seed space of {seed_len} bits exceeds the exhaustive-enumeration limit of {max} bits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DerandError {}
+
+/// Deterministically scans seeds `Seed::from_counter(len, 0), (len, 1), …`
+/// and returns the first one for which `count_bad_events` reports zero.
+///
+/// `count_bad_events(seed)` must return the number of bad events (the
+/// paper's `Σ_v Φ_v + Ψ_v`) under that seed.
+///
+/// # Errors
+///
+/// Returns [`DerandError::SearchExhausted`] if no good seed is found
+/// within `max_attempts`.
+pub fn seed_search(
+    seed_len: usize,
+    max_attempts: u64,
+    mut count_bad_events: impl FnMut(&Seed) -> u64,
+) -> Result<Seed, DerandError> {
+    let mut best = u64::MAX;
+    for c in 0..max_attempts {
+        let seed = Seed::from_counter(seed_len, c);
+        let bad = count_bad_events(&seed);
+        if bad == 0 {
+            return Ok(seed);
+        }
+        best = best.min(bad);
+    }
+    Err(DerandError::SearchExhausted { attempts: max_attempts, best_bad_events: best })
+}
+
+/// Maximum seed length (bits) accepted by [`conditional_expectations`]:
+/// enumeration visits `O(2^len · len)` seeds.
+pub const MAX_EXHAUSTIVE_SEED_BITS: usize = 22;
+
+/// The method of conditional expectations with exact enumeration
+/// (Claim 5.6 of the paper).
+///
+/// Fixes the seed bits one at a time. For bit `j`, computes
+/// `α_b = E[Σ bad | prefix, B_j = b]` for `b ∈ {0, 1}` by averaging
+/// `count_bad_events` over **all** completions, then keeps the smaller
+/// side (ties: 0). The returned pair is the final seed and its bad-event
+/// count; if the initial expectation is `< 1`, the count is guaranteed to
+/// be `0`.
+///
+/// # Errors
+///
+/// Returns [`DerandError::SeedSpaceTooLarge`] if
+/// `seed_len > MAX_EXHAUSTIVE_SEED_BITS`.
+pub fn conditional_expectations(
+    seed_len: usize,
+    mut count_bad_events: impl FnMut(&Seed) -> u64,
+) -> Result<(Seed, u64), DerandError> {
+    if seed_len > MAX_EXHAUSTIVE_SEED_BITS {
+        return Err(DerandError::SeedSpaceTooLarge {
+            seed_len,
+            max: MAX_EXHAUSTIVE_SEED_BITS,
+        });
+    }
+    let mut partial = PartialSeed::unfixed(seed_len);
+    for j in 0..seed_len {
+        let mut totals = [0u64; 2];
+        for (b, total) in totals.iter_mut().enumerate() {
+            let mut trial = partial.clone();
+            trial.fix(j, b == 1);
+            for completion in trial.completions() {
+                *total += count_bad_events(&completion);
+            }
+        }
+        // Both sides average over the same number of completions, so
+        // comparing totals compares expectations.
+        partial.fix(j, totals[1] < totals[0]);
+    }
+    let seed = partial.to_seed();
+    let bad = count_bad_events(&seed);
+    Ok((seed, bad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::KWiseFamily;
+
+    #[test]
+    fn seed_search_finds_trivial() {
+        // Everything is good: first seed wins.
+        let s = seed_search(16, 10, |_| 0).unwrap();
+        assert_eq!(s, Seed::from_counter(16, 0));
+    }
+
+    #[test]
+    fn seed_search_skips_bad_seeds() {
+        // Only the seed from counter 3 is good.
+        let target = Seed::from_counter(16, 3);
+        let s = seed_search(16, 10, |seed| u64::from(*seed != target)).unwrap();
+        assert_eq!(s, target);
+    }
+
+    #[test]
+    fn seed_search_exhaustion_reports_best() {
+        let err = seed_search(8, 5, |_| 7).unwrap_err();
+        assert_eq!(
+            err,
+            DerandError::SearchExhausted { attempts: 5, best_bad_events: 7 }
+        );
+    }
+
+    #[test]
+    fn cond_expect_rejects_large_space() {
+        let err = conditional_expectations(64, |_| 0).unwrap_err();
+        assert!(matches!(err, DerandError::SeedSpaceTooLarge { .. }));
+    }
+
+    /// If the expectation over all seeds is < 1, conditional expectations
+    /// must end with zero bad events. We emulate a sampling scenario:
+    /// 6 "nodes" each hashed to a bit; the bad event for node `v` is that
+    /// its indicator disagrees with the majority-available pattern. We
+    /// simply require that SOME event structure with expectation < 1 is
+    /// driven to zero.
+    #[test]
+    fn cond_expect_reaches_zero_when_expectation_below_one() {
+        let fam = KWiseFamily::new(2, 4); // 8-bit seed, 256 completions
+        let threshold = fam.threshold_for_probability(0.5);
+        // Bad event: ALL of the 5 points hash below the threshold
+        // (prob 2^-5 with full independence; pairwise independence still
+        // makes the expectation far below 1 for this single event... we
+        // count it exactly: expectation = (#seeds where all 5 hit)/256).
+        let all_hit = |seed: &Seed| -> u64 {
+            u64::from((1..=5u64).all(|x| fam.indicator(seed, x, threshold)))
+        };
+        // Verify the premise E < 1 by enumeration.
+        let total: u64 = (0..256u64)
+            .map(|c| all_hit(&Seed::from_counter(8, c)))
+            .sum();
+        // (Not all 256 counter-seeds are distinct bit patterns necessarily;
+        // enumerate actual bit patterns instead.)
+        let mut exact_total = 0u64;
+        for pattern in 0..256u64 {
+            let bits: Vec<bool> = (0..8).map(|i| pattern >> i & 1 == 1).collect();
+            exact_total += all_hit(&Seed::from_bits(&bits));
+        }
+        assert!(exact_total < 256, "premise: expectation below one; total {total}");
+        let (seed, bad) = conditional_expectations(8, all_hit).unwrap();
+        assert_eq!(bad, 0, "seed {seed:?} should realize zero bad events");
+    }
+
+    /// Conditional expectations minimizes the count even when it cannot
+    /// reach zero (expectation ≥ 1): the final count is ≤ the average.
+    #[test]
+    fn cond_expect_never_worse_than_average() {
+        // Bad-event count = number of set bits in the 6-bit seed; average
+        // is 3; the method must end at 0 (it can always pick 0 bits).
+        let (seed, bad) =
+            conditional_expectations(6, |s| (0..6).filter(|&i| s.get(i)).count() as u64)
+                .unwrap();
+        assert_eq!(bad, 0);
+        assert_eq!(seed, Seed::zeros(6));
+    }
+
+    /// Both derandomizers agree on the *property* of the output (zero bad
+    /// events) for a shared instance.
+    #[test]
+    fn strategies_agree_on_goal() {
+        let fam = KWiseFamily::new(2, 4);
+        let t = fam.threshold_for_probability(0.25);
+        // Bad events: point 3 hashes below t AND point 9 hashes below t.
+        let count = |seed: &Seed| -> u64 {
+            u64::from(fam.indicator(seed, 3, t)) + u64::from(fam.indicator(seed, 9, t))
+        };
+        let s1 = seed_search(8, 1000, count).unwrap();
+        let (s2, bad2) = conditional_expectations(8, count).unwrap();
+        assert_eq!(count(&s1), 0);
+        assert_eq!(bad2, 0);
+        let _ = s2;
+    }
+}

@@ -1,0 +1,212 @@
+//! Exactly k-wise independent hash families: degree-`(k−1)` polynomials
+//! over `GF(2^b)`.
+//!
+//! For a uniformly random seed (= coefficient vector), the values
+//! `h(x₁), …, h(x_k)` at any `k` distinct points are independent and
+//! uniform in `[2^b]` — the Vandermonde matrix over a field is invertible.
+//! This realizes Definition 2.2 / Lemma 2.3 of the paper with `N = L = 2^b`
+//! and seed length exactly `k·b` bits.
+
+use crate::gf::Gf2;
+use crate::seed::Seed;
+
+/// A k-wise independent hash family `H = {h : [2^b] → [2^b]}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KWiseFamily {
+    k: usize,
+    field: Gf2,
+}
+
+impl KWiseFamily {
+    /// Creates the family of degree-`(k−1)` polynomials over
+    /// `GF(2^field_bits)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `field_bits ∉ {4, 8, 16, 32}`.
+    pub fn new(k: usize, field_bits: u32) -> Self {
+        assert!(k >= 1, "independence parameter k must be >= 1");
+        Self { k, field: Gf2::new(field_bits) }
+    }
+
+    /// Convenience constructor matching the paper's parameters for an
+    /// `n`-node graph: `⌈c·log₂ n⌉`-wise independence (the paper uses
+    /// `c = 8`) over a field large enough to give every node a distinct
+    /// point (`b ≥ ⌈log₂ n⌉`, rounded up to a supported size).
+    pub fn for_graph(n: usize, c_log: usize) -> Self {
+        let log_n = (usize::BITS - n.max(2).leading_zeros()) as usize;
+        let k = (c_log * log_n).max(2);
+        let field_bits = if log_n <= 16 { 16 } else { 32 };
+        Self::new(k, field_bits)
+    }
+
+    /// Independence parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Field size exponent `b`.
+    pub fn field_bits(&self) -> u32 {
+        self.field.bits()
+    }
+
+    /// Seed length in bits: `k·b` (Lemma 2.3: `k·max{a, b}` bits).
+    pub fn seed_len(&self) -> usize {
+        self.k * self.field.bits() as usize
+    }
+
+    /// Evaluates `h_seed(x)`: the polynomial with coefficient `i` read
+    /// from seed bits `[i·b, (i+1)·b)`, evaluated at `x` (embedded into
+    /// the field by truncation) via Horner's rule. Returns a value in
+    /// `[0, 2^b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed.len() != self.seed_len()`.
+    pub fn eval(&self, seed: &Seed, x: u64) -> u64 {
+        assert_eq!(seed.len(), self.seed_len(), "seed length mismatch");
+        let b = self.field.bits() as usize;
+        let xe = self.field.embed(x);
+        let mut acc = 0u64;
+        for i in (0..self.k).rev() {
+            let coeff = seed.chunk(i * b, b);
+            acc = self.field.add(self.field.mul(acc, xe), coeff);
+        }
+        acc
+    }
+
+    /// Converts a probability to the threshold `t` such that
+    /// `P(h(x) < t) = t / 2^b ≈ p` for a uniformly random seed.
+    pub fn threshold_for_probability(&self, p: f64) -> u64 {
+        let order = self.field.order() as f64;
+        let t = (p * order).round();
+        t.clamp(0.0, order) as u64
+    }
+
+    /// The Bernoulli indicator `1[h(x) < threshold]`, the paper's
+    /// "`X_v = 1` iff `h(v) ≤ 24·2^i·log n`" pattern (Claim 5.6).
+    pub fn indicator(&self, seed: &Seed, x: u64, threshold: u64) -> bool {
+        self.eval(seed, x) < threshold
+    }
+
+    /// Uniform `[0, 1)` value derived from `h(x)`, for algorithms that
+    /// need k-wise independent reals (e.g. exponential delays in the
+    /// network decomposition).
+    pub fn uniform(&self, seed: &Seed, x: u64) -> f64 {
+        self.eval(seed, x) as f64 / self.field.order() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively verifies exact pairwise independence of the k = 2
+    /// family over GF(2^4): for all distinct points x ≠ y and all value
+    /// pairs (u, v), exactly |H| / 16² seeds map (x, y) → (u, v).
+    #[test]
+    fn exact_pairwise_independence_gf16() {
+        let fam = KWiseFamily::new(2, 4);
+        let seeds = 1u64 << fam.seed_len(); // 256 seeds
+        for (x, y) in [(0u64, 1u64), (3, 7), (14, 15)] {
+            let mut counts = vec![0u32; 16 * 16];
+            for c in 0..seeds {
+                let seed = Seed::from_bits(
+                    &(0..8).map(|i| c >> i & 1 == 1).collect::<Vec<_>>(),
+                );
+                let hx = fam.eval(&seed, x);
+                let hy = fam.eval(&seed, y);
+                counts[(hx * 16 + hy) as usize] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "pair ({x},{y}) not uniform: {counts:?}"
+            );
+        }
+    }
+
+    /// For k = 3 over GF(2^4), triples at distinct points are uniform.
+    #[test]
+    fn exact_3wise_independence_gf16() {
+        let fam = KWiseFamily::new(3, 4);
+        let seeds = 1u64 << fam.seed_len(); // 4096
+        let (x, y, z) = (2u64, 5u64, 11u64);
+        let mut counts = vec![0u32; 16 * 16 * 16];
+        for c in 0..seeds {
+            let seed = Seed::from_bits(
+                &(0..12).map(|i| c >> i & 1 == 1).collect::<Vec<_>>(),
+            );
+            let (hx, hy, hz) =
+                (fam.eval(&seed, x), fam.eval(&seed, y), fam.eval(&seed, z));
+            counts[(hx * 256 + hy * 16 + hz) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn eval_is_polynomial() {
+        // With k = 1 the hash is the constant coefficient.
+        let fam = KWiseFamily::new(1, 8);
+        let seed = Seed::from_counter(8, 5);
+        let c0 = seed.chunk(0, 8);
+        assert_eq!(fam.eval(&seed, 0), c0);
+        assert_eq!(fam.eval(&seed, 200), c0);
+    }
+
+    #[test]
+    fn eval_at_zero_is_constant_term() {
+        let fam = KWiseFamily::new(5, 16);
+        let seed = Seed::from_counter(fam.seed_len(), 123);
+        assert_eq!(fam.eval(&seed, 0), seed.chunk(0, 16));
+    }
+
+    #[test]
+    fn threshold_probability_roundtrip() {
+        let fam = KWiseFamily::new(2, 16);
+        assert_eq!(fam.threshold_for_probability(0.0), 0);
+        assert_eq!(fam.threshold_for_probability(1.0), 1 << 16);
+        assert_eq!(fam.threshold_for_probability(0.5), 1 << 15);
+    }
+
+    #[test]
+    fn indicator_empirical_rate() {
+        // Average the indicator across many seeds: the rate must match the
+        // probability closely because marginals are exactly uniform.
+        let fam = KWiseFamily::new(2, 16);
+        let threshold = fam.threshold_for_probability(0.25);
+        let trials = 4000u64;
+        let hits = (0..trials)
+            .filter(|&c| {
+                fam.indicator(&Seed::from_counter(fam.seed_len(), c), 77, threshold)
+            })
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn for_graph_parameters() {
+        let fam = KWiseFamily::for_graph(1000, 8);
+        assert_eq!(fam.k(), 80); // 8 * ceil(log2 1000) = 8 * 10
+        assert_eq!(fam.field_bits(), 16);
+        assert_eq!(fam.seed_len(), 80 * 16);
+        let big = KWiseFamily::for_graph(1 << 20, 8);
+        assert_eq!(big.field_bits(), 32);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let fam = KWiseFamily::new(4, 16);
+        for c in 0..50 {
+            let u = fam.uniform(&Seed::from_counter(fam.seed_len(), c), c);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed length mismatch")]
+    fn wrong_seed_length_panics() {
+        let fam = KWiseFamily::new(2, 8);
+        fam.eval(&Seed::zeros(5), 1);
+    }
+}

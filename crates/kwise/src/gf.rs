@@ -1,0 +1,194 @@
+//! Binary extension fields `GF(2^b)` for `b ∈ {4, 8, 16, 32}`.
+//!
+//! Elements are the `b`-bit integers; addition is XOR; multiplication is
+//! carry-less multiplication reduced by a fixed irreducible polynomial.
+
+/// A binary extension field `GF(2^b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gf2 {
+    bits: u32,
+    /// Reduction polynomial *without* the leading `x^b` term.
+    reduction: u64,
+}
+
+impl Gf2 {
+    /// Creates the field `GF(2^bits)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bits ∈ {4, 8, 16, 32}`.
+    pub fn new(bits: u32) -> Self {
+        // Standard irreducible polynomials (low-order terms only).
+        let reduction = match bits {
+            4 => 0b0011,                 // x^4 + x + 1
+            8 => 0b0001_1011,            // x^8 + x^4 + x^3 + x + 1 (AES)
+            16 => 0b0010_1011,           // x^16 + x^5 + x^3 + x + 1
+            32 => 0b1000_1101,           // x^32 + x^7 + x^3 + x^2 + 1
+            other => panic!("unsupported field size GF(2^{other})"),
+        };
+        Self { bits, reduction }
+    }
+
+    /// Field size exponent `b`.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of field elements, `2^b`.
+    #[inline]
+    pub fn order(self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Mask selecting the low `b` bits.
+    #[inline]
+    fn mask(self) -> u64 {
+        self.order() - 1
+    }
+
+    /// Reduces an arbitrary `u64` into the field by truncation to `b` bits.
+    ///
+    /// Truncation (rather than polynomial reduction) is the right embedding
+    /// for hashing: distinct inputs below `2^b` stay distinct.
+    #[inline]
+    pub fn embed(self, x: u64) -> u64 {
+        x & self.mask()
+    }
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        debug_assert!(a <= self.mask() && b <= self.mask());
+        a ^ b
+    }
+
+    /// Field multiplication: carry-less product reduced by the field
+    /// polynomial.
+    pub fn mul(self, a: u64, b: u64) -> u64 {
+        debug_assert!(a <= self.mask() && b <= self.mask());
+        // Carry-less multiply into up to 2b-1 bits (fits u64 for b <= 32).
+        let mut prod: u64 = 0;
+        let mut aa = a;
+        let mut bb = b;
+        while bb != 0 {
+            if bb & 1 == 1 {
+                prod ^= aa;
+            }
+            aa <<= 1;
+            bb >>= 1;
+        }
+        // Reduce: for each set bit at position >= b, fold in reduction.
+        let b_ = self.bits;
+        for pos in (b_..2 * b_).rev() {
+            if prod >> pos & 1 == 1 {
+                prod ^= 1u64 << pos;
+                prod ^= self.reduction << (pos - b_);
+            }
+        }
+        prod
+    }
+
+    /// `x^e` by square-and-multiply.
+    pub fn pow(self, x: u64, e: u64) -> u64 {
+        let mut base = x;
+        let mut exp = e;
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf16_mul_table_spot_checks() {
+        // GF(2^4) with x^4 + x + 1: known values.
+        let f = Gf2::new(4);
+        assert_eq!(f.mul(0, 7), 0);
+        assert_eq!(f.mul(1, 9), 9);
+        // x * x^3 = x^4 = x + 1 = 0b0011.
+        assert_eq!(f.mul(0b0010, 0b1000), 0b0011);
+        // (x+1)(x^2+x) = x^3 + x = 0b1010 (no reduction needed).
+        assert_eq!(f.mul(0b0011, 0b0110), 0b1010);
+    }
+
+    #[test]
+    fn aes_field_known_product() {
+        // In AES's GF(2^8): 0x53 * 0xCA = 0x01 (they are inverses).
+        let f = Gf2::new(8);
+        assert_eq!(f.mul(0x53, 0xCA), 0x01);
+    }
+
+    #[test]
+    fn mul_commutative_associative_distributive() {
+        for bits in [4u32, 8] {
+            let f = Gf2::new(bits);
+            let n = f.order();
+            let step = if bits == 4 { 1 } else { 17 };
+            let mut a = 0;
+            while a < n {
+                let mut b = 0;
+                while b < n {
+                    assert_eq!(f.mul(a, b), f.mul(b, a));
+                    let c = (a * 31 + b * 7 + 3) & (n - 1);
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                    b += step;
+                }
+                a += step;
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_elements_form_group() {
+        // Every nonzero element of GF(2^4) has order dividing 15 and
+        // x^15 = 1 for all nonzero x (so there are no zero divisors).
+        let f = Gf2::new(4);
+        for x in 1..f.order() {
+            assert_eq!(f.pow(x, 15), 1, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn no_zero_divisors_gf256() {
+        let f = Gf2::new(8);
+        for a in 1..f.order() {
+            // a * 0xb5 == 0 only if a == 0.
+            assert_ne!(f.mul(a, 0xb5), 0);
+        }
+    }
+
+    #[test]
+    fn gf32_basic() {
+        let f = Gf2::new(32);
+        let a = 0xDEAD_BEEF;
+        let b = 0x1234_5678;
+        assert_eq!(f.mul(a, 1), a);
+        assert_eq!(f.mul(a, 0), 0);
+        assert_eq!(f.mul(a, b), f.mul(b, a));
+        assert!(f.mul(a, b) < f.order());
+    }
+
+    #[test]
+    fn embed_truncates() {
+        let f = Gf2::new(8);
+        assert_eq!(f.embed(0x1FF), 0xFF);
+        assert_eq!(f.embed(0x42), 0x42);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported field")]
+    fn bad_field_size_panics() {
+        Gf2::new(7);
+    }
+}

@@ -1,0 +1,86 @@
+//! Head-to-head comparison of the deterministic ruling-set algorithms on
+//! the same instance (the Table 1 story): the AGLP digit algorithm
+//! (domination `k·log n`), Corollary 6.2 (domination `ck`, rounds
+//! `O(k·c·n^{1/c})`) and the paper's Theorem 1.1 (domination `k²`,
+//! polylog rounds).
+//!
+//! Run with: `cargo run --example ruling_set_comparison`
+
+use powersparse::params::TheoryParams;
+use powersparse::ruling::{det_ruling_set_k2, id_ruling_set, ruling_set_with_balls};
+use powersparse::RunReport;
+use powersparse_congest::sim::{SimConfig, Simulator};
+use powersparse_graphs::{bfs, check, generators, Graph, NodeId};
+
+fn domination(g: &Graph, set: &[NodeId]) -> u32 {
+    bfs::distances_to_set(g, set)
+        .iter()
+        .map(|d| d.expect("connected"))
+        .max()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let n = 512;
+    let g = generators::connected_gnp(n, 10.0 / n as f64, 23);
+    let k = 2;
+    println!("graph: gnp (n = {n}, Δ = {}), k = {k}\n", g.max_degree());
+    println!(
+        "{:<28} {:>8} {:>12} {:>12} {:>8}",
+        "algorithm", "rounds", "guarantee", "measured dom", "|S|"
+    );
+
+    // AGLP digits over IDs (base 2).
+    let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+    let before = sim.metrics().clone();
+    let aglp = ruling_set_with_balls(&mut sim, k, &vec![true; n], None);
+    let rep = RunReport::delta(&before, sim.metrics());
+    let members = generators::members(&aglp.ruling_set);
+    assert!(check::is_ruling_set(&g, &members, k + 1, aglp.domination_bound));
+    println!(
+        "{:<28} {:>8} {:>12} {:>12} {:>8}",
+        "AGLP (B=2, IDs)",
+        rep.rounds,
+        format!("k·log n={}", aglp.domination_bound),
+        domination(&g, &members),
+        members.len()
+    );
+
+    // Corollary 6.2 for c = 2, 3.
+    for c in [2u32, 3] {
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let before = sim.metrics().clone();
+        let out = id_ruling_set(&mut sim, k, c);
+        let rep = RunReport::delta(&before, sim.metrics());
+        let members = generators::members(&out.ruling_set);
+        assert!(check::is_ruling_set(&g, &members, k + 1, c as usize * k));
+        println!(
+            "{:<28} {:>8} {:>12} {:>12} {:>8}",
+            format!("Cor 6.2 (c={c})"),
+            rep.rounds,
+            format!("ck={}", c as usize * k),
+            domination(&g, &members),
+            members.len()
+        );
+    }
+
+    // Theorem 1.1.
+    let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+    let before = sim.metrics().clone();
+    let out = det_ruling_set_k2(&mut sim, k, &TheoryParams::scaled(), 0);
+    let rep = RunReport::delta(&before, sim.metrics());
+    assert!(check::is_ruling_set(&g, &out.ruling_set, k + 1, k * k));
+    println!(
+        "{:<28} {:>8} {:>12} {:>12} {:>8}",
+        "NEW Thm 1.1",
+        rep.rounds,
+        format!("k²={}", k * k),
+        domination(&g, &out.ruling_set),
+        out.ruling_set.len()
+    );
+
+    println!(
+        "\nThe paper's trade-off: Theorem 1.1 gets constant (in n) domination k²\n\
+         without the n^(1/c) round blow-up of Corollary 6.2 — compare the rows."
+    );
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the `powersparse` reproduction.
+//!
+//! This crate hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The actual library surface lives in:
+//!
+//! * [`powersparse`] — the paper's algorithms (sparsification, ruling sets,
+//!   MIS, network decomposition),
+//! * [`powersparse_congest`] — the CONGEST round engine,
+//! * [`powersparse_graphs`] — the graph substrate,
+//! * [`powersparse_kwise`] — k-wise independent hashing and derandomizers.
+
+pub use powersparse;
+pub use powersparse_congest;
+pub use powersparse_graphs;
+pub use powersparse_kwise;
