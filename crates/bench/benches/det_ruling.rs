@@ -18,13 +18,9 @@ fn bench(c: &mut Criterion) {
                 &g,
                 |b, g| b.iter(|| measure(g, |sim| id_ruling_set(sim, k, 2))),
             );
-            group.bench_with_input(
-                BenchmarkId::new(format!("thm1.1_k{k}"), n),
-                &g,
-                |b, g| {
-                    b.iter(|| measure(g, |sim| det_ruling_set_k2(sim, k, &params, 0)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("thm1.1_k{k}"), n), &g, |b, g| {
+                b.iter(|| measure(g, |sim| det_ruling_set_k2(sim, k, &params, 0)))
+            });
         }
     }
     group.finish();

@@ -15,18 +15,13 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(format!("luby_k{k}"), n), &g, |b, g| {
                 b.iter(|| measure(g, |sim| luby_mis(sim, k, 7)))
             });
-            group.bench_with_input(
-                BenchmarkId::new(format!("thm1.2_k{k}"), n),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        measure(g, |sim| {
-                            mis_power(sim, k, &params, 7, PostShattering::OnePhase)
-                                .expect("mis")
-                        })
+            group.bench_with_input(BenchmarkId::new(format!("thm1.2_k{k}"), n), &g, |b, g| {
+                b.iter(|| {
+                    measure(g, |sim| {
+                        mis_power(sim, k, &params, 7, PostShattering::OnePhase).expect("mis")
                     })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();

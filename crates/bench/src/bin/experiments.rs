@@ -2,7 +2,7 @@
 //! DESIGN.md §4). Usage:
 //!
 //! ```text
-//! experiments [all|table1-det|table1-mis|table1-ruling|fig1|sparsify|shattering|nd|derand] [--scale S]
+//! experiments [all|table1-det|table1-mis|table1-ruling|fig1|sparsify|shattering|nd|derand|engines] [--scale S]
 //! ```
 //!
 //! Output is markdown; EXPERIMENTS.md archives a run.
@@ -39,6 +39,7 @@ fn main() {
         "shattering" => shattering_exp(scale),
         "nd" => nd_exp(scale),
         "derand" => derand_exp(),
+        "engines" => engines_exp(),
         "all" => {
             table1_det(scale);
             table1_mis(scale);
@@ -48,6 +49,7 @@ fn main() {
             shattering_exp(scale);
             nd_exp(scale);
             derand_exp();
+            engines_exp();
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -59,7 +61,19 @@ fn main() {
 /// E1 — Table 1, deterministic ruling-set rows.
 fn table1_det(scale: usize) {
     println!("\n## E1: Table 1 — deterministic ruling sets of G^k\n");
-    println!("{}", row(&["graph", "k", "algorithm", "guarantee", "rounds", "measured domination", "|S|"].map(String::from)));
+    println!(
+        "{}",
+        row(&[
+            "graph",
+            "k",
+            "algorithm",
+            "guarantee",
+            "rounds",
+            "measured domination",
+            "|S|"
+        ]
+        .map(String::from))
+    );
     println!("{}", row(&["---"; 7].map(String::from)));
     let params = bench_params();
     for w in standard_workloads(scale) {
@@ -88,7 +102,12 @@ fn table1_det(scale: usize) {
                 ruling_set_with_balls(sim, k, &vec![true; g.n()], None)
             });
             let members = generators::members(&out.ruling_set);
-            assert!(check::is_ruling_set(g, &members, k + 1, out.domination_bound));
+            assert!(check::is_ruling_set(
+                g,
+                &members,
+                k + 1,
+                out.domination_bound
+            ));
             println!(
                 "{}",
                 row(&[
@@ -123,7 +142,10 @@ fn table1_det(scale: usize) {
 /// E2 — Table 1, randomized MIS rows: Luby on G^k vs Theorem 1.2.
 fn table1_mis(scale: usize) {
     println!("\n## E2: Table 1 — randomized MIS of G^k\n");
-    println!("{}", row(&["graph", "k", "algorithm", "rounds", "|MIS|"].map(String::from)));
+    println!(
+        "{}",
+        row(&["graph", "k", "algorithm", "rounds", "|MIS|"].map(String::from))
+    );
     println!("{}", row(&["---"; 5].map(String::from)));
     let params = bench_params();
     for w in standard_workloads(scale) {
@@ -178,7 +200,10 @@ fn table1_mis(scale: usize) {
 /// E3 — Table 1, randomized ruling-set rows (Corollary 1.3).
 fn table1_ruling(scale: usize) {
     println!("\n## E3: Table 1 — randomized (k+1, kβ)-ruling sets (Cor 1.3)\n");
-    println!("{}", row(&["graph", "k", "β", "rounds", "measured domination", "|S|"].map(String::from)));
+    println!(
+        "{}",
+        row(&["graph", "k", "β", "rounds", "measured domination", "|S|"].map(String::from))
+    );
     println!("{}", row(&["---"; 6].map(String::from)));
     let params = bench_params();
     for w in standard_workloads(scale) {
@@ -206,7 +231,16 @@ fn table1_ruling(scale: usize) {
 /// E4 — Figure 1: tightness of Lemma 4.2 (load across the bottleneck).
 fn fig1() {
     println!("\n## E4: Figure 1 — Lemma 4.2 tightness on the bottleneck edge {{v,w}}\n");
-    println!("{}", row(&["Δ̂", "broadcast msgs across", "q-message bits across", "bits ratio vs prev"].map(String::from)));
+    println!(
+        "{}",
+        row(&[
+            "Δ̂",
+            "broadcast msgs across",
+            "q-message bits across",
+            "bits ratio vs prev"
+        ]
+        .map(String::from))
+    );
     println!("{}", row(&["---"; 4].map(String::from)));
     let s = 3;
     let mut prev_bits = None;
@@ -252,17 +286,38 @@ fn fig1() {
         prev_bits = Some(qbits);
         println!(
             "{}",
-            row(&[hatd.to_string(), bcast.to_string(), qbits.to_string(), ratio])
+            row(&[
+                hatd.to_string(),
+                bcast.to_string(),
+                qbits.to_string(),
+                ratio
+            ])
         );
     }
     println!("\nExpected shape: broadcast grows linearly in Δ̂ (exactly Δ̂ messages);");
-    println!("q-message bits grow quadratically (ratio ≈ 4 when Δ̂ doubles) — Figure 1's Δ̂ vs Δ̂²/4.");
+    println!(
+        "q-message bits grow quadratically (ratio ≈ 4 when Δ̂ doubles) — Figure 1's Δ̂ vs Δ̂²/4."
+    );
 }
 
 /// E5 — Lemma 3.1/5.1: sparsification guarantees and scaling.
 fn sparsify_exp(scale: usize) {
     println!("\n## E5: Sparsification (Lemma 3.1) — bounds and scaling\n");
-    println!("{}", row(&["graph", "k", "strategy", "rounds", "max d_k(v,Q)", "bound 6·log n", "domination", "bound k²+k", "|Q|"].map(String::from)));
+    println!(
+        "{}",
+        row(&[
+            "graph",
+            "k",
+            "strategy",
+            "rounds",
+            "max d_k(v,Q)",
+            "bound 6·log n",
+            "domination",
+            "bound k²+k",
+            "|Q|"
+        ]
+        .map(String::from))
+    );
     println!("{}", row(&["---"; 9].map(String::from)));
     let params = bench_params();
     for w in standard_workloads(scale) {
@@ -301,7 +356,19 @@ fn sparsify_exp(scale: usize) {
 /// E6 — Theorem 1.4: shattering MIS of G vs Luby, across Δ; P2 stats.
 fn shattering_exp(scale: usize) {
     println!("\n## E6: Theorem 1.4 — MIS of G via shattering vs Luby, Δ sweep\n");
-    println!("{}", row(&["n", "Δ", "Luby rounds", "Thm 1.4 rounds (1-phase)", "Thm 1.4 rounds (2-phase)", "undecided after pre", "largest comp"].map(String::from)));
+    println!(
+        "{}",
+        row(&[
+            "n",
+            "Δ",
+            "Luby rounds",
+            "Thm 1.4 rounds (1-phase)",
+            "Thm 1.4 rounds (2-phase)",
+            "undecided after pre",
+            "largest comp"
+        ]
+        .map(String::from))
+    );
     println!("{}", row(&["---"; 7].map(String::from)));
     let params = bench_params();
     let n = 256 * scale;
@@ -338,7 +405,19 @@ fn shattering_exp(scale: usize) {
 /// E7 — Theorem A.1: network decomposition of G^k.
 fn nd_exp(scale: usize) {
     println!("\n## E7: Network decomposition of G^k (Theorem A.1 interface)\n");
-    println!("{}", row(&["graph", "k", "rounds", "colors", "clusters", "diam bound", "valid"].map(String::from)));
+    println!(
+        "{}",
+        row(&[
+            "graph",
+            "k",
+            "rounds",
+            "colors",
+            "clusters",
+            "diam bound",
+            "valid"
+        ]
+        .map(String::from))
+    );
     println!("{}", row(&["---"; 7].map(String::from)));
     let params = bench_params();
     let mut loads: Vec<(String, usize, Graphish)> = Vec::new();
@@ -352,8 +431,7 @@ fn nd_exp(scale: usize) {
         for k in [1usize, 2] {
             let (rep, nd) = measure(g, |sim| power_nd(sim, k, &params).expect("nd"));
             let bound = diameter_bound(k, g.n());
-            let errors =
-                check::check_decomposition(g, &nd.view(), bound, 2 * k as u32, true);
+            let errors = check::check_decomposition(g, &nd.view(), bound, 2 * k as u32, true);
             println!(
                 "{}",
                 row(&[
@@ -363,7 +441,11 @@ fn nd_exp(scale: usize) {
                     nd.num_colors.to_string(),
                     nd.color.len().to_string(),
                     bound.to_string(),
-                    if errors.is_empty() { "yes".into() } else { format!("NO: {errors:?}") },
+                    if errors.is_empty() {
+                        "yes".into()
+                    } else {
+                        format!("NO: {errors:?}")
+                    },
                 ])
             );
         }
@@ -375,12 +457,18 @@ struct Graphish(powersparse_graphs::Graph);
 /// E8 — Ablation: sampling strategies of the sparsifier.
 fn derand_exp() {
     println!("\n## E8: Ablation — sparsifier sampling strategies (k = 1)\n");
-    println!("{}", row(&["graph", "strategy", "rounds", "seed attempts", "max d(v,Q)"].map(String::from)));
+    println!(
+        "{}",
+        row(&["graph", "strategy", "rounds", "seed attempts", "max d(v,Q)"].map(String::from))
+    );
     println!("{}", row(&["---"; 5].map(String::from)));
     let params = bench_params();
     let g = generators::connected_gnp(192, 24.0 / 192.0, 9);
     for (label, strat) in [
-        ("Algorithm 1 (randomized)", SamplingStrategy::Randomized { seed: 1 }),
+        (
+            "Algorithm 1 (randomized)",
+            SamplingStrategy::Randomized { seed: 1 },
+        ),
         ("Algorithm 2 (seed scan)", SamplingStrategy::SeedSearch),
     ] {
         let (rep, out) = measure(&g, |sim| {
@@ -392,7 +480,11 @@ fn derand_exp() {
                 "gnp(192, d=24)".into(),
                 label.into(),
                 rep.rounds.to_string(),
-                out.iterations.iter().map(|i| i.seed_attempts).sum::<u64>().to_string(),
+                out.iterations
+                    .iter()
+                    .map(|i| i.seed_attempts)
+                    .sum::<u64>()
+                    .to_string(),
                 power::max_q_degree(&g, 1, &out.q).to_string(),
             ])
         );
@@ -405,12 +497,84 @@ fn derand_exp() {
     let beepers = vec![true, false, true];
     for fanout in [1usize, 2] {
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let heard = powersparse_congest::primitives::khop_beep_with_fanout(
-            &mut sim, &beepers, 2, fanout,
+        let heard =
+            powersparse_congest::primitives::khop_beep_with_fanout(&mut sim, &beepers, 2, fanout);
+        println!(
+            "  fanout {fanout}: node 0 hears a distance-2 beeper: {}",
+            heard[0]
         );
-        println!("  fanout {fanout}: node 0 hears a distance-2 beeper: {}", heard[0]);
     }
     println!("  (fanout 1 loses the beep — the 2-tuple rule of Lemma 8.2 is necessary)");
+}
+
+/// E9 — Engine comparison: sequential `Simulator` vs the sharded
+/// `powersparse-engine` backend running Luby MIS on `G`, with the
+/// bit-for-bit parity of outputs and `Metrics` re-verified on every row.
+fn engines_exp() {
+    use powersparse_congest::engine::RoundEngine;
+    use powersparse_engine::ShardedSimulator;
+    use std::time::Instant;
+
+    println!("\n## E9: Round-engine comparison — Luby MIS on G, wall clock\n");
+    println!(
+        "{}",
+        row(&[
+            "n",
+            "m",
+            "engine",
+            "wall",
+            "speedup",
+            "rounds",
+            "identical to sequential"
+        ]
+        .map(String::from))
+    );
+    println!("{}", row(&["---"; 7].map(String::from)));
+    for n in [1_000usize, 10_000, 100_000] {
+        let g = generators::connected_sparse_gnp(n, 8.0, 42);
+        let config = SimConfig::for_graph(&g);
+        let start = Instant::now();
+        let mut seq = Simulator::new(&g, config);
+        let want = luby_mis(&mut seq, 1, 3);
+        let seq_wall = start.elapsed();
+        assert!(check::is_mis(&g, &generators::members(&want)));
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                g.m().to_string(),
+                "sequential".into(),
+                format!("{seq_wall:.2?}"),
+                "1.00x".into(),
+                seq.metrics().rounds.to_string(),
+                "-".into(),
+            ])
+        );
+        for shards in [2usize, 4, 8] {
+            let start = Instant::now();
+            let mut par = ShardedSimulator::with_shards(&g, config, shards);
+            let got = luby_mis(&mut par, 1, 3);
+            let wall = start.elapsed();
+            let identical = got == want && par.metrics() == seq.metrics();
+            assert!(
+                identical,
+                "sharded engine diverged at {shards} shards on n={n}"
+            );
+            println!(
+                "{}",
+                row(&[
+                    n.to_string(),
+                    g.m().to_string(),
+                    format!("sharded({shards})"),
+                    format!("{wall:.2?}"),
+                    format!("{:.2}x", seq_wall.as_secs_f64() / wall.as_secs_f64()),
+                    RoundEngine::metrics(&par).rounds.to_string(),
+                    "yes".into(),
+                ])
+            );
+        }
+    }
+    println!("\nIdentical = same MIS mask, same Metrics (rounds, messages, bits, per-edge).");
 }
 
 /// Worst-case distance to the set over all nodes.
@@ -421,4 +585,3 @@ fn measured_domination(g: &powersparse_graphs::Graph, set: &[powersparse_graphs:
         .max()
         .unwrap_or(0)
 }
-

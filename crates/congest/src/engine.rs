@@ -1,0 +1,358 @@
+//! The [`RoundEngine`] abstraction: what it means to *execute* synchronous
+//! CONGEST rounds, independently of how the execution is scheduled.
+//!
+//! The reference implementation is the sequential [`crate::sim::Simulator`]
+//! (one thread, nodes stepped in ID order). The sharded data-parallel
+//! backend lives in the `powersparse-engine` crate. Both must be
+//! **observationally identical**: same per-node outputs, same
+//! [`Metrics`] totals, same per-edge traffic — the engine contract below
+//! pins down the delivery order that makes this possible.
+//!
+//! # Engine contract
+//!
+//! 1. **Step order is unobservable.** A node-step function receives only
+//!    its own per-node state `&mut S`, its inbox, and an [`Outbox`]; it
+//!    may read shared captured data but can mutate nothing outside its
+//!    state. Any schedule (sequential, sharded, parallel) therefore
+//!    produces the same result.
+//! 2. **Deterministic delivery order.** Messages completing in the same
+//!    round are appended to the receiver's inbox ordered by the sender's
+//!    *directed edge index* (sender ID ascending, then the sender's CSR
+//!    neighbor position), FIFO within an edge. This is exactly the order
+//!    the sequential simulator produces by scanning edges in index order.
+//! 3. **Identical accounting.** `rounds` increments once per step,
+//!    `bits`/`messages` and the per-edge counters accumulate identically
+//!    regardless of backend.
+//!
+//! # Writing engine-generic node programs
+//!
+//! Algorithms hold their mutable per-node data in a state slice (one entry
+//! per node) and drive a typed phase with [`RoundPhase::step`]:
+//!
+//! ```
+//! use powersparse_congest::engine::{RoundEngine, RoundPhase};
+//! use powersparse_congest::sim::{SimConfig, Simulator};
+//! use powersparse_graphs::generators;
+//!
+//! fn ids_of_neighbors<E: RoundEngine>(eng: &mut E) -> Vec<Vec<u32>> {
+//!     let n = eng.graph().n();
+//!     let id_bits = eng.graph().id_bits();
+//!     let mut heard: Vec<Vec<u32>> = vec![Vec::new(); n];
+//!     let mut phase = eng.phase::<u32>();
+//!     phase.step_stateless(|v, _inbox, out| out.broadcast(v, v.0, id_bits));
+//!     phase.settle(8 * id_bits as u64, &mut heard, |mine, _v, inbox| {
+//!         mine.extend(inbox.iter().map(|&(_, id)| id));
+//!     });
+//!     heard
+//! }
+//!
+//! let g = generators::cycle(5);
+//! let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+//! let heard = ids_of_neighbors(&mut sim);
+//! assert_eq!(heard[0], vec![1, 4]);
+//! ```
+
+use powersparse_graphs::{Graph, NodeId};
+
+/// A CONGEST message payload: cloneable and shareable across worker
+/// threads. Blanket-implemented; never implement manually.
+pub trait Message: Clone + Send + Sync + 'static {}
+
+impl<T: Clone + Send + Sync + 'static> Message for T {}
+
+/// A delivered message: `(sender, payload)`.
+pub type Delivery<M> = (NodeId, M);
+
+/// Cumulative cost counters of a round-engine run.
+///
+/// All counters accumulate across phases of the same engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Synchronous rounds executed (including rounds charged via
+    /// [`RoundEngine::charge_rounds`]).
+    pub rounds: u64,
+    /// Rounds charged analytically via [`RoundEngine::charge_rounds`]
+    /// (a subset of `rounds`; nonzero only where DESIGN.md documents a
+    /// cost-accounting substitution).
+    pub charged_rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total bits sent.
+    pub bits: u64,
+    /// Per-directed-edge delivered message counts, indexed like the CSR
+    /// adjacency (edge `u→neighbors(u)[i]` has index `offset(u) + i`).
+    pub edge_messages: Vec<u64>,
+    /// Per-directed-edge cumulative bits.
+    pub edge_bits: Vec<u64>,
+}
+
+impl Metrics {
+    /// Zeroed metrics sized for `g` (one slot per directed edge).
+    pub fn for_graph(g: &Graph) -> Self {
+        let dir_edges = 2 * g.m();
+        Self {
+            edge_messages: vec![0; dir_edges],
+            edge_bits: vec![0; dir_edges],
+            ..Self::default()
+        }
+    }
+}
+
+/// CSR offsets for directed-edge indexing (mirrors the graph's own
+/// offsets): directed edge `u→neighbors(u)[i]` has index
+/// `dir_offsets[u] + i`.
+pub fn dir_offsets(g: &Graph) -> Vec<u32> {
+    let mut offsets = Vec::with_capacity(g.n() + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for v in g.nodes() {
+        acc += g.degree(v) as u32;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+/// Resolves the directed edge index of `u → v`.
+///
+/// # Panics
+///
+/// Panics if `{u, v}` is not an edge of `g`.
+pub fn dir_edge_index(g: &Graph, dir_offsets: &[u32], u: NodeId, v: NodeId) -> usize {
+    let pos = g
+        .neighbors(u)
+        .binary_search(&v)
+        .unwrap_or_else(|_| panic!("{u} → {v} is not an edge"));
+    dir_offsets[u.index()] as usize + pos
+}
+
+/// One engine-side per-edge FIFO entry: (remaining bits, sender, payload).
+pub type EdgeQueue<M> = std::collections::VecDeque<(u64, NodeId, M)>;
+
+/// The single definition of the per-edge bandwidth transfer step shared
+/// by every backend: moves up to `bw` bits off the front of `queue`,
+/// invoking `deliver(sender, payload)` for each message whose last bit
+/// crosses, in FIFO order. Keeping this in one place is what makes the
+/// engine contract's fragmentation/delivery accounting impossible to
+/// desynchronize between backends.
+#[inline]
+pub fn transfer_queue<M>(queue: &mut EdgeQueue<M>, bw: u64, mut deliver: impl FnMut(NodeId, M)) {
+    let mut cap = bw;
+    while cap > 0 {
+        let Some(front) = queue.front_mut() else {
+            break;
+        };
+        let take = cap.min(front.0);
+        front.0 -= take;
+        cap -= take;
+        if front.0 == 0 {
+            let (_, from, msg) = queue.pop_front().expect("front exists");
+            deliver(from, msg);
+        }
+    }
+}
+
+/// A message handed to the engine for queueing on a directed edge.
+#[derive(Debug, Clone)]
+pub struct SendRecord<M> {
+    /// Directed edge index (sender-side CSR indexing).
+    pub edge: usize,
+    /// Size charged to the edge, in bits.
+    pub bits: u64,
+    /// The sender.
+    pub from: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Send interface handed to the per-node round handler.
+#[derive(Debug)]
+pub struct Outbox<'a, M> {
+    graph: &'a Graph,
+    from_expected: NodeId,
+    dir_offsets: &'a [u32],
+    sends: &'a mut Vec<SendRecord<M>>,
+}
+
+impl<'a, M: Clone> Outbox<'a, M> {
+    /// Creates the outbox for the node `from_expected`, appending into
+    /// `sends` (engine backends hand each worker its own buffer).
+    pub fn new(
+        graph: &'a Graph,
+        from_expected: NodeId,
+        dir_offsets: &'a [u32],
+        sends: &'a mut Vec<SendRecord<M>>,
+    ) -> Self {
+        Self {
+            graph,
+            from_expected,
+            dir_offsets,
+            sends,
+        }
+    }
+
+    /// Neighbors of `v` in the communication network (the only legal
+    /// message destinations).
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.graph.neighbors(v)
+    }
+
+    /// Sends `msg` of `bits` bits from `from` to neighbor `to`. Large
+    /// messages are fragmented automatically and arrive once the last bit
+    /// has crossed the edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not the node currently acting, if `to` is not a
+    /// `G`-neighbor of `from`, or if `bits == 0`.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, bits: usize) {
+        assert_eq!(
+            from, self.from_expected,
+            "node {} attempted to send as {}",
+            self.from_expected, from
+        );
+        assert!(bits > 0, "messages must have positive size");
+        let edge = dir_edge_index(self.graph, self.dir_offsets, from, to);
+        self.sends.push(SendRecord {
+            edge,
+            bits: bits as u64,
+            from,
+            msg,
+        });
+    }
+
+    /// Sends `msg` to every neighbor of `from`. Unlike per-neighbor
+    /// [`Outbox::send`] calls, this derives each directed edge index
+    /// directly from the CSR position — no binary search on the engine's
+    /// hottest path.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Outbox::send`].
+    pub fn broadcast(&mut self, from: NodeId, msg: M, bits: usize) {
+        assert_eq!(
+            from, self.from_expected,
+            "node {} attempted to send as {}",
+            self.from_expected, from
+        );
+        assert!(bits > 0, "messages must have positive size");
+        let base = self.dir_offsets[from.index()] as usize;
+        for i in 0..self.graph.degree(from) {
+            self.sends.push(SendRecord {
+                edge: base + i,
+                bits: bits as u64,
+                from,
+                msg: msg.clone(),
+            });
+        }
+    }
+}
+
+/// A synchronous CONGEST round executor over a fixed communication graph.
+///
+/// Implementations own the [`Metrics`] and schedule node-step functions;
+/// algorithms open typed communication phases with [`RoundEngine::phase`]
+/// and drive them via [`RoundPhase`]. See the module docs for the
+/// observational-equivalence contract every backend must satisfy.
+pub trait RoundEngine {
+    /// The phase type produced by [`RoundEngine::phase`].
+    type Phase<'s, M: Message>: RoundPhase<M>
+    where
+        Self: 's;
+
+    /// The communication network.
+    fn graph(&self) -> &Graph;
+
+    /// Per-edge-per-round bit budget.
+    fn bandwidth(&self) -> usize;
+
+    /// Cost metrics so far.
+    fn metrics(&self) -> &Metrics;
+
+    /// Charges `r` rounds without running them (cost-accounting
+    /// substitutions documented in DESIGN.md).
+    fn charge_rounds(&mut self, r: u64);
+
+    /// Messages delivered across the directed edge `u → v` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge.
+    fn messages_across(&self, u: NodeId, v: NodeId) -> u64;
+
+    /// Bits sent across the directed edge `u → v` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge.
+    fn bits_across(&self, u: NodeId, v: NodeId) -> u64;
+
+    /// Opens a communication phase with message type `M`.
+    fn phase<M: Message>(&mut self) -> Self::Phase<'_, M>;
+}
+
+/// One typed communication phase driven round by round.
+///
+/// `state` slices must hold exactly one entry per node; entry `i` is the
+/// private mutable state of node `i`, and the step function for node `i`
+/// receives only that entry. This is the discipline that lets backends
+/// run node steps concurrently while staying bit-for-bit deterministic.
+pub trait RoundPhase<M: Message> {
+    /// The communication network.
+    fn graph(&self) -> &Graph;
+
+    /// Executes one synchronous round: for every node `v`, `f` receives
+    /// `v`'s state, the messages delivered to `v` this round and an
+    /// [`Outbox`]. After all nodes have acted, every directed edge
+    /// transfers up to `bandwidth` bits from its queue; fully transferred
+    /// messages are delivered next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the node count.
+    fn step<S, F>(&mut self, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync;
+
+    /// Runs `t` rounds with the same handler.
+    fn step_n<S, F>(&mut self, t: usize, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
+    {
+        for _ in 0..t {
+            self.step(state, &f);
+        }
+    }
+
+    /// One round for handlers that keep no per-node state (pure send /
+    /// relay logic over captured shared data).
+    fn step_stateless<F>(&mut self, f: F)
+    where
+        F: Fn(NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
+    {
+        let mut unit = vec![(); self.graph().n()];
+        self.step(&mut unit, |_, v, inbox, out| f(v, inbox, out));
+    }
+
+    /// Runs silent rounds (no new sends) until all in-flight messages
+    /// have been delivered, handing **every** nonempty delivery batch
+    /// (including those completing in intermediate rounds) to `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if draining takes more than `max_rounds` rounds, or if
+    /// `state.len()` differs from the node count.
+    fn settle<S, F>(&mut self, max_rounds: u64, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>]) + Sync;
+
+    /// Whether any message is still queued on an edge.
+    fn in_flight(&self) -> bool;
+
+    /// Whether the phase is fully quiescent: nothing queued on any edge
+    /// **and** nothing delivered-but-unread in any inbox. Termination
+    /// checks must use this rather than [`RoundPhase::in_flight`] alone.
+    fn idle(&self) -> bool;
+}

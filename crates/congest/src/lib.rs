@@ -12,6 +12,14 @@
 //!
 //! # Engine
 //!
+//! * [`engine::RoundEngine`] abstracts round execution: step scheduling,
+//!   message delivery and metrics access. [`sim::Simulator`] is the
+//!   sequential reference implementation; the `powersparse-engine` crate
+//!   provides the sharded data-parallel backend. Engine-generic
+//!   algorithms drive typed phases with per-node state slices
+//!   ([`engine::RoundPhase::step`]); the engine contract in [`engine`]
+//!   pins down delivery order so every backend is bit-for-bit
+//!   deterministic.
 //! * [`sim::Simulator`] owns the metrics; algorithms open typed
 //!   [`sim::Phase`]s and drive them round by round with closures
 //!   `(node, inbox, outbox)`.
@@ -61,9 +69,11 @@
 //! assert_eq!(sim.metrics().rounds, 2);
 //! ```
 
+pub mod engine;
 pub mod primitives;
 pub mod sim;
 pub mod trees;
 
-pub use sim::{Metrics, Outbox, Phase, SimConfig, Simulator};
+pub use engine::{Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord};
+pub use sim::{Phase, SimConfig, Simulator};
 pub use trees::{GlobalTree, QTrees};

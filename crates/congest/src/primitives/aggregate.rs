@@ -5,8 +5,20 @@
 //! fragmentation makes that cost emerge naturally from a single
 //! `(m + log n)`-bit message per tree edge.
 
-use crate::sim::Simulator;
+use crate::engine::{RoundEngine, RoundPhase};
 use crate::trees::GlobalTree;
+
+/// Per-node convergecast state.
+#[derive(Clone, Copy)]
+struct SumState {
+    /// Children still owed a partial sum.
+    waiting: usize,
+    /// Own value plus received partial sums.
+    acc: u64,
+    /// Partial sum already forwarded to the parent (for the root: the
+    /// total is complete).
+    sent: bool,
+}
 
 /// Computes `Σ_v values[v]` at the root of `tree` by convergecast
 /// (Lemma 4.3). `value_bits` is the paper's `m`; partial sums are sent as
@@ -18,69 +30,77 @@ use crate::trees::GlobalTree;
 ///
 /// Panics if the convergecast has not completed within
 /// `8 · (depth + value_bits + log n)` rounds (indicates an engine bug).
-pub fn converge_sum(sim: &mut Simulator<'_>, tree: &GlobalTree, values: &[u64], value_bits: usize) -> u64 {
+pub fn converge_sum<E: RoundEngine>(
+    sim: &mut E,
+    tree: &GlobalTree,
+    values: &[u64],
+    value_bits: usize,
+) -> u64 {
     let n = tree.n();
     assert_eq!(values.len(), n);
     let id_bits = sim.graph().id_bits();
     let msg_bits = value_bits + id_bits;
     let budget = 8 * (tree.depth as u64 + msg_bits as u64 + 2);
 
-    // Per-node: how many children still owed a partial sum; own
-    // accumulator.
-    let mut waiting: Vec<usize> = (0..n).map(|i| tree.children[i].len()).collect();
-    let mut acc: Vec<u64> = values.to_vec();
-    let mut sent: Vec<bool> = vec![false; n];
+    let mut state: Vec<SumState> = (0..n)
+        .map(|i| SumState {
+            waiting: tree.children[i].len(),
+            acc: values[i],
+            sent: false,
+        })
+        .collect();
 
     let mut phase = sim.phase::<u64>();
     let mut spent = 0u64;
     loop {
-        let mut root_done = false;
-        phase.round(|v, inbox, out| {
-            for &(_, s) in inbox {
-                acc[v.index()] += s;
-                waiting[v.index()] -= 1;
+        phase.step(&mut state, |s, v, inbox, out| {
+            for &(_, partial) in inbox {
+                s.acc += partial;
+                s.waiting -= 1;
             }
-            if waiting[v.index()] == 0 && !sent[v.index()] {
-                sent[v.index()] = true;
-                match tree.parent[v.index()] {
-                    Some(p) => out.send(v, p, acc[v.index()], msg_bits),
-                    None => root_done = true,
+            if s.waiting == 0 && !s.sent {
+                s.sent = true;
+                if let Some(p) = tree.parent[v.index()] {
+                    out.send(v, p, s.acc, msg_bits);
                 }
             }
         });
         spent += 1;
-        if root_done {
+        if state[tree.root.index()].sent {
             break;
         }
-        assert!(spent < budget, "convergecast did not finish within {budget} rounds");
+        assert!(
+            spent < budget,
+            "convergecast did not finish within {budget} rounds"
+        );
     }
     drop(phase);
-    acc[tree.root.index()]
+    state[tree.root.index()].acc
 }
 
 /// Broadcasts `value` (of `value_bits` bits) from the root to every node
 /// down the tree. Returns once every node has received it.
-pub fn broadcast_from_root(
-    sim: &mut Simulator<'_>,
+pub fn broadcast_from_root<E: RoundEngine>(
+    sim: &mut E,
     tree: &GlobalTree,
     value: u64,
     value_bits: usize,
 ) -> Vec<u64> {
     let n = tree.n();
     let budget = 8 * (tree.depth as u64 + value_bits as u64 + 2);
-    let mut known: Vec<Option<u64>> = vec![None; n];
-    known[tree.root.index()] = Some(value);
-    let mut forwarded: Vec<bool> = vec![false; n];
+    // Per node: (known value, forwarded to children).
+    let mut state: Vec<(Option<u64>, bool)> = vec![(None, false); n];
+    state[tree.root.index()].0 = Some(value);
     let mut phase = sim.phase::<u64>();
     let mut spent = 0u64;
-    while known.iter().any(Option::is_none) {
-        phase.round(|v, inbox, out| {
+    while state.iter().any(|s| s.0.is_none()) {
+        phase.step(&mut state, |s, v, inbox, out| {
             if let Some(&(_, m)) = inbox.first() {
-                known[v.index()] = Some(m);
+                s.0 = Some(m);
             }
-            if let Some(m) = known[v.index()] {
-                if !forwarded[v.index()] {
-                    forwarded[v.index()] = true;
+            if let Some(m) = s.0 {
+                if !s.1 {
+                    s.1 = true;
                     for &c in &tree.children[v.index()] {
                         out.send(v, c, m, value_bits);
                     }
@@ -88,17 +108,23 @@ pub fn broadcast_from_root(
             }
         });
         spent += 1;
-        assert!(spent < budget, "broadcast did not finish within {budget} rounds");
+        assert!(
+            spent < budget,
+            "broadcast did not finish within {budget} rounds"
+        );
     }
     drop(phase);
-    known.into_iter().map(|k| k.expect("all received")).collect()
+    state
+        .into_iter()
+        .map(|s| s.0.expect("all received"))
+        .collect()
 }
 
 /// The derandomization inner step (Claim 5.6): aggregate the per-node
 /// values at the root, let the root `decide`, and broadcast the decision
 /// to everyone. Returns the decision.
-pub fn sum_and_broadcast(
-    sim: &mut Simulator<'_>,
+pub fn sum_and_broadcast<E: RoundEngine>(
+    sim: &mut E,
     tree: &GlobalTree,
     values: &[u64],
     value_bits: usize,
@@ -115,7 +141,7 @@ pub fn sum_and_broadcast(
 mod tests {
     use super::*;
     use crate::primitives::spanning::elect_leader_and_tree;
-    use crate::sim::SimConfig;
+    use crate::sim::{SimConfig, Simulator};
     use powersparse_graphs::generators;
 
     fn setup(g: &powersparse_graphs::Graph) -> (Simulator<'_>, GlobalTree) {
@@ -169,16 +195,24 @@ mod tests {
         let s = converge_sum(&mut sim, &tree, &[1u64 << 40, 0, 0, 0], 60);
         assert_eq!(s, 1u64 << 40);
         let spent = sim.metrics().rounds - before;
-        assert!(spent >= 3 * (60 / 8) as u64, "pipelining cost missing: {spent}");
+        assert!(
+            spent >= 3 * (60 / 8) as u64,
+            "pipelining cost missing: {spent}"
+        );
     }
 
     #[test]
     fn sum_and_broadcast_decision() {
         let g = generators::cycle(8);
         let (mut sim, tree) = setup(&g);
-        let d = sum_and_broadcast(&mut sim, &tree, &vec![2; 8], 8, |total| {
-            u64::from(total > 10)
-        }, 1);
+        let d = sum_and_broadcast(
+            &mut sim,
+            &tree,
+            &[2; 8],
+            8,
+            |total| u64::from(total > 10),
+            1,
+        );
         assert_eq!(d, 1);
     }
 }

@@ -3,38 +3,49 @@
 //! where multiple incoming flags can be forwarded as one") and
 //! accept-first ball growing (Lemma 8.3 border construction).
 
-use crate::sim::Simulator;
+use crate::engine::{RoundEngine, RoundPhase};
+
+/// Per-node state of a flag flood.
+#[derive(Clone, Copy)]
+struct FloodState {
+    /// Within `hops` of a source (so far).
+    reached: bool,
+    /// Reached in the previous step; must forward this step.
+    fresh: bool,
+}
 
 /// Floods a 1-bit flag from every source for `hops` hops. Multiple
 /// incoming flags merge into one, so each node broadcasts at most once and
 /// a step costs one round. Returns the mask of nodes within distance
 /// `hops` of a source (sources included).
-pub fn flood_flags(sim: &mut Simulator<'_>, sources: &[bool], hops: usize) -> Vec<bool> {
+pub fn flood_flags<E: RoundEngine>(sim: &mut E, sources: &[bool], hops: usize) -> Vec<bool> {
     let n = sim.graph().n();
     assert_eq!(sources.len(), n);
-    let mut reached: Vec<bool> = sources.to_vec();
-    // `fresh[v]`: v was reached in the previous step and must forward.
-    let mut fresh: Vec<bool> = sources.to_vec();
+    let mut state: Vec<FloodState> = sources
+        .iter()
+        .map(|&s| FloodState {
+            reached: s,
+            fresh: s,
+        })
+        .collect();
     let mut phase = sim.phase::<()>();
-    for _ in 0..hops {
-        phase.round(|v, inbox, out| {
-            if !inbox.is_empty() && !reached[v.index()] {
-                reached[v.index()] = true;
-                fresh[v.index()] = true;
-            }
-            if fresh[v.index()] {
-                fresh[v.index()] = false;
-                out.broadcast(v, (), 1);
-            }
-        });
-    }
-    // Deliver the last step's sends.
-    phase.drain(4, |v, inbox| {
-        if !inbox.is_empty() && !reached[v.index()] {
-            reached[v.index()] = true;
+    phase.step_n(hops, &mut state, |s, v, inbox, out| {
+        if !inbox.is_empty() && !s.reached {
+            s.reached = true;
+            s.fresh = true;
+        }
+        if s.fresh {
+            s.fresh = false;
+            out.broadcast(v, (), 1);
         }
     });
-    reached
+    // Deliver the last step's sends.
+    phase.settle(4, &mut state, |s, _v, inbox| {
+        if !inbox.is_empty() {
+            s.reached = true;
+        }
+    });
+    state.into_iter().map(|s| s.reached).collect()
 }
 
 /// Accept-first ball growing (the BFS of Lemma 8.3): every node with
@@ -47,8 +58,8 @@ pub fn flood_flags(sim: &mut Simulator<'_>, sources: &[bool], hops: usize) -> Ve
 ///
 /// Returns the final assignment (origins keep theirs; accepting nodes get
 /// their accepted ball; blocked/unreached nodes stay `None`).
-pub fn grow_balls(
-    sim: &mut Simulator<'_>,
+pub fn grow_balls<E: RoundEngine>(
+    sim: &mut E,
     origin: &[Option<u32>],
     hops: usize,
     blocked: &[bool],
@@ -60,41 +71,38 @@ pub fn grow_balls(
     let hop_bits = usize::BITS as usize - hops.leading_zeros() as usize + 1;
     let msg_bits = id_bits + hop_bits;
 
-    let mut assignment: Vec<Option<u32>> = origin.to_vec();
-    // Pending forward: (ball, hops_left).
-    let mut pending: Vec<Option<(u32, u32)>> = origin
+    // Per node: (assignment, pending forward (ball, hops_left)).
+    let mut state: Vec<(Option<u32>, Option<(u32, u32)>)> = origin
         .iter()
-        .map(|o| o.map(|b| (b, hops as u32)))
+        .map(|o| (*o, o.map(|b| (b, hops as u32))))
         .collect();
     let mut phase = sim.phase::<(u32, u32)>();
-    for _ in 0..=hops {
-        phase.round(|v, inbox, out| {
-            // Accept the best arriving search if not yet assigned.
-            if assignment[v.index()].is_none() && !blocked[v.index()] {
-                let best = inbox
-                    .iter()
-                    .map(|&(_, (ball, left))| (ball, left))
-                    .min_by_key(|&(ball, left)| (ball, std::cmp::Reverse(left)));
-                if let Some((ball, left)) = best {
-                    assignment[v.index()] = Some(ball);
-                    if left > 0 {
-                        pending[v.index()] = Some((ball, left));
-                    }
+    phase.step_n(hops + 1, &mut state, |s, v, inbox, out| {
+        // Accept the best arriving search if not yet assigned.
+        if s.0.is_none() && !blocked[v.index()] {
+            let best = inbox
+                .iter()
+                .map(|&(_, (ball, left))| (ball, left))
+                .min_by_key(|&(ball, left)| (ball, std::cmp::Reverse(left)));
+            if let Some((ball, left)) = best {
+                s.0 = Some(ball);
+                if left > 0 {
+                    s.1 = Some((ball, left));
                 }
             }
-            if let Some((ball, left)) = pending[v.index()].take() {
-                out.broadcast(v, (ball, left - 1), msg_bits);
-            }
-        });
-    }
+        }
+        if let Some((ball, left)) = s.1.take() {
+            out.broadcast(v, (ball, left - 1), msg_bits);
+        }
+    });
     drop(phase);
-    assignment
+    state.into_iter().map(|s| s.0).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::SimConfig;
+    use crate::sim::{SimConfig, Simulator};
     use powersparse_graphs::{bfs, generators, NodeId};
 
     #[test]
@@ -145,7 +153,18 @@ mod tests {
         let got = grow_balls(&mut sim, &origin, 3, &blocked);
         // Node 3 is at distance 3 from both; both searches arrive the same
         // round; min ball ID (0) wins.
-        assert_eq!(got, vec![Some(0), Some(0), Some(0), Some(0), Some(6), Some(6), Some(6)]);
+        assert_eq!(
+            got,
+            vec![
+                Some(0),
+                Some(0),
+                Some(0),
+                Some(0),
+                Some(6),
+                Some(6),
+                Some(6)
+            ]
+        );
     }
 
     #[test]
@@ -167,7 +186,7 @@ mod tests {
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
         let mut origin = vec![None; 6];
         origin[0] = Some(0);
-        let got = grow_balls(&mut sim, &origin, 2, &vec![false; 6]);
+        let got = grow_balls(&mut sim, &origin, 2, &[false; 6]);
         assert_eq!(got, vec![Some(0), Some(0), Some(0), None, None, None]);
     }
 }

@@ -2,7 +2,7 @@
 //! `Q`-neighborhood from the distance-`s` one, and extending the BFS trees
 //! rooted at `Q` by one level.
 
-use crate::sim::Simulator;
+use crate::engine::{RoundEngine, RoundPhase};
 use crate::trees::QTrees;
 use powersparse_graphs::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -13,8 +13,8 @@ use std::collections::{BTreeMap, BTreeSet};
 ///
 /// This is the communication core of Lemma 4.1; with
 /// `|set| ≤ Δ̂` the measured cost is `O(Δ̂ · id_bits / bandwidth)` rounds.
-pub fn exchange_with_neighbors(
-    sim: &mut Simulator<'_>,
+pub fn exchange_with_neighbors<E: RoundEngine>(
+    sim: &mut E,
     sets: &[BTreeSet<u32>],
 ) -> Vec<BTreeMap<u32, BTreeSet<u32>>> {
     let n = sim.graph().n();
@@ -22,7 +22,7 @@ pub fn exchange_with_neighbors(
     let id_bits = sim.graph().id_bits();
     let mut received: Vec<BTreeMap<u32, BTreeSet<u32>>> = vec![BTreeMap::new(); n];
     let mut phase = sim.phase::<Vec<u32>>();
-    phase.round(|v, _in, out| {
+    phase.step_stateless(|v, _in, out| {
         let s = &sets[v.index()];
         if s.is_empty() {
             return;
@@ -36,9 +36,9 @@ pub fn exchange_with_neighbors(
     });
     let max_set = sets.iter().map(BTreeSet::len).max().unwrap_or(0) as u64;
     let budget = 8 * (max_set + 2) * id_bits as u64;
-    phase.drain(budget, |v, inbox| {
+    phase.settle(budget, &mut received, |mine, _v, inbox| {
         for (from, ids) in inbox {
-            received[v.index()].insert(from.0, ids.iter().copied().collect());
+            mine.insert(from.0, ids.iter().copied().collect());
         }
     });
     received
@@ -47,7 +47,7 @@ pub fn exchange_with_neighbors(
 /// Lemma 4.1, first claim: from per-node knowledge of `N^s(v, Q)` (the
 /// `sets`), every node learns `N^{s+1}(v, Q) = ∪_{w ∈ N(v)} N^s(w, Q)`
 /// (with `v` itself removed; neighborhoods are non-inclusive).
-pub fn exchange_id_sets(sim: &mut Simulator<'_>, sets: &[BTreeSet<u32>]) -> Vec<BTreeSet<u32>> {
+pub fn exchange_id_sets<E: RoundEngine>(sim: &mut E, sets: &[BTreeSet<u32>]) -> Vec<BTreeSet<u32>> {
     let received = exchange_with_neighbors(sim, sets);
     let n = sets.len();
     let mut out: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
@@ -67,8 +67,8 @@ pub fn exchange_id_sets(sim: &mut Simulator<'_>, sets: &[BTreeSet<u32>]) -> Vec<
 /// broadcasts its own ID; every receiver records the sender as a tree
 /// ancestor. This establishes invariant **I3** for `s = 0 → 1` and is the
 /// starting point for iterated [`extend_trees`] calls.
-pub fn init_knowledge_and_trees(
-    sim: &mut Simulator<'_>,
+pub fn init_knowledge_and_trees<E: RoundEngine>(
+    sim: &mut E,
     q: &[bool],
 ) -> (Vec<BTreeSet<u32>>, QTrees) {
     let n = sim.graph().n();
@@ -81,25 +81,28 @@ pub fn init_knowledge_and_trees(
         .map(|(i, _)| NodeId::from(i))
         .collect();
     let mut trees = QTrees::new_roots(n, &roots);
-    let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
-    let mut attach: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); n];
+    // Per node: (known Q-IDs, tree attachments (root, parent)).
+    let mut state: Vec<(BTreeSet<u32>, Vec<(u32, NodeId)>)> =
+        vec![(BTreeSet::new(), Vec::new()); n];
     let mut phase = sim.phase::<u32>();
-    phase.round(|v, _in, out| {
+    phase.step_stateless(|v, _in, out| {
         if q[v.index()] {
             out.broadcast(v, v.0, id_bits);
         }
     });
-    phase.drain(8 * id_bits as u64, |v, inbox| {
+    phase.settle(8 * id_bits as u64, &mut state, |s, _v, inbox| {
         for &(from, x) in inbox {
-            sets[v.index()].insert(x);
-            attach[v.index()].push((x, from));
+            s.0.insert(x);
+            s.1.push((x, from));
         }
     });
     drop(phase);
-    for (i, list) in attach.into_iter().enumerate() {
+    let mut sets: Vec<BTreeSet<u32>> = Vec::with_capacity(n);
+    for (i, (set, list)) in state.into_iter().enumerate() {
         for (x, from) in list {
             trees.attach(x, NodeId::from(i), from, 1);
         }
+        sets.push(set);
     }
     trees.depth = 1;
     (sets, trees)
@@ -113,8 +116,8 @@ pub fn init_knowledge_and_trees(
 /// descendant.
 ///
 /// Returns the new sets `N^{s+1}(v, Q)`.
-pub fn extend_trees(
-    sim: &mut Simulator<'_>,
+pub fn extend_trees<E: RoundEngine>(
+    sim: &mut E,
     sets: &[BTreeSet<u32>],
     trees: &mut QTrees,
 ) -> Vec<BTreeSet<u32>> {
@@ -149,18 +152,22 @@ pub fn extend_trees(
     // Confirmation round(s): v → w_x carrying ID(x). Costs id_bits per
     // confirmation, pipelined by the engine.
     let mut phase = sim.phase::<u32>();
-    phase.round(|v, _in, out| {
+    phase.step_stateless(|v, _in, out| {
         for &(x, w) in &chosen[v.index()] {
             out.send(v, w, x, id_bits);
         }
     });
     let max_new = chosen.iter().map(Vec::len).max().unwrap_or(0) as u64;
     let mut confirmations: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); n];
-    phase.drain(8 * (max_new + 2) * id_bits as u64, |w, inbox| {
-        for &(from, x) in inbox {
-            confirmations[w.index()].push((from, x));
-        }
-    });
+    phase.settle(
+        8 * (max_new + 2) * id_bits as u64,
+        &mut confirmations,
+        |mine, _w, inbox| {
+            for &(from, x) in inbox {
+                mine.push((from, x));
+            }
+        },
+    );
     drop(phase);
 
     // Apply attachments: v joins T_x under w; w gains descendant v.
@@ -180,7 +187,7 @@ pub fn extend_trees(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::SimConfig;
+    use crate::sim::{SimConfig, Simulator};
     use powersparse_graphs::{generators, power, Graph};
 
     /// Ground-truth initial knowledge: each v knows N^1(v, Q).

@@ -10,7 +10,7 @@
 //! demultiplexes positionally (receivers know `ancestor(T, v)` for every
 //! tree through them) — see Lemma 4.2's proof.
 
-use crate::sim::Simulator;
+use crate::engine::{Message, RoundEngine, RoundPhase};
 use crate::trees::QTrees;
 use powersparse_graphs::NodeId;
 use std::collections::BTreeMap;
@@ -21,39 +21,50 @@ use std::collections::BTreeMap;
 /// `(root, message)` pairs (the root itself does not receive its own).
 ///
 /// Measured cost: `O(s + m·Δ̂ / bandwidth)` rounds.
-pub fn q_broadcast<M: Clone>(
-    sim: &mut Simulator<'_>,
+pub fn q_broadcast<E: RoundEngine, M: Message>(
+    sim: &mut E,
     trees: &QTrees,
     msgs: &BTreeMap<u32, (M, usize)>,
 ) -> Vec<Vec<(u32, M)>> {
     let n = sim.graph().n();
-    let mut received: Vec<Vec<(u32, M)>> = vec![Vec::new(); n];
-    // Pending forwards per node: (root, msg, bits).
-    let mut pending: Vec<Vec<(u32, M, usize)>> = vec![Vec::new(); n];
+    /// Per-node state: received pairs, pending forwards, sent-this-round.
+    struct NodeState<M> {
+        received: Vec<(u32, M)>,
+        /// Pending forwards: (root, msg, bits).
+        pending: Vec<(u32, M, usize)>,
+        sent: bool,
+    }
+    let mut state: Vec<NodeState<M>> = (0..n)
+        .map(|_| NodeState {
+            received: Vec::new(),
+            pending: Vec::new(),
+            sent: false,
+        })
+        .collect();
     for (&root, (m, bits)) in msgs {
         let r = NodeId(root);
         assert!(
             trees.parent[r.index()].get(&root) == Some(&None),
             "message root v{root} is not a tree root"
         );
-        pending[r.index()].push((root, m.clone(), *bits));
+        state[r.index()].pending.push((root, m.clone(), *bits));
     }
     let mut phase = sim.phase::<(u32, M)>();
     let budget = 1_000_000u64;
     let mut spent = 0u64;
     loop {
-        let mut any = false;
-        phase.round(|v, inbox, out| {
+        phase.step(&mut state, |s, v, inbox, out| {
+            s.sent = false;
             for (_, (root, m)) in inbox {
-                received[v.index()].push((*root, m.clone()));
+                s.received.push((*root, m.clone()));
                 // Forward down this tree, with the original bit size.
                 let bits = msgs.get(root).expect("known root").1;
-                pending[v.index()].push((*root, m.clone(), bits));
+                s.pending.push((*root, m.clone(), bits));
             }
-            for (root, m, bits) in pending[v.index()].drain(..) {
+            for (root, m, bits) in s.pending.drain(..) {
                 if let Some(children) = trees.children[v.index()].get(&root) {
                     for &c in children {
-                        any = true;
+                        s.sent = true;
                         out.send(v, c, (root, m.clone()), bits);
                     }
                 }
@@ -61,11 +72,11 @@ pub fn q_broadcast<M: Clone>(
         });
         spent += 1;
         assert!(spent < budget, "q_broadcast exceeded round budget");
-        if !any && phase.idle() {
+        if !state.iter().any(|s| s.sent) && phase.idle() {
             break;
         }
     }
-    received
+    state.into_iter().map(|s| s.received).collect()
 }
 
 /// **Q-message** (Lemma 4.2): each root `x ∈ Q` sends an individual
@@ -86,8 +97,8 @@ pub fn q_broadcast<M: Clone>(
 /// Returns, per node `y`, the `(root, message)` pairs addressed to `y`.
 ///
 /// Measured cost: `O(s + (m + a)·Δ̂² / bandwidth)` rounds.
-pub fn q_message<M: Clone>(
-    sim: &mut Simulator<'_>,
+pub fn q_message<E: RoundEngine, M: Message>(
+    sim: &mut E,
     trees: &QTrees,
     neighbor_sets: &[BTreeMap<u32, std::collections::BTreeSet<u32>>],
     msgs: &BTreeMap<u32, Vec<(u32, M)>>,
@@ -97,18 +108,31 @@ pub fn q_message<M: Clone>(
     let id_bits = sim.graph().id_bits();
     let tuple_bits = m_bits + id_bits;
 
-    // delivered[y]: root -> messages (dedup by root; one message per root
-    // per target in this primitive, as in the lemma).
-    let mut delivered: Vec<BTreeMap<u32, M>> = vec![BTreeMap::new(); n];
     // Payload travelling the trees: (root, Vec<(target, M)>).
     type Packet<M> = (u32, Vec<(u32, M)>);
-    // Pending per node: packets to push to children of the given tree.
-    let mut pending: Vec<Vec<(Packet<M>, usize)>> = vec![Vec::new(); n];
+    /// Per-node state.
+    struct NodeState<M> {
+        /// root -> message (dedup by root; one message per root per
+        /// target in this primitive, as in the lemma).
+        delivered: BTreeMap<u32, M>,
+        /// Packets to push to children of the given tree.
+        pending: Vec<(Packet<M>, usize)>,
+        sent: bool,
+    }
+    let mut state: Vec<NodeState<M>> = (0..n)
+        .map(|_| NodeState {
+            delivered: BTreeMap::new(),
+            pending: Vec::new(),
+            sent: false,
+        })
+        .collect();
 
     // Step 1: roots package per-neighbor tuple sets.
     let mut phase = sim.phase::<Packet<M>>();
-    phase.round(|v, _in, out| {
-        let Some(targets) = msgs.get(&v.0) else { return };
+    phase.step_stateless(|v, _in, out| {
+        let Some(targets) = msgs.get(&v.0) else {
+            return;
+        };
         let by_id: BTreeMap<u32, &M> = targets.iter().map(|(y, m)| (*y, m)).collect();
         for i in 0..out.neighbors(v).len() {
             let w = out.neighbors(v)[i];
@@ -137,21 +161,21 @@ pub fn q_message<M: Clone>(
     let budget = 1_000_000u64;
     let mut spent = 0u64;
     loop {
-        let mut any = false;
-        phase.round(|v, inbox, out| {
+        phase.step(&mut state, |s, v, inbox, out| {
+            s.sent = false;
             for (_, (root, tuples)) in inbox {
                 for (y, m) in tuples {
                     if *y == v.0 {
-                        delivered[v.index()].entry(*root).or_insert_with(|| m.clone());
+                        s.delivered.entry(*root).or_insert_with(|| m.clone());
                     }
                 }
                 let bits = tuples.len() * tuple_bits;
-                pending[v.index()].push(((*root, tuples.clone()), bits));
+                s.pending.push(((*root, tuples.clone()), bits));
             }
-            for ((root, tuples), bits) in pending[v.index()].drain(..) {
+            for ((root, tuples), bits) in s.pending.drain(..) {
                 if let Some(children) = trees.children[v.index()].get(&root) {
                     for &c in children {
-                        any = true;
+                        s.sent = true;
                         out.send(v, c, (root, tuples.clone()), bits);
                     }
                 }
@@ -159,13 +183,13 @@ pub fn q_message<M: Clone>(
         });
         spent += 1;
         assert!(spent < budget, "q_message exceeded round budget");
-        if !any && phase.idle() {
+        if !state.iter().any(|s| s.sent) && phase.idle() {
             break;
         }
     }
-    delivered
+    state
         .into_iter()
-        .map(|m| m.into_iter().collect())
+        .map(|s| s.delivered.into_iter().collect())
         .collect()
 }
 
@@ -175,16 +199,12 @@ mod tests {
     use crate::primitives::idexchange::{
         exchange_with_neighbors, extend_trees, init_knowledge_and_trees,
     };
-    use crate::sim::SimConfig;
+    use crate::sim::{SimConfig, Simulator};
     use powersparse_graphs::{generators, power, Graph};
     use std::collections::BTreeSet;
 
     /// Builds depth-`s` trees + knowledge with the Lemma 4.1 machinery.
-    fn build(
-        sim: &mut Simulator<'_>,
-        q: &[bool],
-        s: usize,
-    ) -> (Vec<BTreeSet<u32>>, QTrees) {
+    fn build(sim: &mut Simulator<'_>, q: &[bool], s: usize) -> (Vec<BTreeSet<u32>>, QTrees) {
         let (mut sets, mut trees) = init_knowledge_and_trees(sim, q);
         for _ in 1..s {
             sets = extend_trees(sim, &sets, &mut trees);
@@ -325,8 +345,14 @@ mod tests {
         }
         let r1 = loads[1] / loads[0];
         let r2 = loads[2] / loads[1];
-        assert!((2.8..=5.2).contains(&r1), "growth {r1} not quadratic: {loads:?}");
-        assert!((2.8..=5.2).contains(&r2), "growth {r2} not quadratic: {loads:?}");
+        assert!(
+            (2.8..=5.2).contains(&r1),
+            "growth {r1} not quadratic: {loads:?}"
+        );
+        assert!(
+            (2.8..=5.2).contains(&r2),
+            "growth {r2} not quadratic: {loads:?}"
+        );
     }
 
     #[test]
@@ -336,7 +362,7 @@ mod tests {
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
         let (_sets, trees) = build(&mut sim, &q, 2);
         let before = sim.metrics().messages;
-        let got = q_broadcast::<u64>(&mut sim, &trees, &BTreeMap::new());
+        let got = q_broadcast::<_, u64>(&mut sim, &trees, &BTreeMap::new());
         assert!(got.iter().all(Vec::is_empty));
         // Only the final emptiness-check round; no messages.
         assert_eq!(sim.metrics().messages, before);

@@ -5,7 +5,7 @@
 //! the token of the tree whose root has the smallest identifier."
 //! (Section 4 of the paper.)
 
-use crate::sim::Simulator;
+use crate::engine::{RoundEngine, RoundPhase};
 use crate::trees::GlobalTree;
 use powersparse_graphs::NodeId;
 
@@ -17,13 +17,24 @@ struct Best {
     parent: Option<NodeId>,
 }
 
+/// Per-node state driven through the election rounds.
+#[derive(Clone, Copy)]
+struct ElectState {
+    best: Option<Best>,
+    /// Best changed since the last forward.
+    dirty: bool,
+    /// Forwarded a token in the current round (the termination signal,
+    /// OR-reduced by scanning the state slice between rounds).
+    forwarded: bool,
+}
+
 /// Elects the minimum-ID node as leader and builds a spanning BFS tree
 /// rooted at it, in `O(diam(G))` measured rounds.
 ///
 /// # Panics
 ///
 /// Panics if the graph is disconnected (no spanning tree exists) or empty.
-pub fn elect_leader_and_tree(sim: &mut Simulator<'_>) -> GlobalTree {
+pub fn elect_leader_and_tree<E: RoundEngine>(sim: &mut E) -> GlobalTree {
     run_election(sim, None)
 }
 
@@ -33,69 +44,84 @@ pub fn elect_leader_and_tree(sim: &mut Simulator<'_>) -> GlobalTree {
 /// # Panics
 ///
 /// Panics if the graph is disconnected or empty.
-pub fn bfs_tree_from(sim: &mut Simulator<'_>, root: NodeId) -> GlobalTree {
+pub fn bfs_tree_from<E: RoundEngine>(sim: &mut E, root: NodeId) -> GlobalTree {
     run_election(sim, Some(root))
 }
 
-fn run_election(sim: &mut Simulator<'_>, fixed_root: Option<NodeId>) -> GlobalTree {
+fn run_election<E: RoundEngine>(sim: &mut E, fixed_root: Option<NodeId>) -> GlobalTree {
     let g = sim.graph();
     let n = g.n();
     assert!(n > 0, "cannot build a tree on the empty graph");
     let id_bits = g.id_bits();
     let msg_bits = 2 * id_bits + 1;
 
-    let mut best: Vec<Option<Best>> = vec![None; n];
-    let mut dirty: Vec<bool> = vec![false; n];
-    for v in g.nodes() {
-        let is_origin = match fixed_root {
-            Some(r) => v == r,
-            None => true,
-        };
-        if is_origin {
-            best[v.index()] = Some(Best { root: v.0, dist: 0, parent: None });
-            dirty[v.index()] = true;
-        }
-    }
+    let mut state: Vec<ElectState> = g
+        .nodes()
+        .map(|v| {
+            let is_origin = match fixed_root {
+                Some(r) => v == r,
+                None => true,
+            };
+            ElectState {
+                best: is_origin.then_some(Best {
+                    root: v.0,
+                    dist: 0,
+                    parent: None,
+                }),
+                dirty: is_origin,
+                forwarded: false,
+            }
+        })
+        .collect();
 
     let mut phase = sim.phase::<(u32, u32)>();
     loop {
-        let mut improved_any = false;
-        phase.round(|v, inbox, out| {
+        phase.step(&mut state, |s, v, inbox, out| {
+            s.forwarded = false;
             // Relax on incoming tokens.
             for &(from, (root, dist)) in inbox {
-                let better = match best[v.index()] {
+                let better = match s.best {
                     None => true,
                     Some(b) => root < b.root || (root == b.root && dist + 1 < b.dist),
                 };
                 if better {
-                    best[v.index()] =
-                        Some(Best { root, dist: dist + 1, parent: Some(from) });
-                    dirty[v.index()] = true;
+                    s.best = Some(Best {
+                        root,
+                        dist: dist + 1,
+                        parent: Some(from),
+                    });
+                    s.dirty = true;
                 }
             }
             // Forward own best if it changed.
-            if dirty[v.index()] {
-                dirty[v.index()] = false;
-                improved_any = true;
-                let b = best[v.index()].expect("dirty implies known");
+            if s.dirty {
+                s.dirty = false;
+                s.forwarded = true;
+                let b = s.best.expect("dirty implies known");
                 out.broadcast(v, (b.root, b.dist), msg_bits);
             }
         });
-        if !improved_any && phase.idle() {
+        if !state.iter().any(|s| s.forwarded) && phase.idle() {
             break;
         }
     }
     drop(phase);
 
+    let best: Vec<Option<Best>> = state.into_iter().map(|s| s.best).collect();
+
     // One round: every non-root announces itself to its parent so parents
     // learn their children (1-bit message; sender identity is implicit).
     let mut phase = sim.phase::<()>();
-    phase.round(|v, _in, out| {
-        if let Some(Best { parent: Some(p), .. }) = best[v.index()] {
+    phase.step_stateless(|v, _in, out| {
+        if let Some(Best {
+            parent: Some(p), ..
+        }) = best[v.index()]
+        {
             out.send(v, p, (), 1);
         }
     });
-    phase.drain(4, |_, _| {});
+    let mut unit = vec![(); n];
+    phase.settle(4, &mut unit, |_, _, _| {});
     drop(phase);
 
     let states: Vec<Best> = best
@@ -105,7 +131,10 @@ fn run_election(sim: &mut Simulator<'_>, fixed_root: Option<NodeId>) -> GlobalTr
         .collect();
     let root = NodeId(states.iter().map(|b| b.root).min().expect("nonempty"));
     for s in &states {
-        assert_eq!(s.root, root.0, "graph disconnected: multiple roots survived");
+        assert_eq!(
+            s.root, root.0,
+            "graph disconnected: multiple roots survived"
+        );
     }
     GlobalTree::from_parents(
         root,
@@ -117,7 +146,7 @@ fn run_election(sim: &mut Simulator<'_>, fixed_root: Option<NodeId>) -> GlobalTr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::SimConfig;
+    use crate::sim::{SimConfig, Simulator};
     use powersparse_graphs::{bfs, generators};
 
     #[test]
@@ -131,7 +160,11 @@ mod tests {
             assert_eq!(Some(t.level[v.index()]), d[v.index()]);
         }
         // O(diam) rounds: diam(grid 4x4) = 6; allow small constant factor.
-        assert!(sim.metrics().rounds <= 4 * 6 + 8, "rounds {}", sim.metrics().rounds);
+        assert!(
+            sim.metrics().rounds <= 4 * 6 + 8,
+            "rounds {}",
+            sim.metrics().rounds
+        );
     }
 
     #[test]

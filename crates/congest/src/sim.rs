@@ -1,9 +1,16 @@
-//! The synchronous round engine with per-edge bandwidth accounting.
+//! The sequential synchronous round engine with per-edge bandwidth
+//! accounting — the reference [`RoundEngine`] implementation.
 
+pub use crate::engine::{Metrics, Outbox};
+
+use crate::engine::{
+    dir_edge_index, dir_offsets, transfer_queue, Delivery, Message, RoundEngine, RoundPhase,
+    SendRecord,
+};
 use powersparse_graphs::{Graph, NodeId};
 use std::collections::VecDeque;
 
-/// Configuration of a [`Simulator`].
+/// Configuration of a round engine (shared by all backends).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Bits a single directed edge can carry per round (the CONGEST
@@ -18,7 +25,9 @@ impl SimConfig {
     /// (Lemma 4.2 of the paper assumes `bandwidth ≥ Δ̂` with
     /// `Δ̂ = O(log n)`, which this satisfies at reproduction scales).
     pub fn for_graph(g: &Graph) -> Self {
-        Self { bandwidth: 8 * g.id_bits().max(8) }
+        Self {
+            bandwidth: 8 * g.id_bits().max(8),
+        }
     }
 
     /// Explicit bandwidth in bits.
@@ -28,44 +37,8 @@ impl SimConfig {
     }
 }
 
-/// Cumulative cost counters of a simulation.
-///
-/// All counters accumulate across phases of the same [`Simulator`].
-#[derive(Debug, Clone, Default)]
-pub struct Metrics {
-    /// Synchronous rounds executed (including rounds charged via
-    /// [`Simulator::charge_rounds`]).
-    pub rounds: u64,
-    /// Rounds charged analytically via [`Simulator::charge_rounds`]
-    /// (a subset of `rounds`; nonzero only where DESIGN.md documents a
-    /// cost-accounting substitution).
-    pub charged_rounds: u64,
-    /// Total messages delivered.
-    pub messages: u64,
-    /// Total bits sent.
-    pub bits: u64,
-    /// Per-directed-edge delivered message counts, indexed like the CSR
-    /// adjacency (edge `u→neighbors(u)[i]` has index `offset(u) + i`).
-    edge_messages: Vec<u64>,
-    /// Per-directed-edge cumulative bits.
-    edge_bits: Vec<u64>,
-}
-
-impl Metrics {
-    fn new(g: &Graph) -> Self {
-        let dir_edges = 2 * g.m();
-        Self {
-            edge_messages: vec![0; dir_edges],
-            edge_bits: vec![0; dir_edges],
-            ..Self::default()
-        }
-    }
-}
-
-/// A message in flight or delivered.
-type Delivery<M> = (NodeId, M);
-
-/// The simulator: owns cost metrics across algorithm phases on one graph.
+/// The sequential simulator: owns cost metrics across algorithm phases on
+/// one graph, stepping nodes one by one in ID order.
 #[derive(Debug)]
 pub struct Simulator<'g> {
     graph: &'g Graph,
@@ -78,14 +51,12 @@ pub struct Simulator<'g> {
 impl<'g> Simulator<'g> {
     /// Creates a simulator over communication network `graph`.
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
-        let mut dir_offsets = Vec::with_capacity(graph.n() + 1);
-        let mut acc = 0u32;
-        dir_offsets.push(0);
-        for v in graph.nodes() {
-            acc += graph.degree(v) as u32;
-            dir_offsets.push(acc);
+        Self {
+            graph,
+            config,
+            metrics: Metrics::for_graph(graph),
+            dir_offsets: dir_offsets(graph),
         }
-        Self { graph, config, metrics: Metrics::new(graph), dir_offsets }
     }
 
     /// The communication network.
@@ -117,7 +88,7 @@ impl<'g> Simulator<'g> {
     ///
     /// Panics if `{u, v}` is not an edge.
     pub fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_messages[self.dir_edge(u, v)]
+        self.metrics.edge_messages[dir_edge_index(self.graph, &self.dir_offsets, u, v)]
     }
 
     /// Bits sent across the directed edge `u → v` so far.
@@ -126,16 +97,7 @@ impl<'g> Simulator<'g> {
     ///
     /// Panics if `{u, v}` is not an edge.
     pub fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_bits[self.dir_edge(u, v)]
-    }
-
-    fn dir_edge(&self, u: NodeId, v: NodeId) -> usize {
-        let pos = self
-            .graph
-            .neighbors(u)
-            .binary_search(&v)
-            .unwrap_or_else(|_| panic!("{u} → {v} is not an edge"));
-        self.dir_offsets[u.index()] as usize + pos
+        self.metrics.edge_bits[dir_edge_index(self.graph, &self.dir_offsets, u, v)]
     }
 
     /// Opens a communication phase with message type `M`.
@@ -147,6 +109,41 @@ impl<'g> Simulator<'g> {
             inboxes: vec![Vec::new(); n],
             sim: self,
         }
+    }
+}
+
+impl<'g> RoundEngine for Simulator<'g> {
+    type Phase<'s, M: Message>
+        = Phase<'s, 'g, M>
+    where
+        Self: 's;
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn bandwidth(&self) -> usize {
+        Simulator::bandwidth(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        Simulator::metrics(self)
+    }
+
+    fn charge_rounds(&mut self, r: u64) {
+        Simulator::charge_rounds(self, r);
+    }
+
+    fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
+        Simulator::messages_across(self, u, v)
+    }
+
+    fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
+        Simulator::bits_across(self, u, v)
+    }
+
+    fn phase<M: Message>(&mut self) -> Phase<'_, 'g, M> {
+        Simulator::phase(self)
     }
 }
 
@@ -178,30 +175,56 @@ impl<M: Clone> Phase<'_, '_, M> {
     /// every directed edge transfers up to `bandwidth` bits from its
     /// queue; fully transferred messages are delivered next round.
     pub fn round(&mut self, mut f: impl FnMut(NodeId, &[Delivery<M>], &mut Outbox<'_, M>)) {
+        self.run_step(|i, inbox, out| f(NodeId::from(i), inbox, out));
+    }
+
+    /// The single definition of a sequential round: step every node in ID
+    /// order, then queue, transfer and account. Both the legacy
+    /// [`Phase::round`] closures and the engine-generic
+    /// [`RoundPhase::step`] route through here so the reference
+    /// semantics live in exactly one place.
+    fn run_step(&mut self, mut g: impl FnMut(usize, &[Delivery<M>], &mut Outbox<'_, M>)) {
         let n = self.sim.graph.n();
-        let mut sends: Vec<(usize, u64, NodeId, M)> = Vec::new();
+        let mut sends: Vec<SendRecord<M>> = Vec::new();
         for i in 0..n {
-            let v = NodeId::from(i);
             let inbox = std::mem::take(&mut self.inboxes[i]);
-            let mut out = Outbox {
-                graph: self.sim.graph,
-                from_expected: v,
-                sends: &mut sends,
-                dir_offsets: &self.sim.dir_offsets,
-            };
-            f(v, &inbox, &mut out);
+            let mut out = Outbox::new(
+                self.sim.graph,
+                NodeId::from(i),
+                &self.sim.dir_offsets,
+                &mut sends,
+            );
+            g(i, &inbox, &mut out);
         }
-        for (edge, bits, from, msg) in sends {
-            self.sim.metrics.bits += bits;
-            self.sim.metrics.edge_bits[edge] += bits;
-            self.queues[edge].push_back((bits, from, msg));
+        self.finish_round(sends);
+    }
+
+    /// The single definition of the quiescence loop backing both
+    /// [`Phase::drain`] and [`RoundPhase::settle`].
+    fn run_drain(&mut self, max_rounds: u64, mut g: impl FnMut(usize, &[Delivery<M>])) {
+        let mut spent = 0;
+        loop {
+            for i in 0..self.inboxes.len() {
+                let inbox = std::mem::take(&mut self.inboxes[i]);
+                if !inbox.is_empty() {
+                    g(i, &inbox);
+                }
+            }
+            if !self.in_flight() {
+                break;
+            }
+            assert!(spent < max_rounds, "drain exceeded {max_rounds} rounds");
+            self.round(|_, _, _| {});
+            spent += 1;
         }
-        self.transfer();
-        self.sim.metrics.rounds += 1;
     }
 
     /// Runs `t` rounds with the same handler.
-    pub fn rounds(&mut self, t: usize, mut f: impl FnMut(NodeId, &[Delivery<M>], &mut Outbox<'_, M>)) {
+    pub fn rounds(
+        &mut self,
+        t: usize,
+        mut f: impl FnMut(NodeId, &[Delivery<M>], &mut Outbox<'_, M>),
+    ) {
         for _ in 0..t {
             self.round(&mut f);
         }
@@ -215,21 +238,7 @@ impl<M: Clone> Phase<'_, '_, M> {
     ///
     /// Panics if draining takes more than `max_rounds` rounds.
     pub fn drain(&mut self, max_rounds: u64, mut f: impl FnMut(NodeId, &[Delivery<M>])) {
-        let mut spent = 0;
-        loop {
-            for i in 0..self.inboxes.len() {
-                let inbox = std::mem::take(&mut self.inboxes[i]);
-                if !inbox.is_empty() {
-                    f(NodeId::from(i), &inbox);
-                }
-            }
-            if !self.in_flight() {
-                break;
-            }
-            assert!(spent < max_rounds, "drain exceeded {max_rounds} rounds");
-            self.round(|_, _, _| {});
-            spent += 1;
-        }
+        self.run_drain(max_rounds, |i, inbox| f(NodeId::from(i), inbox));
     }
 
     /// Whether any message is still queued on an edge.
@@ -246,99 +255,81 @@ impl<M: Clone> Phase<'_, '_, M> {
         !self.in_flight() && self.inboxes.iter().all(Vec::is_empty)
     }
 
-    /// Moves up to `bandwidth` bits on every directed edge; delivers
-    /// completed messages.
+    /// Queues this round's sends, runs the transfer step and closes the
+    /// round's accounting.
+    fn finish_round(&mut self, sends: Vec<SendRecord<M>>) {
+        for SendRecord {
+            edge,
+            bits,
+            from,
+            msg,
+        } in sends
+        {
+            self.sim.metrics.bits += bits;
+            self.sim.metrics.edge_bits[edge] += bits;
+            self.queues[edge].push_back((bits, from, msg));
+        }
+        self.transfer();
+        self.sim.metrics.rounds += 1;
+    }
+
+    /// Moves up to `bandwidth` bits on every directed edge (via the
+    /// shared [`transfer_queue`] step); delivers completed messages.
     fn transfer(&mut self) {
         let bw = self.sim.config.bandwidth as u64;
+        let graph = self.sim.graph;
+        let metrics = &mut self.sim.metrics;
+        let inboxes = &mut self.inboxes;
         for (edge, queue) in self.queues.iter_mut().enumerate() {
             if queue.is_empty() {
                 continue;
             }
-            let to = to_of_edge(self.sim.graph, &self.sim.dir_offsets, edge);
-            let mut cap = bw;
-            while cap > 0 {
-                let Some(front) = queue.front_mut() else { break };
-                let take = cap.min(front.0);
-                front.0 -= take;
-                cap -= take;
-                if front.0 == 0 {
-                    let (_, from, msg) = queue.pop_front().expect("front exists");
-                    self.sim.metrics.messages += 1;
-                    self.sim.metrics.edge_messages[edge] += 1;
-                    self.inboxes[to.index()].push((from, msg));
-                }
-            }
+            let to = graph.edge_target(edge);
+            transfer_queue(queue, bw, |from, msg| {
+                metrics.messages += 1;
+                metrics.edge_messages[edge] += 1;
+                inboxes[to.index()].push((from, msg));
+            });
         }
     }
 }
 
-/// Resolves the head (receiver) of a directed edge index.
-fn to_of_edge(g: &Graph, dir_offsets: &[u32], edge: usize) -> NodeId {
-    // Binary search for the tail u with offset(u) <= edge < offset(u+1).
-    let u = match dir_offsets.binary_search(&(edge as u32)) {
-        Ok(mut i) => {
-            // Skip runs of equal offsets (degree-0 nodes).
-            while i + 1 < dir_offsets.len() && dir_offsets[i + 1] == edge as u32 {
-                i += 1;
-            }
-            i
-        }
-        Err(i) => i - 1,
-    };
-    let pos = edge - dir_offsets[u] as usize;
-    g.neighbors(NodeId::from(u))[pos]
-}
-
-/// Send interface handed to the per-node round handler.
-#[derive(Debug)]
-pub struct Outbox<'a, M> {
-    graph: &'a Graph,
-    from_expected: NodeId,
-    dir_offsets: &'a [u32],
-    sends: &'a mut Vec<(usize, u64, NodeId, M)>,
-}
-
-impl<M: Clone> Outbox<'_, M> {
-    /// Neighbors of `v` in the communication network (the only legal
-    /// message destinations).
-    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        self.graph.neighbors(v)
+impl<M: Message> RoundPhase<M> for Phase<'_, '_, M> {
+    fn graph(&self) -> &Graph {
+        self.sim.graph
     }
 
-    /// Sends `msg` of `bits` bits from `from` to neighbor `to`. Large
-    /// messages are fragmented automatically and arrive once the last bit
-    /// has crossed the edge.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `from` is not the node currently acting, if `to` is not a
-    /// `G`-neighbor of `from`, or if `bits == 0`.
-    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, bits: usize) {
+    fn step<S, F>(&mut self, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
+    {
+        let n = self.sim.graph.n();
+        assert_eq!(state.len(), n, "state slice must have one entry per node");
+        self.run_step(|i, inbox, out| f(&mut state[i], NodeId::from(i), inbox, out));
+    }
+
+    fn settle<S, F>(&mut self, max_rounds: u64, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>]) + Sync,
+    {
         assert_eq!(
-            from, self.from_expected,
-            "node {} attempted to send as {}",
-            self.from_expected, from
+            state.len(),
+            self.inboxes.len(),
+            "state slice must have one entry per node"
         );
-        assert!(bits > 0, "messages must have positive size");
-        let pos = self
-            .graph
-            .neighbors(from)
-            .binary_search(&to)
-            .unwrap_or_else(|_| panic!("{from} → {to} is not an edge"));
-        let edge = self.dir_offsets[from.index()] as usize + pos;
-        self.sends.push((edge, bits as u64, from, msg));
+        self.run_drain(max_rounds, |i, inbox| {
+            f(&mut state[i], NodeId::from(i), inbox)
+        });
     }
 
-    /// Sends `msg` to every neighbor of `from`.
-    ///
-    /// # Panics
-    ///
-    /// As for [`Outbox::send`].
-    pub fn broadcast(&mut self, from: NodeId, msg: M, bits: usize) {
-        for i in 0..self.graph.degree(from) {
-            let to = self.graph.neighbors(from)[i];
-            self.send(from, to, msg.clone(), bits);
-        }
+    fn in_flight(&self) -> bool {
+        Phase::in_flight(self)
+    }
+
+    fn idle(&self) -> bool {
+        Phase::idle(self)
     }
 }
 
@@ -520,5 +511,34 @@ mod tests {
         let mut got = 0;
         phase.round(|_, inbox, _| got += inbox.len());
         assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn step_matches_round_accounting() {
+        let g = generators::cycle(6);
+        let run_round = |use_step: bool| {
+            let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+            let mut heard: Vec<Vec<u32>> = vec![Vec::new(); 6];
+            if use_step {
+                let mut phase = sim.phase::<u32>();
+                RoundPhase::step(&mut phase, &mut heard, |_, v, _in, out| {
+                    out.broadcast(v, v.0, 4);
+                });
+                phase.settle(16, &mut heard, |mine, _v, inbox| {
+                    mine.extend(inbox.iter().map(|&(_, m)| m));
+                });
+            } else {
+                let mut phase = sim.phase::<u32>();
+                phase.round(|v, _in, out| out.broadcast(v, v.0, 4));
+                phase.drain(16, |v, inbox| {
+                    heard[v.index()].extend(inbox.iter().map(|&(_, m)| m));
+                });
+            }
+            (heard, sim.metrics().clone())
+        };
+        let (h1, m1) = run_round(true);
+        let (h2, m2) = run_round(false);
+        assert_eq!(h1, h2);
+        assert_eq!(m1, m2);
     }
 }

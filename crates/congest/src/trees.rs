@@ -46,7 +46,13 @@ impl GlobalTree {
             }
         }
         let depth = level.iter().copied().max().unwrap_or(0);
-        Self { root, parent, children, level, depth }
+        Self {
+            root,
+            parent,
+            children,
+            level,
+            depth,
+        }
     }
 
     /// Number of nodes.
@@ -170,11 +176,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "inconsistent with parent")]
     fn inconsistent_levels_panic() {
-        GlobalTree::from_parents(
-            NodeId(0),
-            vec![None, Some(NodeId(0))],
-            vec![0, 2],
-        );
+        GlobalTree::from_parents(NodeId(0), vec![None, Some(NodeId(0))], vec![0, 2]);
     }
 
     #[test]

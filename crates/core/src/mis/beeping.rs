@@ -53,9 +53,7 @@ pub fn beeping_mis_run(
             break;
         }
         // Exchange 1: marked nodes beep.
-        let marked: Vec<bool> = (0..n)
-            .map(|i| undecided[i] && rng.gen_bool(p[i]))
-            .collect();
+        let marked: Vec<bool> = (0..n).map(|i| undecided[i] && rng.gen_bool(p[i])).collect();
         let heard1 = khop_beep_masked(sim, &marked, k, 2, relay);
         for i in 0..n {
             if undecided[i] {
@@ -78,7 +76,11 @@ pub fn beeping_mis_run(
             }
         }
     }
-    BeepingOutcome { in_mis, undecided, steps }
+    BeepingOutcome {
+        in_mis,
+        undecided,
+        steps,
+    }
 }
 
 /// Runs BeepingMIS on `G^k` until every node is decided; panics after
@@ -136,7 +138,7 @@ mod tests {
         // dominated).
         let g = generators::connected_gnp(120, 0.15, 4);
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out = beeping_mis_run(&mut sim, 1, &vec![true; 120], 6, 5, None);
+        let out = beeping_mis_run(&mut sim, 1, &[true; 120], 6, 5, None);
         let mis = generators::members(&out.in_mis);
         assert!(check::is_alpha_independent(&g, &mis, 2));
         // Undecided nodes have no MIS neighbor.
@@ -168,8 +170,7 @@ mod tests {
                 .filter(|v| out.in_mis[v.index()])
                 .collect();
             assert!(
-                check::is_mis_of_power_restricted(&g, &members, &comp, 2)
-                    || !members.is_empty()
+                check::is_mis_of_power_restricted(&g, &members, &comp, 2) || !members.is_empty()
             );
         }
         assert!(!out.undecided.iter().any(|&u| u));

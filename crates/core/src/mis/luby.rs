@@ -10,8 +10,8 @@
 //! `G^k` (unknowable in CONGEST), which is why this variant extends to
 //! power graphs.
 
+use powersparse_congest::engine::{RoundEngine, RoundPhase};
 use powersparse_congest::primitives::flood_flags;
-use powersparse_congest::sim::Simulator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 ///
 /// Panics if the algorithm has not terminated after `64·(log₂ n + 1)`
 /// steps (probability `n^{-Ω(1)}`; would indicate a bug).
-pub fn luby_mis(sim: &mut Simulator<'_>, k: usize, seed: u64) -> Vec<bool> {
+pub fn luby_mis<E: RoundEngine>(sim: &mut E, k: usize, seed: u64) -> Vec<bool> {
     let n = sim.graph().n();
     luby_mis_on(sim, k, seed, &vec![true; n])
 }
@@ -34,8 +34,8 @@ pub fn luby_mis(sim: &mut Simulator<'_>, k: usize, seed: u64) -> Vec<bool> {
 /// # Panics
 ///
 /// As for [`luby_mis`].
-pub fn luby_mis_on(
-    sim: &mut Simulator<'_>,
+pub fn luby_mis_on<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     seed: u64,
     candidates: &[bool],
@@ -55,7 +55,9 @@ pub fn luby_mis_on(
             return in_mis;
         }
         // Draw ranks; (rank, id) is globally unique.
-        let ranks: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << rank_bits.min(40))).collect();
+        let ranks: Vec<u64> = (0..n)
+            .map(|_| rng.gen_range(0..1u64 << rank_bits.min(40)))
+            .collect();
         // k-hop min-flood of (rank, id) over undecided originators.
         let best = khop_min(sim, k, &undecided, &ranks, rank_bits + id_bits);
         // Strict minimum joins.
@@ -84,61 +86,70 @@ pub fn luby_mis_on(
     in_mis
 }
 
+/// Per-node state of the k-hop min-flood.
+#[derive(Clone, Copy)]
+struct MinState {
+    /// Minimum (rank, id) from some *other* node seen so far.
+    best_other: Option<(u64, u32)>,
+    /// Minimum (rank, id) known for forwarding (own value included).
+    forward: Option<(u64, u32)>,
+    /// Last value broadcast (re-send only on improvement).
+    sent: Option<(u64, u32)>,
+}
+
 /// k-hop minimum flood: every node learns
 /// `min {(rank_w, ID(w)) : w ∈ N^k(v), w undecided}` (its own excluded).
 /// One `(rank, id)` pair per edge per round — mins merge.
-fn khop_min(
-    sim: &mut Simulator<'_>,
+fn khop_min<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     undecided: &[bool],
     ranks: &[u64],
     msg_bits: usize,
 ) -> Vec<Option<(u64, u32)>> {
     let n = undecided.len();
-    // best_known[v]: minimum (rank, id) seen, own value included for
-    // forwarding purposes; the caller excludes self by comparing ids.
-    let mut best_other: Vec<Option<(u64, u32)>> = vec![None; n];
-    let mut forward: Vec<Option<(u64, u32)>> = (0..n)
-        .map(|i| undecided[i].then_some((ranks[i], i as u32)))
+    let mut state: Vec<MinState> = (0..n)
+        .map(|i| MinState {
+            best_other: None,
+            forward: undecided[i].then_some((ranks[i], i as u32)),
+            sent: None,
+        })
         .collect();
-    let mut sent: Vec<Option<(u64, u32)>> = vec![None; n];
     let mut phase = sim.phase::<(u64, u32)>();
-    for _ in 0..k {
-        phase.round(|v, inbox, out| {
-            let i = v.index();
-            for &(_, pair) in inbox {
-                if pair.1 != i as u32 && best_other[i].is_none_or(|b| pair < b) {
-                    best_other[i] = Some(pair);
-                }
-                if forward[i].is_none_or(|f| pair < f) {
-                    forward[i] = Some(pair);
-                }
-            }
-            // Forward the current best if it improved since last send.
-            if let Some(f) = forward[i] {
-                if sent[i].is_none_or(|s| f < s) {
-                    sent[i] = Some(f);
-                    out.broadcast(v, f, msg_bits);
-                }
-            }
-        });
-    }
-    // Final delivery sweep.
-    phase.drain(8 * msg_bits as u64, |v, inbox| {
+    phase.step_n(k, &mut state, |s, v, inbox, out| {
         let i = v.index();
         for &(_, pair) in inbox {
-            if pair.1 != i as u32 && best_other[i].is_none_or(|b| pair < b) {
-                best_other[i] = Some(pair);
+            if pair.1 != i as u32 && s.best_other.is_none_or(|b| pair < b) {
+                s.best_other = Some(pair);
+            }
+            if s.forward.is_none_or(|f| pair < f) {
+                s.forward = Some(pair);
+            }
+        }
+        // Forward the current best if it improved since last send.
+        if let Some(f) = s.forward {
+            if s.sent.is_none_or(|prev| f < prev) {
+                s.sent = Some(f);
+                out.broadcast(v, f, msg_bits);
             }
         }
     });
-    best_other
+    // Final delivery sweep.
+    phase.settle(8 * msg_bits as u64, &mut state, |s, v, inbox| {
+        let i = v.index();
+        for &(_, pair) in inbox {
+            if pair.1 != i as u32 && s.best_other.is_none_or(|b| pair < b) {
+                s.best_other = Some(pair);
+            }
+        }
+    });
+    state.into_iter().map(|s| s.best_other).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powersparse_congest::sim::SimConfig;
+    use powersparse_congest::sim::{SimConfig, Simulator};
     use powersparse_graphs::{check, generators};
 
     #[test]
@@ -182,7 +193,10 @@ mod tests {
             assert!(check::is_mis_of_power(&g, &generators::members(&mis), k));
             rounds.push(sim.metrics().rounds);
         }
-        assert!(rounds[2] > rounds[0], "k=4 should cost more rounds than k=1");
+        assert!(
+            rounds[2] > rounds[0],
+            "k=4 should cost more rounds than k=1"
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl std::fmt::Display for MisError {
         match self {
             Self::Nd(e) => write!(f, "ball-graph decomposition failed: {e}"),
             Self::ClusterBudgetExhausted { cluster_size } => {
-                write!(f, "cluster of {cluster_size} nodes exhausted its execution budget")
+                write!(
+                    f,
+                    "cluster of {cluster_size} nodes exhausted its execution budget"
+                )
             }
         }
     }
@@ -141,8 +144,7 @@ pub fn mis_power(
     // let two B-nodes at G-distance ≤ k both join. For k = 1 this
     // coincides with the paper's run on G[C].
     if post == PostShattering::TwoPhase {
-        let second =
-            super::beeping_mis_run(sim, k, &undecided, steps, seed ^ 0x5eed, None);
+        let second = super::beeping_mis_run(sim, k, &undecided, steps, seed ^ 0x5eed, None);
         for i in 0..n {
             if second.in_mis[i] {
                 in_mis[i] = true;
@@ -305,14 +307,8 @@ fn finish_cluster(
         let mut done = false;
         for attempt in 0..exec_budget {
             let mut subsim = Simulator::new(&sub, SimConfig::for_graph(&sub));
-            let out = super::beeping_mis_run(
-                &mut subsim,
-                k,
-                &cand,
-                steps,
-                seed ^ attempt << 8,
-                None,
-            );
+            let out =
+                super::beeping_mis_run(&mut subsim, k, &cand, steps, seed ^ attempt << 8, None);
             let ok = !out.undecided.iter().any(|&u| u);
             if ok {
                 // Verification convergecast along the cluster tree:
@@ -329,7 +325,9 @@ fn finish_cluster(
             *retries += 1;
         }
         if !done {
-            return Err(MisError::ClusterBudgetExhausted { cluster_size: comp_nodes.len() });
+            return Err(MisError::ClusterBudgetExhausted {
+                cluster_size: comp_nodes.len(),
+            });
         }
     }
     let _ = &mut member_mask_dom;
@@ -404,8 +402,7 @@ mod tests {
         let mut params = TheoryParams::scaled();
         params.shatter_factor = 0.5; // force survivors
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let (mis, report) =
-            mis_power(&mut sim, 1, &params, 2, PostShattering::OnePhase).unwrap();
+        let (mis, report) = mis_power(&mut sim, 1, &params, 2, PostShattering::OnePhase).unwrap();
         assert!(check::is_mis(&g, &generators::members(&mis)));
         if report.undecided_after_pre > 0 {
             assert!(report.components >= 1);

@@ -28,11 +28,7 @@ pub struct BallGraph {
 /// the border of the first-arriving ball (ties: smaller ID). Step 2 (one
 /// round): neighbors exchange ball indices; balls with adjacent `Ball⁺`
 /// members become ball-graph edges.
-pub fn build_ball_graph(
-    sim: &mut Simulator<'_>,
-    ball_of: &[Option<u32>],
-    k: usize,
-) -> BallGraph {
+pub fn build_ball_graph(sim: &mut Simulator<'_>, ball_of: &[Option<u32>], k: usize) -> BallGraph {
     let n = sim.graph().n();
     assert_eq!(ball_of.len(), n);
     // Grow disjoint borders: members are already assigned; only
@@ -60,7 +56,9 @@ pub fn build_ball_graph(
         out.broadcast(v, extended[v.index()], id_bits + 1);
     });
     phase.drain(8 * (id_bits as u64 + 1), |v, inbox| {
-        let Some(mine) = assignment[v.index()] else { return };
+        let Some(mine) = assignment[v.index()] else {
+            return;
+        };
         for &(_, other) in inbox {
             if let Some(r) = other {
                 let oi = root_to_idx[&r];
@@ -76,7 +74,11 @@ pub fn build_ball_graph(
     for (u, w) in edges {
         b.add_edge(NodeId::from(u), NodeId::from(w));
     }
-    BallGraph { graph: b.build(), roots, assignment }
+    BallGraph {
+        graph: b.build(),
+        roots,
+        assignment,
+    }
 }
 
 #[cfg(test)]

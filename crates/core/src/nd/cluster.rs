@@ -312,13 +312,8 @@ mod tests {
     use powersparse_graphs::{check, generators};
 
     fn validate(g: &powersparse_graphs::Graph, k: usize, nd: &NetworkDecomposition) {
-        let errors = check::check_decomposition(
-            g,
-            &nd.view(),
-            diameter_bound(k, g.n()),
-            2 * k as u32,
-            true,
-        );
+        let errors =
+            check::check_decomposition(g, &nd.view(), diameter_bound(k, g.n()), 2 * k as u32, true);
         assert!(errors.is_empty(), "decomposition invalid: {errors:?}");
     }
 
@@ -372,7 +367,9 @@ mod tests {
         let g = generators::grid(6, 7);
         let run = || {
             let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-            power_nd(&mut sim, 1, &TheoryParams::scaled()).unwrap().cluster
+            power_nd(&mut sim, 1, &TheoryParams::scaled())
+                .unwrap()
+                .cluster
         };
         assert_eq!(run(), run());
     }

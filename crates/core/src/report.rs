@@ -58,7 +58,12 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let r = RunReport { rounds: 10, charged_rounds: 2, messages: 5, bits: 80 };
+        let r = RunReport {
+            rounds: 10,
+            charged_rounds: 2,
+            messages: 5,
+            bits: 80,
+        };
         assert_eq!(r.to_string(), "10 rounds (2 charged), 5 msgs, 80 bits");
     }
 }

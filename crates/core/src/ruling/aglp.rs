@@ -157,9 +157,7 @@ fn khop_min_source(
     let n = sources.len();
     let id_bits = sim.graph().id_bits();
     let mut best: Vec<Option<u32>> = vec![None; n];
-    let mut carry: Vec<Option<u32>> = (0..n)
-        .map(|i| sources[i].then_some(i as u32))
-        .collect();
+    let mut carry: Vec<Option<u32>> = (0..n).map(|i| sources[i].then_some(i as u32)).collect();
     let mut sent: Vec<Option<u32>> = vec![None; n];
     let mut phase = sim.phase::<u32>();
     for _ in 0..hops {
@@ -210,7 +208,7 @@ mod tests {
         let colors = coloring::greedy_distance_k(&g, k);
         let gamma = coloring::palette_size(&colors) as u64;
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out = aglp_ruling_set(&mut sim, k, &vec![true; 49], &colors, 2, None);
+        let out = aglp_ruling_set(&mut sim, k, &[true; 49], &colors, 2, None);
         let members = generators::members(&out.ruling_set);
         let digits = (gamma as f64).log2().ceil() as usize;
         assert!(check::is_ruling_set(&g, &members, k + 1, k * digits.max(1)));
@@ -240,7 +238,7 @@ mod tests {
         let mut r8 = 0;
         for (base, out_rounds) in [(2u64, &mut r2), (8, &mut r8)] {
             let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-            let out = aglp_ruling_set(&mut sim, 1, &vec![true; 64], &colors, base, None);
+            let out = aglp_ruling_set(&mut sim, 1, &[true; 64], &colors, base, None);
             assert!(check::is_ruling_set(
                 &g,
                 &generators::members(&out.ruling_set),

@@ -76,7 +76,11 @@ pub fn try_det_ruling_set_k2(
     let before = sim.metrics().rounds;
     let mis = mis_on_sparse_power(sim, &sparse);
     let mis_rounds = sim.metrics().rounds - before;
-    Ok(DetRulingOutcome { ruling_set: mis, q: sparse.q, mis_rounds })
+    Ok(DetRulingOutcome {
+        ruling_set: mis,
+        q: sparse.q,
+        mis_rounds,
+    })
 }
 
 /// Deterministic MIS of `G^k[Q]` over the I3 state of a
@@ -229,6 +233,11 @@ mod tests {
         let out = det_ruling_set_k2(&mut sim, 2, &TheoryParams::scaled(), 0);
         // The ruling set lives inside Q and is an MIS of G²[Q].
         let q_members = generators::members(&out.q);
-        assert!(check::is_mis_of_power_restricted(&g, &out.ruling_set, &q_members, 2));
+        assert!(check::is_mis_of_power_restricted(
+            &g,
+            &out.ruling_set,
+            &q_members,
+            2
+        ));
     }
 }

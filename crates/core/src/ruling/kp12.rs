@@ -101,8 +101,8 @@ pub fn beta_ruling_set(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powersparse_graphs::{check, generators, power};
     use powersparse_congest::sim::SimConfig;
+    use powersparse_graphs::{check, generators, power};
 
     #[test]
     fn kp12_dominates_and_thins() {
@@ -127,7 +127,7 @@ mod tests {
     fn kp12_on_power_graph() {
         let g = generators::grid(9, 9);
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let q = kp12_sparsify(&mut sim, 2, &vec![true; 81], 3.0, 12, 11);
+        let q = kp12_sparsify(&mut sim, 2, &[true; 81], 3.0, 12, 11);
         let members = generators::members(&q);
         assert!(check::is_beta_dominating(&g, &members, 2));
         // Sparser in G² than the full set.

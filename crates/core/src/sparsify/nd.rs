@@ -101,23 +101,19 @@ pub fn sparsify_power_nd(
             // components can run independently, in parallel.
             let (dom_graph, dom_map) = subgraph::induced(g, &domain);
             for comp in subgraph::components(&dom_graph) {
-                let comp_nodes: Vec<NodeId> =
-                    comp.iter().map(|v| dom_map[v.index()]).collect();
+                let comp_nodes: Vec<NodeId> = comp.iter().map(|v| dom_map[v.index()]).collect();
                 let (sub, map) = subgraph::induced(g, &comp_nodes);
                 // Actives: globally active members of C (borders observe).
                 let in_cluster: Vec<bool> = map
                     .iter()
-                    .map(|v| {
-                        globally_active[v.index()] && matches!(dist_c[v.index()], Some(0))
-                    })
+                    .map(|v| globally_active[v.index()] && matches!(dist_c[v.index()], Some(0)))
                     .collect();
                 if !in_cluster.iter().any(|&b| b) {
                     continue;
                 }
                 // Parallel run on the component's own simulator.
                 let mut subsim = Simulator::new(&sub, SimConfig::for_graph(g));
-                let out =
-                    super::sparsify_power(&mut subsim, k, &in_cluster, params, strategy)?;
+                let out = super::sparsify_power(&mut subsim, k, &in_cluster, params, strategy)?;
                 max_cluster_rounds = max_cluster_rounds.max(subsim.metrics().rounds);
                 for (i, &sel) in out.q.iter().enumerate() {
                     if sel {
@@ -148,7 +144,13 @@ mod tests {
     use super::*;
     use powersparse_graphs::{generators, power};
 
-    fn validate(g: &powersparse_graphs::Graph, k: usize, q0: &[bool], out: &NdSparsifyOutcome, params: &TheoryParams) {
+    fn validate(
+        g: &powersparse_graphs::Graph,
+        k: usize,
+        q0: &[bool],
+        out: &NdSparsifyOutcome,
+        params: &TheoryParams,
+    ) {
         let q_members = generators::members(&out.q);
         for &v in &q_members {
             assert!(q0[v.index()]);
@@ -177,9 +179,13 @@ mod tests {
         let params = TheoryParams::scaled();
         let q0 = vec![true; 100];
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out = sparsify_power_nd(&mut sim, 1, &q0, &params, SamplingStrategy::Randomized {
-            seed: 5,
-        })
+        let out = sparsify_power_nd(
+            &mut sim,
+            1,
+            &q0,
+            &params,
+            SamplingStrategy::Randomized { seed: 5 },
+        )
         .unwrap();
         validate(&g, 1, &q0, &out, &params);
     }
@@ -201,9 +207,13 @@ mod tests {
         let params = TheoryParams::scaled();
         let q0 = vec![true; 60];
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let _ = sparsify_power_nd(&mut sim, 1, &q0, &params, SamplingStrategy::Randomized {
-            seed: 9,
-        })
+        let _ = sparsify_power_nd(
+            &mut sim,
+            1,
+            &q0,
+            &params,
+            SamplingStrategy::Randomized { seed: 9 },
+        )
         .unwrap();
         assert!(sim.metrics().charged_rounds > 0);
         assert!(sim.metrics().rounds >= sim.metrics().charged_rounds);

@@ -3,11 +3,11 @@
 
 use super::{IterationStats, SamplingStrategy};
 use crate::params::TheoryParams;
+use powersparse_congest::engine::RoundEngine;
 use powersparse_congest::primitives::{
     broadcast_from_root, converge_sum, elect_leader_and_tree, extend_trees, flood_flags,
     init_knowledge_and_trees, q_broadcast,
 };
-use powersparse_congest::sim::Simulator;
 use powersparse_congest::trees::{GlobalTree, QTrees};
 use powersparse_kwise::family::KWiseFamily;
 use powersparse_kwise::seed::{PartialSeed, Seed};
@@ -87,8 +87,8 @@ enum MemberStatus {
 /// # Errors
 ///
 /// See [`SparsifyError`].
-pub fn sparsify_graph(
-    sim: &mut Simulator<'_>,
+pub fn sparsify_graph<E: RoundEngine>(
+    sim: &mut E,
     q0: &[bool],
     params: &TheoryParams,
     strategy: SamplingStrategy,
@@ -115,8 +115,8 @@ pub fn sparsify_graph(
 ///
 /// Panics if `q0` has the wrong length or the graph is disconnected
 /// (the derandomization aggregates on a global BFS tree).
-pub fn sparsify_power(
-    sim: &mut Simulator<'_>,
+pub fn sparsify_power<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     q0: &[bool],
     params: &TheoryParams,
@@ -166,7 +166,12 @@ pub fn sparsify_power(
     if k == 0 {
         // Degenerate case: Q = Q_0; knowledge is N^1, trees depth 1.
     }
-    Ok(SparsifyOutcome { q, knowledge, trees, iterations })
+    Ok(SparsifyOutcome {
+        q,
+        knowledge,
+        trees,
+        iterations,
+    })
 }
 
 /// One iteration of `DetSparsification`, simulated on `G^s`
@@ -177,8 +182,8 @@ pub fn sparsify_power(
 /// `Q_{s-1}`. On exit `q` is the mask of `Q_s` and `knowledge[v]` is
 /// `N^s(v, Q_s)`.
 #[allow(clippy::too_many_arguments)]
-fn sparsify_iteration(
-    sim: &mut Simulator<'_>,
+fn sparsify_iteration<E: RoundEngine>(
+    sim: &mut E,
     s: usize,
     delta_a: usize,
     q: &mut [bool],
@@ -200,7 +205,13 @@ fn sparsify_iteration(
         .collect();
     // Own status.
     let mut own: Vec<MemberStatus> = (0..n)
-        .map(|i| if q[i] { MemberStatus::Active } else { MemberStatus::Gone })
+        .map(|i| {
+            if q[i] {
+                MemberStatus::Active
+            } else {
+                MemberStatus::Gone
+            }
+        })
         .collect();
 
     let mut rng = match strategy {
@@ -276,7 +287,11 @@ fn sparsify_iteration(
             for &(root, code) in inbox {
                 if let Some(st) = members[i].get_mut(&root) {
                     if *st == MemberStatus::Active {
-                        *st = if code == 1 { MemberStatus::Sampled } else { MemberStatus::Gone };
+                        *st = if code == 1 {
+                            MemberStatus::Sampled
+                        } else {
+                            MemberStatus::Gone
+                        };
                     }
                 }
             }
@@ -303,12 +318,9 @@ fn sparsify_iteration(
     })
 }
 
-/// Counts the bad events `Σ_v Φ_v + Ψ_v` under a full seed, from the
-/// per-node knowledge (each node can evaluate its own events locally:
-/// they depend only on the IDs of its active distance-`s` neighbors).
-#[allow(clippy::too_many_arguments)]
-
-/// Φ_v + Ψ_v for a single node (0, 1 or 2).
+/// Φ_v + Ψ_v for a single node (0, 1 or 2). Each node can evaluate its
+/// own events locally: they depend only on the IDs of its active
+/// distance-`s` neighbors.
 #[allow(clippy::too_many_arguments)]
 fn node_bad_events(
     family: &KWiseFamily,
@@ -332,11 +344,9 @@ fn node_bad_events(
     // Ψ_v: more than `degree_bound` sampled distance-s neighbors.
     let psi = u64::from(sampled_neighbors > degree_bound);
     // Φ_v: high active degree but neither v nor any neighbor sampled.
-    let self_sampled = own[v] == MemberStatus::Active
-        && family.indicator(seed, v as u64, threshold);
-    let phi = u64::from(
-        active.len() as f64 >= high && sampled_neighbors == 0 && !self_sampled,
-    );
+    let self_sampled =
+        own[v] == MemberStatus::Active && family.indicator(seed, v as u64, threshold);
+    let phi = u64::from(active.len() as f64 >= high && sampled_neighbors == 0 && !self_sampled);
     psi + phi
 }
 
@@ -349,8 +359,8 @@ fn node_bad_events(
 /// bit-by-bit fixing with two convergecasts per bit (footnote 5's
 /// exhaustive local averaging), feasible only for tiny seed spaces.
 #[allow(clippy::too_many_arguments)]
-fn derandomize_stage(
-    sim: &mut Simulator<'_>,
+fn derandomize_stage<E: RoundEngine>(
+    sim: &mut E,
     tree: &GlobalTree,
     family: &KWiseFamily,
     threshold: u64,
@@ -376,7 +386,14 @@ fn derandomize_stage(
                 let values: Vec<u64> = (0..n)
                     .map(|v| {
                         node_bad_events(
-                            family, &seed, threshold, high, degree_bound, members, own, v,
+                            family,
+                            &seed,
+                            threshold,
+                            high,
+                            degree_bound,
+                            members,
+                            own,
+                            v,
                         )
                     })
                     .collect();
@@ -390,7 +407,11 @@ fn derandomize_stage(
                 }
                 best = best.min(total);
             }
-            Err(SparsifyError::SeedScanExhausted { s, stage, best_bad_events: best })
+            Err(SparsifyError::SeedScanExhausted {
+                s,
+                stage,
+                best_bad_events: best,
+            })
         }
         SamplingStrategy::ConditionalExpectations => {
             let gamma = family.seed_len();
@@ -443,7 +464,7 @@ fn derandomize_stage(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powersparse_congest::sim::SimConfig;
+    use powersparse_congest::sim::{SimConfig, Simulator};
     use powersparse_graphs::{bfs, generators, power, NodeId};
 
     fn check_outcome(
@@ -493,11 +514,19 @@ mod tests {
         let params = TheoryParams::scaled();
         let q0 = vec![true; 128];
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out = sparsify_graph(&mut sim, &q0, &params, SamplingStrategy::Randomized { seed: 3 })
-            .unwrap();
+        let out = sparsify_graph(
+            &mut sim,
+            &q0,
+            &params,
+            SamplingStrategy::Randomized { seed: 3 },
+        )
+        .unwrap();
         check_outcome(&g, 1, &q0, &out, &params);
         assert_eq!(out.iterations.len(), 1);
-        assert!(out.iterations[0].stages >= 1, "stages should bite at Δ ~ 15");
+        assert!(
+            out.iterations[0].stages >= 1,
+            "stages should bite at Δ ~ 15"
+        );
     }
 
     #[test]
@@ -506,13 +535,11 @@ mod tests {
         let params = TheoryParams::scaled();
         let q0 = vec![true; 96];
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out =
-            sparsify_graph(&mut sim, &q0, &params, SamplingStrategy::SeedSearch).unwrap();
+        let out = sparsify_graph(&mut sim, &q0, &params, SamplingStrategy::SeedSearch).unwrap();
         check_outcome(&g, 1, &q0, &out, &params);
         // Deterministic: same run → same result.
         let mut sim2 = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out2 =
-            sparsify_graph(&mut sim2, &q0, &params, SamplingStrategy::SeedSearch).unwrap();
+        let out2 = sparsify_graph(&mut sim2, &q0, &params, SamplingStrategy::SeedSearch).unwrap();
         assert_eq!(out.q, out2.q);
     }
 
@@ -522,8 +549,7 @@ mod tests {
         let params = TheoryParams::scaled();
         let q0 = vec![true; 100];
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out = sparsify_power(&mut sim, 2, &q0, &params, SamplingStrategy::SeedSearch)
-            .unwrap();
+        let out = sparsify_power(&mut sim, 2, &q0, &params, SamplingStrategy::SeedSearch).unwrap();
         check_outcome(&g, 2, &q0, &out, &params);
         assert_eq!(out.iterations.len(), 2);
         // Q shrinks (or stays equal) across iterations.
@@ -536,9 +562,13 @@ mod tests {
         let params = TheoryParams::scaled();
         let q0 = vec![true; 120];
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out = sparsify_power(&mut sim, 3, &q0, &params, SamplingStrategy::Randomized {
-            seed: 1,
-        })
+        let out = sparsify_power(
+            &mut sim,
+            3,
+            &q0,
+            &params,
+            SamplingStrategy::Randomized { seed: 1 },
+        )
         .unwrap();
         check_outcome(&g, 3, &q0, &out, &params);
     }
@@ -549,8 +579,7 @@ mod tests {
         let params = TheoryParams::scaled();
         let q0: Vec<bool> = (0..80).map(|i| i % 2 == 0).collect();
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out =
-            sparsify_graph(&mut sim, &q0, &params, SamplingStrategy::SeedSearch).unwrap();
+        let out = sparsify_graph(&mut sim, &q0, &params, SamplingStrategy::SeedSearch).unwrap();
         check_outcome(&g, 1, &q0, &out, &params);
     }
 
@@ -560,8 +589,7 @@ mod tests {
         let params = TheoryParams::scaled();
         let q0: Vec<bool> = (0..12).map(|i| i % 3 == 0).collect();
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out = sparsify_power(&mut sim, 0, &q0, &params, SamplingStrategy::SeedSearch)
-            .unwrap();
+        let out = sparsify_power(&mut sim, 0, &q0, &params, SamplingStrategy::SeedSearch).unwrap();
         assert_eq!(out.q, q0);
         assert!(out.iterations.is_empty());
     }
@@ -573,8 +601,7 @@ mod tests {
         let params = TheoryParams::paper(); // huge constants → r = 0
         let q0 = vec![true; 64];
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out =
-            sparsify_graph(&mut sim, &q0, &params, SamplingStrategy::SeedSearch).unwrap();
+        let out = sparsify_graph(&mut sim, &q0, &params, SamplingStrategy::SeedSearch).unwrap();
         assert_eq!(out.q, q0);
         assert_eq!(out.iterations[0].stages, 0);
     }
@@ -589,17 +616,28 @@ mod tests {
         let params = TheoryParams::paper();
         let q0 = vec![true; n];
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-        let out = sparsify_graph(&mut sim, &q0, &params, SamplingStrategy::Randomized {
-            seed: 4,
-        })
+        let out = sparsify_graph(
+            &mut sim,
+            &q0,
+            &params,
+            SamplingStrategy::Randomized { seed: 4 },
+        )
         .unwrap();
-        assert!(out.iterations[0].stages >= 1, "stages must engage at Δ = 1500");
+        assert!(
+            out.iterations[0].stages >= 1,
+            "stages must engage at Δ = 1500"
+        );
         let bound = params.degree_bound(n);
         let hub_degree = power::q_degree(&g, NodeId(0), 1, &out.q);
-        assert!(hub_degree <= bound, "hub has {hub_degree} Q-neighbors > {bound}");
+        assert!(
+            hub_degree <= bound,
+            "hub has {hub_degree} Q-neighbors > {bound}"
+        );
         // Domination 2 + 0.
         let members = generators::members(&out.q);
-        assert!(powersparse_graphs::check::is_beta_dominating(&g, &members, 2));
+        assert!(powersparse_graphs::check::is_beta_dominating(
+            &g, &members, 2
+        ));
     }
 
     /// The exact conditional-expectations derandomizer on a tiny instance
@@ -614,7 +652,12 @@ mod tests {
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
         // KWiseFamily::for_graph(10, 1) → k = max(2, 1·4)= 4, b = 16 →
         // 64-bit seed: too large. Shrink by monkey-checking the error.
-        let r = sparsify_graph(&mut sim, &q0, &params, SamplingStrategy::ConditionalExpectations);
+        let r = sparsify_graph(
+            &mut sim,
+            &q0,
+            &params,
+            SamplingStrategy::ConditionalExpectations,
+        );
         match r {
             Ok(out) => check_outcome(&g, 1, &q0, &out, &params),
             Err(SparsifyError::SeedSpaceTooLarge { .. }) => {
@@ -633,9 +676,13 @@ mod tests {
         let mut r2 = 0;
         for (k, out_rounds) in [(1usize, &mut r1), (2, &mut r2)] {
             let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-            let _ = sparsify_power(&mut sim, k, &q0, &params, SamplingStrategy::Randomized {
-                seed: 8,
-            })
+            let _ = sparsify_power(
+                &mut sim,
+                k,
+                &q0,
+                &params,
+                SamplingStrategy::Randomized { seed: 8 },
+            )
             .unwrap();
             *out_rounds = sim.metrics().rounds;
         }

@@ -1,0 +1,67 @@
+//! `powersparse-engine` — the sharded, data-parallel CONGEST round
+//! executor behind the [`RoundEngine`](powersparse_congest::RoundEngine)
+//! trait of `powersparse-congest`.
+//!
+//! # Architecture: shards, mailboxes, barriers
+//!
+//! Nodes are partitioned into contiguous **shards** (one per worker
+//! thread) by [`powersparse_graphs::partition::shard_ranges`], weighted
+//! by `1 + deg(v)` so that dense regions do not pile onto one worker.
+//! Because the graph is CSR-ordered, each shard also owns a contiguous
+//! range of *directed edge indices* — every per-edge structure (FIFO
+//! queue, bit/message counters) is a flat array sliced per shard, with
+//! no locks and no sharing inside a round.
+//!
+//! A round executes in two barrier-separated parallel stages:
+//!
+//! 1. **Step + transfer (sender side).** Each worker steps its own
+//!    nodes (double-buffered mailboxes: the worker consumes its nodes'
+//!    inboxes and collects sends into a shard-local buffer), enqueues
+//!    the sends on the shard-owned edge queues, then moves up to
+//!    `bandwidth` bits on each owned edge. Completed messages are routed
+//!    into per-`(sender shard, receiver shard)` delivery buffers;
+//!    bit/message totals accumulate in shard-local counters.
+//! 2. **Routing (receiver side).** After the barrier, the delivery
+//!    buffers are transposed and each worker appends the messages bound
+//!    for its own nodes into their mailboxes — reading the sender-shard
+//!    buffers in shard order, which is exactly ascending directed-edge
+//!    order.
+//!
+//! Shard-local counters are merged into the shared
+//! [`Metrics`](powersparse_congest::Metrics) at the barrier, so totals
+//! and per-edge traffic are *identical* to the sequential
+//! [`Simulator`](powersparse_congest::Simulator), and the delivery-order
+//! rule of the engine contract (`powersparse_congest::engine` module
+//! docs) holds bit-for-bit: results do not depend on the shard count.
+//!
+//! # Threading
+//!
+//! Workers are `std::thread::scope` threads (the toolchain is vendored
+//! offline, so no rayon; the scoped-scatter pattern below is what rayon
+//! would do for this fixed-shape workload anyway). The worker count
+//! honors, in order: an explicit [`ShardedSimulator::with_shards`],
+//! `POWERSPARSE_THREADS`, `RAYON_NUM_THREADS` (kept for compatibility
+//! with rayon-based tooling), then the machine's available parallelism.
+//! With one shard the engine runs inline with no thread overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use powersparse_congest::engine::RoundEngine;
+//! use powersparse_congest::sim::{SimConfig, Simulator};
+//! use powersparse_engine::ShardedSimulator;
+//! use powersparse_graphs::generators;
+//!
+//! let g = generators::connected_gnp(200, 0.05, 1);
+//! let config = SimConfig::for_graph(&g);
+//! let mut seq = Simulator::new(&g, config);
+//! let mut par = ShardedSimulator::with_shards(&g, config, 4);
+//! let a = powersparse::mis::luby_mis(&mut seq, 1, 7);
+//! let b = powersparse::mis::luby_mis(&mut par, 1, 7);
+//! assert_eq!(a, b);
+//! assert_eq!(seq.metrics(), par.metrics());
+//! ```
+
+pub mod sharded;
+
+pub use sharded::{default_shards, ShardedPhase, ShardedSimulator};

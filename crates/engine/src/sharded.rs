@@ -1,0 +1,599 @@
+//! The sharded executor: [`ShardedSimulator`] and its phase type.
+//!
+//! See the crate docs for the architecture. The invariants that make the
+//! backend deterministic and lock-free:
+//!
+//! * Shards are contiguous node ranges, so each shard also owns the
+//!   contiguous range of directed edge indices of its nodes' out-edges
+//!   (CSR alignment) — queues and per-edge counters are sliced, never
+//!   shared.
+//! * Stage 1 (step + enqueue + transfer) touches only sender-shard-owned
+//!   data and emits `(receiver shard)`-bucketed delivery buffers in
+//!   ascending edge order.
+//! * Stage 2 concatenates the buffers per receiver shard in sender-shard
+//!   order, which *is* ascending global edge order — the delivery order
+//!   of the sequential reference engine.
+
+use powersparse_congest::engine::{
+    dir_edge_index, dir_offsets, transfer_queue, Delivery, Message, Metrics, Outbox, RoundEngine,
+    RoundPhase, SendRecord,
+};
+use powersparse_congest::sim::SimConfig;
+use powersparse_graphs::partition::shard_ranges;
+use powersparse_graphs::{Graph, NodeId};
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// The worker count used by [`ShardedSimulator::new`]:
+/// `POWERSPARSE_THREADS`, else `RAYON_NUM_THREADS`, else the machine's
+/// available parallelism.
+pub fn default_shards() -> usize {
+    for var in ["POWERSPARSE_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(s) = std::env::var(var) {
+            if let Ok(v) = s.trim().parse::<usize>() {
+                if v >= 1 {
+                    return v;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Nodes per shard below which extra workers stop paying for themselves;
+/// [`ShardedSimulator::new`] caps the default worker count with this.
+const MIN_NODES_PER_SHARD: usize = 64;
+
+/// The sharded, data-parallel round engine.
+#[derive(Debug)]
+pub struct ShardedSimulator<'g> {
+    graph: &'g Graph,
+    config: SimConfig,
+    metrics: Metrics,
+    /// CSR offsets for directed edge indexing (mirrors the graph's).
+    dir_offsets: Vec<u32>,
+    /// Contiguous node range owned by each shard.
+    node_ranges: Vec<Range<usize>>,
+    /// Directed-edge range owned by each shard (CSR-aligned with
+    /// `node_ranges`).
+    edge_ranges: Vec<Range<usize>>,
+    /// Owning shard of each node.
+    shard_of: Vec<u32>,
+}
+
+impl<'g> ShardedSimulator<'g> {
+    /// Creates a sharded engine with the default worker count
+    /// ([`default_shards`], capped so each worker keeps at least
+    /// [`MIN_NODES_PER_SHARD`] nodes).
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        let cap = (graph.n() / MIN_NODES_PER_SHARD).max(1);
+        Self::with_shards(graph, config, default_shards().min(cap))
+    }
+
+    /// Creates a sharded engine with an explicit shard/worker count.
+    /// Results are identical for every count (the engine contract);
+    /// only wall-clock time changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_shards(graph: &'g Graph, config: SimConfig, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let shards = shards.min(graph.n().max(1));
+        let offsets = dir_offsets(graph);
+        let node_ranges = shard_ranges(graph, shards);
+        let edge_ranges: Vec<Range<usize>> = node_ranges
+            .iter()
+            .map(|r| offsets[r.start] as usize..offsets[r.end] as usize)
+            .collect();
+        let mut shard_of = vec![0u32; graph.n()];
+        for (w, r) in node_ranges.iter().enumerate() {
+            for s in &mut shard_of[r.clone()] {
+                *s = w as u32;
+            }
+        }
+        Self {
+            graph,
+            config,
+            metrics: Metrics::for_graph(graph),
+            dir_offsets: offsets,
+            node_ranges,
+            edge_ranges,
+            shard_of,
+        }
+    }
+
+    /// Number of shards (= worker threads in parallel stages).
+    pub fn shards(&self) -> usize {
+        self.node_ranges.len()
+    }
+}
+
+impl<'g> RoundEngine for ShardedSimulator<'g> {
+    type Phase<'s, M: Message>
+        = ShardedPhase<'s, 'g, M>
+    where
+        Self: 's;
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn bandwidth(&self) -> usize {
+        self.config.bandwidth
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn charge_rounds(&mut self, r: u64) {
+        self.metrics.rounds += r;
+        self.metrics.charged_rounds += r;
+    }
+
+    fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
+        self.metrics.edge_messages[dir_edge_index(self.graph, &self.dir_offsets, u, v)]
+    }
+
+    fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
+        self.metrics.edge_bits[dir_edge_index(self.graph, &self.dir_offsets, u, v)]
+    }
+
+    fn phase<M: Message>(&mut self) -> ShardedPhase<'_, 'g, M> {
+        let n = self.graph.n();
+        let dir_edges = 2 * self.graph.m();
+        ShardedPhase {
+            queues: vec![VecDeque::new(); dir_edges],
+            inboxes: vec![Vec::new(); n],
+            sim: self,
+        }
+    }
+}
+
+/// A delivery routed between shards: `(receiver, sender, payload)`.
+type Routed<M> = (NodeId, NodeId, M);
+
+/// One typed communication phase on the sharded engine.
+#[derive(Debug)]
+pub struct ShardedPhase<'s, 'g, M> {
+    sim: &'s mut ShardedSimulator<'g>,
+    /// Per directed edge: FIFO of (remaining bits, sender, message).
+    queues: Vec<VecDeque<(u64, NodeId, M)>>,
+    /// Messages available to each node in the *next* step.
+    inboxes: Vec<Vec<Delivery<M>>>,
+}
+
+impl<M: Message> ShardedPhase<'_, '_, M> {
+    /// Executes one round through the two parallel stages (see module
+    /// docs). With one shard everything runs inline.
+    fn run_round<S, F>(&mut self, state: &mut [S], f: &F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
+    {
+        let sim = &mut *self.sim;
+        let n = sim.graph.n();
+        assert_eq!(state.len(), n, "state slice must have one entry per node");
+        let shards = sim.node_ranges.len();
+        let bw = sim.config.bandwidth as u64;
+        let graph = sim.graph;
+        let offs = &sim.dir_offsets;
+        let shard_of = &sim.shard_of;
+        let node_ranges = &sim.node_ranges;
+        let edge_ranges = &sim.edge_ranges;
+
+        // --- Stage 1: step + enqueue + transfer, per sender shard. ---
+        let mut rows: Vec<Vec<Vec<Routed<M>>>> = Vec::with_capacity(shards);
+        let mut bits_total = 0u64;
+        let mut msgs_total = 0u64;
+        {
+            let state_chunks = split_by_ranges(state, node_ranges);
+            let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
+            let queue_chunks = split_by_ranges(&mut self.queues, edge_ranges);
+            let ebits_chunks = split_by_ranges(&mut sim.metrics.edge_bits, edge_ranges);
+            let emsgs_chunks = split_by_ranges(&mut sim.metrics.edge_messages, edge_ranges);
+            let work = state_chunks
+                .into_iter()
+                .zip(inbox_chunks)
+                .zip(queue_chunks)
+                .zip(ebits_chunks)
+                .zip(emsgs_chunks)
+                .enumerate();
+
+            if shards == 1 {
+                for (w, ((((state_c, inbox_c), queue_c), ebits_c), emsgs_c)) in work {
+                    let (row, bits, msgs) = sender_stage(
+                        graph,
+                        offs,
+                        shard_of,
+                        shards,
+                        bw,
+                        node_ranges[w].clone(),
+                        edge_ranges[w].clone(),
+                        state_c,
+                        inbox_c,
+                        queue_c,
+                        ebits_c,
+                        emsgs_c,
+                        f,
+                    );
+                    rows.push(row);
+                    bits_total += bits;
+                    msgs_total += msgs;
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(shards);
+                    for (w, ((((state_c, inbox_c), queue_c), ebits_c), emsgs_c)) in work {
+                        let nr = node_ranges[w].clone();
+                        let er = edge_ranges[w].clone();
+                        handles.push(scope.spawn(move || {
+                            sender_stage(
+                                graph, offs, shard_of, shards, bw, nr, er, state_c, inbox_c,
+                                queue_c, ebits_c, emsgs_c, f,
+                            )
+                        }));
+                    }
+                    for h in handles {
+                        match h.join() {
+                            Ok((row, bits, msgs)) => {
+                                rows.push(row);
+                                bits_total += bits;
+                                msgs_total += msgs;
+                            }
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
+                    }
+                });
+            }
+        }
+        sim.metrics.bits += bits_total;
+        sim.metrics.messages += msgs_total;
+
+        // --- Stage 2: route deliveries into receiver mailboxes, in
+        // sender-shard order (= ascending edge order). ---
+        let mut cols: Vec<Vec<Vec<Routed<M>>>> =
+            (0..shards).map(|_| Vec::with_capacity(shards)).collect();
+        for row in rows {
+            for (r, cell) in row.into_iter().enumerate() {
+                cols[r].push(cell);
+            }
+        }
+        let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
+        if shards == 1 {
+            for (inbox_c, col) in inbox_chunks.into_iter().zip(cols) {
+                route_stage(inbox_c, col, 0);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for ((inbox_c, col), nr) in inbox_chunks.into_iter().zip(cols).zip(node_ranges) {
+                    let lo = nr.start;
+                    scope.spawn(move || route_stage(inbox_c, col, lo));
+                }
+            });
+        }
+        sim.metrics.rounds += 1;
+    }
+}
+
+/// Stage 1 body for one shard: step the owned nodes, enqueue their sends
+/// on the owned edges, transfer the owned edges. Returns the
+/// receiver-shard-bucketed deliveries plus the shard's bit/message totals.
+#[allow(clippy::too_many_arguments)]
+fn sender_stage<S, M, F>(
+    graph: &Graph,
+    offs: &[u32],
+    shard_of: &[u32],
+    shards: usize,
+    bw: u64,
+    nodes: Range<usize>,
+    edges: Range<usize>,
+    state: &mut [S],
+    inboxes: &mut [Vec<Delivery<M>>],
+    queues: &mut [VecDeque<(u64, NodeId, M)>],
+    edge_bits: &mut [u64],
+    edge_messages: &mut [u64],
+    f: &F,
+) -> (Vec<Vec<Routed<M>>>, u64, u64)
+where
+    S: Send,
+    M: Message,
+    F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
+{
+    // Step the shard's nodes, collecting sends into the shard buffer.
+    let mut sends: Vec<SendRecord<M>> = Vec::new();
+    for (local, i) in nodes.enumerate() {
+        let v = NodeId::from(i);
+        let inbox = std::mem::take(&mut inboxes[local]);
+        let mut out = Outbox::new(graph, v, offs, &mut sends);
+        f(&mut state[local], v, &inbox, &mut out);
+    }
+    // Enqueue. A node's out-edges all lie in the shard's edge range
+    // (CSR alignment), so this writes only shard-owned queues/counters.
+    let mut bits_total = 0u64;
+    for SendRecord {
+        edge,
+        bits,
+        from,
+        msg,
+    } in sends
+    {
+        debug_assert!(edges.contains(&edge), "send escaped its shard's edge range");
+        let e = edge - edges.start;
+        bits_total += bits;
+        edge_bits[e] += bits;
+        queues[e].push_back((bits, from, msg));
+    }
+    // Transfer: move up to `bw` bits per owned edge, in ascending edge
+    // order; bucket completed messages by receiver shard.
+    let mut rows: Vec<Vec<Routed<M>>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut msgs_total = 0u64;
+    for (e, queue) in queues.iter_mut().enumerate() {
+        if queue.is_empty() {
+            continue;
+        }
+        let to = graph.edge_target(edges.start + e);
+        transfer_queue(queue, bw, |from, msg| {
+            msgs_total += 1;
+            edge_messages[e] += 1;
+            rows[shard_of[to.index()] as usize].push((to, from, msg));
+        });
+    }
+    (rows, bits_total, msgs_total)
+}
+
+/// Stage 2 body for one shard: append the deliveries bound for the
+/// shard's nodes (given in sender-shard order) to their mailboxes.
+fn route_stage<M>(inboxes: &mut [Vec<Delivery<M>>], col: Vec<Vec<Routed<M>>>, lo: usize) {
+    for cell in col {
+        for (to, from, msg) in cell {
+            inboxes[to.index() - lo].push((from, msg));
+        }
+    }
+}
+
+/// Splits `slice` into disjoint mutable chunks along contiguous `ranges`
+/// (which must start at 0 and cover the slice).
+fn split_by_ranges<'a, T>(mut slice: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut offset = 0;
+    for r in ranges {
+        debug_assert_eq!(r.start, offset, "ranges must be contiguous from 0");
+        let (head, tail) = slice.split_at_mut(r.len());
+        out.push(head);
+        slice = tail;
+        offset = r.end;
+    }
+    debug_assert!(slice.is_empty(), "ranges must cover the whole slice");
+    out
+}
+
+impl<M: Message> RoundPhase<M> for ShardedPhase<'_, '_, M> {
+    fn graph(&self) -> &Graph {
+        self.sim.graph
+    }
+
+    fn step<S, F>(&mut self, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
+    {
+        self.run_round(state, &f);
+    }
+
+    fn settle<S, F>(&mut self, max_rounds: u64, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>]) + Sync,
+    {
+        let n = self.sim.graph.n();
+        assert_eq!(state.len(), n, "state slice must have one entry per node");
+        let mut unit: Vec<()> = vec![(); n];
+        let mut spent = 0u64;
+        loop {
+            // Hand every nonempty inbox to `f`, shard-parallel.
+            let node_ranges = &self.sim.node_ranges;
+            let shards = node_ranges.len();
+            let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
+            let state_chunks = split_by_ranges(state, node_ranges);
+            let consume = |inbox_c: &mut [Vec<Delivery<M>>], state_c: &mut [S], lo: usize| {
+                for local in 0..inbox_c.len() {
+                    let inbox = std::mem::take(&mut inbox_c[local]);
+                    if !inbox.is_empty() {
+                        f(&mut state_c[local], NodeId::from(lo + local), &inbox);
+                    }
+                }
+            };
+            if shards == 1 {
+                for ((inbox_c, state_c), nr) in
+                    inbox_chunks.into_iter().zip(state_chunks).zip(node_ranges)
+                {
+                    consume(inbox_c, state_c, nr.start);
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for ((inbox_c, state_c), nr) in
+                        inbox_chunks.into_iter().zip(state_chunks).zip(node_ranges)
+                    {
+                        let consume = &consume;
+                        let lo = nr.start;
+                        scope.spawn(move || consume(inbox_c, state_c, lo));
+                    }
+                });
+            }
+            if !RoundPhase::in_flight(self) {
+                break;
+            }
+            assert!(spent < max_rounds, "settle exceeded {max_rounds} rounds");
+            self.run_round(&mut unit, &|_: &mut (), _, _, _: &mut Outbox<'_, M>| {});
+            spent += 1;
+        }
+    }
+
+    fn in_flight(&self) -> bool {
+        self.queues.iter().any(|q| !q.is_empty())
+    }
+
+    fn idle(&self) -> bool {
+        !RoundPhase::in_flight(self) && self.inboxes.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powersparse_congest::sim::Simulator;
+    use powersparse_graphs::generators;
+
+    /// A nontrivial node program exercising fragmentation, FIFO order and
+    /// per-node state: every node repeatedly broadcasts a mix of small
+    /// and large messages derived from what it heard.
+    fn echo_program<E: RoundEngine>(eng: &mut E, rounds: usize) -> (Vec<u64>, Metrics) {
+        let n = eng.graph().n();
+        let mut acc: Vec<u64> = vec![0; n];
+        let mut phase = eng.phase::<u64>();
+        for r in 0..rounds {
+            phase.step(&mut acc, |a, v, inbox, out| {
+                for &(from, m) in inbox {
+                    *a = a.wrapping_mul(31).wrapping_add(m ^ u64::from(from.0));
+                }
+                let payload = *a ^ (v.0 as u64) << 8 | r as u64;
+                // Odd nodes send big (fragmenting) messages.
+                let bits = if v.0 % 2 == 1 { 200 } else { 5 };
+                out.broadcast(v, payload, bits);
+            });
+        }
+        phase.settle(10_000, &mut acc, |a, _v, inbox| {
+            for &(from, m) in inbox {
+                *a = a.wrapping_mul(31).wrapping_add(m ^ u64::from(from.0));
+            }
+        });
+        drop(phase);
+        (acc, eng.metrics().clone())
+    }
+
+    #[test]
+    fn parity_with_sequential_across_shard_counts() {
+        let g = generators::connected_gnp(150, 0.05, 9);
+        let config = SimConfig::with_bandwidth(24);
+        let mut seq = Simulator::new(&g, config);
+        let (want, want_m) = echo_program(&mut seq, 6);
+        for shards in [1usize, 2, 3, 5, 8] {
+            let mut par = ShardedSimulator::with_shards(&g, config, shards);
+            let (got, got_m) = echo_program(&mut par, 6);
+            assert_eq!(got, want, "outputs diverged at {shards} shards");
+            assert_eq!(got_m, want_m, "metrics diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn inbox_order_matches_sequential() {
+        // Delivery order is observable: record exact inbox sequences.
+        let g = generators::complete(17);
+        let config = SimConfig::for_graph(&g);
+        let run = |eng: &mut dyn FnMut(&mut Vec<Vec<(u32, u64)>>)| {
+            let mut log: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 17];
+            eng(&mut log);
+            log
+        };
+        let mut seq = Simulator::new(&g, config);
+        let want = run(&mut |log| {
+            let mut phase = seq.phase::<u64>();
+            RoundPhase::step(&mut phase, log, |_, v, _in, out| {
+                out.broadcast(v, u64::from(v.0) * 1000, 8);
+            });
+            phase.settle(64, log, |mine, _v, inbox| {
+                mine.extend(inbox.iter().map(|&(f, m)| (f.0, m)));
+            });
+        });
+        for shards in [2usize, 4, 7] {
+            let mut par = ShardedSimulator::with_shards(&g, config, shards);
+            let got = run(&mut |log| {
+                let mut phase = par.phase::<u64>();
+                phase.step(log, |_, v, _in, out| {
+                    out.broadcast(v, u64::from(v.0) * 1000, 8);
+                });
+                phase.settle(64, log, |mine, _v, inbox| {
+                    mine.extend(inbox.iter().map(|&(f, m)| (f.0, m)));
+                });
+            });
+            assert_eq!(got, want, "inbox order diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn per_edge_counters_match() {
+        let g = generators::grid(6, 8);
+        let config = SimConfig::with_bandwidth(9);
+        let mut seq = Simulator::new(&g, config);
+        let mut par = ShardedSimulator::with_shards(&g, config, 5);
+        echo_program(&mut seq, 4);
+        echo_program(&mut par, 4);
+        for (u, v) in g.edges() {
+            assert_eq!(seq.messages_across(u, v), par.messages_across(u, v));
+            assert_eq!(seq.bits_across(v, u), par.bits_across(v, u));
+        }
+    }
+
+    #[test]
+    fn charge_rounds_and_accessors() {
+        let g = generators::path(5);
+        let mut par = ShardedSimulator::new(&g, SimConfig::for_graph(&g));
+        assert!(par.shards() >= 1);
+        par.charge_rounds(3);
+        assert_eq!(par.metrics().rounds, 3);
+        assert_eq!(par.metrics().charged_rounds, 3);
+        assert_eq!(
+            RoundEngine::bandwidth(&par),
+            SimConfig::for_graph(&g).bandwidth
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_and_tiny_graphs() {
+        let g = Graph::from_edges(4, &[(0, 1)]); // 2 isolated nodes
+        let mut par = ShardedSimulator::with_shards(&g, SimConfig::for_graph(&g), 8);
+        let mut got = vec![0usize; 4];
+        let mut phase = par.phase::<u8>();
+        phase.step(&mut got, |_, v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 42, 4);
+            }
+        });
+        phase.step(&mut got, |g_, _v, inbox, _out| *g_ += inbox.len());
+        drop(phase);
+        assert_eq!(got, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn settle_counts_rounds_like_drain() {
+        let g = generators::path(2);
+        let config = SimConfig::with_bandwidth(4);
+        let mut seq = Simulator::new(&g, config);
+        {
+            let mut phase = seq.phase::<u8>();
+            phase.round(|v, _in, out| {
+                if v == NodeId(0) {
+                    out.send(v, NodeId(1), 1, 40);
+                }
+            });
+            phase.drain(64, |_, _| {});
+        }
+        let mut par = ShardedSimulator::with_shards(&g, config, 2);
+        {
+            let mut unit = vec![(); 2];
+            let mut phase = par.phase::<u8>();
+            phase.step(&mut unit, |_, v, _in, out| {
+                if v == NodeId(0) {
+                    out.send(v, NodeId(1), 1, 40);
+                }
+            });
+            phase.settle(64, &mut unit, |_, _, _| {});
+        }
+        assert_eq!(seq.metrics().rounds, par.metrics().rounds);
+        assert_eq!(seq.metrics(), par.metrics());
+    }
+}

@@ -1,0 +1,120 @@
+//! The engine-contract property tests: the sharded parallel engine and
+//! the sequential reference `Simulator` must produce **identical
+//! outputs and identical `Metrics`** (totals *and* per-edge traffic) for
+//! real algorithms on seeded random graphs, at every shard count.
+
+use powersparse::mis::luby_mis;
+use powersparse::sparsify::{sparsify_power, SamplingStrategy};
+use powersparse::TheoryParams;
+use powersparse_congest::engine::RoundEngine;
+use powersparse_congest::sim::{SimConfig, Simulator};
+use powersparse_congest::Metrics;
+use powersparse_engine::ShardedSimulator;
+use powersparse_graphs::{check, generators, Graph};
+use proptest::prelude::*;
+
+fn luby_on<E: RoundEngine>(eng: &mut E, k: usize, seed: u64) -> (Vec<bool>, Metrics) {
+    let mis = luby_mis(eng, k, seed);
+    (mis, eng.metrics().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Luby MIS: identical membership mask and identical metrics on the
+    /// sequential engine and on the sharded engine at 1, 2, 3 and 7
+    /// shards (1 shard is the `RAYON_NUM_THREADS=1` configuration).
+    #[test]
+    fn luby_parity_across_engines(n in 20usize..140, k in 1usize..3, seed in 0u64..500) {
+        let g = generators::connected_gnp(n, 4.0 / n as f64, seed);
+        let config = SimConfig::for_graph(&g);
+        let mut seq = Simulator::new(&g, config);
+        let (want, want_m) = luby_on(&mut seq, k, seed);
+        prop_assert!(check::is_mis_of_power(&g, &generators::members(&want), k));
+        for shards in [1usize, 2, 3, 7] {
+            let mut par = ShardedSimulator::with_shards(&g, config, shards);
+            let (got, got_m) = luby_on(&mut par, k, seed);
+            prop_assert_eq!(&got, &want, "MIS diverged at {} shards", shards);
+            prop_assert_eq!(&got_m, &want_m, "metrics diverged at {} shards", shards);
+        }
+    }
+
+    /// The power-graph sparsifier (derandomized seed-search variant, the
+    /// most communication-heavy path: global BFS tree, convergecasts,
+    /// floods, Q-tree broadcasts): identical `Q`, knowledge sets and
+    /// metrics on both engines.
+    #[test]
+    fn sparsifier_parity_across_engines(n in 24usize..80, k in 1usize..3, seed in 0u64..300) {
+        let g = generators::connected_gnp(n, 5.0 / n as f64, seed);
+        let config = SimConfig::for_graph(&g);
+        let params = TheoryParams::scaled();
+        let q0 = vec![true; n];
+
+        let mut seq = Simulator::new(&g, config);
+        let want = sparsify_power(&mut seq, k, &q0, &params, SamplingStrategy::SeedSearch)
+            .expect("sequential sparsify");
+        for shards in [1usize, 4] {
+            let mut par = ShardedSimulator::with_shards(&g, config, shards);
+            let got = sparsify_power(&mut par, k, &q0, &params, SamplingStrategy::SeedSearch)
+                .expect("sharded sparsify");
+            prop_assert_eq!(&got.q, &want.q, "Q diverged at {} shards", shards);
+            prop_assert_eq!(&got.knowledge, &want.knowledge, "knowledge diverged at {} shards", shards);
+            prop_assert_eq!(par.metrics(), seq.metrics(), "metrics diverged at {} shards", shards);
+        }
+    }
+
+    /// The randomized sparsifier draws its samples on the driver, so it
+    /// too must be engine-independent.
+    #[test]
+    fn randomized_sparsifier_parity(n in 24usize..90, seed in 0u64..300) {
+        let g = generators::connected_gnp(n, 6.0 / n as f64, seed);
+        let config = SimConfig::for_graph(&g);
+        let params = TheoryParams::scaled();
+        let q0 = vec![true; n];
+        let mut seq = Simulator::new(&g, config);
+        let want = sparsify_power(&mut seq, 2, &q0, &params, SamplingStrategy::Randomized { seed })
+            .expect("sequential sparsify");
+        let mut par = ShardedSimulator::with_shards(&g, config, 3);
+        let got = sparsify_power(&mut par, 2, &q0, &params, SamplingStrategy::Randomized { seed })
+            .expect("sharded sparsify");
+        prop_assert_eq!(&got.q, &want.q);
+        prop_assert_eq!(par.metrics(), seq.metrics());
+    }
+}
+
+/// One shard versus the machine-default worker count: same bits, same
+/// results. This is the `RAYON_NUM_THREADS=1` vs default determinism
+/// claim, checked without mutating the test process's environment.
+#[test]
+fn one_shard_matches_default_shards() {
+    let g: Graph = generators::connected_gnp(400, 0.02, 31);
+    let config = SimConfig::for_graph(&g);
+    let mut one = ShardedSimulator::with_shards(&g, config, 1);
+    let mut dflt = ShardedSimulator::new(&g, config);
+    let (a, am) = luby_on(&mut one, 2, 13);
+    let (b, bm) = luby_on(&mut dflt, 2, 13);
+    assert_eq!(
+        a,
+        b,
+        "default shard count ({}) diverged from 1 shard",
+        dflt.shards()
+    );
+    assert_eq!(am, bm);
+}
+
+/// The full acceptance-scale check at a size where sharding matters:
+/// Luby MIS on a larger random graph, many shards, bit-for-bit equality
+/// against the reference.
+#[test]
+fn large_graph_luby_parity() {
+    let n = 20_000;
+    let g: Graph = generators::connected_gnp(n, 6.0 / n as f64, 77);
+    let config = SimConfig::for_graph(&g);
+    let mut seq = Simulator::new(&g, config);
+    let (want, want_m) = luby_on(&mut seq, 1, 5);
+    let mut par = ShardedSimulator::with_shards(&g, config, 8);
+    let (got, got_m) = luby_on(&mut par, 1, 5);
+    assert_eq!(got, want);
+    assert_eq!(got_m, want_m);
+    assert!(check::is_mis(&g, &generators::members(&got)));
+}

@@ -56,7 +56,11 @@ pub fn tree(g: &Graph, root: NodeId) -> BfsTree {
             }
         }
     }
-    BfsTree { root, parent, level }
+    BfsTree {
+        root,
+        parent,
+        level,
+    }
 }
 
 /// Distances from `source` to every node (`None` if unreachable).
@@ -157,7 +161,15 @@ mod tests {
         let d = multi_source_distances(&g, &[NodeId(0), NodeId(6)]);
         assert_eq!(
             d,
-            vec![Some(0), Some(1), Some(2), Some(3), Some(2), Some(1), Some(0)]
+            vec![
+                Some(0),
+                Some(1),
+                Some(2),
+                Some(3),
+                Some(2),
+                Some(1),
+                Some(0)
+            ]
         );
     }
 

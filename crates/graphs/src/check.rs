@@ -21,14 +21,16 @@ pub fn is_alpha_independent(g: &Graph, set: &[NodeId], alpha: usize) -> bool {
         }
         mask[v.index()] = true;
     }
-    set.iter().all(|&v| power::q_degree(g, v, alpha - 1, &mask) == 0)
+    set.iter()
+        .all(|&v| power::q_degree(g, v, alpha - 1, &mask) == 0)
 }
 
 /// Whether `set` is a `β`-dominating set of `of` in `G`: every node of
 /// `of` has a member of `set` within distance `β`.
 pub fn is_beta_dominating_of(g: &Graph, set: &[NodeId], of: &[NodeId], beta: usize) -> bool {
     let d = bfs::multi_source_distances(g, set);
-    of.iter().all(|&v| matches!(d[v.index()], Some(x) if (x as usize) <= beta))
+    of.iter()
+        .all(|&v| matches!(d[v.index()], Some(x) if (x as usize) <= beta))
 }
 
 /// Whether `set` is a `β`-dominating set of all of `V`.
@@ -102,7 +104,11 @@ pub enum DecompositionError {
     /// A node is not assigned to any cluster.
     Uncovered(NodeId),
     /// A cluster's weak diameter (in `G`) exceeds the bound.
-    DiameterExceeded { cluster: usize, diameter: u32, bound: u32 },
+    DiameterExceeded {
+        cluster: usize,
+        diameter: u32,
+        bound: u32,
+    },
     /// Two distinct clusters of the same color are within `separation`
     /// hops of each other in `G`.
     SeparationViolated { a: usize, b: usize, distance: u32 },
@@ -112,7 +118,11 @@ impl std::fmt::Display for DecompositionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Uncovered(v) => write!(f, "node {v} is not covered by any cluster"),
-            Self::DiameterExceeded { cluster, diameter, bound } => write!(
+            Self::DiameterExceeded {
+                cluster,
+                diameter,
+                bound,
+            } => write!(
                 f,
                 "cluster {cluster} has weak diameter {diameter} > bound {bound}"
             ),
@@ -222,7 +232,11 @@ mod tests {
     #[test]
     fn independence_checks() {
         let g = generators::path(6);
-        assert!(is_alpha_independent(&g, &[NodeId(0), NodeId(2), NodeId(4)], 2));
+        assert!(is_alpha_independent(
+            &g,
+            &[NodeId(0), NodeId(2), NodeId(4)],
+            2
+        ));
         assert!(!is_alpha_independent(&g, &[NodeId(0), NodeId(1)], 2));
         assert!(is_alpha_independent(&g, &[NodeId(0), NodeId(3)], 3));
         assert!(!is_alpha_independent(&g, &[NodeId(0), NodeId(2)], 3));
@@ -275,7 +289,12 @@ mod tests {
         // {0, 4, 8} is 3-independent? dist(0,4)=4 >= 3 yes. k=2: need (3)-indep and 2-dominating of q.
         assert!(is_mis_of_power_restricted(&g, &q, &q, 2));
         // {0, 8} leaves node 4 at distance 4 > 2 undominated.
-        assert!(!is_mis_of_power_restricted(&g, &[NodeId(0), NodeId(8)], &q, 2));
+        assert!(!is_mis_of_power_restricted(
+            &g,
+            &[NodeId(0), NodeId(8)],
+            &q,
+            2
+        ));
         // A set not contained in Q fails.
         assert!(!is_mis_of_power_restricted(&g, &[NodeId(1)], &q, 2));
     }
@@ -294,7 +313,10 @@ mod tests {
         // Clusters {0,1}, {2,3}, {4,5} colored 0, 1, 0.
         let cluster = vec![Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)];
         let color = vec![0, 1, 0];
-        let view = DecompositionView { cluster: &cluster, color: &color };
+        let view = DecompositionView {
+            cluster: &cluster,
+            color: &color,
+        };
         // dist({0,1},{4,5}) = 3 > separation 2. Diameter 1.
         assert!(check_decomposition(&g, &view, 1, 2, true).is_empty());
         // With separation 3 it must fail.
@@ -310,12 +332,22 @@ mod tests {
         let g = generators::path(5);
         let cluster = vec![Some(0), Some(0), Some(0), None, Some(1)];
         let color = vec![0, 1];
-        let view = DecompositionView { cluster: &cluster, color: &color };
+        let view = DecompositionView {
+            cluster: &cluster,
+            color: &color,
+        };
         let errs = check_decomposition(&g, &view, 1, 0, true);
-        assert!(errs.iter().any(|e| matches!(e, DecompositionError::Uncovered(v) if *v == NodeId(3))));
         assert!(errs
             .iter()
-            .any(|e| matches!(e, DecompositionError::DiameterExceeded { cluster: 0, diameter: 2, .. })));
+            .any(|e| matches!(e, DecompositionError::Uncovered(v) if *v == NodeId(3))));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            DecompositionError::DiameterExceeded {
+                cluster: 0,
+                diameter: 2,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -325,7 +357,10 @@ mod tests {
         let g = generators::path(3);
         let cluster = vec![Some(0), Some(1), Some(0)];
         let color = vec![0, 1];
-        let view = DecompositionView { cluster: &cluster, color: &color };
+        let view = DecompositionView {
+            cluster: &cluster,
+            color: &color,
+        };
         assert!(check_decomposition(&g, &view, 2, 0, true).is_empty());
         let errs = check_decomposition(&g, &view, 1, 0, true);
         assert_eq!(errs.len(), 1);

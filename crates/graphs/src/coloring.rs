@@ -31,7 +31,10 @@ pub fn greedy_distance_k(g: &Graph, k: usize) -> Vec<u64> {
         }
         colors[v.index()] = Some(c);
     }
-    colors.into_iter().map(|c| c.expect("every node colored")).collect()
+    colors
+        .into_iter()
+        .map(|c| c.expect("every node colored"))
+        .collect()
 }
 
 /// The trivial coloring by unique IDs (an `n`-coloring valid at every

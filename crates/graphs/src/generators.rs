@@ -140,7 +140,11 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 /// `G(n, p)` with expected average degree `d` (i.e. `p = d/(n-1)` clamped
 /// to `[0, 1]`), seeded.
 pub fn gnp_with_avg_degree(n: usize, d: f64, seed: u64) -> Graph {
-    let p = if n > 1 { (d / (n as f64 - 1.0)).clamp(0.0, 1.0) } else { 0.0 };
+    let p = if n > 1 {
+        (d / (n as f64 - 1.0)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     gnp(n, p, seed)
 }
 
@@ -162,6 +166,45 @@ pub fn connected_gnp(n: usize, p: f64, seed: u64) -> Graph {
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen_bool(p) {
+                b.add_edge(NodeId::from(u), NodeId::from(v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A connected sparse random graph with average degree ≈ `avg_deg`, in
+/// `O(n + m)` time: a random spanning path (over a seeded permutation,
+/// contributing ≈ 2 to the average degree) plus `⌈n·(avg_deg − 2)/2⌉`
+/// uniformly random edge attempts (self-loops and duplicates dropped).
+/// The pair loop of [`connected_gnp`] is `O(n²)` and unusable at
+/// engine-benchmark scales (10⁵⁺ nodes); this generator is its large-`n`
+/// stand-in.
+///
+/// # Panics
+///
+/// Panics if `avg_deg < 2` (the spanning path alone exceeds the target).
+pub fn connected_sparse_gnp(n: usize, avg_deg: f64, seed: u64) -> Graph {
+    assert!(
+        avg_deg >= 2.0,
+        "avg_deg {avg_deg} below the spanning path's 2"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut b = GraphBuilder::new(n);
+    for w in perm.windows(2) {
+        b.add_edge(NodeId::from(w[0]), NodeId::from(w[1]));
+    }
+    if n > 1 {
+        let extra = (n as f64 * (avg_deg - 2.0) / 2.0).ceil() as usize;
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
                 b.add_edge(NodeId::from(u), NodeId::from(v));
             }
         }
@@ -234,7 +277,10 @@ pub fn clustered_ring(clusters: usize, cluster_size: usize) -> Graph {
 ///
 /// Panics if `s < 3` or `hatd < 2`.
 pub fn figure1(hatd: usize, s: usize) -> (Graph, Vec<bool>, NodeId, NodeId) {
-    assert!(s >= 3, "figure1 needs s >= 3 so leaves across the edge are Q-neighbors");
+    assert!(
+        s >= 3,
+        "figure1 needs s >= 3 so leaves across the edge are Q-neighbors"
+    );
     assert!(hatd >= 2);
     let left = hatd.div_ceil(2);
     let right = hatd / 2;
@@ -353,6 +399,17 @@ mod tests {
             let d = bfs::distances(&g, NodeId(0));
             assert!(d.iter().all(Option::is_some), "seed {seed} disconnected");
         }
+    }
+
+    #[test]
+    fn sparse_gnp_connected_and_sized() {
+        let g = connected_sparse_gnp(5_000, 8.0, 3);
+        assert_eq!(g.n(), 5_000);
+        let d = bfs::distances(&g, NodeId(0));
+        assert!(d.iter().all(Option::is_some), "disconnected");
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!((7.0..=9.0).contains(&avg), "avg degree {avg} out of range");
+        assert_eq!(g, connected_sparse_gnp(5_000, 8.0, 3), "not reproducible");
     }
 
     #[test]

@@ -121,6 +121,18 @@ impl Graph {
         u != v && self.neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// The head (receiver) of the directed edge with CSR index `i`, where
+    /// edge `u→neighbors(u)[p]` has index `offsets[u] + p` — the indexing
+    /// used by the round engines' per-edge state. `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 2·m`.
+    #[inline]
+    pub fn edge_target(&self, i: usize) -> NodeId {
+        self.adjacency[i]
+    }
+
     /// Iterator over all node IDs `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.n()).map(NodeId::from)
@@ -159,7 +171,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds the undirected edge `{u, v}`.

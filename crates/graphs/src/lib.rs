@@ -18,6 +18,8 @@
 //!   power graphs `G^k`.
 //! * [`subgraph`] — induced subgraphs, connected components, and
 //!   `k`-connected components (components of `G^k[X]`).
+//! * [`partition`] — contiguous, load-balanced node-range partitions of
+//!   CSR graphs for the sharded round engine (`powersparse-engine`).
 //! * [`check`] — validity checkers for independence, domination,
 //!   `(α, β)`-ruling sets, MIS of `G^k`, colorings, and network
 //!   decompositions. Tests and benches *never* trust an algorithm's output
@@ -42,6 +44,7 @@ pub mod check;
 pub mod coloring;
 pub mod generators;
 pub mod graph;
+pub mod partition;
 pub mod power;
 pub mod subgraph;
 

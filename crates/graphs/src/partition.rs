@@ -1,0 +1,149 @@
+//! Shard-aware partitioning of CSR graphs: contiguous node ranges of
+//! balanced load, used by data-parallel round engines.
+//!
+//! A shard is a half-open node range `lo..hi`. Because adjacency is laid
+//! out in CSR order, a contiguous node range owns a contiguous range of
+//! directed edge indices — per-shard edge state (queues, counters) can
+//! then be sliced out of flat arrays with no indirection. Load is
+//! balanced on `1 + deg(v)` per node, the per-round work of a node (one
+//! step call plus one queue visit per incident directed edge).
+
+use crate::graph::Graph;
+use std::ops::Range;
+
+/// Splits `g`'s nodes into `shards` contiguous ranges of roughly equal
+/// load (`Σ (1 + deg(v))` per range). Always returns exactly `shards`
+/// ranges covering `0..n` in order; trailing ranges may be empty when
+/// `shards > n`.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn shard_ranges(g: &Graph, shards: usize) -> Vec<Range<usize>> {
+    let weights: Vec<u64> = g.nodes().map(|v| 1 + g.degree(v) as u64).collect();
+    balanced_ranges(&weights, shards)
+}
+
+/// Splits `0..weights.len()` into `parts` contiguous ranges, greedily
+/// closing a range once it has accumulated its fair share of the
+/// remaining weight. Exactly `parts` ranges are returned, in order,
+/// covering the whole index space.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn balanced_ranges(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let n = weights.len();
+    let mut remaining: u64 = weights.iter().sum();
+    let mut ranges = Vec::with_capacity(parts);
+    let mut lo = 0usize;
+    for part in 0..parts {
+        let parts_left = (parts - part) as u64;
+        let target = remaining.div_ceil(parts_left);
+        // Leave at least one index for each later part (while indices
+        // last) so early parts cannot starve the tail.
+        let available = n - lo;
+        let reserve = (parts - part - 1).min(available.saturating_sub(1));
+        let max_hi = n - reserve;
+        let mut acc = 0u64;
+        let mut hi = lo;
+        while hi < max_hi {
+            acc += weights[hi];
+            hi += 1;
+            if acc >= target {
+                break;
+            }
+        }
+        if part == parts - 1 {
+            hi = n; // last part takes the tail
+            acc = weights[lo..n].iter().sum();
+        }
+        remaining -= acc;
+        ranges.push(lo..hi);
+        lo = hi;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_cover(ranges: &[Range<usize>], n: usize) {
+        let mut next = 0;
+        for r in ranges {
+            assert_eq!(r.start, next, "ranges must be contiguous");
+            assert!(r.start <= r.end);
+            next = r.end;
+        }
+        assert_eq!(next, n, "ranges must cover 0..n");
+    }
+
+    #[test]
+    fn covers_all_nodes_in_order() {
+        let g = generators::connected_gnp(97, 0.08, 3);
+        for shards in [1, 2, 3, 7, 16] {
+            let ranges = shard_ranges(&g, shards);
+            assert_eq!(ranges.len(), shards);
+            check_cover(&ranges, g.n());
+        }
+    }
+
+    #[test]
+    fn single_shard_is_everything() {
+        let g = generators::grid(5, 5);
+        assert_eq!(shard_ranges(&g, 1), vec![0..25]);
+    }
+
+    #[test]
+    fn more_shards_than_nodes() {
+        let g = generators::path(3);
+        let ranges = shard_ranges(&g, 8);
+        assert_eq!(ranges.len(), 8);
+        check_cover(&ranges, 3);
+        // Every node is owned by exactly one shard.
+        let owned: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(owned, 3);
+    }
+
+    #[test]
+    fn load_is_roughly_balanced_on_uniform_graphs() {
+        let g = generators::torus(20, 20); // 4-regular: uniform weight
+        let ranges = shard_ranges(&g, 8);
+        let loads: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        assert!(max - min <= 2, "loads {loads:?} unbalanced");
+    }
+
+    #[test]
+    fn star_hub_does_not_break_balance() {
+        // One node has nearly all the weight; the partition must still
+        // produce valid contiguous cover with nonempty heads.
+        let g = generators::star(200);
+        let ranges = shard_ranges(&g, 4);
+        check_cover(&ranges, 201);
+        assert_eq!(ranges[0].start, 0);
+        assert!(!ranges[0].is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::Graph::from_edges(0, &[]);
+        let ranges = shard_ranges(&g, 4);
+        assert_eq!(ranges.len(), 4);
+        check_cover(&ranges, 0);
+    }
+
+    #[test]
+    fn balanced_ranges_respects_weights() {
+        // Heavy head: first range should be just the head.
+        let w = [100u64, 1, 1, 1, 1, 1, 1, 1];
+        let ranges = balanced_ranges(&w, 2);
+        check_cover(&ranges, 8);
+        assert_eq!(ranges[0], 0..1);
+        assert_eq!(ranges[1], 1..8);
+    }
+}

@@ -92,7 +92,9 @@ pub fn power_graph(g: &Graph, k: usize) -> Graph {
 /// needs; callers that want it exclusive subtract `X`).
 pub fn set_neighborhood(g: &Graph, x: &[NodeId], s: usize) -> Vec<bool> {
     let d = crate::bfs::multi_source_distances(g, x);
-    d.iter().map(|dd| matches!(dd, Some(v) if (*v as usize) <= s)).collect()
+    d.iter()
+        .map(|dd| matches!(dd, Some(v) if (*v as usize) <= s))
+        .collect()
 }
 
 /// Induced power-subgraph `G^s[X]`: nodes of `X`, edges between members at
@@ -117,7 +119,10 @@ pub fn induced_power_subgraph(g: &Graph, s: usize, x: &[NodeId]) -> (Graph, Vec<
     for &v in &sorted {
         for w in q_neighborhood(g, v, s, &mask) {
             if v < w {
-                b.add_edge(NodeId::from(to_new[v.index()]), NodeId::from(to_new[w.index()]));
+                b.add_edge(
+                    NodeId::from(to_new[v.index()]),
+                    NodeId::from(to_new[w.index()]),
+                );
             }
         }
     }
@@ -200,8 +205,7 @@ mod tests {
     #[test]
     fn induced_power_subgraph_dedups() {
         let g = generators::cycle(5);
-        let (sub, map) =
-            induced_power_subgraph(&g, 1, &[NodeId(1), NodeId(1), NodeId(2)]);
+        let (sub, map) = induced_power_subgraph(&g, 1, &[NodeId(1), NodeId(1), NodeId(2)]);
         assert_eq!(sub.n(), 2);
         assert_eq!(map.len(), 2);
         assert_eq!(sub.m(), 1);

@@ -18,7 +18,10 @@ pub fn induced(g: &Graph, x: &[NodeId]) -> (Graph, Vec<NodeId>) {
     for &v in &sorted {
         for &w in g.neighbors(v) {
             if to_new[w.index()] != usize::MAX && v < w {
-                b.add_edge(NodeId::from(to_new[v.index()]), NodeId::from(to_new[w.index()]));
+                b.add_edge(
+                    NodeId::from(to_new[v.index()]),
+                    NodeId::from(to_new[w.index()]),
+                );
             }
         }
     }

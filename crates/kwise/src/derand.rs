@@ -82,7 +82,10 @@ pub fn seed_search(
         }
         best = best.min(bad);
     }
-    Err(DerandError::SearchExhausted { attempts: max_attempts, best_bad_events: best })
+    Err(DerandError::SearchExhausted {
+        attempts: max_attempts,
+        best_bad_events: best,
+    })
 }
 
 /// Maximum seed length (bits) accepted by [`conditional_expectations`]:
@@ -157,7 +160,10 @@ mod tests {
         let err = seed_search(8, 5, |_| 7).unwrap_err();
         assert_eq!(
             err,
-            DerandError::SearchExhausted { attempts: 5, best_bad_events: 7 }
+            DerandError::SearchExhausted {
+                attempts: 5,
+                best_bad_events: 7
+            }
         );
     }
 
@@ -195,7 +201,10 @@ mod tests {
             let bits: Vec<bool> = (0..8).map(|i| pattern >> i & 1 == 1).collect();
             exact_total += all_hit(&Seed::from_bits(&bits));
         }
-        assert!(exact_total < 256, "premise: expectation below one; total {total}");
+        assert!(
+            exact_total < 256,
+            "premise: expectation below one; total {total}"
+        );
         let (seed, bad) = conditional_expectations(8, all_hit).unwrap();
         assert_eq!(bad, 0, "seed {seed:?} should realize zero bad events");
     }
@@ -207,8 +216,7 @@ mod tests {
         // Bad-event count = number of set bits in the 6-bit seed; average
         // is 3; the method must end at 0 (it can always pick 0 bits).
         let (seed, bad) =
-            conditional_expectations(6, |s| (0..6).filter(|&i| s.get(i)).count() as u64)
-                .unwrap();
+            conditional_expectations(6, |s| (0..6).filter(|&i| s.get(i)).count() as u64).unwrap();
         assert_eq!(bad, 0);
         assert_eq!(seed, Seed::zeros(6));
     }

@@ -26,7 +26,10 @@ impl KWiseFamily {
     /// Panics if `k == 0` or `field_bits ∉ {4, 8, 16, 32}`.
     pub fn new(k: usize, field_bits: u32) -> Self {
         assert!(k >= 1, "independence parameter k must be >= 1");
-        Self { k, field: Gf2::new(field_bits) }
+        Self {
+            k,
+            field: Gf2::new(field_bits),
+        }
     }
 
     /// Convenience constructor matching the paper's parameters for an
@@ -111,9 +114,7 @@ mod tests {
         for (x, y) in [(0u64, 1u64), (3, 7), (14, 15)] {
             let mut counts = vec![0u32; 16 * 16];
             for c in 0..seeds {
-                let seed = Seed::from_bits(
-                    &(0..8).map(|i| c >> i & 1 == 1).collect::<Vec<_>>(),
-                );
+                let seed = Seed::from_bits(&(0..8).map(|i| c >> i & 1 == 1).collect::<Vec<_>>());
                 let hx = fam.eval(&seed, x);
                 let hy = fam.eval(&seed, y);
                 counts[(hx * 16 + hy) as usize] += 1;
@@ -133,11 +134,8 @@ mod tests {
         let (x, y, z) = (2u64, 5u64, 11u64);
         let mut counts = vec![0u32; 16 * 16 * 16];
         for c in 0..seeds {
-            let seed = Seed::from_bits(
-                &(0..12).map(|i| c >> i & 1 == 1).collect::<Vec<_>>(),
-            );
-            let (hx, hy, hz) =
-                (fam.eval(&seed, x), fam.eval(&seed, y), fam.eval(&seed, z));
+            let seed = Seed::from_bits(&(0..12).map(|i| c >> i & 1 == 1).collect::<Vec<_>>());
+            let (hx, hy, hz) = (fam.eval(&seed, x), fam.eval(&seed, y), fam.eval(&seed, z));
             counts[(hx * 256 + hy * 16 + hz) as usize] += 1;
         }
         assert!(counts.iter().all(|&c| c == 1));
@@ -176,9 +174,7 @@ mod tests {
         let threshold = fam.threshold_for_probability(0.25);
         let trials = 4000u64;
         let hits = (0..trials)
-            .filter(|&c| {
-                fam.indicator(&Seed::from_counter(fam.seed_len(), c), 77, threshold)
-            })
+            .filter(|&c| fam.indicator(&Seed::from_counter(fam.seed_len(), c), 77, threshold))
             .count();
         let rate = hits as f64 / trials as f64;
         assert!((rate - 0.25).abs() < 0.03, "rate {rate}");

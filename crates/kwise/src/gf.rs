@@ -20,10 +20,10 @@ impl Gf2 {
     pub fn new(bits: u32) -> Self {
         // Standard irreducible polynomials (low-order terms only).
         let reduction = match bits {
-            4 => 0b0011,                 // x^4 + x + 1
-            8 => 0b0001_1011,            // x^8 + x^4 + x^3 + x + 1 (AES)
-            16 => 0b0010_1011,           // x^16 + x^5 + x^3 + x + 1
-            32 => 0b1000_1101,           // x^32 + x^7 + x^3 + x^2 + 1
+            4 => 0b0011,       // x^4 + x + 1
+            8 => 0b0001_1011,  // x^8 + x^4 + x^3 + x + 1 (AES)
+            16 => 0b0010_1011, // x^16 + x^5 + x^3 + x + 1
+            32 => 0b1000_1101, // x^32 + x^7 + x^3 + x^2 + 1
             other => panic!("unsupported field size GF(2^{other})"),
         };
         Self { bits, reduction }

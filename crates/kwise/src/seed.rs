@@ -15,7 +15,10 @@ pub struct Seed {
 impl Seed {
     /// All-zero seed of the given bit length.
     pub fn zeros(len: usize) -> Self {
-        Self { len, words: vec![0; len.div_ceil(64)] }
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Deterministically expands a counter into a seed of the given
@@ -24,7 +27,9 @@ impl Seed {
     /// fixed, platform-independent order.
     pub fn from_counter(len: usize, counter: u64) -> Self {
         let mut s = Self::zeros(len);
-        let mut state = counter.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(counter);
+        let mut state = counter
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(counter);
         for w in &mut s.words {
             state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = state;
@@ -123,7 +128,9 @@ pub struct PartialSeed {
 impl PartialSeed {
     /// A fully-unfixed partial seed of the given bit length.
     pub fn unfixed(len: usize) -> Self {
-        Self { bits: vec![None; len] }
+        Self {
+            bits: vec![None; len],
+        }
     }
 
     /// Number of bits (fixed + free).
@@ -191,8 +198,7 @@ impl PartialSeed {
             .checked_shl(free_idx.len() as u32)
             .expect("too many free bits to enumerate");
         (0..count).map(move |assignment| {
-            let mut bits: Vec<bool> =
-                self.bits.iter().map(|b| b.unwrap_or(false)).collect();
+            let mut bits: Vec<bool> = self.bits.iter().map(|b| b.unwrap_or(false)).collect();
             for (j, &i) in free_idx.iter().enumerate() {
                 bits[i] = assignment >> j & 1 == 1;
             }

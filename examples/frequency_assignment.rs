@@ -20,7 +20,10 @@ fn main() {
     // A torus stands in for a dense sensor deployment.
     let g = generators::torus(8, 10);
     let n = g.n();
-    println!("transmitter network: 8x10 torus (n = {n}, Δ = {})", g.max_degree());
+    println!(
+        "transmitter network: 8x10 torus (n = {n}, Δ = {})",
+        g.max_degree()
+    );
 
     let mut frequency: Vec<Option<u64>> = vec![None; n];
     let mut freq = 0u64;

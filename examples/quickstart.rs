@@ -26,7 +26,11 @@ fn main() {
     let out = det_ruling_set_k2(&mut sim, k, &TheoryParams::scaled(), 0);
     let report = RunReport::delta(&before, sim.metrics());
 
-    println!("ruling set ({} nodes): {:?}", out.ruling_set.len(), out.ruling_set);
+    println!(
+        "ruling set ({} nodes): {:?}",
+        out.ruling_set.len(),
+        out.ruling_set
+    );
     println!(
         "sparsified intermediate Q had {} nodes",
         out.q.iter().filter(|&&b| b).count()

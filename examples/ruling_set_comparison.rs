@@ -36,7 +36,12 @@ fn main() {
     let aglp = ruling_set_with_balls(&mut sim, k, &vec![true; n], None);
     let rep = RunReport::delta(&before, sim.metrics());
     let members = generators::members(&aglp.ruling_set);
-    assert!(check::is_ruling_set(&g, &members, k + 1, aglp.domination_bound));
+    assert!(check::is_ruling_set(
+        &g,
+        &members,
+        k + 1,
+        aglp.domination_bound
+    ));
     println!(
         "{:<28} {:>8} {:>12} {:>12} {:>8}",
         "AGLP (B=2, IDs)",

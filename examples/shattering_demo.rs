@@ -45,8 +45,14 @@ fn main() {
 
     // --- Full pipeline, both post-shattering approaches. ---
     for (label, post) in [
-        ("approach 1 (two pre-shattering phases, §7.2.1)", PostShattering::TwoPhase),
-        ("approach 2 (one pre-shattering phase, §7.2.2)", PostShattering::OnePhase),
+        (
+            "approach 1 (two pre-shattering phases, §7.2.1)",
+            PostShattering::TwoPhase,
+        ),
+        (
+            "approach 2 (one pre-shattering phase, §7.2.2)",
+            PostShattering::OnePhase,
+        ),
     ] {
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
         let (mis, report) = mis_power(&mut sim, 1, &params, 5, post).expect("mis");

@@ -5,11 +5,14 @@
 //!
 //! * [`powersparse`] — the paper's algorithms (sparsification, ruling sets,
 //!   MIS, network decomposition),
-//! * [`powersparse_congest`] — the CONGEST round engine,
+//! * [`powersparse_congest`] — the CONGEST model: the `RoundEngine` trait
+//!   and the sequential reference `Simulator`,
+//! * [`powersparse_engine`] — the sharded, data-parallel engine backend,
 //! * [`powersparse_graphs`] — the graph substrate,
 //! * [`powersparse_kwise`] — k-wise independent hashing and derandomizers.
 
 pub use powersparse;
 pub use powersparse_congest;
+pub use powersparse_engine;
 pub use powersparse_graphs;
 pub use powersparse_kwise;

@@ -57,7 +57,10 @@ fn theorem_1_4_both_approaches_agree_on_validity() {
         for post in [PostShattering::OnePhase, PostShattering::TwoPhase] {
             let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
             let (mis, _) = mis_power(&mut sim, 1, &params, 9, post).expect(&name);
-            assert!(check::is_mis(&g, &generators::members(&mis)), "{name} {post:?}");
+            assert!(
+                check::is_mis(&g, &generators::members(&mis)),
+                "{name} {post:?}"
+            );
         }
     }
 }
@@ -87,14 +90,16 @@ fn lemma_3_1_invariants_via_both_strategies() {
             SamplingStrategy::SeedSearch,
         ] {
             let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
-            let out =
-                sparsify_power(&mut sim, 2, &vec![true; n], &params, strat).expect(&name);
+            let out = sparsify_power(&mut sim, 2, &vec![true; n], &params, strat).expect(&name);
             assert!(
                 power::max_q_degree(&g, 2, &out.q) <= params.degree_bound(n),
                 "{name} I1"
             );
             let members = generators::members(&out.q);
-            assert!(check::is_beta_dominating(&g, &members, 6), "{name} I2 (k²+k=6)");
+            assert!(
+                check::is_beta_dominating(&g, &members, 6),
+                "{name} I2 (k²+k=6)"
+            );
         }
     }
 }
@@ -114,7 +119,10 @@ fn lemma_5_8_nd_sparsification() {
         )
         .expect(&name);
         assert!(power::max_q_degree(&g, 1, &out.q) <= params.degree_bound(n));
-        assert!(check::is_beta_dominating(&g, &generators::members(&out.q), 2), "{name}");
+        assert!(
+            check::is_beta_dominating(&g, &generators::members(&out.q), 2),
+            "{name}"
+        );
     }
 }
 

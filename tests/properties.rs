@@ -1,7 +1,6 @@
 //! Property-based tests: the paper's guarantees hold on randomized
 //! instances and seeds (proptest shrinks violations to minimal cases).
 
-use proptest::prelude::*;
 use powersparse::mis::{luby_mis, mis_power, PostShattering};
 use powersparse::params::TheoryParams;
 use powersparse::ruling::ruling_set_with_balls;
@@ -9,6 +8,7 @@ use powersparse::sparsify::{sparsify_power, SamplingStrategy};
 use powersparse_congest::primitives::khop_beep;
 use powersparse_congest::sim::{SimConfig, Simulator};
 use powersparse_graphs::{check, generators, power, subgraph};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
@@ -27,7 +27,7 @@ proptest! {
     #[test]
     fn beep_matches_ground_truth(n in 8usize..50, k in 1usize..5, seed in 0u64..500) {
         let g = generators::connected_gnp(n, 3.0 / n as f64, seed);
-        let beepers: Vec<bool> = (0..n).map(|i| (i as u64 * 7 + seed) % 5 == 0).collect();
+        let beepers: Vec<bool> = (0..n).map(|i| (i as u64 * 7 + seed).is_multiple_of(5)).collect();
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
         let heard = khop_beep(&mut sim, &beepers, k);
         for v in g.nodes() {
@@ -61,7 +61,7 @@ proptest! {
     #[test]
     fn ruling_balls_partition(n in 10usize..70, dist in 1usize..4, seed in 0u64..300) {
         let g = generators::connected_gnp(n, 3.0 / n as f64, seed);
-        let candidates: Vec<bool> = (0..n).map(|i| (i as u64 + seed) % 3 != 0).collect();
+        let candidates: Vec<bool> = (0..n).map(|i| !(i as u64 + seed).is_multiple_of(3)).collect();
         let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
         let out = ruling_set_with_balls(&mut sim, dist, &candidates, None);
         let rulers = generators::members(&out.ruling_set);
@@ -93,7 +93,7 @@ proptest! {
     #[test]
     fn k_components_partition(n in 10usize..60, k in 1usize..4, seed in 0u64..300) {
         let g = generators::connected_gnp(n, 2.0 / n as f64, seed);
-        let x: Vec<_> = (0..n).filter(|i| (i + seed as usize) % 2 == 0)
+        let x: Vec<_> = (0..n).filter(|i| (i + seed as usize).is_multiple_of(2))
             .map(powersparse_graphs::NodeId::from).collect();
         let comps = subgraph::k_connected_components(&g, &x, k);
         let total: usize = comps.iter().map(Vec::len).sum();
@@ -103,7 +103,7 @@ proptest! {
                 for &u in a {
                     for &w in b {
                         let d = powersparse_graphs::bfs::distance(&g, u, w);
-                        prop_assert!(d.map_or(true, |d| d as usize > k));
+                        prop_assert!(d.is_none_or(|d| d as usize > k));
                     }
                 }
             }

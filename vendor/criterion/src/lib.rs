@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the API subset the `powersparse-bench` targets use — benchmark groups,
+//! `bench_with_input` / `bench_function`, `BenchmarkId`, `b.iter`,
+//! `criterion_group!` / `criterion_main!` and [`black_box`] — backed by a
+//! plain wall-clock sampler: each benchmark runs one warm-up iteration and
+//! then `sample_size` timed iterations, reporting mean / min / max.
+//!
+//! A substring filter passed on the command line (as `cargo bench <name>`
+//! does) restricts which benchmarks run, mirroring criterion's behavior.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: `function` plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an ID from a function name and a parameter display value.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an ID from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench <filter>` forwards `<filter>` as a positional arg.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.bench_function(id, f);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Finishes the group (cosmetic; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            id.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.name)
+        };
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples);
+    }
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("nonempty");
+    let max = samples.iter().max().expect("nonempty");
+    println!(
+        "{name:<48} mean {:>12} (min {:>12}, max {:>12}, {} samples)",
+        fmt_duration(mean),
+        fmt_duration(*min),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            sample_size: 4,
+            samples: Vec::new(),
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 4);
+        assert_eq!(count, 5); // 1 warm-up + 4 timed
+    }
+
+    #[test]
+    fn ids_render_as_function_slash_parameter() {
+        let id = BenchmarkId::new("luby", 128);
+        assert_eq!(id.name, "luby/128");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { filter: None };
+        let mut ran = false;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(1)
+            .bench_function(BenchmarkId::new("x", 0), |b| {
+                b.iter(|| ());
+                ran = true;
+            });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("t");
+        g.bench_function(BenchmarkId::new("x", 0), |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        g.finish();
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the API subset `tests/properties.rs` uses: the [`proptest!`] macro with
+//! an inner `#![proptest_config(..)]` attribute, integer-range strategies,
+//! [`any::<bool>()`](any), [`prop_assert!`] and [`prop_assert_eq!`].
+//!
+//! Semantics: each property runs `cases` times with inputs drawn from a
+//! deterministic RNG seeded from the property name and case index. There
+//! is no shrinking — a failing case reports the drawn inputs instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; this stand-in does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 32,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A source of random inputs for one property case.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates the deterministic runner for `(property, case)`.
+    pub fn new(property_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in property_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case))),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A value generator (no shrinking in this stand-in).
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u16, u32, u64, usize);
+
+/// Marker returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy (only `bool` is needed here).
+pub fn any<T>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, runner: &mut TestRunner) -> bool {
+        runner.rng().gen_bool(0.5)
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRunner,
+    };
+}
+
+/// Fallible assertion: fails the current case without panicking mid-draw.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{}): left = {:?}, right = {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{}): left = {:?}, right = {:?}: {}",
+                stringify!($left), stringify!($right), file!(), line!(), l, r,
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Declares properties: each becomes a `#[test]` running `cases` seeded
+/// random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut runner = $crate::TestRunner::new(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut runner);)*
+                    let result: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body Ok(()) })();
+                    if let Err(msg) = result {
+                        panic!(
+                            "property {} failed on case {case} with inputs {:?}:\n{msg}",
+                            stringify!($name),
+                            ($(&$arg,)*)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strategy),*) $body)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 5usize..20, s in 0u64..100) {
+            prop_assert!((5..20).contains(&n));
+            prop_assert!(s < 100, "s = {}", s);
+        }
+
+        #[test]
+        fn bool_roundtrips_through_int(b in any::<bool>()) {
+            prop_assert_eq!(u8::from(b) == 1, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_runner() {
+        let mut a = TestRunner::new("x", 3);
+        let mut b = TestRunner::new("x", 3);
+        assert_eq!((8usize..99).sample(&mut a), (8usize..99).sample(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 1, ..ProptestConfig::default() })]
+            fn inner(n in 0usize..4) {
+                prop_assert!(n > 100);
+            }
+        }
+        inner();
+    }
+}
