@@ -1,11 +1,15 @@
 //! Regenerates every table and figure of the paper (experiment index:
-//! DESIGN.md §4). Usage:
+//! DESIGN.md §4) and runs the workload scenario suite. Usage:
 //!
 //! ```text
 //! experiments [all|table1-det|table1-mis|table1-ruling|fig1|sparsify|shattering|nd|derand|engines] [--scale S]
+//! experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json]
 //! ```
 //!
-//! Output is markdown; EXPERIMENTS.md archives a run.
+//! Output is markdown; EXPERIMENTS.md archives a run. The `suite`
+//! subcommand additionally writes a structured JSON manifest (default
+//! `BENCH_suite.json`) for cross-run regression diffing, and exits
+//! nonzero if any run fails its validity checks.
 
 use powersparse::mis::{beeping_mis, luby_mis, mis_power, PostShattering};
 use powersparse::nd::{diameter_bound, power_nd};
@@ -40,6 +44,7 @@ fn main() {
         "nd" => nd_exp(scale),
         "derand" => derand_exp(),
         "engines" => engines_exp(),
+        "suite" => suite_cmd(&args[1..]),
         "all" => {
             table1_det(scale);
             table1_mis(scale);
@@ -575,6 +580,105 @@ fn engines_exp() {
         }
     }
     println!("\nIdentical = same MIS mask, same Metrics (rounds, messages, bits, per-edge).");
+}
+
+/// E10 — The workload scenario suite: the declarative graph-family ×
+/// algorithm × engine matrix of `powersparse-workloads`, validated run
+/// by run, with a JSON manifest for `BENCH_*.json` trajectory tracking.
+fn suite_cmd(args: &[String]) {
+    use powersparse_workloads::{builtin_suite, parse_suite, run_suite, SuiteProfile};
+
+    // Strict argument parsing: a mistyped flag must not silently fall
+    // back to the full builtin suite (the spec-file parser rejects
+    // unknown keys for the same reason).
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut spec: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" | "--spec" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("{arg} requires a value");
+                    std::process::exit(2);
+                });
+                match arg.as_str() {
+                    "--out" => out = Some(value.clone()),
+                    _ => spec = Some(value.clone()),
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown suite argument '{other}' \
+                     (usage: experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| "BENCH_suite.json".into());
+    let (name, scenarios) = match spec {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read spec {path}: {e}"));
+            let scenarios = parse_suite(&text).unwrap_or_else(|e| panic!("{e}"));
+            (path, scenarios)
+        }
+        None if smoke => ("smoke".to_string(), builtin_suite(SuiteProfile::Smoke)),
+        None => ("full".to_string(), builtin_suite(SuiteProfile::Full)),
+    };
+
+    println!(
+        "\n## E10: Workload suite `{name}` — {} scenarios\n",
+        scenarios.len()
+    );
+    println!(
+        "{}",
+        row(&[
+            "scenario",
+            "n",
+            "m",
+            "rounds",
+            "messages",
+            "peak queue",
+            "run wall",
+            "valid"
+        ]
+        .map(String::from))
+    );
+    println!("{}", row(&["---"; 8].map(String::from)));
+    let manifest = run_suite(&name, &scenarios).unwrap_or_else(|e| panic!("suite failed: {e}"));
+    for run in &manifest.runs {
+        println!(
+            "{}",
+            row(&[
+                run.name.clone(),
+                run.n.to_string(),
+                run.m.to_string(),
+                run.rounds.to_string(),
+                run.messages.to_string(),
+                run.peak_queue_depth.to_string(),
+                format!("{:.1}ms", run.wall.run_us as f64 / 1000.0),
+                if run.validation.passed {
+                    "yes".into()
+                } else {
+                    format!("NO: {}", run.validation.detail)
+                },
+            ])
+        );
+    }
+    std::fs::write(&out, manifest.to_json_string())
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!(
+        "\n{}/{} runs valid; manifest written to {out}",
+        manifest.passed(),
+        manifest.runs.len()
+    );
+    if !manifest.all_passed() {
+        eprintln!("validation failures — see the manifest");
+        std::process::exit(1);
+    }
 }
 
 /// Worst-case distance to the set over all nodes.

@@ -79,6 +79,12 @@ pub struct Metrics {
     pub messages: u64,
     /// Total bits sent.
     pub bits: u64,
+    /// Peak queue depth: the maximum number of messages queued on any
+    /// single directed edge at the start of a transfer step (i.e. after
+    /// the round's sends are enqueued, before the edge moves bits). A
+    /// congestion gauge for the benchmark manifests; part of the engine
+    /// contract — every backend must measure the identical value.
+    pub peak_queue_depth: u64,
     /// Per-directed-edge delivered message counts, indexed like the CSR
     /// adjacency (edge `u→neighbors(u)[i]` has index `offset(u) + i`).
     pub edge_messages: Vec<u64>,
@@ -98,31 +104,20 @@ impl Metrics {
     }
 }
 
-/// CSR offsets for directed-edge indexing (mirrors the graph's own
-/// offsets): directed edge `u→neighbors(u)[i]` has index
-/// `dir_offsets[u] + i`.
-pub fn dir_offsets(g: &Graph) -> Vec<u32> {
-    let mut offsets = Vec::with_capacity(g.n() + 1);
-    let mut acc = 0u32;
-    offsets.push(0);
-    for v in g.nodes() {
-        acc += g.degree(v) as u32;
-        offsets.push(acc);
-    }
-    offsets
-}
-
-/// Resolves the directed edge index of `u → v`.
+/// Resolves the directed edge index of `u → v`: directed edge
+/// `u→neighbors(u)[i]` has index `g.offsets()[u] + i` (the graph's own
+/// CSR offsets double as the directed-edge index base — engines borrow
+/// them via [`Graph::offsets`] instead of keeping an O(n) copy).
 ///
 /// # Panics
 ///
 /// Panics if `{u, v}` is not an edge of `g`.
-pub fn dir_edge_index(g: &Graph, dir_offsets: &[u32], u: NodeId, v: NodeId) -> usize {
+pub fn dir_edge_index(g: &Graph, u: NodeId, v: NodeId) -> usize {
     let pos = g
         .neighbors(u)
         .binary_search(&v)
         .unwrap_or_else(|_| panic!("{u} → {v} is not an edge"));
-    dir_offsets[u.index()] as usize + pos
+    g.offsets()[u.index()] as usize + pos
 }
 
 /// One engine-side per-edge FIFO entry: (remaining bits, sender, payload).
@@ -169,23 +164,16 @@ pub struct SendRecord<M> {
 pub struct Outbox<'a, M> {
     graph: &'a Graph,
     from_expected: NodeId,
-    dir_offsets: &'a [u32],
     sends: &'a mut Vec<SendRecord<M>>,
 }
 
 impl<'a, M: Clone> Outbox<'a, M> {
     /// Creates the outbox for the node `from_expected`, appending into
     /// `sends` (engine backends hand each worker its own buffer).
-    pub fn new(
-        graph: &'a Graph,
-        from_expected: NodeId,
-        dir_offsets: &'a [u32],
-        sends: &'a mut Vec<SendRecord<M>>,
-    ) -> Self {
+    pub fn new(graph: &'a Graph, from_expected: NodeId, sends: &'a mut Vec<SendRecord<M>>) -> Self {
         Self {
             graph,
             from_expected,
-            dir_offsets,
             sends,
         }
     }
@@ -211,7 +199,7 @@ impl<'a, M: Clone> Outbox<'a, M> {
             self.from_expected, from
         );
         assert!(bits > 0, "messages must have positive size");
-        let edge = dir_edge_index(self.graph, self.dir_offsets, from, to);
+        let edge = dir_edge_index(self.graph, from, to);
         self.sends.push(SendRecord {
             edge,
             bits: bits as u64,
@@ -235,7 +223,7 @@ impl<'a, M: Clone> Outbox<'a, M> {
             self.from_expected, from
         );
         assert!(bits > 0, "messages must have positive size");
-        let base = self.dir_offsets[from.index()] as usize;
+        let base = self.graph.offsets()[from.index()] as usize;
         for i in 0..self.graph.degree(from) {
             self.sends.push(SendRecord {
                 edge: base + i,

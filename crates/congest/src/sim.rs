@@ -4,8 +4,7 @@
 pub use crate::engine::{Metrics, Outbox};
 
 use crate::engine::{
-    dir_edge_index, dir_offsets, transfer_queue, Delivery, Message, RoundEngine, RoundPhase,
-    SendRecord,
+    dir_edge_index, transfer_queue, Delivery, Message, RoundEngine, RoundPhase, SendRecord,
 };
 use powersparse_graphs::{Graph, NodeId};
 use std::collections::VecDeque;
@@ -44,8 +43,6 @@ pub struct Simulator<'g> {
     graph: &'g Graph,
     config: SimConfig,
     metrics: Metrics,
-    /// CSR offsets for directed edge indexing (mirrors the graph's).
-    dir_offsets: Vec<u32>,
 }
 
 impl<'g> Simulator<'g> {
@@ -55,7 +52,6 @@ impl<'g> Simulator<'g> {
             graph,
             config,
             metrics: Metrics::for_graph(graph),
-            dir_offsets: dir_offsets(graph),
         }
     }
 
@@ -88,7 +84,7 @@ impl<'g> Simulator<'g> {
     ///
     /// Panics if `{u, v}` is not an edge.
     pub fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_messages[dir_edge_index(self.graph, &self.dir_offsets, u, v)]
+        self.metrics.edge_messages[dir_edge_index(self.graph, u, v)]
     }
 
     /// Bits sent across the directed edge `u → v` so far.
@@ -97,7 +93,7 @@ impl<'g> Simulator<'g> {
     ///
     /// Panics if `{u, v}` is not an edge.
     pub fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_bits[dir_edge_index(self.graph, &self.dir_offsets, u, v)]
+        self.metrics.edge_bits[dir_edge_index(self.graph, u, v)]
     }
 
     /// Opens a communication phase with message type `M`.
@@ -188,12 +184,7 @@ impl<M: Clone> Phase<'_, '_, M> {
         let mut sends: Vec<SendRecord<M>> = Vec::new();
         for i in 0..n {
             let inbox = std::mem::take(&mut self.inboxes[i]);
-            let mut out = Outbox::new(
-                self.sim.graph,
-                NodeId::from(i),
-                &self.sim.dir_offsets,
-                &mut sends,
-            );
+            let mut out = Outbox::new(self.sim.graph, NodeId::from(i), &mut sends);
             g(i, &inbox, &mut out);
         }
         self.finish_round(sends);
@@ -284,6 +275,7 @@ impl<M: Clone> Phase<'_, '_, M> {
             if queue.is_empty() {
                 continue;
             }
+            metrics.peak_queue_depth = metrics.peak_queue_depth.max(queue.len() as u64);
             let to = graph.edge_target(edge);
             transfer_queue(queue, bw, |from, msg| {
                 metrics.messages += 1;

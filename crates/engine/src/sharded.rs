@@ -15,8 +15,8 @@
 //!   of the sequential reference engine.
 
 use powersparse_congest::engine::{
-    dir_edge_index, dir_offsets, transfer_queue, Delivery, Message, Metrics, Outbox, RoundEngine,
-    RoundPhase, SendRecord,
+    dir_edge_index, transfer_queue, Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase,
+    SendRecord,
 };
 use powersparse_congest::sim::SimConfig;
 use powersparse_graphs::partition::shard_ranges;
@@ -52,8 +52,6 @@ pub struct ShardedSimulator<'g> {
     graph: &'g Graph,
     config: SimConfig,
     metrics: Metrics,
-    /// CSR offsets for directed edge indexing (mirrors the graph's).
-    dir_offsets: Vec<u32>,
     /// Contiguous node range owned by each shard.
     node_ranges: Vec<Range<usize>>,
     /// Directed-edge range owned by each shard (CSR-aligned with
@@ -82,7 +80,7 @@ impl<'g> ShardedSimulator<'g> {
     pub fn with_shards(graph: &'g Graph, config: SimConfig, shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
         let shards = shards.min(graph.n().max(1));
-        let offsets = dir_offsets(graph);
+        let offsets = graph.offsets();
         let node_ranges = shard_ranges(graph, shards);
         let edge_ranges: Vec<Range<usize>> = node_ranges
             .iter()
@@ -98,7 +96,6 @@ impl<'g> ShardedSimulator<'g> {
             graph,
             config,
             metrics: Metrics::for_graph(graph),
-            dir_offsets: offsets,
             node_ranges,
             edge_ranges,
             shard_of,
@@ -135,19 +132,22 @@ impl<'g> RoundEngine for ShardedSimulator<'g> {
     }
 
     fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_messages[dir_edge_index(self.graph, &self.dir_offsets, u, v)]
+        self.metrics.edge_messages[dir_edge_index(self.graph, u, v)]
     }
 
     fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_bits[dir_edge_index(self.graph, &self.dir_offsets, u, v)]
+        self.metrics.edge_bits[dir_edge_index(self.graph, u, v)]
     }
 
     fn phase<M: Message>(&mut self) -> ShardedPhase<'_, 'g, M> {
         let n = self.graph.n();
         let dir_edges = 2 * self.graph.m();
+        let shards = self.node_ranges.len();
         ShardedPhase {
             queues: vec![VecDeque::new(); dir_edges],
             inboxes: vec![Vec::new(); n],
+            send_bufs: (0..shards).map(|_| Vec::new()).collect(),
+            cells: (0..shards * shards).map(|_| Vec::new()).collect(),
             sim: self,
         }
     }
@@ -157,6 +157,11 @@ impl<'g> RoundEngine for ShardedSimulator<'g> {
 type Routed<M> = (NodeId, NodeId, M);
 
 /// One typed communication phase on the sharded engine.
+///
+/// The `send_bufs` and `cells` fields are per-round scratch that lives
+/// for the whole phase: stage 1 fills them, stage 2 drains them, so
+/// their capacity is reused round after round instead of reallocating
+/// (the ROADMAP's wall-clock-only follow-up from PR 1).
 #[derive(Debug)]
 pub struct ShardedPhase<'s, 'g, M> {
     sim: &'s mut ShardedSimulator<'g>,
@@ -164,6 +169,13 @@ pub struct ShardedPhase<'s, 'g, M> {
     queues: Vec<VecDeque<(u64, NodeId, M)>>,
     /// Messages available to each node in the *next* step.
     inboxes: Vec<Vec<Delivery<M>>>,
+    /// Per-shard reusable send buffer (drained while enqueueing).
+    send_bufs: Vec<Vec<SendRecord<M>>>,
+    /// Shard-to-shard delivery cells, rows-major: the cell for sender
+    /// shard `w` and receiver shard `r` is `cells[w * shards + r]`.
+    /// Filled by stage 1 (each sender owns its contiguous row), drained
+    /// by stage 2 (each receiver drains its strided column).
+    cells: Vec<Vec<Routed<M>>>,
 }
 
 impl<M: Message> ShardedPhase<'_, '_, M> {
@@ -180,15 +192,14 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
         let shards = sim.node_ranges.len();
         let bw = sim.config.bandwidth as u64;
         let graph = sim.graph;
-        let offs = &sim.dir_offsets;
         let shard_of = &sim.shard_of;
         let node_ranges = &sim.node_ranges;
         let edge_ranges = &sim.edge_ranges;
 
         // --- Stage 1: step + enqueue + transfer, per sender shard. ---
-        let mut rows: Vec<Vec<Vec<Routed<M>>>> = Vec::with_capacity(shards);
         let mut bits_total = 0u64;
         let mut msgs_total = 0u64;
+        let mut peak = 0u64;
         {
             let state_chunks = split_by_ranges(state, node_ranges);
             let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
@@ -201,15 +212,16 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
                 .zip(queue_chunks)
                 .zip(ebits_chunks)
                 .zip(emsgs_chunks)
+                .zip(self.send_bufs.iter_mut())
+                .zip(self.cells.chunks_mut(shards))
                 .enumerate();
 
             if shards == 1 {
-                for (w, ((((state_c, inbox_c), queue_c), ebits_c), emsgs_c)) in work {
-                    let (row, bits, msgs) = sender_stage(
+                for (w, ((((((state_c, inbox_c), queue_c), ebits_c), emsgs_c), sends), row)) in work
+                {
+                    let (bits, msgs, qpeak) = sender_stage(
                         graph,
-                        offs,
                         shard_of,
-                        shards,
                         bw,
                         node_ranges[w].clone(),
                         edge_ranges[w].clone(),
@@ -218,31 +230,35 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
                         queue_c,
                         ebits_c,
                         emsgs_c,
+                        sends,
+                        row,
                         f,
                     );
-                    rows.push(row);
                     bits_total += bits;
                     msgs_total += msgs;
+                    peak = peak.max(qpeak);
                 }
             } else {
                 std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(shards);
-                    for (w, ((((state_c, inbox_c), queue_c), ebits_c), emsgs_c)) in work {
+                    for (w, ((((((state_c, inbox_c), queue_c), ebits_c), emsgs_c), sends), row)) in
+                        work
+                    {
                         let nr = node_ranges[w].clone();
                         let er = edge_ranges[w].clone();
                         handles.push(scope.spawn(move || {
                             sender_stage(
-                                graph, offs, shard_of, shards, bw, nr, er, state_c, inbox_c,
-                                queue_c, ebits_c, emsgs_c, f,
+                                graph, shard_of, bw, nr, er, state_c, inbox_c, queue_c, ebits_c,
+                                emsgs_c, sends, row, f,
                             )
                         }));
                     }
                     for h in handles {
                         match h.join() {
-                            Ok((row, bits, msgs)) => {
-                                rows.push(row);
+                            Ok((bits, msgs, qpeak)) => {
                                 bits_total += bits;
                                 msgs_total += msgs;
+                                peak = peak.max(qpeak);
                             }
                             Err(payload) => std::panic::resume_unwind(payload),
                         }
@@ -252,42 +268,49 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
         }
         sim.metrics.bits += bits_total;
         sim.metrics.messages += msgs_total;
+        sim.metrics.peak_queue_depth = sim.metrics.peak_queue_depth.max(peak);
 
         // --- Stage 2: route deliveries into receiver mailboxes, in
-        // sender-shard order (= ascending edge order). ---
-        let mut cols: Vec<Vec<Vec<Routed<M>>>> =
-            (0..shards).map(|_| Vec::with_capacity(shards)).collect();
-        for row in rows {
-            for (r, cell) in row.into_iter().enumerate() {
-                cols[r].push(cell);
+        // sender-shard order (= ascending edge order). Skipped entirely
+        // when nothing was delivered (quiet transfer rounds): no point
+        // scattering a thread scope to drain empty cells. ---
+        if self.cells.iter().any(|c| !c.is_empty()) {
+            let mut cols: Vec<Vec<&mut Vec<Routed<M>>>> =
+                (0..shards).map(|_| Vec::with_capacity(shards)).collect();
+            for (i, cell) in self.cells.iter_mut().enumerate() {
+                // Rows-major layout: index `i = w * shards + r` belongs
+                // to receiver `r`; pushing in ascending `i` keeps each
+                // column in sender-shard order.
+                cols[i % shards].push(cell);
             }
-        }
-        let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
-        if shards == 1 {
-            for (inbox_c, col) in inbox_chunks.into_iter().zip(cols) {
-                route_stage(inbox_c, col, 0);
-            }
-        } else {
-            std::thread::scope(|scope| {
-                for ((inbox_c, col), nr) in inbox_chunks.into_iter().zip(cols).zip(node_ranges) {
-                    let lo = nr.start;
-                    scope.spawn(move || route_stage(inbox_c, col, lo));
+            let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
+            if shards == 1 {
+                for (inbox_c, col) in inbox_chunks.into_iter().zip(cols) {
+                    route_stage(inbox_c, col, 0);
                 }
-            });
+            } else {
+                std::thread::scope(|scope| {
+                    for ((inbox_c, col), nr) in inbox_chunks.into_iter().zip(cols).zip(node_ranges)
+                    {
+                        let lo = nr.start;
+                        scope.spawn(move || route_stage(inbox_c, col, lo));
+                    }
+                });
+            }
         }
         sim.metrics.rounds += 1;
     }
 }
 
 /// Stage 1 body for one shard: step the owned nodes, enqueue their sends
-/// on the owned edges, transfer the owned edges. Returns the
-/// receiver-shard-bucketed deliveries plus the shard's bit/message totals.
+/// on the owned edges, transfer the owned edges. Deliveries are bucketed
+/// by receiver shard into `row` (this shard's row of the phase's cell
+/// matrix); returns the shard's bit/message totals and its peak
+/// single-edge queue depth.
 #[allow(clippy::too_many_arguments)]
 fn sender_stage<S, M, F>(
     graph: &Graph,
-    offs: &[u32],
     shard_of: &[u32],
-    shards: usize,
     bw: u64,
     nodes: Range<usize>,
     edges: Range<usize>,
@@ -296,19 +319,25 @@ fn sender_stage<S, M, F>(
     queues: &mut [VecDeque<(u64, NodeId, M)>],
     edge_bits: &mut [u64],
     edge_messages: &mut [u64],
+    sends: &mut Vec<SendRecord<M>>,
+    row: &mut [Vec<Routed<M>>],
     f: &F,
-) -> (Vec<Vec<Routed<M>>>, u64, u64)
+) -> (u64, u64, u64)
 where
     S: Send,
     M: Message,
     F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
 {
+    debug_assert!(sends.is_empty(), "send scratch not drained last round");
+    debug_assert!(
+        row.iter().all(Vec::is_empty),
+        "cell scratch not drained last round"
+    );
     // Step the shard's nodes, collecting sends into the shard buffer.
-    let mut sends: Vec<SendRecord<M>> = Vec::new();
     for (local, i) in nodes.enumerate() {
         let v = NodeId::from(i);
         let inbox = std::mem::take(&mut inboxes[local]);
-        let mut out = Outbox::new(graph, v, offs, &mut sends);
+        let mut out = Outbox::new(graph, v, sends);
         f(&mut state[local], v, &inbox, &mut out);
     }
     // Enqueue. A node's out-edges all lie in the shard's edge range
@@ -319,7 +348,7 @@ where
         bits,
         from,
         msg,
-    } in sends
+    } in sends.drain(..)
     {
         debug_assert!(edges.contains(&edge), "send escaped its shard's edge range");
         let e = edge - edges.start;
@@ -329,27 +358,30 @@ where
     }
     // Transfer: move up to `bw` bits per owned edge, in ascending edge
     // order; bucket completed messages by receiver shard.
-    let mut rows: Vec<Vec<Routed<M>>> = (0..shards).map(|_| Vec::new()).collect();
     let mut msgs_total = 0u64;
+    let mut peak = 0u64;
     for (e, queue) in queues.iter_mut().enumerate() {
         if queue.is_empty() {
             continue;
         }
+        peak = peak.max(queue.len() as u64);
         let to = graph.edge_target(edges.start + e);
         transfer_queue(queue, bw, |from, msg| {
             msgs_total += 1;
             edge_messages[e] += 1;
-            rows[shard_of[to.index()] as usize].push((to, from, msg));
+            row[shard_of[to.index()] as usize].push((to, from, msg));
         });
     }
-    (rows, bits_total, msgs_total)
+    (bits_total, msgs_total, peak)
 }
 
-/// Stage 2 body for one shard: append the deliveries bound for the
-/// shard's nodes (given in sender-shard order) to their mailboxes.
-fn route_stage<M>(inboxes: &mut [Vec<Delivery<M>>], col: Vec<Vec<Routed<M>>>, lo: usize) {
+/// Stage 2 body for one shard: drain the cells bound for the shard's
+/// nodes (given in sender-shard order) into their mailboxes. Draining
+/// (rather than consuming) the cells keeps their capacity for the next
+/// round.
+fn route_stage<M>(inboxes: &mut [Vec<Delivery<M>>], col: Vec<&mut Vec<Routed<M>>>, lo: usize) {
     for cell in col {
-        for (to, from, msg) in cell {
+        for (to, from, msg) in cell.drain(..) {
             inboxes[to.index() - lo].push((from, msg));
         }
     }
@@ -394,35 +426,40 @@ impl<M: Message> RoundPhase<M> for ShardedPhase<'_, '_, M> {
         let mut unit: Vec<()> = vec![(); n];
         let mut spent = 0u64;
         loop {
-            // Hand every nonempty inbox to `f`, shard-parallel.
-            let node_ranges = &self.sim.node_ranges;
-            let shards = node_ranges.len();
-            let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
-            let state_chunks = split_by_ranges(state, node_ranges);
-            let consume = |inbox_c: &mut [Vec<Delivery<M>>], state_c: &mut [S], lo: usize| {
-                for local in 0..inbox_c.len() {
-                    let inbox = std::mem::take(&mut inbox_c[local]);
-                    if !inbox.is_empty() {
-                        f(&mut state_c[local], NodeId::from(lo + local), &inbox);
+            // Hand every nonempty inbox to `f`, shard-parallel. Checked
+            // up front: on quiet rounds (fragmented messages still
+            // crossing, nothing delivered yet) every inbox is empty and
+            // fanning out a thread scope would be pure overhead.
+            if self.inboxes.iter().any(|b| !b.is_empty()) {
+                let node_ranges = &self.sim.node_ranges;
+                let shards = node_ranges.len();
+                let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
+                let state_chunks = split_by_ranges(state, node_ranges);
+                let consume = |inbox_c: &mut [Vec<Delivery<M>>], state_c: &mut [S], lo: usize| {
+                    for local in 0..inbox_c.len() {
+                        let inbox = std::mem::take(&mut inbox_c[local]);
+                        if !inbox.is_empty() {
+                            f(&mut state_c[local], NodeId::from(lo + local), &inbox);
+                        }
                     }
-                }
-            };
-            if shards == 1 {
-                for ((inbox_c, state_c), nr) in
-                    inbox_chunks.into_iter().zip(state_chunks).zip(node_ranges)
-                {
-                    consume(inbox_c, state_c, nr.start);
-                }
-            } else {
-                std::thread::scope(|scope| {
+                };
+                if shards == 1 {
                     for ((inbox_c, state_c), nr) in
                         inbox_chunks.into_iter().zip(state_chunks).zip(node_ranges)
                     {
-                        let consume = &consume;
-                        let lo = nr.start;
-                        scope.spawn(move || consume(inbox_c, state_c, lo));
+                        consume(inbox_c, state_c, nr.start);
                     }
-                });
+                } else {
+                    std::thread::scope(|scope| {
+                        for ((inbox_c, state_c), nr) in
+                            inbox_chunks.into_iter().zip(state_chunks).zip(node_ranges)
+                        {
+                            let consume = &consume;
+                            let lo = nr.start;
+                            scope.spawn(move || consume(inbox_c, state_c, lo));
+                        }
+                    });
+                }
             }
             if !RoundPhase::in_flight(self) {
                 break;

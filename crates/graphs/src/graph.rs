@@ -133,6 +133,19 @@ impl Graph {
         self.adjacency[i]
     }
 
+    /// The CSR offset array itself: `offsets()[v]..offsets()[v+1]` indexes
+    /// the concatenated adjacency of `v`. Length `n + 1`.
+    ///
+    /// This doubles as the *directed-edge index base* used by the round
+    /// engines: directed edge `u→neighbors(u)[i]` has index
+    /// `offsets()[u] + i` (the indexing of [`Graph::edge_target`] and the
+    /// engines' per-edge state). Borrowing it here means engines don't
+    /// carry their own O(n) copy.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
     /// Iterator over all node IDs `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.n()).map(NodeId::from)

@@ -1,0 +1,58 @@
+//! `powersparse-workloads` — the scenario corpus and declarative
+//! experiment runner of the `powersparse` reproduction.
+//!
+//! The paper's claims live on *power graphs of structured topologies*:
+//! its sparsification bounds matter precisely when `G^k` is dense while
+//! `G` stays sparse. This crate turns that into an executable, versioned
+//! benchmark surface:
+//!
+//! * [`Scenario`] — a declarative experiment: graph family × size ×
+//!   power `k` × algorithm × engine × shard count. Built fluently
+//!   ([`Scenario::new`] + builder methods) or parsed from a TOML-subset
+//!   spec file ([`parse_suite`]).
+//! * [`builtin_suite`] — the curated matrix spanning every graph family
+//!   (random, power-law, unit-disk, grid/torus, caterpillar/broom trees,
+//!   bounded-growth cluster graphs) and both engine backends.
+//! * [`run_suite`] / [`run_scenario`] — execute any scenario matrix on
+//!   the requested [`powersparse_congest::engine::RoundEngine`] backend,
+//!   re-verify every output with the `powersparse_graphs::check`
+//!   predicates (MIS independence + maximality, ruling-set packing +
+//!   covering, sparsifier invariant I3 + domination) and collect rounds,
+//!   messages, bits, peak queue depth and per-phase wall clock.
+//! * [`SuiteManifest`] — the structured JSON result
+//!   (`BENCH_*.json`-ready), with an exact parse/serialize round trip
+//!   for cross-run regression diffing.
+//!
+//! The `experiments suite` subcommand of `powersparse-bench` is the CLI
+//! front end; CI runs `experiments suite --smoke` on every PR.
+//!
+//! # Example
+//!
+//! ```
+//! use powersparse_workloads::{run_scenario, GraphFamily, Scenario, SuiteManifest};
+//!
+//! let sc = Scenario::new(GraphFamily::Torus { rows: 6, cols: 6 })
+//!     .k(2)
+//!     .seed(7)
+//!     .sharded(2);
+//! let record = run_scenario(&sc).unwrap();
+//! assert!(record.validation.passed, "{}", record.validation.detail);
+//!
+//! // Manifests round-trip through JSON exactly.
+//! let manifest = SuiteManifest { suite: "doc".into(), runs: vec![record] };
+//! let text = manifest.to_json_string();
+//! assert_eq!(SuiteManifest::parse(&text).unwrap(), manifest);
+//! ```
+
+pub mod json;
+pub mod manifest;
+pub mod runner;
+pub mod scenario;
+
+pub use json::{Json, JsonError};
+pub use manifest::{PhaseWall, RunRecord, SuiteManifest, Validation};
+pub use runner::{run_scenario, run_suite, suite_params};
+pub use scenario::{
+    builtin_suite, parse_suite, AlgorithmSpec, EngineSpec, GraphFamily, Scenario, SpecError,
+    SuiteProfile,
+};

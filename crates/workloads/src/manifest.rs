@@ -1,0 +1,301 @@
+//! Structured run manifests: what a suite execution writes to disk
+//! (`BENCH_*.json`) and what regression tooling diffs across runs.
+//!
+//! Every record carries the scenario coordinates (family, `k`, algorithm,
+//! engine), the graph's realized shape, the engine's cost counters
+//! (rounds, messages, bits, peak queue depth), per-phase wall clock and
+//! the validation verdict. [`SuiteManifest::to_json_string`] and
+//! [`SuiteManifest::parse`] round-trip exactly (checked in tests), so a
+//! manifest written by one build is machine-readable by the next.
+
+use crate::json::{Json, JsonError};
+
+/// Per-phase wall clock, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseWall {
+    /// Building the graph from its family spec.
+    pub build_us: u64,
+    /// Running the algorithm on the engine.
+    pub run_us: u64,
+    /// Re-verifying the output with the `check` predicates.
+    pub validate_us: u64,
+}
+
+/// The validation verdict of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Validation {
+    /// Whether every checked predicate held.
+    pub passed: bool,
+    /// Human-readable summary (what was checked, measured values).
+    pub detail: String,
+}
+
+/// One executed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Canonical scenario name ([`crate::Scenario::name`]).
+    pub name: String,
+    /// Family identifier (e.g. `power_law`).
+    pub family: String,
+    /// Family label with parameters (e.g. `power_law(n=300,attach=3)`).
+    pub graph: String,
+    /// Realized node count.
+    pub n: u64,
+    /// Realized undirected edge count.
+    pub m: u64,
+    /// Realized maximum degree.
+    pub max_degree: u64,
+    /// Power-graph exponent.
+    pub k: u64,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Algorithm identifier.
+    pub algorithm: String,
+    /// Engine identifier (`sequential` / `sharded`).
+    pub engine: String,
+    /// Worker count (1 for sequential).
+    pub shards: u64,
+    /// CONGEST rounds executed (including charged rounds).
+    pub rounds: u64,
+    /// Of which charged analytically.
+    pub charged_rounds: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Bits sent.
+    pub bits: u64,
+    /// Peak single-edge queue depth (messages), the congestion gauge.
+    pub peak_queue_depth: u64,
+    /// Output cardinality (|MIS|, |ruling set|, |Q|).
+    pub output_size: u64,
+    /// Per-phase wall clock.
+    pub wall: PhaseWall,
+    /// Validation verdict.
+    pub validation: Validation,
+}
+
+/// A full suite execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteManifest {
+    /// Suite name (`smoke`, `full`, or the spec file's stem).
+    pub suite: String,
+    /// All runs, in execution order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl SuiteManifest {
+    /// Number of runs whose validation passed.
+    pub fn passed(&self) -> usize {
+        self.runs.iter().filter(|r| r.validation.passed).count()
+    }
+
+    /// Whether every run validated.
+    pub fn all_passed(&self) -> bool {
+        self.passed() == self.runs.len()
+    }
+
+    /// The manifest as a [`Json`] document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("suite".into(), Json::str(&self.suite)),
+            ("scenarios".into(), Json::num(self.runs.len() as u64)),
+            ("passed".into(), Json::num(self.passed() as u64)),
+            (
+                "runs".into(),
+                Json::Arr(self.runs.iter().map(RunRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The manifest as pretty-printed JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Parses a manifest back from JSON text (the round-trip inverse of
+    /// [`SuiteManifest::to_json_string`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON or missing/mistyped
+    /// fields.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        let doc = Json::parse(text)?;
+        let suite = req_str(&doc, "suite")?;
+        let runs = doc
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing("runs"))?
+            .iter()
+            .map(RunRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { suite, runs })
+    }
+}
+
+impl RunRecord {
+    /// The record as a [`Json`] object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("family".into(), Json::str(&self.family)),
+            ("graph".into(), Json::str(&self.graph)),
+            ("n".into(), Json::num(self.n)),
+            ("m".into(), Json::num(self.m)),
+            ("max_degree".into(), Json::num(self.max_degree)),
+            ("k".into(), Json::num(self.k)),
+            ("seed".into(), Json::num(self.seed)),
+            ("algorithm".into(), Json::str(&self.algorithm)),
+            ("engine".into(), Json::str(&self.engine)),
+            ("shards".into(), Json::num(self.shards)),
+            ("rounds".into(), Json::num(self.rounds)),
+            ("charged_rounds".into(), Json::num(self.charged_rounds)),
+            ("messages".into(), Json::num(self.messages)),
+            ("bits".into(), Json::num(self.bits)),
+            ("peak_queue_depth".into(), Json::num(self.peak_queue_depth)),
+            ("output_size".into(), Json::num(self.output_size)),
+            (
+                "wall_us".into(),
+                Json::Obj(vec![
+                    ("build".into(), Json::num(self.wall.build_us)),
+                    ("run".into(), Json::num(self.wall.run_us)),
+                    ("validate".into(), Json::num(self.wall.validate_us)),
+                ]),
+            ),
+            (
+                "validation".into(),
+                Json::Obj(vec![
+                    ("passed".into(), Json::Bool(self.validation.passed)),
+                    ("detail".into(), Json::str(&self.validation.detail)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses one record from its JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        let wall = doc.get("wall_us").ok_or_else(|| missing("wall_us"))?;
+        let validation = doc.get("validation").ok_or_else(|| missing("validation"))?;
+        Ok(Self {
+            name: req_str(doc, "name")?,
+            family: req_str(doc, "family")?,
+            graph: req_str(doc, "graph")?,
+            n: req_u64(doc, "n")?,
+            m: req_u64(doc, "m")?,
+            max_degree: req_u64(doc, "max_degree")?,
+            k: req_u64(doc, "k")?,
+            seed: req_u64(doc, "seed")?,
+            algorithm: req_str(doc, "algorithm")?,
+            engine: req_str(doc, "engine")?,
+            shards: req_u64(doc, "shards")?,
+            rounds: req_u64(doc, "rounds")?,
+            charged_rounds: req_u64(doc, "charged_rounds")?,
+            messages: req_u64(doc, "messages")?,
+            bits: req_u64(doc, "bits")?,
+            peak_queue_depth: req_u64(doc, "peak_queue_depth")?,
+            output_size: req_u64(doc, "output_size")?,
+            wall: PhaseWall {
+                build_us: req_u64(wall, "build")?,
+                run_us: req_u64(wall, "run")?,
+                validate_us: req_u64(wall, "validate")?,
+            },
+            validation: Validation {
+                passed: validation
+                    .get("passed")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| missing("validation.passed"))?,
+                detail: req_str(validation, "detail")?,
+            },
+        })
+    }
+}
+
+fn missing(field: &str) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: format!("missing or mistyped field `{field}`"),
+    }
+}
+
+fn req_str(doc: &Json, field: &str) -> Result<String, JsonError> {
+    doc.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| missing(field))
+}
+
+fn req_u64(doc: &Json, field: &str) -> Result<u64, JsonError> {
+    doc.get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| missing(field))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SuiteManifest {
+        SuiteManifest {
+            suite: "smoke".into(),
+            runs: vec![RunRecord {
+                name: "gnp(n=192,d=8)/k1/luby_mis/sharded4".into(),
+                family: "gnp".into(),
+                graph: "gnp(n=192,d=8)".into(),
+                n: 192,
+                m: 768,
+                max_degree: 17,
+                k: 1,
+                seed: 42,
+                algorithm: "luby_mis".into(),
+                engine: "sharded".into(),
+                shards: 4,
+                rounds: 77,
+                charged_rounds: 0,
+                messages: 12345,
+                bits: 98765,
+                peak_queue_depth: 9,
+                output_size: 55,
+                wall: PhaseWall {
+                    build_us: 120,
+                    run_us: 4800,
+                    validate_us: 310,
+                },
+                validation: Validation {
+                    passed: true,
+                    detail: "MIS of G^1: independent + maximal, |S| = 55".into(),
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample();
+        let text = m.to_json_string();
+        let back = SuiteManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        // And the re-serialization is byte-identical (stable field
+        // order), so manifests diff cleanly across runs.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        let err = SuiteManifest::parse("{\"suite\": \"x\"}").unwrap_err();
+        assert!(err.message.contains("runs"));
+        let err = SuiteManifest::parse("{\"suite\": \"x\", \"runs\": [{}]}").unwrap_err();
+        assert!(err.message.contains("wall_us"));
+    }
+
+    #[test]
+    fn pass_counting() {
+        let mut m = sample();
+        assert!(m.all_passed());
+        m.runs[0].validation.passed = false;
+        assert_eq!(m.passed(), 0);
+        assert!(!m.all_passed());
+    }
+}

@@ -1,0 +1,315 @@
+//! The experiment runner: materializes a [`Scenario`], executes it on the
+//! requested [`powersparse_congest::engine::RoundEngine`] backend,
+//! re-verifies the output with the `powersparse_graphs::check` predicates
+//! and records everything in a [`RunRecord`].
+//!
+//! Nothing here trusts an algorithm: a run only counts as passed when the
+//! slow, obviously-correct checkers agree (MIS independence + maximality,
+//! ruling-set packing + covering, sparsifier invariant I3 + domination).
+
+use crate::manifest::{PhaseWall, RunRecord, SuiteManifest, Validation};
+use crate::scenario::{AlgorithmSpec, EngineSpec, Scenario};
+use powersparse::mis::luby_mis;
+use powersparse::params::TheoryParams;
+use powersparse::ruling::{beta_ruling_set, det_ruling_set_k2};
+use powersparse::sparsify::{sparsify_power, SamplingStrategy, SparsifyOutcome};
+use powersparse_congest::engine::{Metrics, RoundEngine};
+use powersparse_congest::sim::{SimConfig, Simulator};
+use powersparse_engine::ShardedSimulator;
+use powersparse_graphs::{check, generators, power, Graph, NodeId};
+use std::time::Instant;
+
+/// The laptop-scale theory constants every suite run uses (the same
+/// choice as the `experiments` tables; see DESIGN.md §3 substitution 4).
+pub fn suite_params() -> TheoryParams {
+    TheoryParams::scaled()
+}
+
+/// What an algorithm produced, in the shape its checker wants.
+enum AlgOutput {
+    /// A membership mask (MIS of `G^k`).
+    Mask(Vec<bool>),
+    /// An explicit node set with its `(α, β)` ruling-set targets.
+    RulingSet {
+        set: Vec<NodeId>,
+        alpha: usize,
+        beta: usize,
+    },
+    /// A sparsifier outcome (mask + I3 state).
+    Sparsifier(Box<SparsifyOutcome>),
+}
+
+/// Executes one scenario end to end.
+///
+/// # Errors
+///
+/// Returns `Err` only for *specification* problems (invalid scenario,
+/// algorithm failure such as an exhausted seed scan) — a run that merely
+/// fails validation still returns `Ok` with
+/// `record.validation.passed == false`, so a suite can report it.
+pub fn run_scenario(sc: &Scenario) -> Result<RunRecord, String> {
+    sc.validate_spec()?;
+    let t = Instant::now();
+    let g = sc.family.build(sc.seed);
+    let build_us = t.elapsed().as_micros() as u64;
+    let config = SimConfig::for_graph(&g);
+
+    let t = Instant::now();
+    let (output, metrics) = match sc.engine {
+        EngineSpec::Sequential => {
+            let mut sim = Simulator::new(&g, config);
+            let out = run_sequential(&mut sim, sc)?;
+            (out, sim.metrics().clone())
+        }
+        EngineSpec::Sharded { shards } => {
+            let mut sim = ShardedSimulator::with_shards(&g, config, shards);
+            let out = run_generic(&mut sim, sc)?;
+            (out, RoundEngine::metrics(&sim).clone())
+        }
+    };
+    let run_us = t.elapsed().as_micros() as u64;
+
+    let t = Instant::now();
+    let (validation, output_size) = validate(&g, sc, &output);
+    let validate_us = t.elapsed().as_micros() as u64;
+
+    Ok(record(
+        sc,
+        &g,
+        &metrics,
+        PhaseWall {
+            build_us,
+            run_us,
+            validate_us,
+        },
+        validation,
+        output_size,
+    ))
+}
+
+/// Executes a whole scenario matrix, in order.
+///
+/// # Errors
+///
+/// Propagates the first specification/algorithm error (validation
+/// failures do not abort the suite; they are recorded per run).
+pub fn run_suite(suite: &str, scenarios: &[Scenario]) -> Result<SuiteManifest, String> {
+    let runs = scenarios
+        .iter()
+        .map(|sc| run_scenario(sc).map_err(|e| format!("{}: {e}", sc.name())))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SuiteManifest {
+        suite: suite.to_string(),
+        runs,
+    })
+}
+
+/// The engine-generic algorithms (runnable on any backend).
+fn run_generic<E: RoundEngine>(eng: &mut E, sc: &Scenario) -> Result<AlgOutput, String> {
+    let n = eng.graph().n();
+    match sc.algorithm {
+        AlgorithmSpec::LubyMis => Ok(AlgOutput::Mask(luby_mis(eng, sc.k, sc.seed))),
+        AlgorithmSpec::Sparsify { derandomized } => {
+            let strategy = if derandomized {
+                SamplingStrategy::SeedSearch
+            } else {
+                SamplingStrategy::Randomized { seed: sc.seed }
+            };
+            let out = sparsify_power(eng, sc.k, &vec![true; n], &suite_params(), strategy)
+                .map_err(|e| format!("sparsify failed: {e}"))?;
+            Ok(AlgOutput::Sparsifier(Box::new(out)))
+        }
+        AlgorithmSpec::BetaRulingSet { .. } | AlgorithmSpec::DetRulingK2 => Err(format!(
+            "algorithm {} requires the sequential engine",
+            sc.algorithm.id()
+        )),
+    }
+}
+
+/// All algorithms, on the sequential reference engine (the legacy
+/// closure-based ones run only here until ported to the step API).
+fn run_sequential(sim: &mut Simulator<'_>, sc: &Scenario) -> Result<AlgOutput, String> {
+    match sc.algorithm {
+        AlgorithmSpec::BetaRulingSet { beta } => {
+            let set = beta_ruling_set(sim, sc.k, beta, &suite_params(), sc.seed);
+            Ok(AlgOutput::RulingSet {
+                set,
+                alpha: sc.k + 1,
+                beta: sc.k * beta,
+            })
+        }
+        AlgorithmSpec::DetRulingK2 => {
+            let out = det_ruling_set_k2(sim, sc.k, &suite_params(), sc.seed);
+            Ok(AlgOutput::RulingSet {
+                set: out.ruling_set,
+                alpha: sc.k + 1,
+                beta: sc.k * sc.k,
+            })
+        }
+        _ => run_generic(sim, sc),
+    }
+}
+
+/// Re-verifies the output with the `check` predicates; returns the
+/// verdict and the output cardinality.
+fn validate(g: &Graph, sc: &Scenario, output: &AlgOutput) -> (Validation, u64) {
+    let k = sc.k;
+    match output {
+        AlgOutput::Mask(mask) => {
+            let members = generators::members(mask);
+            let passed = check::is_mis_of_power(g, &members, k);
+            let detail = if passed {
+                format!(
+                    "MIS of G^{k}: independent + maximal, |S| = {}",
+                    members.len()
+                )
+            } else {
+                format!("INVALID MIS of G^{k} (|S| = {})", members.len())
+            };
+            (Validation { passed, detail }, members.len() as u64)
+        }
+        AlgOutput::RulingSet { set, alpha, beta } => {
+            let passed = check::is_ruling_set(g, set, *alpha, *beta);
+            let detail = if passed {
+                format!(
+                    "({alpha}, {beta})-ruling set: packing + covering hold, |S| = {}",
+                    set.len()
+                )
+            } else {
+                format!("INVALID ({alpha}, {beta})-ruling set (|S| = {})", set.len())
+            };
+            (Validation { passed, detail }, set.len() as u64)
+        }
+        AlgOutput::Sparsifier(out) => {
+            let members = generators::members(&out.q);
+            let i3 = check::satisfies_sparsifier_i3(g, k, &out.q, &out.knowledge);
+            let dom_bound = k * k + k;
+            let dominating = check::is_beta_dominating(g, &members, dom_bound);
+            // The degree bound holds deterministically for the seed scan
+            // and w.h.p. for randomized sampling, so it is recorded but
+            // only the deterministic invariants gate the verdict.
+            let max_deg = power::max_q_degree(g, k, &out.q);
+            let target = suite_params().degree_bound(g.n());
+            let passed = i3 && dominating;
+            let detail = format!(
+                "{}I3 {}, (k²+k)-domination {}; |Q| = {}, max d_{k}(v, Q) = {max_deg} \
+                 (target ≤ {target})",
+                if passed { "" } else { "INVALID: " },
+                if i3 { "holds" } else { "VIOLATED" },
+                if dominating { "holds" } else { "VIOLATED" },
+                members.len(),
+            );
+            (Validation { passed, detail }, members.len() as u64)
+        }
+    }
+}
+
+fn record(
+    sc: &Scenario,
+    g: &Graph,
+    metrics: &Metrics,
+    wall: PhaseWall,
+    validation: Validation,
+    output_size: u64,
+) -> RunRecord {
+    RunRecord {
+        name: sc.name(),
+        family: sc.family.id().to_string(),
+        graph: sc.family.label(),
+        n: g.n() as u64,
+        m: g.m() as u64,
+        max_degree: g.max_degree() as u64,
+        k: sc.k as u64,
+        seed: sc.seed,
+        algorithm: sc.algorithm.id(),
+        engine: sc.engine.id().to_string(),
+        shards: sc.engine.shards() as u64,
+        rounds: metrics.rounds,
+        charged_rounds: metrics.charged_rounds,
+        messages: metrics.messages,
+        bits: metrics.bits,
+        peak_queue_depth: metrics.peak_queue_depth,
+        output_size,
+        wall,
+        validation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::GraphFamily;
+
+    #[test]
+    fn luby_scenario_runs_and_validates() {
+        let sc = Scenario::new(GraphFamily::Grid { rows: 6, cols: 6 })
+            .k(2)
+            .seed(3);
+        let rec = run_scenario(&sc).unwrap();
+        assert!(rec.validation.passed, "{}", rec.validation.detail);
+        assert_eq!(rec.n, 36);
+        assert_eq!(rec.m, 60);
+        assert!(rec.rounds > 0);
+        assert!(rec.messages > 0);
+        assert!(rec.peak_queue_depth > 0);
+        assert!(rec.output_size > 0);
+    }
+
+    #[test]
+    fn sparsifier_scenario_validates_i3() {
+        let sc = Scenario::new(GraphFamily::Torus { rows: 8, cols: 8 }).algorithm(
+            AlgorithmSpec::Sparsify {
+                derandomized: false,
+            },
+        );
+        let rec = run_scenario(&sc).unwrap();
+        assert!(rec.validation.passed, "{}", rec.validation.detail);
+        assert!(rec.validation.detail.contains("I3 holds"));
+    }
+
+    #[test]
+    fn ruling_set_scenarios_validate() {
+        let sc = Scenario::new(GraphFamily::Gnp {
+            n: 96,
+            avg_deg: 6.0,
+        })
+        .seed(5)
+        .algorithm(AlgorithmSpec::BetaRulingSet { beta: 3 });
+        let rec = run_scenario(&sc).unwrap();
+        assert!(rec.validation.passed, "{}", rec.validation.detail);
+
+        let sc = Scenario::new(GraphFamily::Grid { rows: 6, cols: 6 })
+            .k(2)
+            .algorithm(AlgorithmSpec::DetRulingK2);
+        let rec = run_scenario(&sc).unwrap();
+        assert!(rec.validation.passed, "{}", rec.validation.detail);
+        assert_eq!(rec.algorithm, "det_ruling_k2");
+    }
+
+    #[test]
+    fn spec_errors_are_reported() {
+        let sc = Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 })
+            .algorithm(AlgorithmSpec::DetRulingK2)
+            .sharded(2);
+        assert!(run_scenario(&sc).is_err());
+    }
+
+    #[test]
+    fn engines_agree_on_costs_and_output() {
+        let base = Scenario::new(GraphFamily::ClusterGrid {
+            rows: 3,
+            cols: 3,
+            cluster: 4,
+        })
+        .k(2)
+        .seed(9);
+        let seq = run_scenario(&base.clone().sequential()).unwrap();
+        let par = run_scenario(&base.sharded(3)).unwrap();
+        assert!(seq.validation.passed && par.validation.passed);
+        assert_eq!(seq.rounds, par.rounds);
+        assert_eq!(seq.messages, par.messages);
+        assert_eq!(seq.bits, par.bits);
+        assert_eq!(seq.peak_queue_depth, par.peak_queue_depth);
+        assert_eq!(seq.output_size, par.output_size);
+    }
+}

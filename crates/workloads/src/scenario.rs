@@ -1,0 +1,829 @@
+//! Declarative experiment scenarios: graph family × power `k` ×
+//! algorithm × engine, buildable through a fluent API or parsed from a
+//! simple TOML-subset spec file.
+//!
+//! A scenario is pure data — [`crate::runner`] turns it into a graph, an
+//! engine, a run and a validated [`crate::manifest::RunRecord`].
+
+use powersparse_graphs::{generators, Graph};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A deterministic graph family with its parameters. Every family builds
+/// in `O(n + m)` (expected) and is reproducible bit-for-bit per seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphFamily {
+    /// Connected Erdős–Rényi-style graph with average degree `avg_deg`
+    /// (random spanning path + uniform extra edges).
+    Gnp {
+        /// Node count.
+        n: usize,
+        /// Target average degree.
+        avg_deg: f64,
+    },
+    /// Barabási–Albert preferential attachment (power-law degrees).
+    PowerLaw {
+        /// Node count.
+        n: usize,
+        /// Edges brought by each new node.
+        attach: usize,
+    },
+    /// Random geometric / unit-disk graph on the unit square.
+    Geometric {
+        /// Node count.
+        n: usize,
+        /// Connection radius.
+        radius: f64,
+    },
+    /// 2D grid.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// 2D torus (grid with wraparound).
+    Torus {
+        /// Torus rows.
+        rows: usize,
+        /// Torus columns.
+        cols: usize,
+    },
+    /// Caterpillar tree: spine path with `legs` leaves per spine node.
+    Caterpillar {
+        /// Spine length.
+        spine: usize,
+        /// Leaves per spine node.
+        legs: usize,
+    },
+    /// Broom tree: a handle path ending in a fan of bristles.
+    Broom {
+        /// Handle length.
+        handle: usize,
+        /// Bristle count.
+        bristles: usize,
+    },
+    /// Bounded-growth cluster graph: a grid of bridged cliques.
+    ClusterGrid {
+        /// Cluster-grid rows.
+        rows: usize,
+        /// Cluster-grid columns.
+        cols: usize,
+        /// Clique size per cluster.
+        cluster: usize,
+    },
+}
+
+impl GraphFamily {
+    /// Stable family identifier (used in manifests and spec files).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Self::Gnp { .. } => "gnp",
+            Self::PowerLaw { .. } => "power_law",
+            Self::Geometric { .. } => "geometric",
+            Self::Grid { .. } => "grid",
+            Self::Torus { .. } => "torus",
+            Self::Caterpillar { .. } => "caterpillar",
+            Self::Broom { .. } => "broom",
+            Self::ClusterGrid { .. } => "cluster_grid",
+        }
+    }
+
+    /// Human-readable label with parameters, e.g. `gnp(n=192,d=8)`.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Gnp { n, avg_deg } => format!("gnp(n={n},d={avg_deg})"),
+            Self::PowerLaw { n, attach } => format!("power_law(n={n},attach={attach})"),
+            Self::Geometric { n, radius } => format!("geometric(n={n},r={radius})"),
+            Self::Grid { rows, cols } => format!("grid({rows}x{cols})"),
+            Self::Torus { rows, cols } => format!("torus({rows}x{cols})"),
+            Self::Caterpillar { spine, legs } => format!("caterpillar(spine={spine},legs={legs})"),
+            Self::Broom { handle, bristles } => format!("broom(handle={handle},b={bristles})"),
+            Self::ClusterGrid {
+                rows,
+                cols,
+                cluster,
+            } => format!("cluster_grid({rows}x{cols},c={cluster})"),
+        }
+    }
+
+    /// Materializes the graph (deterministic per `seed`; the
+    /// non-randomized families ignore it).
+    pub fn build(&self, seed: u64) -> Graph {
+        match *self {
+            Self::Gnp { n, avg_deg } => generators::connected_sparse_gnp(n, avg_deg, seed),
+            Self::PowerLaw { n, attach } => generators::barabasi_albert(n, attach, seed),
+            Self::Geometric { n, radius } => generators::random_geometric(n, radius, seed),
+            Self::Grid { rows, cols } => generators::grid(rows, cols),
+            Self::Torus { rows, cols } => generators::torus(rows, cols),
+            Self::Caterpillar { spine, legs } => generators::caterpillar(spine, legs),
+            Self::Broom { handle, bristles } => generators::broom(handle, bristles),
+            Self::ClusterGrid {
+                rows,
+                cols,
+                cluster,
+            } => generators::cluster_grid(rows, cols, cluster),
+        }
+    }
+}
+
+/// The algorithm a scenario runs and validates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgorithmSpec {
+    /// Luby's MIS of `G^k` (Section 8.1). Engine-generic.
+    LubyMis,
+    /// Iterated power-graph sparsification (Algorithm 3 / Lemma 3.1).
+    /// Engine-generic; `derandomized` selects the seed-scan strategy
+    /// (requires a connected graph for the global aggregation tree).
+    Sparsify {
+        /// Use the deterministic seed-scan strategy instead of
+        /// randomized sampling.
+        derandomized: bool,
+    },
+    /// Randomized `(k+1, kβ)`-ruling set (Corollary 1.3). Sequential
+    /// engine only (not yet ported to the engine-generic `step` API).
+    BetaRulingSet {
+        /// Domination stretch factor β ≥ 2.
+        beta: usize,
+    },
+    /// Deterministic `(k+1, k²)`-ruling set (Theorem 1.1). Sequential
+    /// engine only.
+    DetRulingK2,
+}
+
+impl AlgorithmSpec {
+    /// Stable identifier (used in manifests and spec files).
+    pub fn id(&self) -> String {
+        match self {
+            Self::LubyMis => "luby_mis".into(),
+            Self::Sparsify {
+                derandomized: false,
+            } => "sparsify".into(),
+            Self::Sparsify { derandomized: true } => "sparsify_derandomized".into(),
+            Self::BetaRulingSet { beta } => format!("beta_ruling(beta={beta})"),
+            Self::DetRulingK2 => "det_ruling_k2".into(),
+        }
+    }
+
+    /// Whether the algorithm runs through the engine-generic
+    /// [`powersparse_congest::engine::RoundPhase::step`] API (and can
+    /// therefore execute on any [`EngineSpec`]), as opposed to the legacy
+    /// sequential-only closures.
+    pub fn engine_generic(&self) -> bool {
+        matches!(self, Self::LubyMis | Self::Sparsify { .. })
+    }
+}
+
+/// Which [`powersparse_congest::engine::RoundEngine`] backend executes
+/// the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSpec {
+    /// The sequential reference `Simulator`.
+    Sequential,
+    /// The sharded data-parallel `ShardedSimulator`.
+    Sharded {
+        /// Worker/shard count.
+        shards: usize,
+    },
+}
+
+impl EngineSpec {
+    /// Stable identifier.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Self::Sequential => "sequential",
+            Self::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// Worker count (1 for the sequential engine).
+    pub fn shards(&self) -> usize {
+        match self {
+            Self::Sequential => 1,
+            Self::Sharded { shards } => *shards,
+        }
+    }
+}
+
+/// One fully specified experiment: build the family's graph, run the
+/// algorithm on the engine, validate the output, record the costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The communication graph's family and parameters.
+    pub family: GraphFamily,
+    /// Power-graph exponent `k` (the algorithms operate on `G^k`).
+    pub k: usize,
+    /// Seed for both graph generation and the algorithm's randomness.
+    pub seed: u64,
+    /// The algorithm to run and validate.
+    pub algorithm: AlgorithmSpec,
+    /// The engine backend.
+    pub engine: EngineSpec,
+}
+
+impl Scenario {
+    /// A scenario with defaults: `k = 1`, `seed = 1`, Luby MIS on the
+    /// sequential engine.
+    pub fn new(family: GraphFamily) -> Self {
+        Self {
+            family,
+            k: 1,
+            seed: 1,
+            algorithm: AlgorithmSpec::LubyMis,
+            engine: EngineSpec::Sequential,
+        }
+    }
+
+    /// Sets the power `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the algorithm.
+    pub fn algorithm(mut self, algorithm: AlgorithmSpec) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Runs on the sharded engine with `shards` workers.
+    pub fn sharded(mut self, shards: usize) -> Self {
+        self.engine = EngineSpec::Sharded { shards };
+        self
+    }
+
+    /// Runs on the sequential reference engine.
+    pub fn sequential(mut self) -> Self {
+        self.engine = EngineSpec::Sequential;
+        self
+    }
+
+    /// Canonical run name, e.g.
+    /// `power_law(n=300,attach=3)/k2/luby_mis/sharded4`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}/k{}/{}/{}{}",
+            self.family.label(),
+            self.k,
+            self.algorithm.id(),
+            self.engine.id(),
+            match self.engine {
+                EngineSpec::Sequential => String::new(),
+                EngineSpec::Sharded { shards } => shards.to_string(),
+            }
+        )
+    }
+
+    /// Checks that the scenario is executable as specified.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem (e.g. a sequential-only
+    /// algorithm paired with the sharded engine).
+    pub fn validate_spec(&self) -> Result<(), String> {
+        if !self.algorithm.engine_generic() && self.engine != EngineSpec::Sequential {
+            return Err(format!(
+                "algorithm {} is not yet ported to the engine-generic step API; \
+                 it requires engine = \"sequential\"",
+                self.algorithm.id()
+            ));
+        }
+        if self.engine.shards() == 0 {
+            return Err("shards must be >= 1".into());
+        }
+        if self.k == 0 {
+            return Err("k must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Which built-in suite to materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteProfile {
+    /// Small sizes, every family, both engines — CI-speed (< seconds).
+    Smoke,
+    /// Larger sizes for real measurements; still laptop-scale.
+    Full,
+}
+
+/// The curated built-in scenario suite: every graph family, both
+/// engines, all four algorithm classes. The smoke profile is the one CI
+/// runs on every PR; the full profile scales sizes up for the
+/// `BENCH_*.json` trajectory.
+pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
+    use AlgorithmSpec::*;
+    let s = match profile {
+        SuiteProfile::Smoke => 1,
+        SuiteProfile::Full => 8,
+    };
+    let sharded = match profile {
+        SuiteProfile::Smoke => 4,
+        SuiteProfile::Full => 8,
+    };
+    let gnp = GraphFamily::Gnp {
+        n: 192 * s,
+        avg_deg: 8.0,
+    };
+    let power_law = GraphFamily::PowerLaw {
+        n: 300 * s,
+        attach: 3,
+    };
+    // Radius comfortably above the connectivity threshold √(ln n / n);
+    // the suite's geometric scenarios run Luby MIS, which validates
+    // per component and does not require connectivity.
+    let geometric = GraphFamily::Geometric {
+        n: 256 * s,
+        radius: if s == 1 { 0.16 } else { 0.06 },
+    };
+    let grid = GraphFamily::Grid {
+        rows: 16 * s,
+        cols: 12,
+    };
+    let torus = GraphFamily::Torus {
+        rows: 12,
+        cols: 12 * s,
+    };
+    let caterpillar = GraphFamily::Caterpillar {
+        spine: 60 * s,
+        legs: 3,
+    };
+    let broom = GraphFamily::Broom {
+        handle: 80 * s,
+        bristles: 40 * s,
+    };
+    let cluster = GraphFamily::ClusterGrid {
+        rows: 4,
+        cols: 4 * s,
+        cluster: 6,
+    };
+    vec![
+        // MIS across every family, alternating/pairing engines so each
+        // family and both engines appear.
+        Scenario::new(gnp.clone()).seed(42),
+        Scenario::new(gnp.clone()).seed(42).sharded(sharded),
+        Scenario::new(power_law.clone()).k(2).seed(7),
+        Scenario::new(power_law).k(2).seed(7).sharded(sharded),
+        Scenario::new(geometric.clone()).seed(3),
+        Scenario::new(geometric).seed(3).sharded(2),
+        Scenario::new(grid.clone()).k(2).sharded(sharded),
+        Scenario::new(caterpillar).k(2),
+        Scenario::new(broom).sharded(2),
+        Scenario::new(cluster.clone()).k(2).sharded(sharded),
+        // Sparsification (Lemma 3.1) on structured topologies, both
+        // engines.
+        Scenario::new(torus.clone()).algorithm(Sparsify {
+            derandomized: false,
+        }),
+        Scenario::new(torus)
+            .algorithm(Sparsify {
+                derandomized: false,
+            })
+            .sharded(sharded),
+        Scenario::new(cluster).k(2).algorithm(Sparsify {
+            derandomized: false,
+        }),
+        // Ruling sets (sequential-only until ported to the step API).
+        Scenario::new(GraphFamily::Gnp {
+            n: 160 * s,
+            avg_deg: 10.0,
+        })
+        .seed(5)
+        .algorithm(BetaRulingSet { beta: 3 }),
+        Scenario::new(GraphFamily::Grid {
+            rows: 10,
+            cols: 10 * s,
+        })
+        .k(2)
+        .algorithm(DetRulingK2),
+    ]
+}
+
+/// A value in a spec file: integer, float, string or bool.
+#[derive(Debug, Clone, PartialEq)]
+enum SpecValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl SpecValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Self::Int(_) => "integer",
+            Self::Float(_) => "float",
+            Self::Str(_) => "string",
+            Self::Bool(_) => "bool",
+        }
+    }
+}
+
+/// A spec-file parse failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number of the offending scenario block or line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a scenario suite from the TOML-subset spec format:
+///
+/// ```toml
+/// [[scenario]]
+/// family = "power_law"   # gnp | power_law | geometric | grid | torus |
+///                        # caterpillar | broom | cluster_grid
+/// n = 300
+/// attach = 3
+/// k = 2
+/// seed = 7
+/// algorithm = "luby_mis" # luby_mis | sparsify | sparsify_derandomized |
+///                        # beta_ruling | det_ruling_k2
+/// engine = "sharded"     # sequential | sharded
+/// shards = 4
+/// ```
+///
+/// Supported: `[[scenario]]` table headers, `key = value` with integer,
+/// float, `"string"` and `true`/`false` values, `#` comments, blank
+/// lines. Unknown keys are errors (typos must not silently change an
+/// experiment).
+///
+/// # Errors
+///
+/// Returns the first [`SpecError`] encountered.
+pub fn parse_suite(text: &str) -> Result<Vec<Scenario>, SpecError> {
+    let mut scenarios = Vec::new();
+    let mut current: Option<(usize, BTreeMap<String, (usize, SpecValue)>)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[scenario]]" {
+            if let Some((start, kv)) = current.take() {
+                scenarios.push(scenario_from_kv(start, kv)?);
+            }
+            current = Some((line_no, BTreeMap::new()));
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or(SpecError {
+            line: line_no,
+            message: format!("expected `key = value` or `[[scenario]]`, got `{line}`"),
+        })?;
+        let key = key.trim().to_string();
+        let value = parse_value(value.trim(), line_no)?;
+        let Some((_, kv)) = current.as_mut() else {
+            return Err(SpecError {
+                line: line_no,
+                message: "key outside a [[scenario]] block".into(),
+            });
+        };
+        if kv.insert(key.clone(), (line_no, value)).is_some() {
+            return Err(SpecError {
+                line: line_no,
+                message: format!("duplicate key `{key}`"),
+            });
+        }
+    }
+    if let Some((start, kv)) = current.take() {
+        scenarios.push(scenario_from_kv(start, kv)?);
+    }
+    Ok(scenarios)
+}
+
+fn parse_value(text: &str, line: usize) -> Result<SpecValue, SpecError> {
+    if let Some(stripped) = text.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"').ok_or(SpecError {
+            line,
+            message: format!("unterminated string `{text}`"),
+        })?;
+        return Ok(SpecValue::Str(inner.to_string()));
+    }
+    match text {
+        "true" => return Ok(SpecValue::Bool(true)),
+        "false" => return Ok(SpecValue::Bool(false)),
+        _ => {}
+    }
+    if let Ok(v) = text.parse::<i64>() {
+        return Ok(SpecValue::Int(v));
+    }
+    if let Ok(v) = text.parse::<f64>() {
+        return Ok(SpecValue::Float(v));
+    }
+    Err(SpecError {
+        line,
+        message: format!("cannot parse value `{text}`"),
+    })
+}
+
+/// Typed key extraction helpers over the parsed block. Keys are removed
+/// as they are consumed; whatever remains at [`Block::finish`] is an
+/// unknown key.
+struct Block {
+    line: usize,
+    kv: BTreeMap<String, (usize, SpecValue)>,
+}
+
+impl Block {
+    fn take(&mut self, key: &str) -> Option<(usize, SpecValue)> {
+        self.kv.remove(key)
+    }
+
+    fn usize(&mut self, key: &str) -> Result<usize, SpecError> {
+        match self.take(key) {
+            Some((_, SpecValue::Int(v))) if v >= 0 => Ok(v as usize),
+            Some((line, v)) => Err(SpecError {
+                line,
+                message: format!(
+                    "`{key}` must be a non-negative integer, got {}",
+                    v.type_name()
+                ),
+            }),
+            None => Err(SpecError {
+                line: self.line,
+                message: format!("missing required key `{key}`"),
+            }),
+        }
+    }
+
+    fn usize_or(&mut self, key: &str, default: usize) -> Result<usize, SpecError> {
+        match self.take(key) {
+            Some((_, SpecValue::Int(v))) if v >= 0 => Ok(v as usize),
+            Some((line, v)) => Err(SpecError {
+                line,
+                message: format!(
+                    "`{key}` must be a non-negative integer, got {}",
+                    v.type_name()
+                ),
+            }),
+            None => Ok(default),
+        }
+    }
+
+    fn f64(&mut self, key: &str) -> Result<f64, SpecError> {
+        match self.take(key) {
+            Some((_, SpecValue::Float(v))) => Ok(v),
+            Some((_, SpecValue::Int(v))) => Ok(v as f64),
+            Some((line, v)) => Err(SpecError {
+                line,
+                message: format!("`{key}` must be a number, got {}", v.type_name()),
+            }),
+            None => Err(SpecError {
+                line: self.line,
+                message: format!("missing required key `{key}`"),
+            }),
+        }
+    }
+
+    fn str_or(&mut self, key: &str, default: &str) -> Result<String, SpecError> {
+        match self.take(key) {
+            Some((_, SpecValue::Str(v))) => Ok(v),
+            Some((line, v)) => Err(SpecError {
+                line,
+                message: format!("`{key}` must be a string, got {}", v.type_name()),
+            }),
+            None => Ok(default.to_string()),
+        }
+    }
+
+    fn finish(self) -> Result<(), SpecError> {
+        if let Some((key, (line, _))) = self.kv.into_iter().next() {
+            return Err(SpecError {
+                line,
+                message: format!("unknown key `{key}` for this scenario"),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn scenario_from_kv(
+    line: usize,
+    kv: BTreeMap<String, (usize, SpecValue)>,
+) -> Result<Scenario, SpecError> {
+    let mut b = Block { line, kv };
+    let family_name = {
+        match b.take("family") {
+            Some((_, SpecValue::Str(v))) => v,
+            Some((l, v)) => {
+                return Err(SpecError {
+                    line: l,
+                    message: format!("`family` must be a string, got {}", v.type_name()),
+                })
+            }
+            None => {
+                return Err(SpecError {
+                    line,
+                    message: "missing required key `family`".into(),
+                })
+            }
+        }
+    };
+    let family = match family_name.as_str() {
+        "gnp" => GraphFamily::Gnp {
+            n: b.usize("n")?,
+            avg_deg: b.f64("avg_deg")?,
+        },
+        "power_law" => GraphFamily::PowerLaw {
+            n: b.usize("n")?,
+            attach: b.usize("attach")?,
+        },
+        "geometric" => GraphFamily::Geometric {
+            n: b.usize("n")?,
+            radius: b.f64("radius")?,
+        },
+        "grid" => GraphFamily::Grid {
+            rows: b.usize("rows")?,
+            cols: b.usize("cols")?,
+        },
+        "torus" => GraphFamily::Torus {
+            rows: b.usize("rows")?,
+            cols: b.usize("cols")?,
+        },
+        "caterpillar" => GraphFamily::Caterpillar {
+            spine: b.usize("spine")?,
+            legs: b.usize("legs")?,
+        },
+        "broom" => GraphFamily::Broom {
+            handle: b.usize("handle")?,
+            bristles: b.usize("bristles")?,
+        },
+        "cluster_grid" => GraphFamily::ClusterGrid {
+            rows: b.usize("rows")?,
+            cols: b.usize("cols")?,
+            cluster: b.usize("cluster")?,
+        },
+        other => {
+            return Err(SpecError {
+                line,
+                message: format!("unknown family `{other}`"),
+            })
+        }
+    };
+    let algorithm = match b.str_or("algorithm", "luby_mis")?.as_str() {
+        "luby_mis" => AlgorithmSpec::LubyMis,
+        "sparsify" => AlgorithmSpec::Sparsify {
+            derandomized: false,
+        },
+        "sparsify_derandomized" => AlgorithmSpec::Sparsify { derandomized: true },
+        "beta_ruling" => AlgorithmSpec::BetaRulingSet {
+            beta: b.usize_or("beta", 2)?,
+        },
+        "det_ruling_k2" => AlgorithmSpec::DetRulingK2,
+        other => {
+            return Err(SpecError {
+                line,
+                message: format!("unknown algorithm `{other}`"),
+            })
+        }
+    };
+    let engine = match b.str_or("engine", "sequential")?.as_str() {
+        "sequential" => EngineSpec::Sequential,
+        "sharded" => EngineSpec::Sharded {
+            shards: b.usize_or("shards", 4)?,
+        },
+        other => {
+            return Err(SpecError {
+                line,
+                message: format!("unknown engine `{other}`"),
+            })
+        }
+    };
+    let scenario = Scenario {
+        family,
+        k: b.usize_or("k", 1)?,
+        seed: b.usize_or("seed", 1)? as u64,
+        algorithm,
+        engine,
+    };
+    b.finish()?;
+    scenario
+        .validate_spec()
+        .map_err(|message| SpecError { line, message })?;
+    Ok(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_names() {
+        let sc = Scenario::new(GraphFamily::PowerLaw { n: 300, attach: 3 })
+            .k(2)
+            .seed(7)
+            .sharded(4);
+        assert_eq!(sc.name(), "power_law(n=300,attach=3)/k2/luby_mis/sharded4");
+        assert!(sc.validate_spec().is_ok());
+        let sc = sc.sequential().algorithm(AlgorithmSpec::DetRulingK2);
+        assert_eq!(
+            sc.name(),
+            "power_law(n=300,attach=3)/k2/det_ruling_k2/sequential"
+        );
+    }
+
+    #[test]
+    fn sequential_only_algorithms_rejected_on_sharded() {
+        let sc = Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 })
+            .algorithm(AlgorithmSpec::DetRulingK2)
+            .sharded(2);
+        assert!(sc.validate_spec().unwrap_err().contains("sequential"));
+    }
+
+    #[test]
+    fn parses_spec_file() {
+        let text = r#"
+# two scenarios
+[[scenario]]
+family = "power_law"
+n = 300
+attach = 3
+k = 2
+seed = 7
+algorithm = "luby_mis"
+engine = "sharded"
+shards = 4
+
+[[scenario]]
+family = "torus"
+rows = 12
+cols = 12
+algorithm = "sparsify"   # randomized
+"#;
+        let suite = parse_suite(text).unwrap();
+        assert_eq!(suite.len(), 2);
+        assert_eq!(
+            suite[0],
+            Scenario::new(GraphFamily::PowerLaw { n: 300, attach: 3 })
+                .k(2)
+                .seed(7)
+                .sharded(4)
+        );
+        assert_eq!(
+            suite[1],
+            Scenario::new(GraphFamily::Torus { rows: 12, cols: 12 }).algorithm(
+                AlgorithmSpec::Sparsify {
+                    derandomized: false,
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn spec_errors_are_located() {
+        let missing = parse_suite("[[scenario]]\nfamily = \"gnp\"\nn = 100\n").unwrap_err();
+        assert!(missing.message.contains("avg_deg"), "{missing}");
+        let unknown =
+            parse_suite("[[scenario]]\nfamily = \"grid\"\nrows = 3\ncols = 3\nbogus = 1\n")
+                .unwrap_err();
+        assert!(unknown.message.contains("bogus"), "{unknown}");
+        assert_eq!(unknown.line, 5);
+        let stray = parse_suite("n = 100\n").unwrap_err();
+        assert!(stray.message.contains("outside"), "{stray}");
+        let badval = parse_suite("[[scenario]]\nfamily = \"gnp\"\nn = oops\n").unwrap_err();
+        assert!(badval.message.contains("oops"), "{badval}");
+        let seqonly = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 3\ncols = 3\n\
+             algorithm = \"det_ruling_k2\"\nengine = \"sharded\"\n",
+        )
+        .unwrap_err();
+        assert!(seqonly.message.contains("sequential"), "{seqonly}");
+    }
+
+    #[test]
+    fn builtin_suites_are_well_formed() {
+        for profile in [SuiteProfile::Smoke, SuiteProfile::Full] {
+            let suite = builtin_suite(profile);
+            assert!(suite.len() >= 10);
+            for sc in &suite {
+                sc.validate_spec().unwrap();
+            }
+            let families: std::collections::BTreeSet<&str> =
+                suite.iter().map(|s| s.family.id()).collect();
+            assert!(families.len() >= 5, "families: {families:?}");
+            assert!(suite.iter().any(|s| s.engine == EngineSpec::Sequential));
+            assert!(suite
+                .iter()
+                .any(|s| matches!(s.engine, EngineSpec::Sharded { .. })));
+        }
+    }
+}

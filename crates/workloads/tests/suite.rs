@@ -1,0 +1,145 @@
+//! Acceptance tests for the workload subsystem: the built-in smoke suite
+//! satisfies the coverage bar (≥ 10 scenarios, ≥ 5 graph families, both
+//! engines), every run passes its `check` validation, the JSON manifest
+//! round-trips exactly, and every family behaves identically on both
+//! engine backends.
+
+use powersparse_workloads::{
+    builtin_suite, run_scenario, run_suite, EngineSpec, GraphFamily, Scenario, SuiteManifest,
+    SuiteProfile,
+};
+use std::collections::BTreeSet;
+
+#[test]
+fn smoke_suite_runs_validates_and_round_trips() {
+    let scenarios = builtin_suite(SuiteProfile::Smoke);
+    assert!(
+        scenarios.len() >= 10,
+        "smoke suite has only {} scenarios",
+        scenarios.len()
+    );
+    let families: BTreeSet<&str> = scenarios.iter().map(|s| s.family.id()).collect();
+    assert!(families.len() >= 5, "smoke suite spans only {families:?}");
+    assert!(
+        scenarios.iter().any(|s| s.engine == EngineSpec::Sequential),
+        "no sequential scenario"
+    );
+    assert!(
+        scenarios
+            .iter()
+            .any(|s| matches!(s.engine, EngineSpec::Sharded { .. })),
+        "no sharded scenario"
+    );
+    // Scenario names are unique — a matrix with duplicates would
+    // silently overwrite rows in downstream diff tooling.
+    let names: BTreeSet<String> = scenarios.iter().map(Scenario::name).collect();
+    assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
+
+    let manifest = run_suite("smoke", &scenarios).expect("suite must execute");
+    assert_eq!(manifest.runs.len(), scenarios.len());
+    for run in &manifest.runs {
+        assert!(
+            run.validation.passed,
+            "{} failed validation: {}",
+            run.name, run.validation.detail
+        );
+        assert!(run.rounds > 0, "{} ran zero rounds", run.name);
+        assert!(run.messages > 0, "{} delivered no messages", run.name);
+        assert!(run.peak_queue_depth > 0, "{} saw empty queues", run.name);
+    }
+
+    // The serde-style round trip: serialize, parse, compare, and the
+    // re-serialization is byte-identical.
+    let text = manifest.to_json_string();
+    let back = SuiteManifest::parse(&text).expect("manifest must parse");
+    assert_eq!(back, manifest);
+    assert_eq!(back.to_json_string(), text);
+}
+
+#[test]
+fn every_family_is_engine_parity_clean() {
+    // One scenario per family, run on both engines: identical costs and
+    // outputs (the engine contract, exercised through the runner path).
+    let per_family = [
+        Scenario::new(GraphFamily::Gnp {
+            n: 96,
+            avg_deg: 6.0,
+        })
+        .seed(42),
+        Scenario::new(GraphFamily::PowerLaw { n: 90, attach: 2 })
+            .k(2)
+            .seed(7),
+        Scenario::new(GraphFamily::Geometric {
+            n: 100,
+            radius: 0.2,
+        })
+        .seed(3),
+        Scenario::new(GraphFamily::Grid { rows: 8, cols: 7 }).k(2),
+        Scenario::new(GraphFamily::Torus { rows: 6, cols: 8 }),
+        Scenario::new(GraphFamily::Caterpillar { spine: 20, legs: 2 }).k(2),
+        Scenario::new(GraphFamily::Broom {
+            handle: 30,
+            bristles: 15,
+        }),
+        Scenario::new(GraphFamily::ClusterGrid {
+            rows: 3,
+            cols: 3,
+            cluster: 4,
+        })
+        .k(2),
+    ];
+    for base in per_family {
+        let seq = run_scenario(&base.clone().sequential()).unwrap();
+        let par = run_scenario(&base.clone().sharded(3)).unwrap();
+        assert!(
+            seq.validation.passed,
+            "{}: {}",
+            seq.name, seq.validation.detail
+        );
+        assert!(
+            par.validation.passed,
+            "{}: {}",
+            par.name, par.validation.detail
+        );
+        for (label, a, b) in [
+            ("rounds", seq.rounds, par.rounds),
+            ("messages", seq.messages, par.messages),
+            ("bits", seq.bits, par.bits),
+            (
+                "peak_queue_depth",
+                seq.peak_queue_depth,
+                par.peak_queue_depth,
+            ),
+            ("output_size", seq.output_size, par.output_size),
+        ] {
+            assert_eq!(a, b, "{}: {label} diverged across engines", base.name());
+        }
+    }
+}
+
+#[test]
+fn spec_file_drives_the_runner() {
+    let spec = r#"
+[[scenario]]
+family = "broom"
+handle = 24
+bristles = 12
+k = 2
+seed = 5
+engine = "sharded"
+shards = 2
+
+[[scenario]]
+family = "cluster_grid"
+rows = 3
+cols = 3
+cluster = 3
+algorithm = "sparsify"
+"#;
+    let scenarios = powersparse_workloads::parse_suite(spec).unwrap();
+    let manifest = run_suite("custom", &scenarios).unwrap();
+    assert!(manifest.all_passed());
+    assert_eq!(manifest.runs[0].family, "broom");
+    assert_eq!(manifest.runs[0].shards, 2);
+    assert_eq!(manifest.runs[1].algorithm, "sparsify");
+}
