@@ -4,6 +4,7 @@
 //! ```text
 //! experiments [all|table1-det|table1-mis|table1-ruling|fig1|sparsify|shattering|nd|derand|engines] [--scale S]
 //! experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json]
+//! experiments suite --diff OLD.json NEW.json [--tolerance FRACTION]
 //! ```
 //!
 //! Output is markdown; EXPERIMENTS.md archives a run. The `suite`
@@ -594,6 +595,9 @@ fn suite_cmd(args: &[String]) {
     let mut smoke = false;
     let mut out: Option<String> = None;
     let mut spec: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
+    let mut tolerance = 0.0f64;
+    let mut saw_tolerance = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -608,14 +612,49 @@ fn suite_cmd(args: &[String]) {
                     _ => spec = Some(value.clone()),
                 }
             }
+            "--diff" => {
+                let (Some(old), Some(new)) = (it.next(), it.next()) else {
+                    eprintln!("--diff requires two manifest paths: OLD.json NEW.json");
+                    std::process::exit(2);
+                };
+                diff = Some((old.clone(), new.clone()));
+            }
+            "--tolerance" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("--tolerance requires a value (a fraction, e.g. 0.1)");
+                    std::process::exit(2);
+                });
+                tolerance = match value.parse::<f64>() {
+                    Ok(t) if t >= 0.0 && t.is_finite() => t,
+                    _ => {
+                        eprintln!(
+                            "cannot parse tolerance '{value}' (must be a non-negative fraction)"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+                saw_tolerance = true;
+            }
             other => {
                 eprintln!(
                     "unknown suite argument '{other}' \
-                     (usage: experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json])"
+                     (usage: experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] \
+                     | suite --diff OLD.json NEW.json [--tolerance FRACTION])"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some((old_path, new_path)) = diff {
+        if smoke || out.is_some() || spec.is_some() {
+            eprintln!("--diff compares two existing manifests; it cannot be combined with --smoke/--spec/--out");
+            std::process::exit(2);
+        }
+        return diff_cmd(&old_path, &new_path, tolerance);
+    }
+    if saw_tolerance {
+        eprintln!("--tolerance only applies to --diff");
+        std::process::exit(2);
     }
     let out = out.unwrap_or_else(|| "BENCH_suite.json".into());
     let (name, scenarios) = match spec {
@@ -677,6 +716,37 @@ fn suite_cmd(args: &[String]) {
     );
     if !manifest.all_passed() {
         eprintln!("validation failures — see the manifest");
+        std::process::exit(1);
+    }
+}
+
+/// E10b — `suite --diff`: field-by-field manifest regression comparison.
+/// Exits nonzero when a baseline run is missing or reshaped, a counter
+/// grew beyond the tolerance, or a validation flipped to failed.
+fn diff_cmd(old_path: &str, new_path: &str, tolerance: f64) {
+    use powersparse_workloads::{diff_manifests, SuiteManifest};
+
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read manifest {path}: {e}");
+            std::process::exit(2);
+        });
+        SuiteManifest::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    println!(
+        "\n## E10b: Suite regression diff — `{old_path}` ({} runs) vs `{new_path}` ({} runs)\n",
+        old.runs.len(),
+        new.runs.len()
+    );
+    let report = diff_manifests(&old, &new, tolerance);
+    print!("{report}");
+    if !report.clean() {
+        eprintln!("regression diff failed — see the report above");
         std::process::exit(1);
     }
 }

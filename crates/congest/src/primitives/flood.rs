@@ -48,6 +48,73 @@ pub fn flood_flags<E: RoundEngine>(sim: &mut E, sources: &[bool], hops: usize) -
     state.into_iter().map(|s| s.reached).collect()
 }
 
+/// Per-node state of the min-ID flood.
+#[derive(Clone, Copy)]
+struct MinIdState {
+    /// Smallest source ID from some *other* node seen so far.
+    best: Option<u32>,
+    /// Smallest ID known for forwarding (own source ID included).
+    carry: Option<u32>,
+    /// Last ID broadcast (re-send only on improvement).
+    sent: Option<u32>,
+}
+
+/// `min`-merging ID flood (the knock-out beep of Theorem 6.1): every node
+/// learns the smallest source ID within `hops` (in `G`, or in `G[mask]`
+/// when `relay = Some(mask)` — sources outside the mask still emit their
+/// own ID); sources themselves hear only *other* sources. Costs `hops`
+/// rounds (+ drain).
+pub fn khop_min_source<E: RoundEngine>(
+    sim: &mut E,
+    sources: &[bool],
+    hops: usize,
+    relay: Option<&[bool]>,
+) -> Vec<Option<u32>> {
+    let n = sim.graph().n();
+    assert_eq!(sources.len(), n);
+    if let Some(mask) = relay {
+        assert_eq!(mask.len(), n);
+    }
+    let id_bits = sim.graph().id_bits();
+    let mut state: Vec<MinIdState> = (0..n)
+        .map(|i| MinIdState {
+            best: None,
+            carry: sources[i].then_some(i as u32),
+            sent: None,
+        })
+        .collect();
+    let mut phase = sim.phase::<u32>();
+    phase.step_n(hops, &mut state, |s, v, inbox, out| {
+        let i = v.index();
+        for &(_, id) in inbox {
+            if id != i as u32 && s.best.is_none_or(|b| id < b) {
+                s.best = Some(id);
+            }
+            if s.carry.is_none_or(|c| id < c) {
+                s.carry = Some(id);
+            }
+        }
+        if relay.is_some_and(|m| !m[i]) && !sources[i] {
+            return;
+        }
+        if let Some(c) = s.carry {
+            if s.sent.is_none_or(|prev| c < prev) {
+                s.sent = Some(c);
+                out.broadcast(v, c, id_bits);
+            }
+        }
+    });
+    phase.settle(8 * id_bits as u64, &mut state, |s, v, inbox| {
+        let i = v.index();
+        for &(_, id) in inbox {
+            if id != i as u32 && s.best.is_none_or(|b| id < b) {
+                s.best = Some(id);
+            }
+        }
+    });
+    state.into_iter().map(|s| s.best).collect()
+}
+
 /// Accept-first ball growing (the BFS of Lemma 8.3): every node with
 /// `origin[v] = Some(ball)` starts a search carrying `ball` for `hops`
 /// hops. A node with no origin that is not `blocked` **accepts** the
@@ -140,6 +207,50 @@ mod tests {
             let expect = matches!(d[v.index()], Some(x) if x <= 2);
             assert_eq!(reached[v.index()], expect, "node {v}");
         }
+    }
+
+    #[test]
+    fn min_source_coverage_and_min_exactness() {
+        // Min-merging floods may suppress larger IDs behind smaller ones,
+        // so the contract is: (a) a non-source with any source within
+        // `hops` hears *some* source; (b) whoever is within `hops` of the
+        // global-minimum source hears exactly it (its flood is never
+        // suppressed); (c) nodes with no source within `hops` hear None.
+        let g = generators::grid(5, 5);
+        let sources: Vec<bool> = (0..25).map(|i| i == 7 || i == 18).collect();
+        let d7 = bfs::distances(&g, NodeId(7));
+        let d18 = bfs::distances(&g, NodeId(18));
+        for hops in 1..=3 {
+            let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+            let got = khop_min_source(&mut sim, &sources, hops, None);
+            for v in g.nodes() {
+                let i = v.index();
+                let near7 = i != 7 && matches!(d7[i], Some(x) if x as usize <= hops);
+                let near18 = i != 18 && matches!(d18[i], Some(x) if x as usize <= hops);
+                if near7 {
+                    assert_eq!(got[i], Some(7), "node {v}, hops {hops}");
+                } else if near18 && !sources[i] {
+                    assert!(got[i].is_some(), "node {v} uncovered at hops {hops}");
+                } else if !near18 {
+                    assert_eq!(got[i], None, "node {v}, hops {hops}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_source_respects_relay_mask() {
+        // Path 0-1-2-3-4 with node 2 outside the mask: node 0's ID cannot
+        // reach nodes 3 and 4 even with a large hop budget.
+        let g = generators::path(5);
+        let mask: Vec<bool> = (0..5).map(|i| i != 2).collect();
+        let sources = vec![true, false, false, false, false];
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let got = khop_min_source(&mut sim, &sources, 4, Some(&mask));
+        assert_eq!(got[1], Some(0));
+        assert_eq!(got[2], Some(0), "the masked-out node still hears");
+        assert_eq!(got[3], None, "ID crossed the masked-out relay");
+        assert_eq!(got[4], None);
     }
 
     #[test]

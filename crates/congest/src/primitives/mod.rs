@@ -11,7 +11,7 @@ pub mod spanning;
 
 pub use aggregate::{broadcast_from_root, converge_sum, sum_and_broadcast};
 pub use beep::{khop_beep, khop_beep_masked, khop_beep_multi, khop_beep_with_fanout};
-pub use flood::{flood_flags, grow_balls};
+pub use flood::{flood_flags, grow_balls, khop_min_source};
 pub use idexchange::{
     exchange_id_sets, exchange_with_neighbors, extend_trees, init_knowledge_and_trees,
 };

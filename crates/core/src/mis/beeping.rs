@@ -8,8 +8,8 @@
 //! beep again; whoever hears the second beep (or joined) becomes decided.
 //! On `G^k` each beep costs `O(k)` rounds.
 
+use powersparse_congest::engine::RoundEngine;
 use powersparse_congest::primitives::beep::khop_beep_masked;
-use powersparse_congest::sim::Simulator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,8 +33,8 @@ pub struct BeepingOutcome {
 ///
 /// Decided-but-relaying nodes are exactly the paper's "observers"
 /// (Corollary 8.5).
-pub fn beeping_mis_run(
-    sim: &mut Simulator<'_>,
+pub fn beeping_mis_run<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     undecided0: &[bool],
     steps: usize,
@@ -90,7 +90,7 @@ pub fn beeping_mis_run(
 /// # Panics
 ///
 /// See above.
-pub fn beeping_mis(sim: &mut Simulator<'_>, k: usize, seed: u64) -> Vec<bool> {
+pub fn beeping_mis<E: RoundEngine>(sim: &mut E, k: usize, seed: u64) -> Vec<bool> {
     let n = sim.graph().n();
     let max_steps = 64 * (sim.graph().id_bits() + 1);
     let out = beeping_mis_run(sim, k, &vec![true; n], max_steps, seed, None);
@@ -104,7 +104,7 @@ pub fn beeping_mis(sim: &mut Simulator<'_>, k: usize, seed: u64) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powersparse_congest::sim::SimConfig;
+    use powersparse_congest::sim::{SimConfig, Simulator};
     use powersparse_graphs::{check, generators, subgraph};
 
     #[test]

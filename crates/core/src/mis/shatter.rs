@@ -28,6 +28,7 @@
 use crate::nd::{build_ball_graph, power_nd, NdError};
 use crate::params::TheoryParams;
 use crate::ruling::ruling_set_with_balls;
+use powersparse_congest::engine::RoundEngine;
 use powersparse_congest::primitives::flood_flags;
 use powersparse_congest::sim::{SimConfig, Simulator};
 use powersparse_graphs::{bfs, check, generators, subgraph, Graph, NodeId};
@@ -102,19 +103,18 @@ impl From<NdError> for MisError {
 /// # Errors
 ///
 /// See [`MisError`].
-pub fn mis_power(
-    sim: &mut Simulator<'_>,
+pub fn mis_power<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     params: &TheoryParams,
     seed: u64,
     post: PostShattering,
 ) -> Result<(Vec<bool>, ShatterReport), MisError> {
-    let g = sim.graph();
-    let n = g.n();
+    let n = sim.graph().n();
     let mut report = ShatterReport::default();
 
     // Δ(G^k) upper bound for the step count.
-    let delta = g.max_degree().max(2);
+    let delta = sim.graph().max_degree().max(2);
     let mut delta_k = delta;
     for _ in 1..k {
         delta_k = delta_k.saturating_mul(delta - 1).min(n.saturating_sub(1));
@@ -132,7 +132,7 @@ pub fn mis_power(
 
     // Component statistics (diagnostics; Lemma 8.1 (P2)).
     let b_members = generators::members(&undecided);
-    let comps = subgraph::k_connected_components(g, &b_members, k);
+    let comps = subgraph::k_connected_components(sim.graph(), &b_members, k);
     report.components = comps.len();
     report.largest_component = comps.iter().map(Vec::len).max().unwrap_or(0);
 
@@ -178,13 +178,13 @@ pub fn mis_power(
     // Claim A.4: simulating the ND on balls costs an O(r·τ) factor, where
     // r is the ball radius — we charge the measured sub-rounds times the
     // measured maximum ball diameter (+k for borders).
-    let ball_diam = max_ball_weak_diameter(g, &ball_graph.assignment).max(1) as u64;
+    let ball_diam = max_ball_weak_diameter(sim.graph(), &ball_graph.assignment).max(1) as u64;
     let mut cluster_of_ball: Vec<Option<usize>> = vec![None; ball_graph.graph.n()];
     let mut color_of_cluster: Vec<usize> = Vec::new();
     let mut num_colors = 0usize;
     for comp in subgraph::components(&ball_graph.graph) {
         let (comp_graph, comp_map) = subgraph::induced(&ball_graph.graph, &comp);
-        let mut subsim = Simulator::new(&comp_graph, SimConfig::for_graph(g));
+        let mut subsim = Simulator::new(&comp_graph, SimConfig::for_graph(sim.graph()));
         let nd = power_nd(&mut subsim, k, params)?;
         sim.charge_rounds(subsim.metrics().rounds * (ball_diam + k as u64));
         let base = color_of_cluster.len();
@@ -228,7 +228,7 @@ pub fn mis_power(
                 continue;
             }
             let (rounds, new_mis) = finish_cluster(
-                g,
+                sim.graph(),
                 k,
                 &members,
                 params,

@@ -1,7 +1,7 @@
 //! Distance-`k` ball graphs (Lemma 8.3).
 
+use powersparse_congest::engine::{RoundEngine, RoundPhase};
 use powersparse_congest::primitives::grow_balls;
-use powersparse_congest::sim::Simulator;
 use powersparse_graphs::{Graph, GraphBuilder, NodeId};
 use std::collections::BTreeMap;
 
@@ -28,7 +28,11 @@ pub struct BallGraph {
 /// the border of the first-arriving ball (ties: smaller ID). Step 2 (one
 /// round): neighbors exchange ball indices; balls with adjacent `Ball⁺`
 /// members become ball-graph edges.
-pub fn build_ball_graph(sim: &mut Simulator<'_>, ball_of: &[Option<u32>], k: usize) -> BallGraph {
+pub fn build_ball_graph<E: RoundEngine>(
+    sim: &mut E,
+    ball_of: &[Option<u32>],
+    k: usize,
+) -> BallGraph {
     let n = sim.graph().n();
     assert_eq!(ball_of.len(), n);
     // Grow disjoint borders: members are already assigned; only
@@ -48,30 +52,36 @@ pub fn build_ball_graph(sim: &mut Simulator<'_>, ball_of: &[Option<u32>], k: usi
         .collect();
 
     // One exchange round: every node tells neighbors its extended-ball id;
-    // boundary edges become ball-graph edges.
+    // boundary edges become ball-graph edges. Each node records the edges
+    // it witnesses in its own state slice; the slices are merged after the
+    // phase (driver-side bookkeeping, no extra communication).
     let id_bits = sim.graph().id_bits();
-    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut witnessed: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
     let mut phase = sim.phase::<Option<u32>>();
-    phase.round(|v, _in, out| {
+    phase.step(&mut witnessed, |_, v, _in, out| {
         out.broadcast(v, extended[v.index()], id_bits + 1);
     });
-    phase.drain(8 * (id_bits as u64 + 1), |v, inbox| {
-        let Some(mine) = assignment[v.index()] else {
-            return;
-        };
-        for &(_, other) in inbox {
-            if let Some(r) = other {
-                let oi = root_to_idx[&r];
-                if oi != mine {
-                    edges.push((mine.min(oi), mine.max(oi)));
+    phase.settle(
+        8 * (id_bits as u64 + 1),
+        &mut witnessed,
+        |mine, v, inbox| {
+            let Some(m) = assignment[v.index()] else {
+                return;
+            };
+            for &(_, other) in inbox {
+                if let Some(r) = other {
+                    let oi = root_to_idx[&r];
+                    if oi != m {
+                        mine.push((m.min(oi), m.max(oi)));
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     drop(phase);
 
     let mut b = GraphBuilder::new(roots.len());
-    for (u, w) in edges {
+    for (u, w) in witnessed.into_iter().flatten() {
         b.add_edge(NodeId::from(u), NodeId::from(w));
     }
     BallGraph {
@@ -84,7 +94,7 @@ pub fn build_ball_graph(sim: &mut Simulator<'_>, ball_of: &[Option<u32>], k: usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powersparse_congest::sim::SimConfig;
+    use powersparse_congest::sim::{SimConfig, Simulator};
     use powersparse_graphs::{bfs, generators};
 
     #[test]

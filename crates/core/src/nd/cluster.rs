@@ -20,8 +20,8 @@
 //! deterministic.
 
 use crate::params::TheoryParams;
+use powersparse_congest::engine::{RoundEngine, RoundPhase};
 use powersparse_congest::primitives::{broadcast_from_root, converge_sum, elect_leader_and_tree};
-use powersparse_congest::sim::Simulator;
 use powersparse_kwise::family::KWiseFamily;
 use powersparse_kwise::seed::Seed;
 
@@ -101,16 +101,15 @@ impl std::error::Error for NdError {}
 /// # Panics
 ///
 /// Panics if the graph is empty or disconnected.
-pub fn power_nd(
-    sim: &mut Simulator<'_>,
+pub fn power_nd<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     params: &TheoryParams,
 ) -> Result<NetworkDecomposition, NdError> {
-    let g = sim.graph();
-    let n = g.n();
+    let n = sim.graph().n();
     assert!(n > 0);
+    let id_bits = sim.graph().id_bits();
     let global = elect_leader_and_tree(sim);
-    let id_bits = g.id_bits();
 
     // Geometric delay parameter and radius cap (MPX-style): a token
     // started after delay d reaches distance ≤ D − d; D = O(k·log n).
@@ -217,8 +216,8 @@ pub fn diameter_bound(k: usize, n: usize) -> u32 {
 /// Runs for `max_delay + 2k + 1` rounds so tokens also cover the `k`-hop
 /// surroundings needed by the safety check. Returns the adopted root per
 /// node.
-fn delayed_bfs(
-    sim: &mut Simulator<'_>,
+fn delayed_bfs<E: RoundEngine>(
+    sim: &mut E,
     living: &[bool],
     family: &KWiseFamily,
     seed: &Seed,
@@ -236,39 +235,50 @@ fn delayed_bfs(
             (d as u32).min(max_delay)
         })
         .collect();
-    let mut assignment: Vec<Option<u32>> = vec![None; n];
-    let mut pending: Vec<Option<u32>> = vec![None; n];
+    /// Per-node token state: adopted root, token awaiting forwarding.
+    #[derive(Clone, Copy)]
+    struct TokenState {
+        assignment: Option<u32>,
+        pending: Option<u32>,
+    }
+    let mut state: Vec<TokenState> = vec![
+        TokenState {
+            assignment: None,
+            pending: None,
+        };
+        n
+    ];
     let mut phase = sim.phase::<u32>();
     for t in 0..=(max_delay + 2 * k as u32) {
-        phase.round(|v, inbox, out| {
+        phase.step(&mut state, |s, v, inbox, out| {
             let i = v.index();
-            if assignment[i].is_none() {
+            if s.assignment.is_none() {
                 // Adopt the smallest arriving token, if any; else (living
                 // nodes only) start a token when the delay expires.
                 let best = inbox.iter().map(|&(_, root)| root).min();
                 if let Some(root) = best {
-                    assignment[i] = Some(root);
-                    pending[i] = Some(root);
+                    s.assignment = Some(root);
+                    s.pending = Some(root);
                 } else if living[i] && delays[i] == t {
-                    assignment[i] = Some(v.0);
-                    pending[i] = Some(v.0);
+                    s.assignment = Some(v.0);
+                    s.pending = Some(v.0);
                 }
             }
-            if let Some(root) = pending[i].take() {
+            if let Some(root) = s.pending.take() {
                 out.broadcast(v, root, id_bits);
             }
         });
     }
     drop(phase);
-    assignment
+    state.into_iter().map(|s| s.assignment).collect()
 }
 
 /// `safe[v]`: `v` is living and every node within distance `k` of `v`
 /// adopted the same root as `v` (living or not). Cores of distinct
 /// clusters then have disjoint k-balls, hence pairwise distance `≥ 2k+1`.
 /// Computed in `k` agreement exchanges (2 real rounds each).
-fn safe_nodes(
-    sim: &mut Simulator<'_>,
+fn safe_nodes<E: RoundEngine>(
+    sim: &mut E,
     assignment: &[Option<u32>],
     living: &[bool],
     k: usize,
@@ -280,26 +290,21 @@ fn safe_nodes(
     let mut agree: Vec<Option<u32>> = assignment.to_vec();
     let mut phase = sim.phase::<Option<u32>>();
     for _ in 0..k {
-        let mut next = agree.clone();
-        phase.round(|v, inbox, out| {
-            out.broadcast(v, agree[v.index()], id_bits + 1);
-            for &(_, got) in inbox {
-                // (messages from the previous sub-round)
-                let _ = got;
-            }
+        phase.step(&mut agree, |mine, v, _inbox, out| {
+            out.broadcast(v, *mine, id_bits + 1);
         });
         // Process what arrived: one extra delivery sweep per hop.
-        phase.round(|v, inbox, _out| {
-            let mine = agree[v.index()];
+        phase.step(&mut agree, |mine, _v, inbox, _out| {
             let mut ok = mine.is_some();
             for &(_, got) in inbox {
-                if got != mine {
+                if got != *mine {
                     ok = false;
                 }
             }
-            next[v.index()] = if ok { mine } else { None };
+            if !ok {
+                *mine = None;
+            }
         });
-        agree = next;
     }
     drop(phase);
     (0..n).map(|i| living[i] && agree[i].is_some()).collect()
@@ -308,7 +313,7 @@ fn safe_nodes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powersparse_congest::sim::SimConfig;
+    use powersparse_congest::sim::{SimConfig, Simulator};
     use powersparse_graphs::{check, generators};
 
     fn validate(g: &powersparse_graphs::Graph, k: usize, nd: &NetworkDecomposition) {

@@ -16,7 +16,8 @@
 //! candidate to the ball of a surviving ruler — the partition Claim 7.6
 //! needs for the shattering framework.
 
-use powersparse_congest::sim::Simulator;
+use powersparse_congest::engine::RoundEngine;
+use powersparse_congest::primitives::khop_min_source;
 
 /// Output of [`aglp_ruling_set`]/[`ruling_set_with_balls`].
 #[derive(Debug, Clone)]
@@ -44,8 +45,8 @@ pub struct RulingBalls {
 /// # Panics
 ///
 /// Panics if `base < 2` or the coloring is missing.
-pub fn aglp_ruling_set(
-    sim: &mut Simulator<'_>,
+pub fn aglp_ruling_set<E: RoundEngine>(
+    sim: &mut E,
     dist: usize,
     candidates: &[bool],
     colors: &[u64],
@@ -119,9 +120,8 @@ pub fn aglp_ruling_set(
 
 /// Corollary 6.2: a `(k+1, ck)`-ruling set in `O(k·c·n^{1/c})` rounds,
 /// using the unique IDs as the coloring and base `B = ⌈n^{1/c}⌉`.
-pub fn id_ruling_set(sim: &mut Simulator<'_>, k: usize, c: u32) -> RulingBalls {
-    let g = sim.graph();
-    let n = g.n();
+pub fn id_ruling_set<E: RoundEngine>(sim: &mut E, k: usize, c: u32) -> RulingBalls {
+    let n = sim.graph().n();
     let colors: Vec<u64> = (0..n as u64).collect();
     let base = (n as f64).powf(1.0 / c as f64).ceil().max(2.0) as u64;
     aglp_ruling_set(sim, k, &vec![true; n], &colors, base, None)
@@ -134,8 +134,8 @@ pub fn id_ruling_set(sim: &mut Simulator<'_>, k: usize, c: u32) -> RulingBalls {
 /// `O(k² log log n)` domination comes from the \[Gha19\] internals, a
 /// documented substitution — the shape downstream only needs *some*
 /// polylogarithmic bound plus the ball partition).
-pub fn ruling_set_with_balls(
-    sim: &mut Simulator<'_>,
+pub fn ruling_set_with_balls<E: RoundEngine>(
+    sim: &mut E,
     dist: usize,
     candidates: &[bool],
     relay: Option<&[bool]>,
@@ -145,60 +145,10 @@ pub fn ruling_set_with_balls(
     aglp_ruling_set(sim, dist, candidates, &colors, 2, relay)
 }
 
-/// `min`-merging flood: every node learns the smallest source ID within
-/// `hops` (in `G`, or in `G[mask]` when `relay = Some(mask)`); sources
-/// themselves hear only *other* sources. Costs `hops` rounds (+ drain).
-fn khop_min_source(
-    sim: &mut Simulator<'_>,
-    sources: &[bool],
-    hops: usize,
-    relay: Option<&[bool]>,
-) -> Vec<Option<u32>> {
-    let n = sources.len();
-    let id_bits = sim.graph().id_bits();
-    let mut best: Vec<Option<u32>> = vec![None; n];
-    let mut carry: Vec<Option<u32>> = (0..n).map(|i| sources[i].then_some(i as u32)).collect();
-    let mut sent: Vec<Option<u32>> = vec![None; n];
-    let mut phase = sim.phase::<u32>();
-    for _ in 0..hops {
-        phase.round(|v, inbox, out| {
-            let i = v.index();
-            for &(_, id) in inbox {
-                if id != i as u32 && best[i].is_none_or(|b| id < b) {
-                    best[i] = Some(id);
-                }
-                if carry[i].is_none_or(|c| id < c) {
-                    carry[i] = Some(id);
-                }
-            }
-            if relay.is_some_and(|m| !m[i]) && !sources[i] {
-                return;
-            }
-            if let Some(c) = carry[i] {
-                if sent[i].is_none_or(|s| c < s) {
-                    sent[i] = Some(c);
-                    out.broadcast(v, c, id_bits);
-                }
-            }
-        });
-    }
-    phase.drain(8 * id_bits as u64, |v, inbox| {
-        let i = v.index();
-        for &(_, id) in inbox {
-            if id != i as u32 && best[i].is_none_or(|b| id < b) {
-                best[i] = Some(id);
-            }
-        }
-    });
-    // A source always "hears" itself for knock-out purposes? No: sources
-    // exclude their own ID; `best` already guarantees that.
-    best
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powersparse_congest::sim::SimConfig;
+    use powersparse_congest::sim::{SimConfig, Simulator};
     use powersparse_graphs::{check, coloring, generators, NodeId};
 
     #[test]

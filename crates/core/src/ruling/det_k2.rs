@@ -18,8 +18,8 @@
 
 use crate::params::TheoryParams;
 use crate::sparsify::{sparsify_power, SamplingStrategy, SparsifyError, SparsifyOutcome};
+use powersparse_congest::engine::RoundEngine;
 use powersparse_congest::primitives::q_broadcast;
-use powersparse_congest::sim::Simulator;
 use powersparse_graphs::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -46,8 +46,8 @@ pub struct DetRulingOutcome {
 /// Panics on sparsification failure (parameters inconsistent with the
 /// instance; see [`SparsifyError`]) — callers that need to handle this
 /// use [`try_det_ruling_set_k2`].
-pub fn det_ruling_set_k2(
-    sim: &mut Simulator<'_>,
+pub fn det_ruling_set_k2<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     params: &TheoryParams,
     _seed: u64,
@@ -61,8 +61,8 @@ pub fn det_ruling_set_k2(
 ///
 /// Returns the underlying [`SparsifyError`] when the derandomized
 /// sparsification cannot establish its guarantees.
-pub fn try_det_ruling_set_k2(
-    sim: &mut Simulator<'_>,
+pub fn try_det_ruling_set_k2<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     params: &TheoryParams,
 ) -> Result<DetRulingOutcome, SparsifyError> {
@@ -91,7 +91,7 @@ pub fn try_det_ruling_set_k2(
 /// is smaller than all its *undecided* `G^k[Q]`-neighbors joins; joiners
 /// and the members they dominate announce their new status down their
 /// trees.
-pub fn mis_on_sparse_power(sim: &mut Simulator<'_>, sparse: &SparsifyOutcome) -> Vec<NodeId> {
+pub fn mis_on_sparse_power<E: RoundEngine>(sim: &mut E, sparse: &SparsifyOutcome) -> Vec<NodeId> {
     let n = sparse.q.len();
     #[derive(Clone, Copy, PartialEq)]
     enum St {
@@ -182,7 +182,7 @@ fn neighbor_ids(knowledge: &BTreeSet<u32>, q: &[bool]) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powersparse_congest::sim::SimConfig;
+    use powersparse_congest::sim::{SimConfig, Simulator};
     use powersparse_graphs::{check, generators};
 
     fn run_and_check(g: &powersparse_graphs::Graph, k: usize) -> (DetRulingOutcome, u64) {

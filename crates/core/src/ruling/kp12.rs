@@ -3,8 +3,8 @@
 //! when iterated (**Corollary 1.3** of the paper, Section 8.3).
 
 use crate::params::TheoryParams;
+use powersparse_congest::engine::RoundEngine;
 use powersparse_congest::primitives::flood_flags;
-use powersparse_congest::sim::Simulator;
 use powersparse_graphs::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,8 +19,8 @@ use rand::{Rng, SeedableRng};
 /// beep become dominated and stop sampling.
 ///
 /// Measured cost: `O(k · log_f Δ_k)` rounds.
-pub fn kp12_sparsify(
-    sim: &mut Simulator<'_>,
+pub fn kp12_sparsify<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     active0: &[bool],
     f: f64,
@@ -68,18 +68,17 @@ pub fn kp12_sparsify(
 /// # Panics
 ///
 /// Panics if `beta < 2`.
-pub fn beta_ruling_set(
-    sim: &mut Simulator<'_>,
+pub fn beta_ruling_set<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     beta: usize,
     _params: &TheoryParams,
     seed: u64,
 ) -> Vec<NodeId> {
     assert!(beta >= 2, "beta-ruling sets need beta >= 2");
-    let g = sim.graph();
-    let n = g.n();
+    let n = sim.graph().n();
     // Upper bound on Δ(G^k): min(n−1, Δ·(Δ−1)^{k−1}).
-    let delta = g.max_degree().max(2);
+    let delta = sim.graph().max_degree().max(2);
     let mut delta_k: usize = delta;
     for _ in 1..k {
         delta_k = delta_k.saturating_mul(delta - 1).min(n.saturating_sub(1));
@@ -101,7 +100,7 @@ pub fn beta_ruling_set(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use powersparse_congest::sim::SimConfig;
+    use powersparse_congest::sim::{SimConfig, Simulator};
     use powersparse_graphs::{check, generators, power};
 
     #[test]

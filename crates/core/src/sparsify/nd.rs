@@ -5,6 +5,7 @@
 use super::{SamplingStrategy, SparsifyError};
 use crate::nd::{power_nd, NdError, NetworkDecomposition};
 use crate::params::TheoryParams;
+use powersparse_congest::engine::RoundEngine;
 use powersparse_congest::primitives::flood_flags;
 use powersparse_congest::sim::{SimConfig, Simulator};
 use powersparse_graphs::{bfs, subgraph, NodeId};
@@ -66,15 +67,14 @@ impl From<SparsifyError> for NdSparsifyError {
 /// # Errors
 ///
 /// See [`NdSparsifyError`].
-pub fn sparsify_power_nd(
-    sim: &mut Simulator<'_>,
+pub fn sparsify_power_nd<E: RoundEngine>(
+    sim: &mut E,
     k: usize,
     q0: &[bool],
     params: &TheoryParams,
     strategy: SamplingStrategy,
 ) -> Result<NdSparsifyOutcome, NdSparsifyError> {
-    let g = sim.graph();
-    let n = g.n();
+    let n = sim.graph().n();
     assert_eq!(q0.len(), n);
     let nd = power_nd(sim, k, params)?;
     let members = nd.members();
@@ -90,8 +90,9 @@ pub fn sparsify_power_nd(
                 continue;
             }
             // Domain: C ∪ N^k(C).
-            let dist_c = bfs::multi_source_distances(g, cluster);
-            let domain: Vec<NodeId> = g
+            let dist_c = bfs::multi_source_distances(sim.graph(), cluster);
+            let domain: Vec<NodeId> = sim
+                .graph()
                 .nodes()
                 .filter(|v| matches!(dist_c[v.index()], Some(d) if (d as usize) <= k))
                 .collect();
@@ -99,10 +100,10 @@ pub fn sparsify_power_nd(
             // G[domain]; distance-k relations never cross components (a
             // ≤ k path between domain members stays in the domain), so
             // components can run independently, in parallel.
-            let (dom_graph, dom_map) = subgraph::induced(g, &domain);
+            let (dom_graph, dom_map) = subgraph::induced(sim.graph(), &domain);
             for comp in subgraph::components(&dom_graph) {
                 let comp_nodes: Vec<NodeId> = comp.iter().map(|v| dom_map[v.index()]).collect();
-                let (sub, map) = subgraph::induced(g, &comp_nodes);
+                let (sub, map) = subgraph::induced(sim.graph(), &comp_nodes);
                 // Actives: globally active members of C (borders observe).
                 let in_cluster: Vec<bool> = map
                     .iter()
@@ -112,7 +113,7 @@ pub fn sparsify_power_nd(
                     continue;
                 }
                 // Parallel run on the component's own simulator.
-                let mut subsim = Simulator::new(&sub, SimConfig::for_graph(g));
+                let mut subsim = Simulator::new(&sub, SimConfig::for_graph(sim.graph()));
                 let out = super::sparsify_power(&mut subsim, k, &in_cluster, params, strategy)?;
                 max_cluster_rounds = max_cluster_rounds.max(subsim.metrics().rounds);
                 for (i, &sel) in out.q.iter().enumerate() {

@@ -3,7 +3,9 @@
 //! outputs and identical `Metrics`** (totals *and* per-edge traffic) for
 //! real algorithms on seeded random graphs, at every shard count.
 
-use powersparse::mis::luby_mis;
+use powersparse::mis::{beeping_mis, luby_mis, mis_power, PostShattering};
+use powersparse::nd::{diameter_bound, power_nd};
+use powersparse::ruling::{beta_ruling_set, det_ruling_set_k2, ruling_set_with_balls};
 use powersparse::sparsify::{sparsify_power, SamplingStrategy};
 use powersparse::TheoryParams;
 use powersparse_congest::engine::RoundEngine;
@@ -12,6 +14,38 @@ use powersparse_congest::Metrics;
 use powersparse_engine::ShardedSimulator;
 use powersparse_graphs::{check, generators, Graph};
 use proptest::prelude::*;
+
+/// The shard counts every ported algorithm is checked at (the acceptance
+/// grid of the port: 1 shard is the `RAYON_NUM_THREADS=1` configuration,
+/// 8 exceeds this CI machine's core count).
+const SHARD_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the closure on the sequential reference and on the sharded
+/// engine at every [`SHARD_GRID`] count; asserts bit-for-bit identical
+/// outputs and identical `Metrics` (totals, `peak_queue_depth` and
+/// per-edge traffic). Expands the closure per engine type, so any
+/// `fn(&mut E: RoundEngine) -> T` body works. Evaluates to the
+/// sequential output for further checks.
+macro_rules! assert_engine_parity {
+    ($g:expr, $run:expr $(,)?) => {{
+        let g = &$g;
+        let config = SimConfig::for_graph(g);
+        let mut seq = Simulator::new(g, config);
+        let want = ($run)(&mut seq);
+        let want_m = RoundEngine::metrics(&seq).clone();
+        for shards in SHARD_GRID {
+            let mut par = ShardedSimulator::with_shards(g, config, shards);
+            let got = ($run)(&mut par);
+            assert_eq!(got, want, "output diverged at {shards} shards");
+            assert_eq!(
+                RoundEngine::metrics(&par),
+                &want_m,
+                "metrics diverged at {shards} shards"
+            );
+        }
+        (want, want_m)
+    }};
+}
 
 fn luby_on<E: RoundEngine>(eng: &mut E, k: usize, seed: u64) -> (Vec<bool>, Metrics) {
     let mis = luby_mis(eng, k, seed);
@@ -80,6 +114,129 @@ proptest! {
         prop_assert_eq!(&got.q, &want.q);
         prop_assert_eq!(par.metrics(), seq.metrics());
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// BeepingMIS (Lemma 8.2 beeps): identical MIS and metrics on both
+    /// engines at every shard count.
+    #[test]
+    fn beeping_mis_parity_across_engines(n in 20usize..110, k in 1usize..3, seed in 0u64..400) {
+        let g = generators::connected_gnp(n, 5.0 / n as f64, seed);
+        let (mis, _) = assert_engine_parity!(g, |sim| beeping_mis(sim, k, seed));
+        prop_assert!(check::is_mis_of_power(&g, &generators::members(&mis), k));
+    }
+
+    /// The AGLP coloring-digit ruling set with ball partition (Claim 7.6:
+    /// the min-ID knock-out floods now run through the step API):
+    /// identical rulers, balls and domination bound.
+    #[test]
+    fn aglp_ruling_parity_across_engines(n in 20usize..110, dist in 1usize..4, seed in 0u64..400) {
+        let g = generators::connected_gnp(n, 5.0 / n as f64, seed);
+        let candidates: Vec<bool> = (0..n).map(|i| i % 5 != seed as usize % 5).collect();
+        let ((rulers, balls, dom), _) = assert_engine_parity!(g, |sim| {
+            let out = ruling_set_with_balls(sim, dist, &candidates, None);
+            (out.ruling_set, out.ball_of, out.domination_bound)
+        });
+        prop_assert!(check::is_alpha_independent(
+            &g,
+            &generators::members(&rulers),
+            dist + 1
+        ));
+        let _ = (balls, dom);
+    }
+
+    /// Corollary 1.3's randomized (k+1, kβ)-ruling set (KP12 iterations +
+    /// restricted Luby): identical set and metrics.
+    #[test]
+    fn beta_ruling_parity_across_engines(n in 24usize..100, beta in 2usize..4, seed in 0u64..400) {
+        let g = generators::connected_gnp(n, 6.0 / n as f64, seed);
+        let k = 1 + (seed as usize % 2);
+        let (rs, _) = assert_engine_parity!(g, |sim| {
+            beta_ruling_set(sim, k, beta, &TheoryParams::scaled(), seed)
+        });
+        prop_assert!(check::is_ruling_set(&g, &rs, k + 1, k * beta));
+    }
+}
+
+proptest! {
+    // The heavier pipelines: fewer cases, the full shard grid each.
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    /// Theorem 1.1's deterministic (k+1, k²)-ruling set (sparsifier +
+    /// MIS over the I3 trees): identical ruling set, Q and metrics.
+    #[test]
+    fn det_ruling_parity_across_engines(n in 24usize..70, k in 1usize..3, seed in 0u64..200) {
+        let g = generators::connected_gnp(n, 5.0 / n as f64, seed);
+        let ((rs, q, mis_rounds), _) = assert_engine_parity!(g, |sim| {
+            let out = det_ruling_set_k2(sim, k, &TheoryParams::scaled(), 0);
+            (out.ruling_set, out.q, out.mis_rounds)
+        });
+        prop_assert!(check::is_ruling_set(&g, &rs, k + 1, k * k));
+        let _ = (q, mis_rounds);
+    }
+
+    /// The shattering MIS of Theorems 1.2/1.4 (pre-shattering, ruling
+    /// set, ball graph, network decomposition, cluster finishing —
+    /// every phase of the pipeline): identical MIS mask, identical
+    /// shattering diagnostics, identical metrics.
+    #[test]
+    fn shatter_mis_parity_across_engines(n in 40usize..100, seed in 0u64..200) {
+        let g = generators::connected_gnp(n, 6.0 / n as f64, seed);
+        let k = 1 + (seed as usize % 2);
+        let post = if seed % 2 == 0 {
+            PostShattering::OnePhase
+        } else {
+            PostShattering::TwoPhase
+        };
+        let ((mis, undecided, rulers, colors), _) = assert_engine_parity!(g, |sim| {
+            let (mis, report) =
+                mis_power(sim, k, &TheoryParams::scaled(), seed, post).expect("shatter");
+            (mis, report.undecided_after_pre, report.rulers, report.nd_colors)
+        });
+        prop_assert!(check::is_mis_of_power(&g, &generators::members(&mis), k));
+        let _ = (undecided, rulers, colors);
+    }
+
+    /// The network decomposition of G^k (delayed-BFS clustering +
+    /// seed-scan accept/reject traffic): identical clusters, colors and
+    /// metrics.
+    #[test]
+    fn power_nd_parity_across_engines(n in 30usize..90, k in 1usize..3, seed in 0u64..200) {
+        let g = generators::connected_gnp(n, 5.0 / n as f64, seed);
+        let ((cluster, color, num_colors), _) = assert_engine_parity!(g, |sim| {
+            let nd = power_nd(sim, k, &TheoryParams::scaled()).expect("nd");
+            (nd.cluster, nd.color, nd.num_colors)
+        });
+        let view = powersparse_graphs::check::DecompositionView {
+            cluster: &cluster,
+            color: &color,
+        };
+        let errors =
+            check::check_decomposition(&g, &view, diameter_bound(k, g.n()), 2 * k as u32, true);
+        prop_assert!(errors.is_empty(), "decomposition invalid: {errors:?}");
+        let _ = num_colors;
+    }
+}
+
+/// The delay-based MPX clustering path of the network decomposition (the
+/// diameter regime where the trivial single-cluster shortcut is barred)
+/// exercises `delayed_bfs` and `safe_nodes` with real token traffic —
+/// the two deepest legacy-closure ports. A long cycle forces it.
+#[test]
+fn power_nd_delay_path_parity() {
+    let g = generators::cycle(420);
+    let ((cluster, color, _), _) = assert_engine_parity!(g, |sim| {
+        let nd = power_nd(sim, 1, &TheoryParams::scaled()).expect("nd");
+        (nd.cluster, nd.color, nd.num_colors)
+    });
+    assert!(color.len() > 1, "must have formed several clusters");
+    let view = powersparse_graphs::check::DecompositionView {
+        cluster: &cluster,
+        color: &color,
+    };
+    assert!(check::check_decomposition(&g, &view, diameter_bound(1, 420), 2, true).is_empty());
 }
 
 /// One shard versus the machine-default worker count: same bits, same

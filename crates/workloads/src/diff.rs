@@ -1,0 +1,459 @@
+//! Manifest regression diffing (`experiments suite --diff old.json
+//! new.json`): compares two [`SuiteManifest`]s field by field and flags
+//! round/message/bit regressions beyond a relative tolerance.
+//!
+//! Runs are matched by their canonical scenario name plus seed (the
+//! name omits the seed, and two runs may legally differ only there).
+//! Three kinds of findings gate a diff (see [`DiffReport::clean`]):
+//!
+//! * **missing** — a baseline scenario disappeared from the new manifest;
+//! * **reshaped** — a scenario's coordinates (graph shape, `k`, seed,
+//!   algorithm, engine) changed, so its counters measure something else;
+//! * **regressions** — a cost counter grew beyond the tolerance, or a
+//!   run's validation flipped from passed to failed.
+//!
+//! Improvements and newly added runs are reported but never gate.
+//! Wall-clock fields are deliberately ignored: they vary per machine,
+//! while every gated field is bit-deterministic per seed.
+
+use crate::manifest::{RunRecord, SuiteManifest};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The cost counters compared per run, as `(label, accessor)` pairs.
+/// `validation.passed` is handled separately (a flip to failed is always
+/// a regression, regardless of tolerance).
+const COUNTERS: [(&str, fn(&RunRecord) -> u64); 6] = [
+    ("rounds", |r| r.rounds),
+    ("charged_rounds", |r| r.charged_rounds),
+    ("messages", |r| r.messages),
+    ("bits", |r| r.bits),
+    ("peak_queue_depth", |r| r.peak_queue_depth),
+    ("output_size", |r| r.output_size),
+];
+
+/// One counter change between the baseline and the new manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldChange {
+    /// Canonical scenario name.
+    pub run: String,
+    /// Which counter changed.
+    pub field: &'static str,
+    /// Baseline value.
+    pub old: u64,
+    /// New value.
+    pub new: u64,
+}
+
+impl FieldChange {
+    /// Relative growth `new/old − 1` (`+∞` when the baseline was 0).
+    pub fn relative(&self) -> f64 {
+        if self.old == 0 {
+            if self.new == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.new as f64 / self.old as f64 - 1.0
+        }
+    }
+}
+
+impl fmt::Display for FieldChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} {} -> {} ({:+.1}%)",
+            self.run,
+            self.field,
+            self.old,
+            self.new,
+            100.0 * self.relative()
+        )
+    }
+}
+
+/// A scenario-coordinate mismatch: the run exists under the same name
+/// but no longer measures the same experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeChange {
+    /// Canonical scenario name.
+    pub run: String,
+    /// Which coordinate changed.
+    pub field: &'static str,
+    /// Baseline value.
+    pub old: String,
+    /// New value.
+    pub new: String,
+}
+
+/// The outcome of [`diff_manifests`].
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Relative tolerance the comparison ran with.
+    pub tolerance: f64,
+    /// Baseline runs absent from the new manifest (gating).
+    pub missing: Vec<String>,
+    /// Runs present only in the new manifest (informational).
+    pub added: Vec<String>,
+    /// Scenario-coordinate changes (gating; counters are not compared
+    /// for a reshaped run).
+    pub reshaped: Vec<ShapeChange>,
+    /// Counter growth beyond tolerance and validation passed→failed
+    /// flips (gating).
+    pub regressions: Vec<FieldChange>,
+    /// Counter reductions beyond tolerance and validation failed→passed
+    /// flips (informational).
+    pub improvements: Vec<FieldChange>,
+    /// Runs compared with every counter within tolerance.
+    pub unchanged: usize,
+}
+
+impl DiffReport {
+    /// Whether the diff gates clean: nothing missing, nothing reshaped,
+    /// no regression.
+    pub fn clean(&self) -> bool {
+        self.missing.is_empty() && self.reshaped.is_empty() && self.regressions.is_empty()
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "suite diff (tolerance {:.1}%): {} unchanged, {} regression(s), \
+             {} improvement(s), {} missing, {} reshaped, {} added",
+            100.0 * self.tolerance,
+            self.unchanged,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.missing.len(),
+            self.reshaped.len(),
+            self.added.len(),
+        )?;
+        for name in &self.missing {
+            writeln!(f, "  MISSING   {name}")?;
+        }
+        for s in &self.reshaped {
+            writeln!(
+                f,
+                "  RESHAPED  {}: {} `{}` -> `{}`",
+                s.run, s.field, s.old, s.new
+            )?;
+        }
+        for c in &self.regressions {
+            writeln!(f, "  REGRESSED {c}")?;
+        }
+        for c in &self.improvements {
+            writeln!(f, "  improved  {c}")?;
+        }
+        for name in &self.added {
+            writeln!(f, "  added     {name}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The scenario coordinates that must match before counters are
+/// comparable. The seed is part of the match *key* (two scenarios may
+/// legally share a name and differ only in seed), not a shape field.
+fn shape_fields(r: &RunRecord) -> [(&'static str, String); 8] {
+    [
+        ("family", r.family.clone()),
+        ("graph", r.graph.clone()),
+        ("n", r.n.to_string()),
+        ("m", r.m.to_string()),
+        ("k", r.k.to_string()),
+        ("algorithm", r.algorithm.clone()),
+        ("engine", r.engine.clone()),
+        ("shards", r.shards.to_string()),
+    ]
+}
+
+/// The run-matching key: the canonical scenario name does not embed the
+/// seed, so same-named runs with different seeds are distinct scenarios
+/// and must match only each other.
+fn key(r: &RunRecord) -> (&str, u64) {
+    (r.name.as_str(), r.seed)
+}
+
+/// Renders a key for the report lists.
+fn key_label(r: &RunRecord) -> String {
+    format!("{} (seed {})", r.name, r.seed)
+}
+
+/// Compares `new` against the `old` baseline, run by run and field by
+/// field. `tolerance` is the relative slack on every cost counter: a
+/// counter regresses when `new > old · (1 + tolerance)` and improves
+/// when `new < old · (1 − tolerance)`. Validation verdicts ignore the
+/// tolerance.
+pub fn diff_manifests(old: &SuiteManifest, new: &SuiteManifest, tolerance: f64) -> DiffReport {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let mut report = DiffReport {
+        tolerance,
+        ..DiffReport::default()
+    };
+    // Group by key, keeping duplicates: a spec may legally list the
+    // same scenario several times, and every occurrence must be
+    // compared (pairing them in manifest order).
+    fn group(m: &SuiteManifest) -> BTreeMap<(&str, u64), Vec<&RunRecord>> {
+        let mut by_key: BTreeMap<(&str, u64), Vec<&RunRecord>> = BTreeMap::new();
+        for r in &m.runs {
+            by_key.entry(key(r)).or_default().push(r);
+        }
+        by_key
+    }
+    let old_by_key = group(old);
+    let new_by_key = group(new);
+    for (k, runs) in &new_by_key {
+        let matched = old_by_key.get(k).map_or(0, Vec::len);
+        for r in runs.iter().skip(matched) {
+            report.added.push(key_label(r));
+        }
+    }
+
+    for (k, old_runs) in &old_by_key {
+        let new_runs = new_by_key.get(k).map(Vec::as_slice).unwrap_or(&[]);
+        for (i, o) in old_runs.iter().copied().enumerate() {
+            let Some(n) = new_runs.get(i).copied() else {
+                report.missing.push(key_label(o));
+                continue;
+            };
+            compare_run(o, n, tolerance, &mut report);
+        }
+    }
+    report
+}
+
+/// Compares one matched run pair and records the findings.
+fn compare_run(o: &RunRecord, n: &RunRecord, tolerance: f64, report: &mut DiffReport) {
+    let old_shape = shape_fields(o);
+    let new_shape = shape_fields(n);
+    let mut reshaped = false;
+    for ((field, ov), (_, nv)) in old_shape.into_iter().zip(new_shape) {
+        if ov != nv {
+            reshaped = true;
+            report.reshaped.push(ShapeChange {
+                run: key_label(o),
+                field,
+                old: ov,
+                new: nv,
+            });
+        }
+    }
+    if reshaped {
+        return;
+    }
+    let mut changed = false;
+    if o.validation.passed != n.validation.passed {
+        changed = true;
+        let change = FieldChange {
+            run: key_label(o),
+            field: "validation.passed",
+            old: u64::from(o.validation.passed),
+            new: u64::from(n.validation.passed),
+        };
+        if o.validation.passed {
+            report.regressions.push(change);
+        } else {
+            report.improvements.push(change);
+        }
+    }
+    for (field, get) in COUNTERS {
+        let (ov, nv) = (get(o), get(n));
+        let change = FieldChange {
+            run: key_label(o),
+            field,
+            old: ov,
+            new: nv,
+        };
+        if nv as f64 > ov as f64 * (1.0 + tolerance) {
+            changed = true;
+            report.regressions.push(change);
+        } else if (nv as f64) < ov as f64 * (1.0 - tolerance) && nv != ov {
+            changed = true;
+            report.improvements.push(change);
+        }
+    }
+    if !changed {
+        report.unchanged += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{PhaseWall, Validation};
+
+    fn record(name: &str, rounds: u64, messages: u64, bits: u64) -> RunRecord {
+        RunRecord {
+            name: name.into(),
+            family: "gnp".into(),
+            graph: "gnp(n=100,d=6)".into(),
+            n: 100,
+            m: 300,
+            max_degree: 12,
+            k: 1,
+            seed: 42,
+            algorithm: "luby_mis".into(),
+            engine: "sequential".into(),
+            shards: 1,
+            rounds,
+            charged_rounds: 0,
+            messages,
+            bits,
+            peak_queue_depth: 3,
+            output_size: 30,
+            wall: PhaseWall {
+                build_us: 10,
+                run_us: 500,
+                validate_us: 20,
+            },
+            validation: Validation {
+                passed: true,
+                detail: "ok".into(),
+            },
+        }
+    }
+
+    fn manifest(runs: Vec<RunRecord>) -> SuiteManifest {
+        SuiteManifest {
+            suite: "t".into(),
+            runs,
+        }
+    }
+
+    #[test]
+    fn identical_manifests_are_clean() {
+        let m = manifest(vec![record("a", 10, 100, 1000), record("b", 20, 200, 2000)]);
+        let report = diff_manifests(&m, &m, 0.0);
+        assert!(report.clean());
+        assert_eq!(report.unchanged, 2);
+        assert!(report.regressions.is_empty());
+        assert!(report.improvements.is_empty());
+    }
+
+    #[test]
+    fn counter_growth_is_a_regression_and_shrink_an_improvement() {
+        let old = manifest(vec![record("a", 10, 100, 1000)]);
+        let new = manifest(vec![record("a", 12, 90, 1000)]);
+        let report = diff_manifests(&old, &new, 0.0);
+        assert!(!report.clean());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].field, "rounds");
+        assert_eq!(
+            (report.regressions[0].old, report.regressions[0].new),
+            (10, 12)
+        );
+        assert!((report.regressions[0].relative() - 0.2).abs() < 1e-9);
+        assert_eq!(report.improvements.len(), 1);
+        assert_eq!(report.improvements[0].field, "messages");
+        assert_eq!(report.unchanged, 0);
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_drift() {
+        let old = manifest(vec![record("a", 100, 1000, 10000)]);
+        let new = manifest(vec![record("a", 109, 1090, 10900)]);
+        // 9% growth: regression at 5% tolerance, clean at 10%.
+        let tight = diff_manifests(&old, &new, 0.05);
+        assert_eq!(tight.regressions.len(), 3);
+        let loose = diff_manifests(&old, &new, 0.10);
+        assert!(loose.clean(), "{loose}");
+        assert_eq!(loose.unchanged, 1);
+        assert!(loose.improvements.is_empty());
+    }
+
+    #[test]
+    fn validation_flip_gates_regardless_of_tolerance() {
+        let old = manifest(vec![record("a", 10, 100, 1000)]);
+        let mut bad = record("a", 10, 100, 1000);
+        bad.validation.passed = false;
+        let new = manifest(vec![bad]);
+        let report = diff_manifests(&old, &new, 10.0);
+        assert!(!report.clean());
+        assert_eq!(report.regressions[0].field, "validation.passed");
+    }
+
+    #[test]
+    fn missing_added_and_reshaped_runs_are_flagged() {
+        let old = manifest(vec![record("a", 10, 100, 1000), record("b", 20, 200, 2000)]);
+        let mut c = record("a", 10, 100, 1000);
+        c.n = 128; // same name, different graph shape
+        let new = manifest(vec![c, record("d", 1, 1, 1)]);
+        let report = diff_manifests(&old, &new, 0.0);
+        assert_eq!(report.missing, vec!["b (seed 42)".to_string()]);
+        assert_eq!(report.added, vec!["d (seed 42)".to_string()]);
+        assert_eq!(report.reshaped.len(), 1);
+        assert_eq!(report.reshaped[0].field, "n");
+        assert!(!report.clean());
+        // A reshaped run's counters are not compared.
+        assert!(report.regressions.is_empty());
+    }
+
+    #[test]
+    fn same_name_different_seed_runs_match_separately() {
+        // Scenario names omit the seed, so a manifest may legally hold
+        // two same-named runs differing only in seed; each must match
+        // its own counterpart (and a self-diff stays clean).
+        let mut s5 = record("a", 10, 100, 1000);
+        s5.seed = 5;
+        let mut s9 = record("a", 30, 300, 3000);
+        s9.seed = 9;
+        let m = manifest(vec![s5.clone(), s9.clone()]);
+        let report = diff_manifests(&m, &m, 0.0);
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.unchanged, 2);
+
+        // Dropping one duplicate is reported missing, not absorbed.
+        let report = diff_manifests(&m, &manifest(vec![s5]), 0.0);
+        assert_eq!(report.missing, vec!["a (seed 9)".to_string()]);
+        assert_eq!(report.unchanged, 1);
+    }
+
+    #[test]
+    fn exact_duplicate_runs_all_compared() {
+        // run_suite does not dedupe: a spec may list the identical
+        // scenario twice. Every occurrence must be compared (in
+        // manifest order), so a regression in one of them cannot hide
+        // behind its clean twin.
+        let old = manifest(vec![record("a", 10, 100, 1000), record("a", 10, 100, 1000)]);
+        let new = manifest(vec![record("a", 50, 100, 1000), record("a", 10, 100, 1000)]);
+        let report = diff_manifests(&old, &new, 0.0);
+        assert_eq!(report.regressions.len(), 1, "{report}");
+        assert_eq!(report.regressions[0].field, "rounds");
+        assert_eq!(report.unchanged, 1);
+
+        // A deleted duplicate is missing, an extra one is added.
+        let report = diff_manifests(&old, &manifest(vec![record("a", 10, 100, 1000)]), 0.0);
+        assert_eq!(report.missing.len(), 1);
+        let report = diff_manifests(&manifest(vec![record("a", 10, 100, 1000)]), &old, 0.0);
+        assert_eq!(report.added.len(), 1);
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn zero_baseline_counter_growth_is_infinite_regression() {
+        let mut o = record("a", 10, 100, 1000);
+        o.charged_rounds = 0;
+        let mut n = o.clone();
+        n.charged_rounds = 5;
+        let report = diff_manifests(&manifest(vec![o]), &manifest(vec![n]), 0.5);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].field, "charged_rounds");
+        assert!(report.regressions[0].relative().is_infinite());
+    }
+
+    #[test]
+    fn report_renders_human_readably() {
+        let old = manifest(vec![record("a", 10, 100, 1000)]);
+        let new = manifest(vec![record("a", 20, 100, 1000)]);
+        let text = diff_manifests(&old, &new, 0.0).to_string();
+        assert!(
+            text.contains("REGRESSED a (seed 42): rounds 10 -> 20 (+100.0%)"),
+            "{text}"
+        );
+        assert!(text.contains("1 regression(s)"), "{text}");
+    }
+}

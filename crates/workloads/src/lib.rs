@@ -22,6 +22,10 @@
 //! * [`SuiteManifest`] — the structured JSON result
 //!   (`BENCH_*.json`-ready), with an exact parse/serialize round trip
 //!   for cross-run regression diffing.
+//! * [`diff_manifests`] — field-by-field manifest comparison
+//!   (`experiments suite --diff old.json new.json`): flags
+//!   round/message/bit regressions beyond a relative tolerance, missing
+//!   or reshaped scenarios and validation flips; wall clock never gates.
 //!
 //! The `experiments suite` subcommand of `powersparse-bench` is the CLI
 //! front end; CI runs `experiments suite --smoke` on every PR.
@@ -44,11 +48,13 @@
 //! assert_eq!(SuiteManifest::parse(&text).unwrap(), manifest);
 //! ```
 
+pub mod diff;
 pub mod json;
 pub mod manifest;
 pub mod runner;
 pub mod scenario;
 
+pub use diff::{diff_manifests, DiffReport, FieldChange, ShapeChange};
 pub use json::{Json, JsonError};
 pub use manifest::{PhaseWall, RunRecord, SuiteManifest, Validation};
 pub use runner::{run_scenario, run_suite, suite_params};

@@ -9,7 +9,8 @@
 
 use crate::manifest::{PhaseWall, RunRecord, SuiteManifest, Validation};
 use crate::scenario::{AlgorithmSpec, EngineSpec, Scenario};
-use powersparse::mis::luby_mis;
+use powersparse::mis::{beeping_mis, luby_mis, mis_power, PostShattering};
+use powersparse::nd::{diameter_bound, power_nd, NetworkDecomposition};
 use powersparse::params::TheoryParams;
 use powersparse::ruling::{beta_ruling_set, det_ruling_set_k2};
 use powersparse::sparsify::{sparsify_power, SamplingStrategy, SparsifyOutcome};
@@ -37,6 +38,8 @@ enum AlgOutput {
     },
     /// A sparsifier outcome (mask + I3 state).
     Sparsifier(Box<SparsifyOutcome>),
+    /// A network decomposition of `G^k`.
+    Decomposition(NetworkDecomposition),
 }
 
 /// Executes one scenario end to end.
@@ -58,7 +61,7 @@ pub fn run_scenario(sc: &Scenario) -> Result<RunRecord, String> {
     let (output, metrics) = match sc.engine {
         EngineSpec::Sequential => {
             let mut sim = Simulator::new(&g, config);
-            let out = run_sequential(&mut sim, sc)?;
+            let out = run_generic(&mut sim, sc)?;
             (out, sim.metrics().clone())
         }
         EngineSpec::Sharded { shards } => {
@@ -104,11 +107,24 @@ pub fn run_suite(suite: &str, scenarios: &[Scenario]) -> Result<SuiteManifest, S
     })
 }
 
-/// The engine-generic algorithms (runnable on any backend).
+/// Executes the scenario's algorithm on any [`RoundEngine`] backend —
+/// the single execution path since the PR-3 step-API port retired the
+/// sequential-only closures.
 fn run_generic<E: RoundEngine>(eng: &mut E, sc: &Scenario) -> Result<AlgOutput, String> {
     let n = eng.graph().n();
     match sc.algorithm {
         AlgorithmSpec::LubyMis => Ok(AlgOutput::Mask(luby_mis(eng, sc.k, sc.seed))),
+        AlgorithmSpec::BeepingMis => Ok(AlgOutput::Mask(beeping_mis(eng, sc.k, sc.seed))),
+        AlgorithmSpec::ShatterMis { two_phase } => {
+            let post = if two_phase {
+                PostShattering::TwoPhase
+            } else {
+                PostShattering::OnePhase
+            };
+            let (mask, _report) = mis_power(eng, sc.k, &suite_params(), sc.seed, post)
+                .map_err(|e| format!("shattering MIS failed: {e}"))?;
+            Ok(AlgOutput::Mask(mask))
+        }
         AlgorithmSpec::Sparsify { derandomized } => {
             let strategy = if derandomized {
                 SamplingStrategy::SeedSearch
@@ -119,19 +135,8 @@ fn run_generic<E: RoundEngine>(eng: &mut E, sc: &Scenario) -> Result<AlgOutput, 
                 .map_err(|e| format!("sparsify failed: {e}"))?;
             Ok(AlgOutput::Sparsifier(Box::new(out)))
         }
-        AlgorithmSpec::BetaRulingSet { .. } | AlgorithmSpec::DetRulingK2 => Err(format!(
-            "algorithm {} requires the sequential engine",
-            sc.algorithm.id()
-        )),
-    }
-}
-
-/// All algorithms, on the sequential reference engine (the legacy
-/// closure-based ones run only here until ported to the step API).
-fn run_sequential(sim: &mut Simulator<'_>, sc: &Scenario) -> Result<AlgOutput, String> {
-    match sc.algorithm {
         AlgorithmSpec::BetaRulingSet { beta } => {
-            let set = beta_ruling_set(sim, sc.k, beta, &suite_params(), sc.seed);
+            let set = beta_ruling_set(eng, sc.k, beta, &suite_params(), sc.seed);
             Ok(AlgOutput::RulingSet {
                 set,
                 alpha: sc.k + 1,
@@ -139,14 +144,18 @@ fn run_sequential(sim: &mut Simulator<'_>, sc: &Scenario) -> Result<AlgOutput, S
             })
         }
         AlgorithmSpec::DetRulingK2 => {
-            let out = det_ruling_set_k2(sim, sc.k, &suite_params(), sc.seed);
+            let out = det_ruling_set_k2(eng, sc.k, &suite_params(), sc.seed);
             Ok(AlgOutput::RulingSet {
                 set: out.ruling_set,
                 alpha: sc.k + 1,
                 beta: sc.k * sc.k,
             })
         }
-        _ => run_generic(sim, sc),
+        AlgorithmSpec::PowerNd => {
+            let nd = power_nd(eng, sc.k, &suite_params())
+                .map_err(|e| format!("network decomposition failed: {e}"))?;
+            Ok(AlgOutput::Decomposition(nd))
+        }
     }
 }
 
@@ -200,6 +209,23 @@ fn validate(g: &Graph, sc: &Scenario, output: &AlgOutput) -> (Validation, u64) {
                 members.len(),
             );
             (Validation { passed, detail }, members.len() as u64)
+        }
+        AlgOutput::Decomposition(nd) => {
+            let bound = diameter_bound(k, g.n());
+            let errors = check::check_decomposition(g, &nd.view(), bound, 2 * k as u32, true);
+            let passed = errors.is_empty();
+            let detail = if passed {
+                format!(
+                    "ND of G^{k}: cover + weak diameter ≤ {bound} + separation > {} hold; \
+                     {} clusters in {} colors",
+                    2 * k,
+                    nd.color.len(),
+                    nd.num_colors
+                )
+            } else {
+                format!("INVALID ND of G^{k}: {errors:?}")
+            };
+            (Validation { passed, detail }, nd.color.len() as u64)
         }
     }
 }
@@ -287,10 +313,66 @@ mod tests {
     }
 
     #[test]
+    fn formerly_rejected_combinations_now_run_sharded() {
+        // Before the PR-3 port these scenario × engine pairs were spec
+        // errors; now they execute on the sharded engine and validate.
+        for sc in [
+            Scenario::new(GraphFamily::Grid { rows: 6, cols: 6 })
+                .algorithm(AlgorithmSpec::DetRulingK2)
+                .sharded(2),
+            Scenario::new(GraphFamily::Gnp {
+                n: 72,
+                avg_deg: 6.0,
+            })
+            .seed(9)
+            .algorithm(AlgorithmSpec::BetaRulingSet { beta: 2 })
+            .sharded(3),
+            Scenario::new(GraphFamily::Gnp {
+                n: 64,
+                avg_deg: 5.0,
+            })
+            .seed(4)
+            .algorithm(AlgorithmSpec::BeepingMis)
+            .sharded(4),
+            Scenario::new(GraphFamily::Gnp {
+                n: 64,
+                avg_deg: 5.0,
+            })
+            .seed(8)
+            .algorithm(AlgorithmSpec::ShatterMis { two_phase: false })
+            .sharded(2),
+            Scenario::new(GraphFamily::Torus { rows: 6, cols: 6 })
+                .k(2)
+                .algorithm(AlgorithmSpec::PowerNd)
+                .sharded(2),
+        ] {
+            let rec = run_scenario(&sc).unwrap();
+            assert!(
+                rec.validation.passed,
+                "{}: {}",
+                rec.name, rec.validation.detail
+            );
+            assert_eq!(rec.engine, "sharded");
+        }
+    }
+
+    #[test]
+    fn nd_scenario_validates_decomposition() {
+        let sc = Scenario::new(GraphFamily::Grid { rows: 7, cols: 7 })
+            .k(2)
+            .algorithm(AlgorithmSpec::PowerNd);
+        let rec = run_scenario(&sc).unwrap();
+        assert!(rec.validation.passed, "{}", rec.validation.detail);
+        assert!(rec.validation.detail.contains("clusters"));
+        assert!(rec.output_size >= 1);
+    }
+
+    #[test]
     fn spec_errors_are_reported() {
-        let sc = Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 })
-            .algorithm(AlgorithmSpec::DetRulingK2)
-            .sharded(2);
+        let sc = Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 }).sharded(0);
+        assert!(run_scenario(&sc).is_err());
+        let mut sc = Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 });
+        sc.k = 0;
         assert!(run_scenario(&sc).is_err());
     }
 

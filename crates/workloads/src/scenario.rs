@@ -127,28 +127,43 @@ impl GraphFamily {
     }
 }
 
-/// The algorithm a scenario runs and validates.
+/// The algorithm a scenario runs and validates. Every algorithm runs
+/// through the engine-generic
+/// [`powersparse_congest::engine::RoundPhase::step`] API and therefore
+/// executes on any [`EngineSpec`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum AlgorithmSpec {
-    /// Luby's MIS of `G^k` (Section 8.1). Engine-generic.
+    /// Luby's MIS of `G^k` (Section 8.1).
     LubyMis,
+    /// Ghaffari's BeepingMIS of `G^k` via Lemma 8.2 ID-tagged beeps.
+    BeepingMis,
+    /// The shattering MIS of `G^k` (Theorems 1.2/1.4: pre-shattering,
+    /// ruling set with balls, ball-graph network decomposition, cluster
+    /// finishing). Requires a connected graph.
+    ShatterMis {
+        /// Use the two-phase post-shattering of Section 7.2.1 instead of
+        /// the one-phase variant of Section 7.2.2.
+        two_phase: bool,
+    },
     /// Iterated power-graph sparsification (Algorithm 3 / Lemma 3.1).
-    /// Engine-generic; `derandomized` selects the seed-scan strategy
-    /// (requires a connected graph for the global aggregation tree).
+    /// `derandomized` selects the seed-scan strategy (requires a
+    /// connected graph for the global aggregation tree).
     Sparsify {
         /// Use the deterministic seed-scan strategy instead of
         /// randomized sampling.
         derandomized: bool,
     },
-    /// Randomized `(k+1, kβ)`-ruling set (Corollary 1.3). Sequential
-    /// engine only (not yet ported to the engine-generic `step` API).
+    /// Randomized `(k+1, kβ)`-ruling set (Corollary 1.3).
     BetaRulingSet {
         /// Domination stretch factor β ≥ 2.
         beta: usize,
     },
-    /// Deterministic `(k+1, k²)`-ruling set (Theorem 1.1). Sequential
-    /// engine only.
+    /// Deterministic `(k+1, k²)`-ruling set (Theorem 1.1). Requires a
+    /// connected graph.
     DetRulingK2,
+    /// Network decomposition of `G^k` with separation `2k+1`
+    /// (Theorem A.1). Requires a connected graph.
+    PowerNd,
 }
 
 impl AlgorithmSpec {
@@ -156,21 +171,17 @@ impl AlgorithmSpec {
     pub fn id(&self) -> String {
         match self {
             Self::LubyMis => "luby_mis".into(),
+            Self::BeepingMis => "beeping_mis".into(),
+            Self::ShatterMis { two_phase: false } => "shatter_mis".into(),
+            Self::ShatterMis { two_phase: true } => "shatter_mis_two_phase".into(),
             Self::Sparsify {
                 derandomized: false,
             } => "sparsify".into(),
             Self::Sparsify { derandomized: true } => "sparsify_derandomized".into(),
             Self::BetaRulingSet { beta } => format!("beta_ruling(beta={beta})"),
             Self::DetRulingK2 => "det_ruling_k2".into(),
+            Self::PowerNd => "power_nd".into(),
         }
-    }
-
-    /// Whether the algorithm runs through the engine-generic
-    /// [`powersparse_congest::engine::RoundPhase::step`] API (and can
-    /// therefore execute on any [`EngineSpec`]), as opposed to the legacy
-    /// sequential-only closures.
-    pub fn engine_generic(&self) -> bool {
-        matches!(self, Self::LubyMis | Self::Sparsify { .. })
     }
 }
 
@@ -284,16 +295,10 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns a description of the problem (e.g. a sequential-only
-    /// algorithm paired with the sharded engine).
+    /// Returns a description of the problem (e.g. zero shards). Every
+    /// algorithm runs on every engine since the PR-3 step-API port, so
+    /// algorithm × engine combinations are no longer restricted.
     pub fn validate_spec(&self) -> Result<(), String> {
-        if !self.algorithm.engine_generic() && self.engine != EngineSpec::Sequential {
-            return Err(format!(
-                "algorithm {} is not yet ported to the engine-generic step API; \
-                 it requires engine = \"sequential\"",
-                self.algorithm.id()
-            ));
-        }
         if self.engine.shards() == 0 {
             return Err("shards must be >= 1".into());
         }
@@ -381,27 +386,75 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
         Scenario::new(torus.clone()).algorithm(Sparsify {
             derandomized: false,
         }),
-        Scenario::new(torus)
+        Scenario::new(torus.clone())
             .algorithm(Sparsify {
                 derandomized: false,
             })
             .sharded(sharded),
-        Scenario::new(cluster).k(2).algorithm(Sparsify {
+        Scenario::new(cluster.clone()).k(2).algorithm(Sparsify {
             derandomized: false,
         }),
-        // Ruling sets (sequential-only until ported to the step API).
+        // BeepingMIS (Lemma 8.2) — per-component, so it also covers the
+        // possibly-disconnected geometric family; both engines.
+        Scenario::new(GraphFamily::Gnp {
+            n: 128 * s,
+            avg_deg: 7.0,
+        })
+        .seed(11)
+        .algorithm(BeepingMis),
+        Scenario::new(grid)
+            .k(2)
+            .seed(11)
+            .algorithm(BeepingMis)
+            .sharded(sharded),
+        // The shattering MIS pipeline (Theorems 1.2/1.4), both
+        // post-shattering variants, sharded.
+        Scenario::new(GraphFamily::Gnp {
+            n: 96 * s,
+            avg_deg: 6.0,
+        })
+        .seed(13)
+        .algorithm(ShatterMis { two_phase: false })
+        .sharded(sharded),
+        Scenario::new(cluster)
+            .k(2)
+            .seed(13)
+            .algorithm(ShatterMis { two_phase: true }),
+        // Ruling sets, now engine-generic: both engines appear.
         Scenario::new(GraphFamily::Gnp {
             n: 160 * s,
             avg_deg: 10.0,
         })
         .seed(5)
         .algorithm(BetaRulingSet { beta: 3 }),
+        Scenario::new(GraphFamily::Gnp {
+            n: 160 * s,
+            avg_deg: 10.0,
+        })
+        .seed(5)
+        .algorithm(BetaRulingSet { beta: 3 })
+        .sharded(sharded),
         Scenario::new(GraphFamily::Grid {
             rows: 10,
             cols: 10 * s,
         })
         .k(2)
         .algorithm(DetRulingK2),
+        Scenario::new(GraphFamily::Grid {
+            rows: 10,
+            cols: 10 * s,
+        })
+        .k(2)
+        .algorithm(DetRulingK2)
+        .sharded(2),
+        // Network decomposition (Theorem A.1), both engines.
+        Scenario::new(torus).k(2).algorithm(PowerNd),
+        Scenario::new(GraphFamily::Caterpillar {
+            spine: 60 * s,
+            legs: 3,
+        })
+        .algorithm(PowerNd)
+        .sharded(sharded),
     ]
 }
 
@@ -452,8 +505,10 @@ impl std::error::Error for SpecError {}
 /// attach = 3
 /// k = 2
 /// seed = 7
-/// algorithm = "luby_mis" # luby_mis | sparsify | sparsify_derandomized |
-///                        # beta_ruling | det_ruling_k2
+/// algorithm = "luby_mis" # luby_mis | beeping_mis | shatter_mis |
+///                        # shatter_mis_two_phase | sparsify |
+///                        # sparsify_derandomized | beta_ruling |
+///                        # det_ruling_k2 | power_nd
 /// engine = "sharded"     # sequential | sharded
 /// shards = 4
 /// ```
@@ -594,6 +649,17 @@ impl Block {
         }
     }
 
+    fn bool_or(&mut self, key: &str, default: bool) -> Result<bool, SpecError> {
+        match self.take(key) {
+            Some((_, SpecValue::Bool(v))) => Ok(v),
+            Some((line, v)) => Err(SpecError {
+                line,
+                message: format!("`{key}` must be a bool, got {}", v.type_name()),
+            }),
+            None => Ok(default),
+        }
+    }
+
     fn str_or(&mut self, key: &str, default: &str) -> Result<String, SpecError> {
         match self.take(key) {
             Some((_, SpecValue::Str(v))) => Ok(v),
@@ -681,6 +747,24 @@ fn scenario_from_kv(
     };
     let algorithm = match b.str_or("algorithm", "luby_mis")?.as_str() {
         "luby_mis" => AlgorithmSpec::LubyMis,
+        "beeping_mis" => AlgorithmSpec::BeepingMis,
+        "shatter_mis" => AlgorithmSpec::ShatterMis {
+            two_phase: b.bool_or("two_phase", false)?,
+        },
+        "shatter_mis_two_phase" => {
+            // A redundant-but-consistent `two_phase = true` is fine; a
+            // contradictory `two_phase = false` is an error, not a
+            // silent override.
+            if !b.bool_or("two_phase", true)? {
+                return Err(SpecError {
+                    line,
+                    message: "`two_phase = false` contradicts algorithm \
+                              `shatter_mis_two_phase`"
+                        .into(),
+                });
+            }
+            AlgorithmSpec::ShatterMis { two_phase: true }
+        }
         "sparsify" => AlgorithmSpec::Sparsify {
             derandomized: false,
         },
@@ -689,6 +773,7 @@ fn scenario_from_kv(
             beta: b.usize_or("beta", 2)?,
         },
         "det_ruling_k2" => AlgorithmSpec::DetRulingK2,
+        "power_nd" => AlgorithmSpec::PowerNd,
         other => {
             return Err(SpecError {
                 line,
@@ -742,11 +827,29 @@ mod tests {
     }
 
     #[test]
-    fn sequential_only_algorithms_rejected_on_sharded() {
-        let sc = Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 })
-            .algorithm(AlgorithmSpec::DetRulingK2)
-            .sharded(2);
-        assert!(sc.validate_spec().unwrap_err().contains("sequential"));
+    fn every_algorithm_is_valid_on_every_engine() {
+        // The PR-3 step-API port lifted the old sequential-only
+        // restriction: algorithm × engine combinations all validate now.
+        let algorithms = [
+            AlgorithmSpec::LubyMis,
+            AlgorithmSpec::BeepingMis,
+            AlgorithmSpec::ShatterMis { two_phase: false },
+            AlgorithmSpec::ShatterMis { two_phase: true },
+            AlgorithmSpec::Sparsify { derandomized: true },
+            AlgorithmSpec::BetaRulingSet { beta: 3 },
+            AlgorithmSpec::DetRulingK2,
+            AlgorithmSpec::PowerNd,
+        ];
+        for algorithm in algorithms {
+            for sc in [
+                Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 }).algorithm(algorithm.clone()),
+                Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 })
+                    .algorithm(algorithm.clone())
+                    .sharded(2),
+            ] {
+                assert!(sc.validate_spec().is_ok(), "{} rejected", sc.name());
+            }
+        }
     }
 
     #[test]
@@ -801,12 +904,45 @@ algorithm = "sparsify"   # randomized
         assert!(stray.message.contains("outside"), "{stray}");
         let badval = parse_suite("[[scenario]]\nfamily = \"gnp\"\nn = oops\n").unwrap_err();
         assert!(badval.message.contains("oops"), "{badval}");
-        let seqonly = parse_suite(
+    }
+
+    #[test]
+    fn formerly_sequential_only_specs_now_parse_sharded() {
+        // These spec files were rejected before the PR-3 port; they are
+        // valid scenarios now.
+        let suite = parse_suite(
             "[[scenario]]\nfamily = \"grid\"\nrows = 3\ncols = 3\n\
-             algorithm = \"det_ruling_k2\"\nengine = \"sharded\"\n",
+             algorithm = \"det_ruling_k2\"\nengine = \"sharded\"\n\n\
+             [[scenario]]\nfamily = \"grid\"\nrows = 3\ncols = 3\n\
+             algorithm = \"shatter_mis\"\ntwo_phase = true\nengine = \"sharded\"\nshards = 8\n\n\
+             [[scenario]]\nfamily = \"torus\"\nrows = 4\ncols = 4\n\
+             algorithm = \"power_nd\"\nengine = \"sharded\"\n",
+        )
+        .unwrap();
+        assert_eq!(suite.len(), 3);
+        assert_eq!(suite[0].algorithm, AlgorithmSpec::DetRulingK2);
+        // shatter_mis_two_phase tolerates a consistent explicit key and
+        // rejects a contradictory one.
+        assert!(parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 3\ncols = 3\n\
+             algorithm = \"shatter_mis_two_phase\"\ntwo_phase = true\n"
+        )
+        .is_ok());
+        let contradiction = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 3\ncols = 3\n\
+             algorithm = \"shatter_mis_two_phase\"\ntwo_phase = false\n",
         )
         .unwrap_err();
-        assert!(seqonly.message.contains("sequential"), "{seqonly}");
+        assert!(
+            contradiction.message.contains("contradicts"),
+            "{contradiction}"
+        );
+        assert_eq!(
+            suite[1].algorithm,
+            AlgorithmSpec::ShatterMis { two_phase: true }
+        );
+        assert_eq!(suite[1].engine, EngineSpec::Sharded { shards: 8 });
+        assert_eq!(suite[2].algorithm, AlgorithmSpec::PowerNd);
     }
 
     #[test]

@@ -5,10 +5,56 @@
 //! engine backends.
 
 use powersparse_workloads::{
-    builtin_suite, run_scenario, run_suite, EngineSpec, GraphFamily, Scenario, SuiteManifest,
-    SuiteProfile,
+    builtin_suite, run_scenario, run_suite, AlgorithmSpec, EngineSpec, GraphFamily, PhaseWall,
+    RunRecord, Scenario, SuiteManifest, SuiteProfile,
 };
 use std::collections::BTreeSet;
+
+/// Scenario coordinates for every algorithm ported to the step API in
+/// PR 3 — the seeded-determinism surface below runs each of them.
+fn ported_algorithm_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(GraphFamily::Gnp {
+            n: 80,
+            avg_deg: 6.0,
+        })
+        .seed(17)
+        .algorithm(AlgorithmSpec::BeepingMis),
+        Scenario::new(GraphFamily::Gnp {
+            n: 72,
+            avg_deg: 5.0,
+        })
+        .seed(23)
+        .algorithm(AlgorithmSpec::ShatterMis { two_phase: false }),
+        Scenario::new(GraphFamily::ClusterGrid {
+            rows: 3,
+            cols: 3,
+            cluster: 4,
+        })
+        .k(2)
+        .seed(23)
+        .algorithm(AlgorithmSpec::ShatterMis { two_phase: true }),
+        Scenario::new(GraphFamily::Gnp {
+            n: 84,
+            avg_deg: 7.0,
+        })
+        .seed(31)
+        .algorithm(AlgorithmSpec::BetaRulingSet { beta: 3 }),
+        Scenario::new(GraphFamily::Grid { rows: 7, cols: 8 })
+            .k(2)
+            .algorithm(AlgorithmSpec::DetRulingK2),
+        Scenario::new(GraphFamily::Torus { rows: 7, cols: 7 })
+            .k(2)
+            .algorithm(AlgorithmSpec::PowerNd),
+    ]
+}
+
+/// Strips the only nondeterministic fields (wall clock) so records can
+/// be compared as JSON bytes.
+fn dewalled(mut rec: RunRecord) -> RunRecord {
+    rec.wall = PhaseWall::default();
+    rec
+}
 
 #[test]
 fn smoke_suite_runs_validates_and_round_trips() {
@@ -115,6 +161,71 @@ fn every_family_is_engine_parity_clean() {
             assert_eq!(a, b, "{}: {label} diverged across engines", base.name());
         }
     }
+}
+
+#[test]
+fn same_seed_same_manifest_bytes_across_runs() {
+    // Seeded determinism for every newly ported algorithm: executing the
+    // identical scenario twice yields byte-identical manifest JSON (wall
+    // clock aside — the only nondeterministic field).
+    for sc in ported_algorithm_scenarios() {
+        for engined in [sc.clone().sequential(), sc.clone().sharded(4)] {
+            let a = run_scenario(&engined).unwrap();
+            let b = run_scenario(&engined).unwrap();
+            assert!(a.validation.passed, "{}: {}", a.name, a.validation.detail);
+            let a = dewalled(a);
+            let b = dewalled(b);
+            assert_eq!(
+                a.to_json().to_string_pretty(),
+                b.to_json().to_string_pretty(),
+                "{} not byte-deterministic across runs",
+                engined.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_same_record_across_engines() {
+    // The same seeded scenario on the sequential reference and on the
+    // sharded engine: once the engine coordinates (name/engine/shards)
+    // are aligned, the records serialize to identical JSON bytes —
+    // outputs, validation detail (which embeds the output cardinality)
+    // and every cost counter included.
+    for sc in ported_algorithm_scenarios() {
+        let seq = run_scenario(&sc.clone().sequential()).unwrap();
+        let par = run_scenario(&sc.clone().sharded(3)).unwrap();
+        assert!(
+            seq.validation.passed,
+            "{}: {}",
+            seq.name, seq.validation.detail
+        );
+        let mut par = dewalled(par);
+        par.name = seq.name.clone();
+        par.engine = seq.engine.clone();
+        par.shards = seq.shards;
+        assert_eq!(
+            dewalled(seq).to_json().to_string_pretty(),
+            par.to_json().to_string_pretty(),
+            "{} diverged across engines",
+            sc.name()
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_suite_manifest_bytes() {
+    // Whole-suite determinism: two executions of the same scenario list
+    // produce byte-identical SuiteManifest JSON after the wall fields
+    // are zeroed.
+    let scenarios = ported_algorithm_scenarios();
+    let strip = |m: SuiteManifest| SuiteManifest {
+        suite: m.suite,
+        runs: m.runs.into_iter().map(dewalled).collect(),
+    };
+    let a = strip(run_suite("det", &scenarios).unwrap());
+    let b = strip(run_suite("det", &scenarios).unwrap());
+    assert_eq!(a.to_json_string(), b.to_json_string());
 }
 
 #[test]
