@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! experiments [all|table1-det|table1-mis|table1-ruling|fig1|sparsify|shattering|nd|derand|engines] [--scale S]
-//! experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json]
-//! experiments suite --diff OLD.json NEW.json [--tolerance FRACTION]
+//! experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] [--force-engine ENGINE]
+//! experiments suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine]
 //! ```
 //!
 //! Output is markdown; EXPERIMENTS.md archives a run. The `suite`
@@ -513,12 +513,16 @@ fn derand_exp() {
     println!("  (fanout 1 loses the beep — the 2-tuple rule of Lemma 8.2 is necessary)");
 }
 
-/// E9 — Engine comparison: sequential `Simulator` vs the sharded
-/// `powersparse-engine` backend running Luby MIS on `G`, with the
-/// bit-for-bit parity of outputs and `Metrics` re-verified on every row.
+/// E9 — Engine comparison: sequential `Simulator` vs the sharded and
+/// pooled `powersparse-engine` backends running Luby MIS on `G`, with
+/// the bit-for-bit parity of outputs and `Metrics` re-verified on every
+/// row. The pooled column pair shows what the persistent worker pool
+/// buys: below ~10⁴ nodes the two `std::thread::scope` scatters per
+/// round dominate the sharded engine's wall clock, and the pool's epoch
+/// barrier + batched splice transfer removes exactly that cost.
 fn engines_exp() {
     use powersparse_congest::engine::RoundEngine;
-    use powersparse_engine::ShardedSimulator;
+    use powersparse_engine::{PooledSimulator, ShardedSimulator};
     use std::time::Instant;
 
     println!("\n## E9: Round-engine comparison — Luby MIS on G, wall clock\n");
@@ -530,12 +534,13 @@ fn engines_exp() {
             "engine",
             "wall",
             "speedup",
+            "vs sharded",
             "rounds",
             "identical to sequential"
         ]
         .map(String::from))
     );
-    println!("{}", row(&["---"; 7].map(String::from)));
+    println!("{}", row(&["---"; 8].map(String::from)));
     for n in [1_000usize, 10_000, 100_000] {
         let g = generators::connected_sparse_gnp(n, 8.0, 42);
         let config = SimConfig::for_graph(&g);
@@ -552,18 +557,18 @@ fn engines_exp() {
                 "sequential".into(),
                 format!("{seq_wall:.2?}"),
                 "1.00x".into(),
+                "-".into(),
                 seq.metrics().rounds.to_string(),
                 "-".into(),
             ])
         );
         for shards in [2usize, 4, 8] {
             let start = Instant::now();
-            let mut par = ShardedSimulator::with_shards(&g, config, shards);
-            let got = luby_mis(&mut par, 1, 3);
-            let wall = start.elapsed();
-            let identical = got == want && par.metrics() == seq.metrics();
+            let mut sharded = ShardedSimulator::with_shards(&g, config, shards);
+            let got = luby_mis(&mut sharded, 1, 3);
+            let sharded_wall = start.elapsed();
             assert!(
-                identical,
+                got == want && RoundEngine::metrics(&sharded) == seq.metrics(),
                 "sharded engine diverged at {shards} shards on n={n}"
             );
             println!(
@@ -572,22 +577,54 @@ fn engines_exp() {
                     n.to_string(),
                     g.m().to_string(),
                     format!("sharded({shards})"),
-                    format!("{wall:.2?}"),
-                    format!("{:.2}x", seq_wall.as_secs_f64() / wall.as_secs_f64()),
-                    RoundEngine::metrics(&par).rounds.to_string(),
+                    format!("{sharded_wall:.2?}"),
+                    format!(
+                        "{:.2}x",
+                        seq_wall.as_secs_f64() / sharded_wall.as_secs_f64()
+                    ),
+                    "1.00x".into(),
+                    RoundEngine::metrics(&sharded).rounds.to_string(),
+                    "yes".into(),
+                ])
+            );
+            let start = Instant::now();
+            let mut pooled = PooledSimulator::with_shards(&g, config, shards);
+            let got = luby_mis(&mut pooled, 1, 3);
+            let pooled_wall = start.elapsed();
+            assert!(
+                got == want && RoundEngine::metrics(&pooled) == seq.metrics(),
+                "pooled engine diverged at {shards} shards on n={n}"
+            );
+            println!(
+                "{}",
+                row(&[
+                    n.to_string(),
+                    g.m().to_string(),
+                    format!("pooled({shards})"),
+                    format!("{pooled_wall:.2?}"),
+                    format!("{:.2}x", seq_wall.as_secs_f64() / pooled_wall.as_secs_f64()),
+                    format!(
+                        "{:.2}x",
+                        sharded_wall.as_secs_f64() / pooled_wall.as_secs_f64()
+                    ),
+                    RoundEngine::metrics(&pooled).rounds.to_string(),
                     "yes".into(),
                 ])
             );
         }
     }
-    println!("\nIdentical = same MIS mask, same Metrics (rounds, messages, bits, per-edge).");
+    println!(
+        "\nIdentical = same MIS mask, same Metrics (rounds, messages, bits, per-edge).\n\
+         `vs sharded` = sharded wall / pooled wall at the same shard count \
+         (> 1.00x means the persistent pool wins)."
+    );
 }
 
 /// E10 — The workload scenario suite: the declarative graph-family ×
 /// algorithm × engine matrix of `powersparse-workloads`, validated run
 /// by run, with a JSON manifest for `BENCH_*.json` trajectory tracking.
 fn suite_cmd(args: &[String]) {
-    use powersparse_workloads::{builtin_suite, parse_suite, run_suite, SuiteProfile};
+    use powersparse_workloads::{builtin_suite, parse_suite, run_suite, EngineSpec, SuiteProfile};
 
     // Strict argument parsing: a mistyped flag must not silently fall
     // back to the full builtin suite (the spec-file parser rejects
@@ -598,17 +635,21 @@ fn suite_cmd(args: &[String]) {
     let mut diff: Option<(String, String)> = None;
     let mut tolerance = 0.0f64;
     let mut saw_tolerance = false;
+    let mut force_engine: Option<String> = None;
+    let mut ignore_engine = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
-            "--out" | "--spec" => {
+            "--ignore-engine" => ignore_engine = true,
+            "--out" | "--spec" | "--force-engine" => {
                 let value = it.next().unwrap_or_else(|| {
                     eprintln!("{arg} requires a value");
                     std::process::exit(2);
                 });
                 match arg.as_str() {
                     "--out" => out = Some(value.clone()),
+                    "--force-engine" => force_engine = Some(value.clone()),
                     _ => spec = Some(value.clone()),
                 }
             }
@@ -639,25 +680,30 @@ fn suite_cmd(args: &[String]) {
                 eprintln!(
                     "unknown suite argument '{other}' \
                      (usage: experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] \
-                     | suite --diff OLD.json NEW.json [--tolerance FRACTION])"
+                     [--force-engine sequential|sharded|pooled] \
+                     | suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine])"
                 );
                 std::process::exit(2);
             }
         }
     }
     if let Some((old_path, new_path)) = diff {
-        if smoke || out.is_some() || spec.is_some() {
-            eprintln!("--diff compares two existing manifests; it cannot be combined with --smoke/--spec/--out");
+        if smoke || out.is_some() || spec.is_some() || force_engine.is_some() {
+            eprintln!("--diff compares two existing manifests; it cannot be combined with --smoke/--spec/--out/--force-engine");
             std::process::exit(2);
         }
-        return diff_cmd(&old_path, &new_path, tolerance);
+        return diff_cmd(&old_path, &new_path, tolerance, ignore_engine);
     }
     if saw_tolerance {
         eprintln!("--tolerance only applies to --diff");
         std::process::exit(2);
     }
+    if ignore_engine {
+        eprintln!("--ignore-engine only applies to --diff");
+        std::process::exit(2);
+    }
     let out = out.unwrap_or_else(|| "BENCH_suite.json".into());
-    let (name, scenarios) = match spec {
+    let (mut name, mut scenarios) = match spec {
         Some(path) => {
             let text = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| panic!("cannot read spec {path}: {e}"));
@@ -667,6 +713,25 @@ fn suite_cmd(args: &[String]) {
         None if smoke => ("smoke".to_string(), builtin_suite(SuiteProfile::Smoke)),
         None => ("full".to_string(), builtin_suite(SuiteProfile::Full)),
     };
+    // `--force-engine` reruns the whole matrix on one backend, keeping
+    // each scenario's worker count. The engine contract promises the
+    // counters cannot change; `suite --diff --ignore-engine` against the
+    // mixed-engine baseline turns that promise into a CI gate.
+    if let Some(engine) = force_engine {
+        for sc in &mut scenarios {
+            let shards = sc.engine.shards();
+            sc.engine = match engine.as_str() {
+                "sequential" => EngineSpec::Sequential,
+                "sharded" => EngineSpec::Sharded { shards },
+                "pooled" => EngineSpec::Pooled { shards },
+                other => {
+                    eprintln!("unknown engine '{other}' (expected sequential|sharded|pooled)");
+                    std::process::exit(2);
+                }
+            };
+        }
+        name = format!("{name}+force-{engine}");
+    }
 
     println!(
         "\n## E10: Workload suite `{name}` — {} scenarios\n",
@@ -722,9 +787,11 @@ fn suite_cmd(args: &[String]) {
 
 /// E10b — `suite --diff`: field-by-field manifest regression comparison.
 /// Exits nonzero when a baseline run is missing or reshaped, a counter
-/// grew beyond the tolerance, or a validation flipped to failed.
-fn diff_cmd(old_path: &str, new_path: &str, tolerance: f64) {
-    use powersparse_workloads::{diff_manifests, SuiteManifest};
+/// grew beyond the tolerance, or a validation flipped to failed. With
+/// `--ignore-engine`, runs are matched modulo engine backend and shard
+/// count — the cross-engine conformance gate.
+fn diff_cmd(old_path: &str, new_path: &str, tolerance: f64, ignore_engine: bool) {
+    use powersparse_workloads::{diff_manifests_with, DiffOptions, SuiteManifest};
 
     let load = |path: &str| {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -743,7 +810,14 @@ fn diff_cmd(old_path: &str, new_path: &str, tolerance: f64) {
         old.runs.len(),
         new.runs.len()
     );
-    let report = diff_manifests(&old, &new, tolerance);
+    let report = diff_manifests_with(
+        &old,
+        &new,
+        DiffOptions {
+            tolerance,
+            ignore_engine,
+        },
+    );
     print!("{report}");
     if !report.clean() {
         eprintln!("regression diff failed — see the report above");

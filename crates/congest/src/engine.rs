@@ -2,11 +2,12 @@
 //! CONGEST rounds, independently of how the execution is scheduled.
 //!
 //! The reference implementation is the sequential [`crate::sim::Simulator`]
-//! (one thread, nodes stepped in ID order). The sharded data-parallel
-//! backend lives in the `powersparse-engine` crate. Both must be
-//! **observationally identical**: same per-node outputs, same
-//! [`Metrics`] totals, same per-edge traffic — the engine contract below
-//! pins down the delivery order that makes this possible.
+//! (one thread, nodes stepped in ID order). The parallel backends live
+//! in the `powersparse-engine` crate: the scoped-scatter
+//! `ShardedSimulator` and the persistent worker-pool `PooledSimulator`.
+//! All must be **observationally identical**: same per-node outputs,
+//! same [`Metrics`] totals, same per-edge traffic — the engine contract
+//! below pins down the delivery order that makes this possible.
 //!
 //! # Engine contract
 //!
@@ -20,9 +21,39 @@
 //!    *directed edge index* (sender ID ascending, then the sender's CSR
 //!    neighbor position), FIFO within an edge. This is exactly the order
 //!    the sequential simulator produces by scanning edges in index order.
+//!    Backends may batch, splice or regroup deliveries internally as
+//!    long as the per-node inbox sequences are preserved.
 //! 3. **Identical accounting.** `rounds` increments once per step,
-//!    `bits`/`messages` and the per-edge counters accumulate identically
-//!    regardless of backend.
+//!    `bits`/`messages`, `peak_queue_depth` and the per-edge counters
+//!    accumulate identically regardless of backend.
+//! 4. **Scheduling is a backend detail.** How a backend maps node steps
+//!    to threads — fresh scoped scatters, a persistent pool behind an
+//!    epoch barrier, or a single loop — is invisible to node programs;
+//!    no trait surface exposes it. The conformance suite in
+//!    `crates/engine/tests/conformance/` holds every backend to the
+//!    three rules above across the full algorithm matrix.
+//!
+//! # Misbehaving node programs
+//!
+//! The contract is two-sided: programs that break the rules are rejected
+//! **identically on every backend** (same panic, same message), so no
+//! backend silently tolerates a program another backend would refuse:
+//!
+//! * sending to a non-neighbor panics with "… is not an edge"
+//!   ([`Outbox::send`] resolves the directed edge index first);
+//! * sending on behalf of another node panics with "attempted to send
+//!   as" (the outbox is bound to the acting node);
+//! * zero-bit messages panic with "messages must have positive size";
+//! * a state slice whose length differs from the node count panics with
+//!   "state slice must have one entry per node" in both
+//!   [`RoundPhase::step`] and [`RoundPhase::settle`].
+//!
+//! The remaining misbehavior — *writing another node's state* — is
+//! rejected statically: a step function receives `&mut S` for its own
+//! node only, and the `F: Sync` bound keeps captured context read-only
+//! across worker threads. `tests/conformance/negative.rs` in
+//! `powersparse-engine` pins the runtime rejections down on all three
+//! engines.
 //!
 //! # Writing engine-generic node programs
 //!

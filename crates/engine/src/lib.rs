@@ -1,6 +1,7 @@
-//! `powersparse-engine` — the sharded, data-parallel CONGEST round
-//! executor behind the [`RoundEngine`](powersparse_congest::RoundEngine)
-//! trait of `powersparse-congest`.
+//! `powersparse-engine` — the parallel CONGEST round executors behind
+//! the [`RoundEngine`](powersparse_congest::RoundEngine) trait of
+//! `powersparse-congest`: the scoped-scatter [`ShardedSimulator`] and
+//! the persistent worker-pool [`PooledSimulator`].
 //!
 //! # Architecture: shards, mailboxes, barriers
 //!
@@ -34,15 +35,27 @@
 //! rule of the engine contract (`powersparse_congest::engine` module
 //! docs) holds bit-for-bit: results do not depend on the shard count.
 //!
-//! # Threading
+//! # Threading: scoped scatters vs. the persistent pool
 //!
-//! Workers are `std::thread::scope` threads (the toolchain is vendored
-//! offline, so no rayon; the scoped-scatter pattern below is what rayon
-//! would do for this fixed-shape workload anyway). The worker count
-//! honors, in order: an explicit [`ShardedSimulator::with_shards`],
+//! [`ShardedSimulator`]'s workers are `std::thread::scope` threads (the
+//! toolchain is vendored offline, so no rayon; the scoped-scatter
+//! pattern below is what rayon would do for this fixed-shape workload
+//! anyway). That costs two full spawn/join scatters per round — the
+//! dominant overhead below ~10⁴ nodes, where per-round work no longer
+//! hides it. [`PooledSimulator`] removes it: worker threads are spawned
+//! once, when the engine is built, and parked on an epoch barrier
+//! (condvar + generation counter), so each round costs two barrier
+//! waits instead; its receiver stage also splices whole shard-to-shard
+//! delivery buffers (one memcpy-style `Vec::append` per shard pair)
+//! instead of pushing per message, deferring per-node grouping to a
+//! counting sort in the owning worker's next step (see
+//! [`pooled`]). The shared layout/routing invariants both backends obey
+//! live in [`routing`].
+//!
+//! The worker count honors, in order: an explicit `with_shards`,
 //! `POWERSPARSE_THREADS`, `RAYON_NUM_THREADS` (kept for compatibility
 //! with rayon-based tooling), then the machine's available parallelism.
-//! With one shard the engine runs inline with no thread overhead.
+//! With one shard either engine runs inline with no thread overhead.
 //!
 //! # Example
 //!
@@ -62,6 +75,11 @@
 //! assert_eq!(seq.metrics(), par.metrics());
 //! ```
 
+mod pool;
+pub mod pooled;
+pub mod routing;
 pub mod sharded;
 
-pub use sharded::{default_shards, ShardedPhase, ShardedSimulator};
+pub use pooled::{PooledPhase, PooledSimulator};
+pub use routing::default_shards;
+pub use sharded::{ShardedPhase, ShardedSimulator};

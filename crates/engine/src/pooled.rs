@@ -1,0 +1,611 @@
+//! The persistent-pool executor: [`PooledSimulator`] and its phase type.
+//!
+//! Same shard layout, same two-stage round structure and same engine
+//! contract as [`crate::ShardedSimulator`] (the shared pieces live in
+//! [`crate::routing`]), with two scheduling differences that matter
+//! below ~10⁴ nodes, where per-round work no longer hides the
+//! coordination cost:
+//!
+//! 1. **Persistent workers.** Worker threads are spawned once, when the
+//!    engine is built, and parked on an epoch barrier
+//!    ([`crate::pool::WorkerPool`]). Each round costs two barrier waits
+//!    instead of two full `std::thread::scope` spawn/join scatters.
+//! 2. **Batched transfer.** The receiver side of a round splices each
+//!    shard-to-shard delivery buffer onto the receiver shard's
+//!    contiguous *arrival run* — one `Vec::append` (a memcpy-style move)
+//!    per shard pair instead of a push per message. The per-node
+//!    grouping the step handler needs is deferred to the next stage 1,
+//!    where the worker that owns those nodes materializes it with a
+//!    stable counting sort into a flat, reused buffer (two linear
+//!    passes, no per-node allocation). Splicing in sender-shard order
+//!    keeps the run in ascending global edge order, and the counting
+//!    sort is stable, so delivery order is bit-for-bit the sequential
+//!    reference order.
+//!
+//! Outputs and [`Metrics`] (totals, `peak_queue_depth`, per-edge
+//! traffic) are identical to both other backends at every shard count —
+//! the conformance suite in `tests/conformance/` pins this down.
+
+use crate::pool::{DisjointChunks, DisjointSlice, WorkerPool};
+use crate::routing::{
+    capped_default_shards, deliveries_pending, flush_shard_sends, Routed, ShardLayout,
+};
+use powersparse_congest::engine::{
+    dir_edge_index, Delivery, EdgeQueue, Message, Metrics, Outbox, RoundEngine, RoundPhase,
+    SendRecord,
+};
+use powersparse_congest::sim::SimConfig;
+use powersparse_graphs::{Graph, NodeId};
+use std::ops::Range;
+
+/// The persistent worker-pool round engine.
+#[derive(Debug)]
+pub struct PooledSimulator<'g> {
+    graph: &'g Graph,
+    config: SimConfig,
+    metrics: Metrics,
+    layout: ShardLayout,
+    pool: WorkerPool,
+}
+
+impl<'g> PooledSimulator<'g> {
+    /// Creates a pooled engine with the default worker count
+    /// ([`capped_default_shards`]).
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        Self::with_shards(graph, config, capped_default_shards(graph))
+    }
+
+    /// Creates a pooled engine with an explicit shard/worker count; the
+    /// worker threads are spawned here, once, and live until the engine
+    /// is dropped. Results are identical for every count (the engine
+    /// contract); only wall-clock time changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_shards(graph: &'g Graph, config: SimConfig, shards: usize) -> Self {
+        let layout = ShardLayout::new(graph, shards);
+        let pool = WorkerPool::new(layout.shards());
+        Self {
+            graph,
+            config,
+            metrics: Metrics::for_graph(graph),
+            layout,
+            pool,
+        }
+    }
+
+    /// Number of shards (= persistent workers, including the caller).
+    pub fn shards(&self) -> usize {
+        self.layout.shards()
+    }
+}
+
+impl<'g> RoundEngine for PooledSimulator<'g> {
+    type Phase<'s, M: Message>
+        = PooledPhase<'s, 'g, M>
+    where
+        Self: 's;
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn bandwidth(&self) -> usize {
+        self.config.bandwidth
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn charge_rounds(&mut self, r: u64) {
+        self.metrics.rounds += r;
+        self.metrics.charged_rounds += r;
+    }
+
+    fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
+        self.metrics.edge_messages[dir_edge_index(self.graph, u, v)]
+    }
+
+    fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
+        self.metrics.edge_bits[dir_edge_index(self.graph, u, v)]
+    }
+
+    fn phase<M: Message>(&mut self) -> PooledPhase<'_, 'g, M> {
+        let dir_edges = 2 * self.graph.m();
+        let shards = self.layout.shards();
+        PooledPhase {
+            queues: vec![EdgeQueue::new(); dir_edges],
+            arrivals: (0..shards).map(|_| Vec::new()).collect(),
+            scratch: (0..shards).map(|_| DistScratch::default()).collect(),
+            send_bufs: (0..shards).map(|_| Vec::new()).collect(),
+            cells: (0..shards * shards).map(|_| Vec::new()).collect(),
+            stage_out: vec![(0, 0, 0); shards],
+            row_ranges: (0..shards).map(|w| w * shards..(w + 1) * shards).collect(),
+            sim: self,
+        }
+    }
+}
+
+/// Per-shard distribution scratch: the counting-sort workspace that
+/// turns the shard's arrival run into per-node inbox slices. All three
+/// vectors keep their capacity across rounds.
+#[derive(Debug)]
+struct DistScratch<M> {
+    /// Inbox start offset per local node (`len = local nodes + 1` after
+    /// a distribution).
+    starts: Vec<usize>,
+    /// Write cursors of the counting sort (reset from `starts`).
+    cursors: Vec<usize>,
+    /// The flat inbox buffer: node `l`'s inbox is
+    /// `buf[starts[l]..starts[l + 1]]`.
+    buf: Vec<Delivery<M>>,
+}
+
+impl<M> Default for DistScratch<M> {
+    fn default() -> Self {
+        Self {
+            starts: Vec::new(),
+            cursors: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl<M> DistScratch<M> {
+    /// Groups the shard's arrival run (ascending global edge order,
+    /// consumed) into per-node inbox slices with a stable counting sort:
+    /// one counting pass, one placement pass, no per-node allocation.
+    fn distribute(&mut self, arrivals: &mut Vec<Routed<M>>, lo: usize, n_local: usize) {
+        let total = arrivals.len();
+        self.starts.clear();
+        self.starts.resize(n_local + 1, 0);
+        for (to, _, _) in arrivals.iter() {
+            self.starts[to.index() - lo + 1] += 1;
+        }
+        for l in 0..n_local {
+            self.starts[l + 1] += self.starts[l];
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.starts[..n_local]);
+        self.buf.clear();
+        self.buf.reserve(total);
+        let spare = self.buf.spare_capacity_mut();
+        for (to, from, msg) in arrivals.drain(..) {
+            let l = to.index() - lo;
+            let slot = self.cursors[l];
+            self.cursors[l] += 1;
+            spare[slot].write((from, msg));
+        }
+        // SAFETY: the per-node counts sum to `total` and each cursor
+        // walks its own disjoint `starts[l]..starts[l + 1]` subrange, so
+        // every slot in `0..total` was initialized exactly once above.
+        unsafe { self.buf.set_len(total) };
+    }
+
+    /// Local node `l`'s inbox slice (valid after [`Self::distribute`]).
+    fn inbox(&self, l: usize) -> &[Delivery<M>] {
+        &self.buf[self.starts[l]..self.starts[l + 1]]
+    }
+}
+
+/// Stage 1 body for one shard: distribute the shard's arrival run into
+/// per-node inbox slices, step the owned nodes, then enqueue + transfer
+/// the owned edges (the [`flush_shard_sends`] tail shared with the
+/// sharded engine). Returns the shard's bit/message totals and its peak
+/// single-edge queue depth.
+#[allow(clippy::too_many_arguments)]
+fn stage1_body<S, M, F>(
+    graph: &Graph,
+    shard_of: &[u32],
+    bw: u64,
+    nodes: Range<usize>,
+    edges: Range<usize>,
+    state: &mut [S],
+    arrivals: &mut Vec<Routed<M>>,
+    scratch: &mut DistScratch<M>,
+    queues: &mut [EdgeQueue<M>],
+    edge_bits: &mut [u64],
+    edge_messages: &mut [u64],
+    sends: &mut Vec<SendRecord<M>>,
+    row: &mut [Vec<Routed<M>>],
+    f: &F,
+) -> (u64, u64, u64)
+where
+    S: Send,
+    M: Message,
+    F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
+{
+    debug_assert!(sends.is_empty(), "send scratch not drained last round");
+    debug_assert!(
+        row.iter().all(Vec::is_empty),
+        "cell scratch not drained last round"
+    );
+    scratch.distribute(arrivals, nodes.start, nodes.len());
+    for (local, i) in nodes.enumerate() {
+        let v = NodeId::from(i);
+        let mut out = Outbox::new(graph, v, sends);
+        f(&mut state[local], v, scratch.inbox(local), &mut out);
+    }
+    flush_shard_sends(
+        graph,
+        shard_of,
+        bw,
+        edges,
+        queues,
+        edge_bits,
+        edge_messages,
+        sends,
+        row,
+    )
+}
+
+/// One typed communication phase on the pooled engine.
+///
+/// All buffers (`queues`, `arrivals`, the distribution scratch,
+/// `send_bufs`, `cells`, `stage_out`) live for the whole phase and keep
+/// their capacity round after round; the scatter bodies reach them
+/// through zero-allocation disjoint views, so a round allocates nothing
+/// beyond what the node program itself sends.
+#[derive(Debug)]
+pub struct PooledPhase<'s, 'g, M> {
+    sim: &'s mut PooledSimulator<'g>,
+    /// Per directed edge: FIFO of (remaining bits, sender, message).
+    queues: Vec<EdgeQueue<M>>,
+    /// Per receiver shard: the contiguous arrival run of messages
+    /// delivered but not yet read, in ascending global edge order.
+    arrivals: Vec<Vec<Routed<M>>>,
+    /// Per-shard counting-sort workspace.
+    scratch: Vec<DistScratch<M>>,
+    /// Per-shard reusable send buffer (drained while enqueueing).
+    send_bufs: Vec<Vec<SendRecord<M>>>,
+    /// Shard-to-shard delivery cells, rows-major like the sharded
+    /// engine's: sender shard `w` × receiver shard `r` is
+    /// `cells[w * shards + r]`.
+    cells: Vec<Vec<Routed<M>>>,
+    /// Per-shard `(bits, messages, peak)` result slots of stage 1.
+    stage_out: Vec<(u64, u64, u64)>,
+    /// Cell-row range of each sender shard: `w * shards..(w+1) * shards`.
+    row_ranges: Vec<Range<usize>>,
+}
+
+impl<M: Message> PooledPhase<'_, '_, M> {
+    /// Executes one round through the two barrier-separated stages; with
+    /// one shard both run inline on the calling thread.
+    fn run_round<S, F>(&mut self, state: &mut [S], f: &F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
+    {
+        let sim = &mut *self.sim;
+        let n = sim.graph.n();
+        assert_eq!(state.len(), n, "state slice must have one entry per node");
+        let shards = sim.layout.shards();
+        let bw = sim.config.bandwidth as u64;
+        let graph = sim.graph;
+        let layout = &sim.layout;
+        let pool = &sim.pool;
+        debug_assert_eq!(pool.workers(), shards, "pool sized to the layout");
+
+        // --- Stage 1: distribute + step + enqueue + transfer. Every
+        // phase-lived buffer is handed to its owning worker through a
+        // disjoint view — no per-round work-item collection. ---
+        {
+            let state_c = DisjointChunks::new(state, &layout.node_ranges);
+            let queues_c = DisjointChunks::new(&mut self.queues, &layout.edge_ranges);
+            let ebits_c = DisjointChunks::new(&mut sim.metrics.edge_bits, &layout.edge_ranges);
+            let emsgs_c = DisjointChunks::new(&mut sim.metrics.edge_messages, &layout.edge_ranges);
+            let rows_c = DisjointChunks::new(&mut self.cells, &self.row_ranges);
+            let arrivals_s = DisjointSlice::new(&mut self.arrivals);
+            let scratch_s = DisjointSlice::new(&mut self.scratch);
+            let sends_s = DisjointSlice::new(&mut self.send_bufs);
+            let out_s = DisjointSlice::new(&mut self.stage_out);
+            pool.scatter(&|w| {
+                // SAFETY: worker `w` touches only chunk/element `w` of
+                // every view (shard `w`'s nodes, edges and scratch).
+                unsafe {
+                    *out_s.get(w) = stage1_body(
+                        graph,
+                        &layout.shard_of,
+                        bw,
+                        layout.node_ranges[w].clone(),
+                        layout.edge_ranges[w].clone(),
+                        state_c.chunk(w),
+                        arrivals_s.get(w),
+                        scratch_s.get(w),
+                        queues_c.chunk(w),
+                        ebits_c.chunk(w),
+                        emsgs_c.chunk(w),
+                        sends_s.get(w),
+                        rows_c.chunk(w),
+                        f,
+                    );
+                }
+            });
+        }
+        for &(bits, msgs, peak) in &self.stage_out {
+            sim.metrics.bits += bits;
+            sim.metrics.messages += msgs;
+            sim.metrics.peak_queue_depth = sim.metrics.peak_queue_depth.max(peak);
+        }
+
+        // --- Stage 2: splice the delivery cells onto the receiver
+        // shards' arrival runs, in sender-shard order (= ascending edge
+        // order) — one memcpy-style append per shard pair. Skipped
+        // entirely on quiet transfer rounds. ---
+        if self.cells.iter().any(|c| !c.is_empty()) {
+            let cells_s = DisjointSlice::new(&mut self.cells);
+            let arrivals_s = DisjointSlice::new(&mut self.arrivals);
+            pool.scatter(&|r| {
+                // SAFETY: receiver `r` appends only to its own arrival
+                // run and drains only its own strided cell column
+                // `{w · shards + r}` — disjoint across receivers; cells
+                // were filled by stage 1, behind the pool barrier.
+                let run = unsafe { arrivals_s.get(r) };
+                for w in 0..shards {
+                    // Ascending `w` keeps the run in sender-shard order.
+                    run.append(unsafe { cells_s.get(w * shards + r) });
+                }
+            });
+        }
+        sim.metrics.rounds += 1;
+    }
+}
+
+impl<M: Message> RoundPhase<M> for PooledPhase<'_, '_, M> {
+    fn graph(&self) -> &Graph {
+        self.sim.graph
+    }
+
+    fn step<S, F>(&mut self, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
+    {
+        self.run_round(state, &f);
+    }
+
+    fn settle<S, F>(&mut self, max_rounds: u64, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>]) + Sync,
+    {
+        let n = self.sim.graph.n();
+        assert_eq!(state.len(), n, "state slice must have one entry per node");
+        let mut unit: Vec<()> = vec![(); n];
+        let mut spent = 0u64;
+        loop {
+            // Hand every nonempty inbox to `f`, worker-parallel — unless
+            // the shared fast-path pre-check says nothing was delivered
+            // (see `routing::deliveries_pending`).
+            if deliveries_pending(&self.arrivals) {
+                let layout = &self.sim.layout;
+                let pool = &self.sim.pool;
+                let state_c = DisjointChunks::new(state, &layout.node_ranges);
+                let arrivals_s = DisjointSlice::new(&mut self.arrivals);
+                let scratch_s = DisjointSlice::new(&mut self.scratch);
+                pool.scatter(&|w| {
+                    // SAFETY: worker `w` touches only chunk/element `w`.
+                    let (state_c, arrivals, scratch) =
+                        unsafe { (state_c.chunk(w), arrivals_s.get(w), scratch_s.get(w)) };
+                    let nodes = layout.node_ranges[w].clone();
+                    scratch.distribute(arrivals, nodes.start, nodes.len());
+                    for (local, i) in nodes.enumerate() {
+                        let inbox = scratch.inbox(local);
+                        if !inbox.is_empty() {
+                            f(&mut state_c[local], NodeId::from(i), inbox);
+                        }
+                    }
+                });
+            }
+            if !RoundPhase::in_flight(self) {
+                break;
+            }
+            assert!(spent < max_rounds, "settle exceeded {max_rounds} rounds");
+            self.run_round(&mut unit, &|_: &mut (), _, _, _: &mut Outbox<'_, M>| {});
+            spent += 1;
+        }
+    }
+
+    fn in_flight(&self) -> bool {
+        self.queues.iter().any(|q| !q.is_empty())
+    }
+
+    fn idle(&self) -> bool {
+        !RoundPhase::in_flight(self) && !deliveries_pending(&self.arrivals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powersparse_congest::sim::Simulator;
+    use powersparse_graphs::generators;
+
+    /// The same nontrivial echo program as the sharded engine's unit
+    /// tests: fragmentation, FIFO order and per-node state.
+    fn echo_program<E: RoundEngine>(eng: &mut E, rounds: usize) -> (Vec<u64>, Metrics) {
+        let n = eng.graph().n();
+        let mut acc: Vec<u64> = vec![0; n];
+        let mut phase = eng.phase::<u64>();
+        for r in 0..rounds {
+            phase.step(&mut acc, |a, v, inbox, out| {
+                for &(from, m) in inbox {
+                    *a = a.wrapping_mul(31).wrapping_add(m ^ u64::from(from.0));
+                }
+                let payload = *a ^ (v.0 as u64) << 8 | r as u64;
+                let bits = if v.0 % 2 == 1 { 200 } else { 5 };
+                out.broadcast(v, payload, bits);
+            });
+        }
+        phase.settle(10_000, &mut acc, |a, _v, inbox| {
+            for &(from, m) in inbox {
+                *a = a.wrapping_mul(31).wrapping_add(m ^ u64::from(from.0));
+            }
+        });
+        drop(phase);
+        (acc, eng.metrics().clone())
+    }
+
+    #[test]
+    fn parity_with_sequential_across_shard_counts() {
+        let g = generators::connected_gnp(150, 0.05, 9);
+        let config = SimConfig::with_bandwidth(24);
+        let mut seq = Simulator::new(&g, config);
+        let (want, want_m) = echo_program(&mut seq, 6);
+        for shards in [1usize, 2, 3, 5, 8] {
+            let mut par = PooledSimulator::with_shards(&g, config, shards);
+            let (got, got_m) = echo_program(&mut par, 6);
+            assert_eq!(got, want, "outputs diverged at {shards} shards");
+            assert_eq!(got_m, want_m, "metrics diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn inbox_order_matches_sequential() {
+        let g = generators::complete(17);
+        let config = SimConfig::for_graph(&g);
+        let collect = |eng: &mut dyn FnMut(&mut Vec<Vec<(u32, u64)>>)| {
+            let mut log: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 17];
+            eng(&mut log);
+            log
+        };
+        let mut seq = Simulator::new(&g, config);
+        let want = collect(&mut |log| {
+            let mut phase = seq.phase::<u64>();
+            RoundPhase::step(&mut phase, log, |_, v, _in, out| {
+                out.broadcast(v, u64::from(v.0) * 1000, 8);
+            });
+            phase.settle(64, log, |mine, _v, inbox| {
+                mine.extend(inbox.iter().map(|&(f, m)| (f.0, m)));
+            });
+        });
+        for shards in [2usize, 4, 7] {
+            let mut par = PooledSimulator::with_shards(&g, config, shards);
+            let got = collect(&mut |log| {
+                let mut phase = par.phase::<u64>();
+                phase.step(log, |_, v, _in, out| {
+                    out.broadcast(v, u64::from(v.0) * 1000, 8);
+                });
+                phase.settle(64, log, |mine, _v, inbox| {
+                    mine.extend(inbox.iter().map(|&(f, m)| (f.0, m)));
+                });
+            });
+            assert_eq!(got, want, "inbox order diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn phases_reuse_the_same_pool() {
+        // Two phases on one engine: the workers spawned at construction
+        // serve both (nothing is re-spawned; this also exercises pool
+        // reuse across message types).
+        let g = generators::grid(6, 8);
+        let config = SimConfig::with_bandwidth(9);
+        let mut seq = Simulator::new(&g, config);
+        let mut par = PooledSimulator::with_shards(&g, config, 5);
+        echo_program(&mut seq, 3);
+        echo_program(&mut par, 3);
+        let mut unit = vec![0usize; g.n()];
+        let mut p = par.phase::<u8>();
+        p.step(&mut unit, |_, v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, g.neighbors(v)[0], 1, 4);
+            }
+        });
+        p.settle(16, &mut unit, |s, _, inbox| *s += inbox.len());
+        drop(p);
+        let mut q = seq.phase::<u8>();
+        RoundPhase::step(&mut q, &mut vec![0usize; g.n()], |_, v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, g.neighbors(v)[0], 1, 4);
+            }
+        });
+        q.settle(16, &mut vec![0usize; g.n()], |_, _, _| {});
+        drop(q);
+        assert_eq!(seq.metrics(), RoundEngine::metrics(&par));
+        for (u, v) in g.edges() {
+            assert_eq!(seq.messages_across(u, v), par.messages_across(u, v));
+            assert_eq!(seq.bits_across(v, u), par.bits_across(v, u));
+        }
+    }
+
+    #[test]
+    fn charge_rounds_and_accessors() {
+        let g = generators::path(5);
+        let mut par = PooledSimulator::new(&g, SimConfig::for_graph(&g));
+        assert!(par.shards() >= 1);
+        par.charge_rounds(3);
+        assert_eq!(par.metrics().rounds, 3);
+        assert_eq!(par.metrics().charged_rounds, 3);
+        assert_eq!(
+            RoundEngine::bandwidth(&par),
+            SimConfig::for_graph(&g).bandwidth
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_and_tiny_graphs() {
+        let g = Graph::from_edges(4, &[(0, 1)]); // 2 isolated nodes
+        let mut par = PooledSimulator::with_shards(&g, SimConfig::for_graph(&g), 8);
+        let mut got = vec![0usize; 4];
+        let mut phase = par.phase::<u8>();
+        phase.step(&mut got, |_, v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 42, 4);
+            }
+        });
+        phase.step(&mut got, |g_, _v, inbox, _out| *g_ += inbox.len());
+        drop(phase);
+        assert_eq!(got, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn settle_counts_rounds_like_drain() {
+        let g = generators::path(2);
+        let config = SimConfig::with_bandwidth(4);
+        let mut seq = Simulator::new(&g, config);
+        {
+            let mut phase = seq.phase::<u8>();
+            phase.round(|v, _in, out| {
+                if v == NodeId(0) {
+                    out.send(v, NodeId(1), 1, 40);
+                }
+            });
+            phase.drain(64, |_, _| {});
+        }
+        let mut par = PooledSimulator::with_shards(&g, config, 2);
+        {
+            let mut unit = vec![(); 2];
+            let mut phase = par.phase::<u8>();
+            phase.step(&mut unit, |_, v, _in, out| {
+                if v == NodeId(0) {
+                    out.send(v, NodeId(1), 1, 40);
+                }
+            });
+            phase.settle(64, &mut unit, |_, _, _| {});
+        }
+        assert_eq!(seq.metrics().rounds, RoundEngine::metrics(&par).rounds);
+        assert_eq!(seq.metrics(), RoundEngine::metrics(&par));
+    }
+
+    #[test]
+    fn idle_tracks_unread_arrivals() {
+        let g = generators::path(2);
+        let mut par = PooledSimulator::with_shards(&g, SimConfig::with_bandwidth(64), 2);
+        let mut unit = vec![(); 2];
+        let mut phase = par.phase::<u8>();
+        assert!(RoundPhase::idle(&phase));
+        phase.step(&mut unit, |_, v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 7, 4);
+            }
+        });
+        // Delivered but unread: not idle, though nothing is in flight.
+        assert!(!RoundPhase::in_flight(&phase));
+        assert!(!RoundPhase::idle(&phase));
+        phase.step(&mut unit, |_, _, _, _| {});
+        assert!(RoundPhase::idle(&phase));
+    }
+}

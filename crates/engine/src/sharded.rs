@@ -1,7 +1,7 @@
 //! The sharded executor: [`ShardedSimulator`] and its phase type.
 //!
-//! See the crate docs for the architecture. The invariants that make the
-//! backend deterministic and lock-free:
+//! See the crate docs for the architecture, and [`crate::routing`] for
+//! the layout/routing invariants shared with the pooled backend:
 //!
 //! * Shards are contiguous node ranges, so each shard also owns the
 //!   contiguous range of directed edge indices of its nodes' out-edges
@@ -13,38 +13,24 @@
 //! * Stage 2 concatenates the buffers per receiver shard in sender-shard
 //!   order, which *is* ascending global edge order — the delivery order
 //!   of the sequential reference engine.
+//!
+//! This backend schedules each stage as a fresh `std::thread::scope`
+//! scatter; [`crate::PooledSimulator`] replaces the two scatters per
+//! round with two waits on a persistent pool's epoch barrier.
 
+pub use crate::routing::default_shards;
+
+use crate::routing::{
+    capped_default_shards, deliveries_pending, flush_shard_sends, route_stage, split_by_ranges,
+    Routed, ShardLayout,
+};
 use powersparse_congest::engine::{
-    dir_edge_index, transfer_queue, Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase,
-    SendRecord,
+    dir_edge_index, Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
 };
 use powersparse_congest::sim::SimConfig;
-use powersparse_graphs::partition::shard_ranges;
 use powersparse_graphs::{Graph, NodeId};
 use std::collections::VecDeque;
 use std::ops::Range;
-
-/// The worker count used by [`ShardedSimulator::new`]:
-/// `POWERSPARSE_THREADS`, else `RAYON_NUM_THREADS`, else the machine's
-/// available parallelism.
-pub fn default_shards() -> usize {
-    for var in ["POWERSPARSE_THREADS", "RAYON_NUM_THREADS"] {
-        if let Ok(s) = std::env::var(var) {
-            if let Ok(v) = s.trim().parse::<usize>() {
-                if v >= 1 {
-                    return v;
-                }
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-}
-
-/// Nodes per shard below which extra workers stop paying for themselves;
-/// [`ShardedSimulator::new`] caps the default worker count with this.
-const MIN_NODES_PER_SHARD: usize = 64;
 
 /// The sharded, data-parallel round engine.
 #[derive(Debug)]
@@ -52,22 +38,15 @@ pub struct ShardedSimulator<'g> {
     graph: &'g Graph,
     config: SimConfig,
     metrics: Metrics,
-    /// Contiguous node range owned by each shard.
-    node_ranges: Vec<Range<usize>>,
-    /// Directed-edge range owned by each shard (CSR-aligned with
-    /// `node_ranges`).
-    edge_ranges: Vec<Range<usize>>,
-    /// Owning shard of each node.
-    shard_of: Vec<u32>,
+    /// The contiguous CSR-aligned shard partition.
+    layout: ShardLayout,
 }
 
 impl<'g> ShardedSimulator<'g> {
     /// Creates a sharded engine with the default worker count
-    /// ([`default_shards`], capped so each worker keeps at least
-    /// [`MIN_NODES_PER_SHARD`] nodes).
+    /// ([`capped_default_shards`]).
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
-        let cap = (graph.n() / MIN_NODES_PER_SHARD).max(1);
-        Self::with_shards(graph, config, default_shards().min(cap))
+        Self::with_shards(graph, config, capped_default_shards(graph))
     }
 
     /// Creates a sharded engine with an explicit shard/worker count.
@@ -78,33 +57,17 @@ impl<'g> ShardedSimulator<'g> {
     ///
     /// Panics if `shards == 0`.
     pub fn with_shards(graph: &'g Graph, config: SimConfig, shards: usize) -> Self {
-        assert!(shards >= 1, "need at least one shard");
-        let shards = shards.min(graph.n().max(1));
-        let offsets = graph.offsets();
-        let node_ranges = shard_ranges(graph, shards);
-        let edge_ranges: Vec<Range<usize>> = node_ranges
-            .iter()
-            .map(|r| offsets[r.start] as usize..offsets[r.end] as usize)
-            .collect();
-        let mut shard_of = vec![0u32; graph.n()];
-        for (w, r) in node_ranges.iter().enumerate() {
-            for s in &mut shard_of[r.clone()] {
-                *s = w as u32;
-            }
-        }
         Self {
             graph,
             config,
             metrics: Metrics::for_graph(graph),
-            node_ranges,
-            edge_ranges,
-            shard_of,
+            layout: ShardLayout::new(graph, shards),
         }
     }
 
     /// Number of shards (= worker threads in parallel stages).
     pub fn shards(&self) -> usize {
-        self.node_ranges.len()
+        self.layout.shards()
     }
 }
 
@@ -142,7 +105,7 @@ impl<'g> RoundEngine for ShardedSimulator<'g> {
     fn phase<M: Message>(&mut self) -> ShardedPhase<'_, 'g, M> {
         let n = self.graph.n();
         let dir_edges = 2 * self.graph.m();
-        let shards = self.node_ranges.len();
+        let shards = self.layout.shards();
         ShardedPhase {
             queues: vec![VecDeque::new(); dir_edges],
             inboxes: vec![Vec::new(); n],
@@ -152,9 +115,6 @@ impl<'g> RoundEngine for ShardedSimulator<'g> {
         }
     }
 }
-
-/// A delivery routed between shards: `(receiver, sender, payload)`.
-type Routed<M> = (NodeId, NodeId, M);
 
 /// One typed communication phase on the sharded engine.
 ///
@@ -189,12 +149,12 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
         let sim = &mut *self.sim;
         let n = sim.graph.n();
         assert_eq!(state.len(), n, "state slice must have one entry per node");
-        let shards = sim.node_ranges.len();
+        let shards = sim.layout.shards();
         let bw = sim.config.bandwidth as u64;
         let graph = sim.graph;
-        let shard_of = &sim.shard_of;
-        let node_ranges = &sim.node_ranges;
-        let edge_ranges = &sim.edge_ranges;
+        let shard_of = &sim.layout.shard_of;
+        let node_ranges = &sim.layout.node_ranges;
+        let edge_ranges = &sim.layout.edge_ranges;
 
         // --- Stage 1: step + enqueue + transfer, per sender shard. ---
         let mut bits_total = 0u64;
@@ -302,11 +262,10 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
     }
 }
 
-/// Stage 1 body for one shard: step the owned nodes, enqueue their sends
-/// on the owned edges, transfer the owned edges. Deliveries are bucketed
-/// by receiver shard into `row` (this shard's row of the phase's cell
-/// matrix); returns the shard's bit/message totals and its peak
-/// single-edge queue depth.
+/// Stage 1 body for one shard: step the owned nodes against their
+/// mailboxes, then enqueue + transfer the owned edges (the
+/// [`flush_shard_sends`] tail shared with the pooled engine). Returns
+/// the shard's bit/message totals and its peak single-edge queue depth.
 #[allow(clippy::too_many_arguments)]
 fn sender_stage<S, M, F>(
     graph: &Graph,
@@ -340,67 +299,17 @@ where
         let mut out = Outbox::new(graph, v, sends);
         f(&mut state[local], v, &inbox, &mut out);
     }
-    // Enqueue. A node's out-edges all lie in the shard's edge range
-    // (CSR alignment), so this writes only shard-owned queues/counters.
-    let mut bits_total = 0u64;
-    for SendRecord {
-        edge,
-        bits,
-        from,
-        msg,
-    } in sends.drain(..)
-    {
-        debug_assert!(edges.contains(&edge), "send escaped its shard's edge range");
-        let e = edge - edges.start;
-        bits_total += bits;
-        edge_bits[e] += bits;
-        queues[e].push_back((bits, from, msg));
-    }
-    // Transfer: move up to `bw` bits per owned edge, in ascending edge
-    // order; bucket completed messages by receiver shard.
-    let mut msgs_total = 0u64;
-    let mut peak = 0u64;
-    for (e, queue) in queues.iter_mut().enumerate() {
-        if queue.is_empty() {
-            continue;
-        }
-        peak = peak.max(queue.len() as u64);
-        let to = graph.edge_target(edges.start + e);
-        transfer_queue(queue, bw, |from, msg| {
-            msgs_total += 1;
-            edge_messages[e] += 1;
-            row[shard_of[to.index()] as usize].push((to, from, msg));
-        });
-    }
-    (bits_total, msgs_total, peak)
-}
-
-/// Stage 2 body for one shard: drain the cells bound for the shard's
-/// nodes (given in sender-shard order) into their mailboxes. Draining
-/// (rather than consuming) the cells keeps their capacity for the next
-/// round.
-fn route_stage<M>(inboxes: &mut [Vec<Delivery<M>>], col: Vec<&mut Vec<Routed<M>>>, lo: usize) {
-    for cell in col {
-        for (to, from, msg) in cell.drain(..) {
-            inboxes[to.index() - lo].push((from, msg));
-        }
-    }
-}
-
-/// Splits `slice` into disjoint mutable chunks along contiguous `ranges`
-/// (which must start at 0 and cover the slice).
-fn split_by_ranges<'a, T>(mut slice: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
-    let mut out = Vec::with_capacity(ranges.len());
-    let mut offset = 0;
-    for r in ranges {
-        debug_assert_eq!(r.start, offset, "ranges must be contiguous from 0");
-        let (head, tail) = slice.split_at_mut(r.len());
-        out.push(head);
-        slice = tail;
-        offset = r.end;
-    }
-    debug_assert!(slice.is_empty(), "ranges must cover the whole slice");
-    out
+    flush_shard_sends(
+        graph,
+        shard_of,
+        bw,
+        edges,
+        queues,
+        edge_bits,
+        edge_messages,
+        sends,
+        row,
+    )
 }
 
 impl<M: Message> RoundPhase<M> for ShardedPhase<'_, '_, M> {
@@ -426,12 +335,11 @@ impl<M: Message> RoundPhase<M> for ShardedPhase<'_, '_, M> {
         let mut unit: Vec<()> = vec![(); n];
         let mut spent = 0u64;
         loop {
-            // Hand every nonempty inbox to `f`, shard-parallel. Checked
-            // up front: on quiet rounds (fragmented messages still
-            // crossing, nothing delivered yet) every inbox is empty and
-            // fanning out a thread scope would be pure overhead.
-            if self.inboxes.iter().any(|b| !b.is_empty()) {
-                let node_ranges = &self.sim.node_ranges;
+            // Hand every nonempty inbox to `f`, shard-parallel — unless
+            // the shared fast-path pre-check says nothing was delivered
+            // (see `routing::deliveries_pending`).
+            if deliveries_pending(&self.inboxes) {
+                let node_ranges = &self.sim.layout.node_ranges;
                 let shards = node_ranges.len();
                 let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
                 let state_chunks = split_by_ranges(state, node_ranges);
@@ -475,7 +383,7 @@ impl<M: Message> RoundPhase<M> for ShardedPhase<'_, '_, M> {
     }
 
     fn idle(&self) -> bool {
-        !RoundPhase::in_flight(self) && self.inboxes.iter().all(Vec::is_empty)
+        !RoundPhase::in_flight(self) && !deliveries_pending(&self.inboxes)
     }
 }
 

@@ -1,0 +1,92 @@
+//! The deterministic conformance matrix, instantiated for both parallel
+//! backends at every [`harness::SHARD_GRID`] count, plus the
+//! acceptance-scale and deep-pipeline checks.
+
+use crate::harness::{
+    self, assert_case_conformance, Algorithm, Case, EngineFactory, PooledFactory, ShardedFactory,
+};
+use powersparse::mis::luby_mis;
+use powersparse_congest::engine::RoundEngine;
+use powersparse_congest::sim::SimConfig;
+use powersparse_engine::{PooledSimulator, ShardedSimulator};
+use powersparse_graphs::{check, generators, Graph};
+
+#[test]
+fn sharded_passes_the_full_matrix() {
+    harness::run_full_matrix(&ShardedFactory);
+}
+
+#[test]
+fn pooled_passes_the_full_matrix() {
+    harness::run_full_matrix(&PooledFactory);
+}
+
+/// The delay-based MPX clustering path of the network decomposition (the
+/// diameter regime where the trivial single-cluster shortcut is barred)
+/// exercises `delayed_bfs` and `safe_nodes` with real token traffic. A
+/// long cycle forces it; checked on both backends at an inline and a
+/// parallel shard count.
+#[test]
+fn delayed_bfs_path_conforms_on_both_backends() {
+    let case = Case::new(
+        "nd/cycle-420",
+        generators::cycle(420),
+        1,
+        Algorithm::PowerNd { k: 1 },
+    );
+    // Sanity: the delay regime really forms several clusters (otherwise
+    // this case would not exercise the deep token-traffic path).
+    let mut seq =
+        powersparse_congest::sim::Simulator::new(&case.graph, SimConfig::for_graph(&case.graph));
+    let nd = powersparse::nd::power_nd(&mut seq, 1, &powersparse::TheoryParams::scaled()).unwrap();
+    assert!(nd.color.len() > 1, "must have formed several clusters");
+    assert_case_conformance(&ShardedFactory, &case, &[1, 4]);
+    assert_case_conformance(&PooledFactory, &case, &[1, 4]);
+}
+
+/// One shard versus the machine-default worker count: same bits, same
+/// results, on both backends. This is the `RAYON_NUM_THREADS=1` vs
+/// default determinism claim, checked without mutating the test
+/// process's environment.
+#[test]
+fn one_shard_matches_default_shards() {
+    let g: Graph = generators::connected_gnp(400, 0.02, 31);
+    let config = SimConfig::for_graph(&g);
+    let mut one = ShardedSimulator::with_shards(&g, config, 1);
+    let mut dflt = ShardedSimulator::new(&g, config);
+    let a = luby_mis(&mut one, 2, 13);
+    let b = luby_mis(&mut dflt, 2, 13);
+    assert_eq!(a, b, "sharded default ({}) diverged", dflt.shards());
+    assert_eq!(RoundEngine::metrics(&one), RoundEngine::metrics(&dflt));
+
+    let mut one = PooledSimulator::with_shards(&g, config, 1);
+    let mut dflt = PooledSimulator::new(&g, config);
+    let c = luby_mis(&mut one, 2, 13);
+    let d = luby_mis(&mut dflt, 2, 13);
+    assert_eq!(c, d, "pooled default ({}) diverged", dflt.shards());
+    assert_eq!(RoundEngine::metrics(&one), RoundEngine::metrics(&dflt));
+    assert_eq!(a, c, "backends diverged from each other");
+}
+
+/// The full acceptance-scale check at a size where sharding matters:
+/// Luby MIS on a 20k-node random graph at 8 shards, bit-for-bit against
+/// the reference, on both backends.
+#[test]
+fn large_graph_luby_conformance() {
+    let n = 20_000;
+    let case = Case::new(
+        "luby/gnp-20k",
+        generators::connected_gnp(n, 6.0 / n as f64, 77),
+        5,
+        Algorithm::LubyMis { k: 1 },
+    );
+    assert_case_conformance(&ShardedFactory, &case, &[8]);
+    assert_case_conformance(&PooledFactory, &case, &[8]);
+    // And the reference output is a valid MIS of G (not just equal).
+    let (_, metrics) = harness::reference(&case);
+    assert!(metrics.rounds > 0);
+    let config = SimConfig::for_graph(&case.graph);
+    let mut eng = PooledFactory.build(&case.graph, config, 8);
+    let mis = luby_mis(&mut eng, 1, 5);
+    assert!(check::is_mis(&case.graph, &generators::members(&mis)));
+}

@@ -1,0 +1,146 @@
+//! The negative side of the engine contract: a deliberately misbehaving
+//! `RoundPhase` program must be rejected **identically on all three
+//! engines** — same panic, same message — so no backend silently
+//! tolerates an illegal node program another backend would reject.
+//!
+//! The misbehaviors a node program can express at runtime:
+//!
+//! * sending to a node that is not a `G`-neighbor (a non-edge),
+//! * sending on behalf of another node (sender spoofing),
+//! * sending a zero-bit message,
+//! * handing `step`/`settle` a state slice of the wrong length.
+//!
+//! The remaining misbehavior named by the contract — *writing outside
+//! the node's own state slice* — is rejected statically: a step function
+//! receives only `&mut S` for its own node, so there is nothing to test
+//! at runtime. See the "Misbehaving node programs" section of the
+//! `powersparse_congest::engine` module docs.
+
+use powersparse_congest::engine::{RoundEngine, RoundPhase};
+use powersparse_congest::sim::{SimConfig, Simulator};
+use powersparse_engine::{PooledSimulator, ShardedSimulator};
+use powersparse_graphs::{generators, NodeId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The runtime-detectable contract violations.
+#[derive(Debug, Clone, Copy)]
+enum Misbehavior {
+    /// Node 0 sends to node 2 on `path(4)` — not an edge.
+    NonEdgeSend,
+    /// Node 0 sends pretending to be node 1.
+    SpoofedSender,
+    /// Node 0 sends a message of zero bits.
+    ZeroBits,
+    /// The state slice has one entry too many.
+    WrongStateLen,
+}
+
+/// Runs the misbehaving program on `eng` and returns the panic message.
+fn misbehavior_message<E: RoundEngine>(eng: &mut E, mis: Misbehavior) -> String {
+    let n = eng.graph().n();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let mut phase = eng.phase::<u8>();
+        let mut state = vec![0u8; n + usize::from(matches!(mis, Misbehavior::WrongStateLen))];
+        phase.step(&mut state, |_, v, _in, out| {
+            if v != NodeId(0) {
+                return;
+            }
+            match mis {
+                Misbehavior::NonEdgeSend => out.send(v, NodeId(2), 1, 4),
+                Misbehavior::SpoofedSender => out.send(NodeId(1), NodeId(2), 1, 4),
+                Misbehavior::ZeroBits => out.send(v, NodeId(1), 1, 0),
+                Misbehavior::WrongStateLen => {}
+            }
+        });
+    }))
+    .expect_err("misbehaving phase must panic");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".into())
+}
+
+/// Asserts that the misbehavior panics with the same message on the
+/// sequential, sharded and pooled engines (several shard counts, so the
+/// offending node lands both on the coordinator's shard and on helper
+/// threads).
+fn assert_identical_rejection(mis: Misbehavior, expected_fragment: &str) {
+    let g = generators::path(4);
+    let config = SimConfig::for_graph(&g);
+    let mut messages = Vec::new();
+    messages.push((
+        "sequential".to_string(),
+        misbehavior_message(&mut Simulator::new(&g, config), mis),
+    ));
+    for shards in [1usize, 2, 4] {
+        messages.push((
+            format!("sharded{shards}"),
+            misbehavior_message(&mut ShardedSimulator::with_shards(&g, config, shards), mis),
+        ));
+        messages.push((
+            format!("pooled{shards}"),
+            misbehavior_message(&mut PooledSimulator::with_shards(&g, config, shards), mis),
+        ));
+    }
+    let (ref_engine, ref_msg) = &messages[0];
+    assert!(
+        ref_msg.contains(expected_fragment),
+        "{ref_engine}: unexpected panic message `{ref_msg}` for {mis:?}"
+    );
+    for (engine, msg) in &messages[1..] {
+        assert_eq!(
+            msg, ref_msg,
+            "{engine} rejected {mis:?} differently from {ref_engine}"
+        );
+    }
+}
+
+#[test]
+fn non_edge_send_rejected_identically() {
+    assert_identical_rejection(Misbehavior::NonEdgeSend, "is not an edge");
+}
+
+#[test]
+fn spoofed_sender_rejected_identically() {
+    assert_identical_rejection(Misbehavior::SpoofedSender, "attempted to send as");
+}
+
+#[test]
+fn zero_bit_message_rejected_identically() {
+    assert_identical_rejection(Misbehavior::ZeroBits, "positive size");
+}
+
+#[test]
+fn wrong_state_length_rejected_identically() {
+    assert_identical_rejection(
+        Misbehavior::WrongStateLen,
+        "state slice must have one entry per node",
+    );
+}
+
+/// The settle entry point enforces the state-slice discipline too.
+#[test]
+fn settle_rejects_wrong_state_length_identically() {
+    fn settle_panic<E: RoundEngine>(eng: &mut E) -> String {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let mut phase = eng.phase::<u8>();
+            let mut state = vec![0u8; 2]; // n = 3
+            phase.settle(8, &mut state, |_, _, _| {});
+        }))
+        .expect_err("must panic");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default()
+    }
+    let g = generators::path(3);
+    let config = SimConfig::for_graph(&g);
+    let msgs = [
+        settle_panic(&mut Simulator::new(&g, config)),
+        settle_panic(&mut ShardedSimulator::with_shards(&g, config, 2)),
+        settle_panic(&mut PooledSimulator::with_shards(&g, config, 2)),
+    ];
+    assert!(msgs[0].contains("state slice"), "{}", msgs[0]);
+    assert_eq!(msgs[0], msgs[1]);
+    assert_eq!(msgs[0], msgs[2]);
+}

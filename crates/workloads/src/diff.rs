@@ -15,8 +15,16 @@
 //! Improvements and newly added runs are reported but never gate.
 //! Wall-clock fields are deliberately ignored: they vary per machine,
 //! while every gated field is bit-deterministic per seed.
+//!
+//! [`DiffOptions::ignore_engine`] turns the diff into a **cross-engine
+//! conformance gate**: runs are matched modulo the engine backend and
+//! shard count (which the engine contract says cannot affect any gated
+//! counter), so a manifest produced by `suite --force-engine pooled` can
+//! be compared field by field against the committed mixed-engine
+//! baseline — CI gates the pooled backend this way.
 
 use crate::manifest::{RunRecord, SuiteManifest};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -88,11 +96,26 @@ pub struct ShapeChange {
     pub new: String,
 }
 
+/// How a manifest comparison is performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DiffOptions {
+    /// Relative slack on every cost counter: a counter regresses when
+    /// `new > old · (1 + tolerance)` and improves when
+    /// `new < old · (1 − tolerance)`. Validation verdicts ignore it.
+    pub tolerance: f64,
+    /// Match runs modulo engine backend and shard count (the engine
+    /// contract makes every gated counter identical across backends),
+    /// and skip the `engine`/`shards` shape fields.
+    pub ignore_engine: bool,
+}
+
 /// The outcome of [`diff_manifests`].
 #[derive(Debug, Clone, Default)]
 pub struct DiffReport {
     /// Relative tolerance the comparison ran with.
     pub tolerance: f64,
+    /// Whether runs were matched modulo engine backend.
+    pub ignore_engine: bool,
     /// Baseline runs absent from the new manifest (gating).
     pub missing: Vec<String>,
     /// Runs present only in the new manifest (informational).
@@ -122,9 +145,14 @@ impl fmt::Display for DiffReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "suite diff (tolerance {:.1}%): {} unchanged, {} regression(s), \
+            "suite diff (tolerance {:.1}%{}): {} unchanged, {} regression(s), \
              {} improvement(s), {} missing, {} reshaped, {} added",
             100.0 * self.tolerance,
+            if self.ignore_engine {
+                ", engines ignored"
+            } else {
+                ""
+            },
             self.unchanged,
             self.regressions.len(),
             self.improvements.len(),
@@ -158,24 +186,36 @@ impl fmt::Display for DiffReport {
 /// The scenario coordinates that must match before counters are
 /// comparable. The seed is part of the match *key* (two scenarios may
 /// legally share a name and differ only in seed), not a shape field.
-fn shape_fields(r: &RunRecord) -> [(&'static str, String); 8] {
-    [
+/// With `ignore_engine` the `engine`/`shards` coordinates are exempt —
+/// the engine contract guarantees they cannot change any gated counter.
+fn shape_fields(r: &RunRecord, ignore_engine: bool) -> Vec<(&'static str, String)> {
+    let mut fields = vec![
         ("family", r.family.clone()),
         ("graph", r.graph.clone()),
         ("n", r.n.to_string()),
         ("m", r.m.to_string()),
         ("k", r.k.to_string()),
         ("algorithm", r.algorithm.clone()),
-        ("engine", r.engine.clone()),
-        ("shards", r.shards.to_string()),
-    ]
+    ];
+    if !ignore_engine {
+        fields.push(("engine", r.engine.clone()));
+        fields.push(("shards", r.shards.to_string()));
+    }
+    fields
 }
 
 /// The run-matching key: the canonical scenario name does not embed the
 /// seed, so same-named runs with different seeds are distinct scenarios
-/// and must match only each other.
-fn key(r: &RunRecord) -> (&str, u64) {
-    (r.name.as_str(), r.seed)
+/// and must match only each other. With `ignore_engine` the engine
+/// suffix is dropped from the name, so the same experiment matches
+/// across backends.
+fn key(r: &RunRecord, ignore_engine: bool) -> (Cow<'_, str>, u64) {
+    let name = if ignore_engine {
+        Cow::Owned(format!("{}/k{}/{}", r.graph, r.k, r.algorithm))
+    } else {
+        Cow::Borrowed(r.name.as_str())
+    };
+    (name, r.seed)
 }
 
 /// Renders a key for the report lists.
@@ -184,28 +224,47 @@ fn key_label(r: &RunRecord) -> String {
 }
 
 /// Compares `new` against the `old` baseline, run by run and field by
-/// field. `tolerance` is the relative slack on every cost counter: a
-/// counter regresses when `new > old · (1 + tolerance)` and improves
-/// when `new < old · (1 − tolerance)`. Validation verdicts ignore the
-/// tolerance.
+/// field, with the given relative counter tolerance. Shorthand for
+/// [`diff_manifests_with`] without the engine-agnostic matching.
 pub fn diff_manifests(old: &SuiteManifest, new: &SuiteManifest, tolerance: f64) -> DiffReport {
-    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    diff_manifests_with(
+        old,
+        new,
+        DiffOptions {
+            tolerance,
+            ignore_engine: false,
+        },
+    )
+}
+
+/// Compares `new` against the `old` baseline, run by run and field by
+/// field, under [`DiffOptions`].
+pub fn diff_manifests_with(
+    old: &SuiteManifest,
+    new: &SuiteManifest,
+    opts: DiffOptions,
+) -> DiffReport {
+    assert!(opts.tolerance >= 0.0, "tolerance must be non-negative");
     let mut report = DiffReport {
-        tolerance,
+        tolerance: opts.tolerance,
+        ignore_engine: opts.ignore_engine,
         ..DiffReport::default()
     };
     // Group by key, keeping duplicates: a spec may legally list the
     // same scenario several times, and every occurrence must be
     // compared (pairing them in manifest order).
-    fn group(m: &SuiteManifest) -> BTreeMap<(&str, u64), Vec<&RunRecord>> {
-        let mut by_key: BTreeMap<(&str, u64), Vec<&RunRecord>> = BTreeMap::new();
+    fn group(
+        m: &SuiteManifest,
+        ignore_engine: bool,
+    ) -> BTreeMap<(Cow<'_, str>, u64), Vec<&RunRecord>> {
+        let mut by_key: BTreeMap<(Cow<'_, str>, u64), Vec<&RunRecord>> = BTreeMap::new();
         for r in &m.runs {
-            by_key.entry(key(r)).or_default().push(r);
+            by_key.entry(key(r, ignore_engine)).or_default().push(r);
         }
         by_key
     }
-    let old_by_key = group(old);
-    let new_by_key = group(new);
+    let old_by_key = group(old, opts.ignore_engine);
+    let new_by_key = group(new, opts.ignore_engine);
     for (k, runs) in &new_by_key {
         let matched = old_by_key.get(k).map_or(0, Vec::len);
         for r in runs.iter().skip(matched) {
@@ -220,16 +279,17 @@ pub fn diff_manifests(old: &SuiteManifest, new: &SuiteManifest, tolerance: f64) 
                 report.missing.push(key_label(o));
                 continue;
             };
-            compare_run(o, n, tolerance, &mut report);
+            compare_run(o, n, opts, &mut report);
         }
     }
     report
 }
 
 /// Compares one matched run pair and records the findings.
-fn compare_run(o: &RunRecord, n: &RunRecord, tolerance: f64, report: &mut DiffReport) {
-    let old_shape = shape_fields(o);
-    let new_shape = shape_fields(n);
+fn compare_run(o: &RunRecord, n: &RunRecord, opts: DiffOptions, report: &mut DiffReport) {
+    let tolerance = opts.tolerance;
+    let old_shape = shape_fields(o, opts.ignore_engine);
+    let new_shape = shape_fields(n, opts.ignore_engine);
     let mut reshaped = false;
     for ((field, ov), (_, nv)) in old_shape.into_iter().zip(new_shape) {
         if ov != nv {
@@ -443,6 +503,101 @@ mod tests {
         assert_eq!(report.regressions.len(), 1);
         assert_eq!(report.regressions[0].field, "charged_rounds");
         assert!(report.regressions[0].relative().is_infinite());
+    }
+
+    #[test]
+    fn tolerance_boundary_is_exclusive() {
+        // Growth exactly at `old · (1 + tolerance)` is within tolerance
+        // (the gate is strict `>`), and shrink exactly at
+        // `old · (1 − tolerance)` is likewise not an improvement.
+        let old = manifest(vec![record("a", 100, 1000, 10000)]);
+        let at_boundary = manifest(vec![record("a", 110, 900, 10000)]);
+        let report = diff_manifests(&old, &at_boundary, 0.10);
+        assert!(report.clean(), "{report}");
+        assert!(report.improvements.is_empty(), "{report}");
+        assert_eq!(report.unchanged, 1);
+        // One past the boundary gates.
+        let past = manifest(vec![record("a", 111, 1000, 10000)]);
+        let report = diff_manifests(&old, &past, 0.10);
+        assert_eq!(report.regressions.len(), 1, "{report}");
+        // And one under it is an improvement.
+        let under = manifest(vec![record("a", 100, 899, 10000)]);
+        let report = diff_manifests(&old, &under, 0.10);
+        assert!(report.clean());
+        assert_eq!(report.improvements.len(), 1, "{report}");
+    }
+
+    #[test]
+    fn empty_manifests_are_handled() {
+        let empty = manifest(vec![]);
+        let full = manifest(vec![record("a", 10, 100, 1000)]);
+        // Empty vs empty: trivially clean, nothing compared.
+        let report = diff_manifests(&empty, &empty, 0.0);
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.unchanged, 0);
+        // Empty baseline: everything is merely added, still clean.
+        let report = diff_manifests(&empty, &full, 0.0);
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.added, vec!["a (seed 42)".to_string()]);
+        // Empty new manifest against a real baseline gates.
+        let report = diff_manifests(&full, &empty, 0.0);
+        assert!(!report.clean());
+        assert_eq!(report.missing, vec!["a (seed 42)".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_runs_pair_in_manifest_order() {
+        // Two occurrences in the baseline, three in the new manifest:
+        // the first two pair positionally, the third is added — and a
+        // regression in the *second* occurrence is attributed there,
+        // not hidden by the clean first one.
+        let old = manifest(vec![record("a", 10, 100, 1000), record("a", 10, 100, 1000)]);
+        let new = manifest(vec![
+            record("a", 10, 100, 1000),
+            record("a", 99, 100, 1000),
+            record("a", 10, 100, 1000),
+        ]);
+        let report = diff_manifests(&old, &new, 0.0);
+        assert_eq!(report.added.len(), 1, "{report}");
+        assert_eq!(report.regressions.len(), 1, "{report}");
+        assert_eq!(
+            (report.regressions[0].old, report.regressions[0].new),
+            (10, 99)
+        );
+        assert_eq!(report.unchanged, 1);
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn ignore_engine_matches_runs_across_backends() {
+        // The cross-engine conformance gate: the same experiment run on
+        // a different backend (different name suffix, engine and shard
+        // coordinates) matches its baseline and compares clean when the
+        // counters are identical — the engine contract made executable.
+        let old = manifest(vec![record("g/k1/luby_mis/sequential", 10, 100, 1000)]);
+        let mut pooled = record("g/k1/luby_mis/pooled4", 10, 100, 1000);
+        pooled.engine = "pooled".into();
+        pooled.shards = 4;
+        let new = manifest(vec![pooled.clone()]);
+        // Engine-strict: nothing matches.
+        let strict = diff_manifests(&old, &new, 0.0);
+        assert_eq!(strict.missing.len(), 1);
+        assert_eq!(strict.added.len(), 1);
+        // Engine-agnostic: matched, compared, clean.
+        let opts = DiffOptions {
+            tolerance: 0.0,
+            ignore_engine: true,
+        };
+        let agnostic = diff_manifests_with(&old, &new, opts);
+        assert!(agnostic.clean(), "{agnostic}");
+        assert_eq!(agnostic.unchanged, 1);
+        assert!(agnostic.to_string().contains("engines ignored"));
+        // A counter divergence across engines still gates — that is the
+        // whole point of the conformance diff.
+        pooled.messages = 150;
+        let report = diff_manifests_with(&old, &manifest(vec![pooled]), opts);
+        assert_eq!(report.regressions.len(), 1, "{report}");
+        assert_eq!(report.regressions[0].field, "messages");
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub mod manifest;
 pub mod runner;
 pub mod scenario;
 
-pub use diff::{diff_manifests, DiffReport, FieldChange, ShapeChange};
+pub use diff::{
+    diff_manifests, diff_manifests_with, DiffOptions, DiffReport, FieldChange, ShapeChange,
+};
 pub use json::{Json, JsonError};
 pub use manifest::{PhaseWall, RunRecord, SuiteManifest, Validation};
 pub use runner::{run_scenario, run_suite, suite_params};

@@ -16,7 +16,7 @@ use powersparse::ruling::{beta_ruling_set, det_ruling_set_k2};
 use powersparse::sparsify::{sparsify_power, SamplingStrategy, SparsifyOutcome};
 use powersparse_congest::engine::{Metrics, RoundEngine};
 use powersparse_congest::sim::{SimConfig, Simulator};
-use powersparse_engine::ShardedSimulator;
+use powersparse_engine::{PooledSimulator, ShardedSimulator};
 use powersparse_graphs::{check, generators, power, Graph, NodeId};
 use std::time::Instant;
 
@@ -66,6 +66,11 @@ pub fn run_scenario(sc: &Scenario) -> Result<RunRecord, String> {
         }
         EngineSpec::Sharded { shards } => {
             let mut sim = ShardedSimulator::with_shards(&g, config, shards);
+            let out = run_generic(&mut sim, sc)?;
+            (out, RoundEngine::metrics(&sim).clone())
+        }
+        EngineSpec::Pooled { shards } => {
+            let mut sim = PooledSimulator::with_shards(&g, config, shards);
             let out = run_generic(&mut sim, sc)?;
             (out, RoundEngine::metrics(&sim).clone())
         }
@@ -386,12 +391,47 @@ mod tests {
         .k(2)
         .seed(9);
         let seq = run_scenario(&base.clone().sequential()).unwrap();
-        let par = run_scenario(&base.sharded(3)).unwrap();
-        assert!(seq.validation.passed && par.validation.passed);
-        assert_eq!(seq.rounds, par.rounds);
-        assert_eq!(seq.messages, par.messages);
-        assert_eq!(seq.bits, par.bits);
-        assert_eq!(seq.peak_queue_depth, par.peak_queue_depth);
-        assert_eq!(seq.output_size, par.output_size);
+        for par in [
+            run_scenario(&base.clone().sharded(3)).unwrap(),
+            run_scenario(&base.pooled(3)).unwrap(),
+        ] {
+            assert!(seq.validation.passed && par.validation.passed);
+            assert_eq!(seq.rounds, par.rounds, "{}", par.name);
+            assert_eq!(seq.messages, par.messages, "{}", par.name);
+            assert_eq!(seq.bits, par.bits, "{}", par.name);
+            assert_eq!(seq.peak_queue_depth, par.peak_queue_depth, "{}", par.name);
+            assert_eq!(seq.output_size, par.output_size, "{}", par.name);
+        }
+    }
+
+    #[test]
+    fn pooled_scenarios_run_and_validate() {
+        for sc in [
+            Scenario::new(GraphFamily::Grid { rows: 6, cols: 6 })
+                .k(2)
+                .seed(3)
+                .pooled(4),
+            Scenario::new(GraphFamily::Torus { rows: 6, cols: 6 })
+                .algorithm(AlgorithmSpec::Sparsify {
+                    derandomized: false,
+                })
+                .pooled(2),
+            Scenario::new(GraphFamily::Gnp {
+                n: 72,
+                avg_deg: 6.0,
+            })
+            .seed(9)
+            .algorithm(AlgorithmSpec::BetaRulingSet { beta: 2 })
+            .pooled(3),
+        ] {
+            let rec = run_scenario(&sc).unwrap();
+            assert!(
+                rec.validation.passed,
+                "{}: {}",
+                rec.name, rec.validation.detail
+            );
+            assert_eq!(rec.engine, "pooled");
+            assert!(rec.name.contains("/pooled"), "{}", rec.name);
+        }
     }
 }

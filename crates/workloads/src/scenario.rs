@@ -191,8 +191,15 @@ impl AlgorithmSpec {
 pub enum EngineSpec {
     /// The sequential reference `Simulator`.
     Sequential,
-    /// The sharded data-parallel `ShardedSimulator`.
+    /// The sharded data-parallel `ShardedSimulator` (scoped thread
+    /// scatters per round).
     Sharded {
+        /// Worker/shard count.
+        shards: usize,
+    },
+    /// The persistent worker-pool `PooledSimulator` (epoch barrier,
+    /// batched transfer).
+    Pooled {
         /// Worker/shard count.
         shards: usize,
     },
@@ -204,6 +211,7 @@ impl EngineSpec {
         match self {
             Self::Sequential => "sequential",
             Self::Sharded { .. } => "sharded",
+            Self::Pooled { .. } => "pooled",
         }
     }
 
@@ -211,7 +219,7 @@ impl EngineSpec {
     pub fn shards(&self) -> usize {
         match self {
             Self::Sequential => 1,
-            Self::Sharded { shards } => *shards,
+            Self::Sharded { shards } | Self::Pooled { shards } => *shards,
         }
     }
 }
@@ -269,6 +277,12 @@ impl Scenario {
         self
     }
 
+    /// Runs on the persistent-pool engine with `shards` workers.
+    pub fn pooled(mut self, shards: usize) -> Self {
+        self.engine = EngineSpec::Pooled { shards };
+        self
+    }
+
     /// Runs on the sequential reference engine.
     pub fn sequential(mut self) -> Self {
         self.engine = EngineSpec::Sequential;
@@ -286,7 +300,9 @@ impl Scenario {
             self.engine.id(),
             match self.engine {
                 EngineSpec::Sequential => String::new(),
-                EngineSpec::Sharded { shards } => shards.to_string(),
+                EngineSpec::Sharded { shards } | EngineSpec::Pooled { shards } => {
+                    shards.to_string()
+                }
             }
         )
     }
@@ -312,13 +328,14 @@ impl Scenario {
 /// Which built-in suite to materialize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SuiteProfile {
-    /// Small sizes, every family, both engines — CI-speed (< seconds).
+    /// Small sizes, every family, all three engines — CI-speed
+    /// (< seconds).
     Smoke,
     /// Larger sizes for real measurements; still laptop-scale.
     Full,
 }
 
-/// The curated built-in scenario suite: every graph family, both
+/// The curated built-in scenario suite: every graph family, all three
 /// engines, all four algorithm classes. The smoke profile is the one CI
 /// runs on every PR; the full profile scales sizes up for the
 /// `BENCH_*.json` trajectory.
@@ -370,13 +387,13 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
     };
     vec![
         // MIS across every family, alternating/pairing engines so each
-        // family and both engines appear.
+        // family and all three engine backends appear.
         Scenario::new(gnp.clone()).seed(42),
         Scenario::new(gnp.clone()).seed(42).sharded(sharded),
         Scenario::new(power_law.clone()).k(2).seed(7),
-        Scenario::new(power_law).k(2).seed(7).sharded(sharded),
+        Scenario::new(power_law).k(2).seed(7).pooled(sharded),
         Scenario::new(geometric.clone()).seed(3),
-        Scenario::new(geometric).seed(3).sharded(2),
+        Scenario::new(geometric).seed(3).pooled(2),
         Scenario::new(grid.clone()).k(2).sharded(sharded),
         Scenario::new(caterpillar).k(2),
         Scenario::new(broom).sharded(2),
@@ -390,7 +407,7 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
             .algorithm(Sparsify {
                 derandomized: false,
             })
-            .sharded(sharded),
+            .pooled(sharded),
         Scenario::new(cluster.clone()).k(2).algorithm(Sparsify {
             derandomized: false,
         }),
@@ -406,7 +423,7 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
             .k(2)
             .seed(11)
             .algorithm(BeepingMis)
-            .sharded(sharded),
+            .pooled(sharded),
         // The shattering MIS pipeline (Theorems 1.2/1.4), both
         // post-shattering variants, sharded.
         Scenario::new(GraphFamily::Gnp {
@@ -433,7 +450,7 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
         })
         .seed(5)
         .algorithm(BetaRulingSet { beta: 3 })
-        .sharded(sharded),
+        .pooled(sharded),
         Scenario::new(GraphFamily::Grid {
             rows: 10,
             cols: 10 * s,
@@ -446,7 +463,7 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
         })
         .k(2)
         .algorithm(DetRulingK2)
-        .sharded(2),
+        .pooled(2),
         // Network decomposition (Theorem A.1), both engines.
         Scenario::new(torus).k(2).algorithm(PowerNd),
         Scenario::new(GraphFamily::Caterpillar {
@@ -509,7 +526,7 @@ impl std::error::Error for SpecError {}
 ///                        # shatter_mis_two_phase | sparsify |
 ///                        # sparsify_derandomized | beta_ruling |
 ///                        # det_ruling_k2 | power_nd
-/// engine = "sharded"     # sequential | sharded
+/// engine = "sharded"     # sequential | sharded | pooled
 /// shards = 4
 /// ```
 ///
@@ -786,6 +803,9 @@ fn scenario_from_kv(
         "sharded" => EngineSpec::Sharded {
             shards: b.usize_or("shards", 4)?,
         },
+        "pooled" => EngineSpec::Pooled {
+            shards: b.usize_or("shards", 4)?,
+        },
         other => {
             return Err(SpecError {
                 line,
@@ -960,6 +980,26 @@ algorithm = "sparsify"   # randomized
             assert!(suite
                 .iter()
                 .any(|s| matches!(s.engine, EngineSpec::Sharded { .. })));
+            assert!(suite
+                .iter()
+                .any(|s| matches!(s.engine, EngineSpec::Pooled { .. })));
         }
+    }
+
+    #[test]
+    fn pooled_engine_parses_and_names() {
+        let suite = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"pooled\"\nshards = 3\n\n\
+             [[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"pooled\"\n",
+        )
+        .unwrap();
+        assert_eq!(suite[0].engine, EngineSpec::Pooled { shards: 3 });
+        assert_eq!(suite[0].name(), "grid(4x4)/k1/luby_mis/pooled3");
+        // `shards` defaults like the sharded engine's.
+        assert_eq!(suite[1].engine, EngineSpec::Pooled { shards: 4 });
+        let sc = Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 }).pooled(0);
+        assert!(sc.validate_spec().is_err(), "zero shards must be rejected");
     }
 }
