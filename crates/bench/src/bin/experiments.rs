@@ -2,15 +2,20 @@
 //! DESIGN.md §4) and runs the workload scenario suite. Usage:
 //!
 //! ```text
-//! experiments [all|table1-det|table1-mis|table1-ruling|fig1|sparsify|shattering|nd|derand|engines] [--scale S]
+//! experiments [all|table1-det|table1-mis|table1-ruling|fig1|sparsify|shattering|nd|derand] [--scale S]
+//! experiments engines [--out MANIFEST.json]
 //! experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] [--force-engine ENGINE]
 //! experiments suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine]
+//! experiments trend [DIR] [--out REPORT.json]
 //! ```
 //!
 //! Output is markdown; EXPERIMENTS.md archives a run. The `suite`
 //! subcommand additionally writes a structured JSON manifest (default
 //! `BENCH_suite.json`) for cross-run regression diffing, and exits
-//! nonzero if any run fails its validity checks.
+//! nonzero if any run fails its validity checks; `engines --out` writes
+//! the engine-comparison table as a manifest too (`BENCH_engine.json`
+//! is the committed instance), and `trend` renders the cost trajectory
+//! across every `BENCH_*.json` in a directory.
 
 use powersparse::mis::{beeping_mis, luby_mis, mis_power, PostShattering};
 use powersparse::nd::{diameter_bound, power_nd};
@@ -44,8 +49,9 @@ fn main() {
         "shattering" => shattering_exp(scale),
         "nd" => nd_exp(scale),
         "derand" => derand_exp(),
-        "engines" => engines_exp(),
+        "engines" => engines_cmd(&args[1..]),
         "suite" => suite_cmd(&args[1..]),
+        "trend" => trend_cmd(&args[1..]),
         "all" => {
             table1_det(scale);
             table1_mis(scale);
@@ -55,7 +61,7 @@ fn main() {
             shattering_exp(scale);
             nd_exp(scale);
             derand_exp();
-            engines_exp();
+            engines_exp(None);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -252,7 +258,10 @@ fn fig1() {
     let mut prev_bits = None;
     for hatd in [4usize, 8, 16, 32] {
         let (g, q, v, w) = generators::figure1(hatd, s);
-        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        // This experiment measures per-edge traffic on the bottleneck
+        // edge, so it opts in to per-edge accounting.
+        let config = SimConfig::for_graph(&g).with_per_edge_accounting();
+        let mut sim = Simulator::new(&g, config);
         let (mut sets, mut trees) = init_knowledge_and_trees(&mut sim, &q);
         for _ in 1..s {
             sets = extend_trees(&mut sim, &sets, &mut trees);
@@ -268,7 +277,7 @@ fn fig1() {
         let _ = q_broadcast(&mut sim, &trees, &msgs);
         let bcast = sim.messages_across(v, w) + sim.messages_across(w, v) - before;
         // Q-message load (bits).
-        let mut sim2 = Simulator::new(&g, SimConfig::for_graph(&g));
+        let mut sim2 = Simulator::new(&g, config);
         let (mut s2, mut t2) = init_knowledge_and_trees(&mut sim2, &q);
         for _ in 1..(s - 1) {
             s2 = extend_trees(&mut sim2, &s2, &mut t2);
@@ -513,16 +522,42 @@ fn derand_exp() {
     println!("  (fanout 1 loses the beep — the 2-tuple rule of Lemma 8.2 is necessary)");
 }
 
+/// Strict `engines` argument parsing: only `--out MANIFEST.json`.
+fn engines_cmd(args: &[String]) {
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--out requires a value");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            other => {
+                eprintln!("unknown engines argument '{other}' (usage: experiments engines [--out MANIFEST.json])");
+                std::process::exit(2);
+            }
+        }
+    }
+    engines_exp(out.as_deref());
+}
+
 /// E9 — Engine comparison: sequential `Simulator` vs the sharded and
 /// pooled `powersparse-engine` backends running Luby MIS on `G`, with
 /// the bit-for-bit parity of outputs and `Metrics` re-verified on every
-/// row. The pooled column pair shows what the persistent worker pool
-/// buys: below ~10⁴ nodes the two `std::thread::scope` scatters per
-/// round dominate the sharded engine's wall clock, and the pool's epoch
-/// barrier + batched splice transfer removes exactly that cost.
-fn engines_exp() {
-    use powersparse_congest::engine::RoundEngine;
+/// row. With `--out`, the table is also written as a `SuiteManifest`
+/// (suite `engines`) so `experiments trend` can track the engine
+/// trajectory alongside the scenario suite — `BENCH_engine.json` is the
+/// committed instance.
+fn engines_exp(out: Option<&str>) {
+    use powersparse_congest::engine::{Metrics, RoundEngine};
     use powersparse_engine::{PooledSimulator, ShardedSimulator};
+    use powersparse_workloads::{PhaseWall, RunRecord, SuiteManifest, Validation};
     use std::time::Instant;
 
     println!("\n## E9: Round-engine comparison — Luby MIS on G, wall clock\n");
@@ -541,14 +576,72 @@ fn engines_exp() {
         .map(String::from))
     );
     println!("{}", row(&["---"; 8].map(String::from)));
+    let mut runs: Vec<RunRecord> = Vec::new();
+    let mut record = |g: &powersparse_graphs::Graph,
+                      n: usize,
+                      engine: &str,
+                      shards: usize,
+                      metrics: &Metrics,
+                      mis_size: u64,
+                      build_us: u64,
+                      run_us: u64| {
+        runs.push(RunRecord {
+            name: format!(
+                "gnp(n={n},d=8)/k1/luby_mis/{engine}{}",
+                if engine == "sequential" {
+                    String::new()
+                } else {
+                    shards.to_string()
+                }
+            ),
+            family: "gnp".into(),
+            graph: format!("gnp(n={n},d=8)"),
+            n: n as u64,
+            m: g.m() as u64,
+            max_degree: g.max_degree() as u64,
+            k: 1,
+            seed: 42,
+            algorithm: "luby_mis".into(),
+            engine: engine.into(),
+            shards: shards as u64,
+            rounds: metrics.rounds,
+            charged_rounds: metrics.charged_rounds,
+            messages: metrics.messages,
+            bits: metrics.bits,
+            peak_queue_depth: metrics.peak_queue_depth,
+            output_size: mis_size,
+            wall: PhaseWall {
+                build_us,
+                run_us,
+                validate_us: 0,
+            },
+            validation: Validation {
+                passed: true,
+                detail: "outputs + Metrics bit-for-bit vs the sequential reference".into(),
+            },
+        });
+    };
     for n in [1_000usize, 10_000, 100_000] {
+        let t = Instant::now();
         let g = generators::connected_sparse_gnp(n, 8.0, 42);
+        let build_us = t.elapsed().as_micros() as u64;
         let config = SimConfig::for_graph(&g);
         let start = Instant::now();
         let mut seq = Simulator::new(&g, config);
         let want = luby_mis(&mut seq, 1, 3);
         let seq_wall = start.elapsed();
         assert!(check::is_mis(&g, &generators::members(&want)));
+        let mis_size = want.iter().filter(|&&b| b).count() as u64;
+        record(
+            &g,
+            n,
+            "sequential",
+            1,
+            seq.metrics(),
+            mis_size,
+            build_us,
+            seq_wall.as_micros() as u64,
+        );
         println!(
             "{}",
             row(&[
@@ -570,6 +663,16 @@ fn engines_exp() {
             assert!(
                 got == want && RoundEngine::metrics(&sharded) == seq.metrics(),
                 "sharded engine diverged at {shards} shards on n={n}"
+            );
+            record(
+                &g,
+                n,
+                "sharded",
+                shards,
+                RoundEngine::metrics(&sharded),
+                mis_size,
+                build_us,
+                sharded_wall.as_micros() as u64,
             );
             println!(
                 "{}",
@@ -595,6 +698,16 @@ fn engines_exp() {
                 got == want && RoundEngine::metrics(&pooled) == seq.metrics(),
                 "pooled engine diverged at {shards} shards on n={n}"
             );
+            record(
+                &g,
+                n,
+                "pooled",
+                shards,
+                RoundEngine::metrics(&pooled),
+                mis_size,
+                build_us,
+                pooled_wall.as_micros() as u64,
+            );
             println!(
                 "{}",
                 row(&[
@@ -614,10 +727,91 @@ fn engines_exp() {
         }
     }
     println!(
-        "\nIdentical = same MIS mask, same Metrics (rounds, messages, bits, per-edge).\n\
+        "\nIdentical = same MIS mask, same Metrics (rounds, messages, bits, peak queue depth).\n\
          `vs sharded` = sharded wall / pooled wall at the same shard count \
          (> 1.00x means the persistent pool wins)."
     );
+    if let Some(path) = out {
+        let manifest = SuiteManifest {
+            suite: "engines".into(),
+            runs,
+        };
+        std::fs::write(path, manifest.to_json_string())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nmanifest written to {path}");
+    }
+}
+
+/// E11 — `experiments trend [DIR] [--out REPORT.json]`: load every
+/// `BENCH_*.json` manifest in `DIR` (default `.`), render the
+/// per-scenario cost trajectory and optionally emit it as JSON. A
+/// malformed or unreadable manifest exits nonzero — CI runs this over
+/// the committed manifests, so a bad commit breaks the build.
+fn trend_cmd(args: &[String]) {
+    use powersparse_workloads::{SuiteManifest, TrendReport};
+
+    let mut dir: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--out requires a value");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
+            other => {
+                eprintln!(
+                    "unknown trend argument '{other}' \
+                     (usage: experiments trend [DIR] [--out REPORT.json])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let dir = dir.unwrap_or_else(|| ".".into());
+    let entries = std::fs::read_dir(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot read directory {dir}: {e}");
+        std::process::exit(2);
+    });
+    let mut manifests: Vec<(String, SuiteManifest)> = Vec::new();
+    for entry in entries {
+        let entry = entry.unwrap_or_else(|e| {
+            eprintln!("cannot list {dir}: {e}");
+            std::process::exit(2);
+        });
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path()).unwrap_or_else(|e| {
+            eprintln!("cannot read manifest {name}: {e}");
+            std::process::exit(2);
+        });
+        let manifest = SuiteManifest::parse(&text).unwrap_or_else(|e| {
+            eprintln!("malformed manifest {name}: {e}");
+            std::process::exit(2);
+        });
+        manifests.push((name, manifest));
+    }
+    if manifests.is_empty() {
+        eprintln!("no BENCH_*.json manifests found in {dir}");
+        std::process::exit(2);
+    }
+    let report = TrendReport::from_manifests(&manifests);
+    println!("\n## E11: Manifest trend — `{dir}`\n");
+    print!("{}", report.render_markdown());
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json().to_string_pretty())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\ntrend report written to {path}");
+    }
 }
 
 /// E10 — The workload scenario suite: the declarative graph-family ×

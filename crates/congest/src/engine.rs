@@ -20,18 +20,51 @@
 //!    round are appended to the receiver's inbox ordered by the sender's
 //!    *directed edge index* (sender ID ascending, then the sender's CSR
 //!    neighbor position), FIFO within an edge. This is exactly the order
-//!    the sequential simulator produces by scanning edges in index order.
-//!    Backends may batch, splice or regroup deliveries internally as
-//!    long as the per-node inbox sequences are preserved.
+//!    the sequential simulator produces by transferring active edges in
+//!    ascending index order. Backends may batch, splice or regroup
+//!    deliveries internally as long as the per-node inbox sequences are
+//!    preserved.
 //! 3. **Identical accounting.** `rounds` increments once per step,
-//!    `bits`/`messages`, `peak_queue_depth` and the per-edge counters
-//!    accumulate identically regardless of backend.
+//!    `bits`/`messages` and `peak_queue_depth` accumulate identically
+//!    regardless of backend; so do the per-edge counters whenever
+//!    per-edge accounting is enabled (see below).
 //! 4. **Scheduling is a backend detail.** How a backend maps node steps
 //!    to threads — fresh scoped scatters, a persistent pool behind an
 //!    epoch barrier, or a single loop — is invisible to node programs;
 //!    no trait surface exposes it. The conformance suite in
 //!    `crates/engine/tests/conformance/` holds every backend to the
-//!    three rules above across the full algorithm matrix.
+//!    three rules above across the full algorithm matrix, under both
+//!    accounting modes.
+//!
+//! # The flat message core
+//!
+//! All three backends queue in-flight messages in the shared arena core
+//! [`crate::msgcore::MsgCore`] (the sequential engine holds one over the
+//! whole graph; each shard of a parallel backend holds one over its
+//! CSR-aligned edge range): a single flat cell arena with intrusive
+//! per-edge FIFOs, 12-byte per-edge cursors and an **active-edge
+//! worklist**. Enqueue is a bump-append, a transfer step visits only
+//! edges that actually hold bits, and quiescence checks are O(1) — so a
+//! quiet round (fragments of large messages still crossing, the common
+//! case on sparsified subgraphs) costs `O(active edges)`, not `O(m)`.
+//! The bandwidth/fragmentation semantics live solely in
+//! [`crate::msgcore::MsgCore::transfer`], which is what keeps rule 3
+//! impossible to desynchronize between backends.
+//!
+//! # Accounting modes
+//!
+//! The always-on counters — `rounds`, `charged_rounds`, `messages`,
+//! `bits`, `peak_queue_depth` — cost O(1) per round to maintain. The
+//! **per-edge** counters (`edge_messages`/`edge_bits`, two `2m`-entry
+//! arrays updated on every send and delivery) are **opt-in** via
+//! [`MetricsConfig::per_edge`] (builder:
+//! [`crate::sim::SimConfig::with_per_edge_accounting`]). With accounting
+//! off — the default, and what the workload suite uses at scale — the
+//! arrays are never allocated and
+//! [`RoundEngine::messages_across`]/[`RoundEngine::bits_across`] panic
+//! with "per-edge accounting is disabled", identically on every
+//! backend. Enabling the mode changes no always-on counter: they stay
+//! bit-for-bit identical either way (conformance-gated).
 //!
 //! # Misbehaving node programs
 //!
@@ -46,7 +79,11 @@
 //! * zero-bit messages panic with "messages must have positive size";
 //! * a state slice whose length differs from the node count panics with
 //!   "state slice must have one entry per node" in both
-//!   [`RoundPhase::step`] and [`RoundPhase::settle`].
+//!   [`RoundPhase::step`] and [`RoundPhase::settle`];
+//! * querying [`RoundEngine::messages_across`] /
+//!   [`RoundEngine::bits_across`] on an engine built without
+//!   [`MetricsConfig::per_edge`] panics with "per-edge accounting is
+//!   disabled".
 //!
 //! The remaining misbehavior — *writing another node's state* — is
 //! rejected statically: a step function receives `&mut S` for its own
@@ -94,6 +131,19 @@ impl<T: Clone + Send + Sync + 'static> Message for T {}
 /// A delivered message: `(sender, payload)`.
 pub type Delivery<M> = (NodeId, M);
 
+/// Which cost counters an engine maintains beyond the always-on set.
+/// Part of [`crate::sim::SimConfig`]; shared by all backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Maintain the per-directed-edge `edge_messages`/`edge_bits`
+    /// counters (two `2m`-entry arrays, updated on every send and
+    /// delivery). Off by default: most callers only read the aggregate
+    /// counters, and the arrays are pure overhead at workload-suite
+    /// scale. Required for [`RoundEngine::messages_across`] /
+    /// [`RoundEngine::bits_across`].
+    pub per_edge: bool,
+}
+
 /// Cumulative cost counters of a round-engine run.
 ///
 /// All counters accumulate across phases of the same engine.
@@ -116,22 +166,65 @@ pub struct Metrics {
     /// congestion gauge for the benchmark manifests; part of the engine
     /// contract — every backend must measure the identical value.
     pub peak_queue_depth: u64,
+    /// Whether per-edge accounting is enabled ([`MetricsConfig`]).
+    pub per_edge: bool,
     /// Per-directed-edge delivered message counts, indexed like the CSR
     /// adjacency (edge `u→neighbors(u)[i]` has index `offset(u) + i`).
+    /// Empty unless [`MetricsConfig::per_edge`] was set.
     pub edge_messages: Vec<u64>,
-    /// Per-directed-edge cumulative bits.
+    /// Per-directed-edge cumulative bits. Empty unless
+    /// [`MetricsConfig::per_edge`] was set.
     pub edge_bits: Vec<u64>,
 }
 
 impl Metrics {
-    /// Zeroed metrics sized for `g` (one slot per directed edge).
-    pub fn for_graph(g: &Graph) -> Self {
-        let dir_edges = 2 * g.m();
+    /// Zeroed metrics sized for `g`: one slot per directed edge when
+    /// `config` enables per-edge accounting, no per-edge storage at all
+    /// otherwise.
+    pub fn for_graph(g: &Graph, config: MetricsConfig) -> Self {
+        let dir_edges = if config.per_edge { 2 * g.m() } else { 0 };
         Self {
+            per_edge: config.per_edge,
             edge_messages: vec![0; dir_edges],
             edge_bits: vec![0; dir_edges],
             ..Self::default()
         }
+    }
+
+    /// Messages delivered across the directed edge `u → v` so far — the
+    /// single definition behind every backend's
+    /// [`RoundEngine::messages_across`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if per-edge accounting is disabled, or if `{u, v}` is not
+    /// an edge.
+    pub fn messages_across(&self, g: &Graph, u: NodeId, v: NodeId) -> u64 {
+        self.require_per_edge();
+        self.edge_messages[dir_edge_index(g, u, v)]
+    }
+
+    /// Bits sent across the directed edge `u → v` so far — the single
+    /// definition behind every backend's [`RoundEngine::bits_across`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if per-edge accounting is disabled, or if `{u, v}` is not
+    /// an edge.
+    pub fn bits_across(&self, g: &Graph, u: NodeId, v: NodeId) -> u64 {
+        self.require_per_edge();
+        self.edge_bits[dir_edge_index(g, u, v)]
+    }
+
+    /// The documented rejection of per-edge queries in aggregate-only
+    /// mode, shared by all backends so they panic identically.
+    fn require_per_edge(&self) {
+        assert!(
+            self.per_edge,
+            "per-edge accounting is disabled: construct the engine with \
+             SimConfig::with_per_edge_accounting (MetricsConfig::per_edge) \
+             to query messages_across/bits_across"
+        );
     }
 }
 
@@ -149,32 +242,6 @@ pub fn dir_edge_index(g: &Graph, u: NodeId, v: NodeId) -> usize {
         .binary_search(&v)
         .unwrap_or_else(|_| panic!("{u} → {v} is not an edge"));
     g.offsets()[u.index()] as usize + pos
-}
-
-/// One engine-side per-edge FIFO entry: (remaining bits, sender, payload).
-pub type EdgeQueue<M> = std::collections::VecDeque<(u64, NodeId, M)>;
-
-/// The single definition of the per-edge bandwidth transfer step shared
-/// by every backend: moves up to `bw` bits off the front of `queue`,
-/// invoking `deliver(sender, payload)` for each message whose last bit
-/// crosses, in FIFO order. Keeping this in one place is what makes the
-/// engine contract's fragmentation/delivery accounting impossible to
-/// desynchronize between backends.
-#[inline]
-pub fn transfer_queue<M>(queue: &mut EdgeQueue<M>, bw: u64, mut deliver: impl FnMut(NodeId, M)) {
-    let mut cap = bw;
-    while cap > 0 {
-        let Some(front) = queue.front_mut() else {
-            break;
-        };
-        let take = cap.min(front.0);
-        front.0 -= take;
-        cap -= take;
-        if front.0 == 0 {
-            let (_, from, msg) = queue.pop_front().expect("front exists");
-            deliver(from, msg);
-        }
-    }
 }
 
 /// A message handed to the engine for queueing on a directed edge.
@@ -292,17 +359,23 @@ pub trait RoundEngine {
     fn charge_rounds(&mut self, r: u64);
 
     /// Messages delivered across the directed edge `u → v` so far.
+    /// Requires per-edge accounting ([`MetricsConfig::per_edge`]).
     ///
     /// # Panics
     ///
-    /// Panics if `{u, v}` is not an edge.
+    /// Panics with "per-edge accounting is disabled" when the engine was
+    /// built without [`MetricsConfig::per_edge`] (identically on every
+    /// backend), or if `{u, v}` is not an edge.
     fn messages_across(&self, u: NodeId, v: NodeId) -> u64;
 
-    /// Bits sent across the directed edge `u → v` so far.
+    /// Bits sent across the directed edge `u → v` so far. Requires
+    /// per-edge accounting ([`MetricsConfig::per_edge`]).
     ///
     /// # Panics
     ///
-    /// Panics if `{u, v}` is not an edge.
+    /// Panics with "per-edge accounting is disabled" when the engine was
+    /// built without [`MetricsConfig::per_edge`] (identically on every
+    /// backend), or if `{u, v}` is not an edge.
     fn bits_across(&self, u: NodeId, v: NodeId) -> u64;
 
     /// Opens a communication phase with message type `M`.

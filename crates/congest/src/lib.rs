@@ -70,10 +70,14 @@
 //! ```
 
 pub mod engine;
+pub mod msgcore;
 pub mod primitives;
 pub mod sim;
 pub mod trees;
 
-pub use engine::{Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord};
+pub use engine::{
+    Delivery, Message, Metrics, MetricsConfig, Outbox, RoundEngine, RoundPhase, SendRecord,
+};
+pub use msgcore::MsgCore;
 pub use sim::{Phase, SimConfig, Simulator};
 pub use trees::{GlobalTree, QTrees};

@@ -291,7 +291,8 @@ mod tests {
         // across the bottleneck edge {v, w} (one per tree containing it).
         for hatd in [2usize, 4, 8] {
             let (g, q, v, w) = generators::figure1(hatd, 3);
-            let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+            let config = SimConfig::for_graph(&g).with_per_edge_accounting();
+            let mut sim = Simulator::new(&g, config);
             let (_sets, trees) = build(&mut sim, &q, 3);
             let msgs: BTreeMap<u32, (u64, usize)> = q
                 .iter()
@@ -318,7 +319,8 @@ mod tests {
         let mut loads = Vec::new();
         for hatd in [4usize, 8, 16] {
             let (g, q, v, w) = generators::figure1(hatd, 3);
-            let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+            let config = SimConfig::for_graph(&g).with_per_edge_accounting();
+            let mut sim = Simulator::new(&g, config);
             let (sets, trees) = build(&mut sim, &q, 3);
             // Knowledge of N^{s-1}: rebuild depth-2 sets, share them.
             let mut sim2 = Simulator::new(&g, SimConfig::for_graph(&g));

@@ -1,20 +1,24 @@
 //! The sequential synchronous round engine with per-edge bandwidth
 //! accounting — the reference [`RoundEngine`] implementation.
 
-pub use crate::engine::{Metrics, Outbox};
+pub use crate::engine::{Metrics, MetricsConfig, Outbox};
 
-use crate::engine::{
-    dir_edge_index, transfer_queue, Delivery, Message, RoundEngine, RoundPhase, SendRecord,
-};
+use crate::engine::{Delivery, Message, RoundEngine, RoundPhase, SendRecord};
+use crate::msgcore::MsgCore;
 use powersparse_graphs::{Graph, NodeId};
-use std::collections::VecDeque;
 
-/// Configuration of a round engine (shared by all backends).
+/// Configuration of a round engine (shared by all backends). No
+/// `Default`: a zero bandwidth would silently never deliver, so every
+/// config starts from [`SimConfig::for_graph`] or
+/// [`SimConfig::with_bandwidth`] (both keep `bandwidth >= 1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Bits a single directed edge can carry per round (the CONGEST
     /// message size `Θ(log n)`).
     pub bandwidth: usize,
+    /// Which opt-in counters to maintain (per-edge accounting is off by
+    /// default; see [`MetricsConfig`]).
+    pub metrics: MetricsConfig,
 }
 
 impl SimConfig {
@@ -26,13 +30,26 @@ impl SimConfig {
     pub fn for_graph(g: &Graph) -> Self {
         Self {
             bandwidth: 8 * g.id_bits().max(8),
+            metrics: MetricsConfig::default(),
         }
     }
 
     /// Explicit bandwidth in bits.
     pub fn with_bandwidth(bandwidth: usize) -> Self {
         assert!(bandwidth >= 1, "bandwidth must be positive");
-        Self { bandwidth }
+        Self {
+            bandwidth,
+            metrics: MetricsConfig::default(),
+        }
+    }
+
+    /// Enables per-edge traffic accounting: the engine allocates and
+    /// maintains the `2m`-entry `edge_messages`/`edge_bits` counters so
+    /// [`RoundEngine::messages_across`] / [`RoundEngine::bits_across`]
+    /// can be queried. Aggregate counters are unaffected either way.
+    pub fn with_per_edge_accounting(mut self) -> Self {
+        self.metrics.per_edge = true;
+        self
     }
 }
 
@@ -51,7 +68,7 @@ impl<'g> Simulator<'g> {
         Self {
             graph,
             config,
-            metrics: Metrics::for_graph(graph),
+            metrics: Metrics::for_graph(graph, config.metrics),
         }
     }
 
@@ -82,18 +99,22 @@ impl<'g> Simulator<'g> {
     ///
     /// # Panics
     ///
-    /// Panics if `{u, v}` is not an edge.
+    /// Panics if per-edge accounting is disabled
+    /// ([`SimConfig::with_per_edge_accounting`]) or if `{u, v}` is not
+    /// an edge.
     pub fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_messages[dir_edge_index(self.graph, u, v)]
+        self.metrics.messages_across(self.graph, u, v)
     }
 
     /// Bits sent across the directed edge `u → v` so far.
     ///
     /// # Panics
     ///
-    /// Panics if `{u, v}` is not an edge.
+    /// Panics if per-edge accounting is disabled
+    /// ([`SimConfig::with_per_edge_accounting`]) or if `{u, v}` is not
+    /// an edge.
     pub fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_bits[dir_edge_index(self.graph, u, v)]
+        self.metrics.bits_across(self.graph, u, v)
     }
 
     /// Opens a communication phase with message type `M`.
@@ -101,8 +122,10 @@ impl<'g> Simulator<'g> {
         let n = self.graph.n();
         let dir_edges = 2 * self.graph.m();
         Phase {
-            queues: vec![VecDeque::new(); dir_edges],
+            core: MsgCore::new(dir_edges),
             inboxes: vec![Vec::new(); n],
+            dirty: Vec::new(),
+            sends: Vec::new(),
             sim: self,
         }
     }
@@ -153,10 +176,17 @@ impl<'g> RoundEngine for Simulator<'g> {
 #[derive(Debug)]
 pub struct Phase<'s, 'g, M> {
     sim: &'s mut Simulator<'g>,
-    /// Per directed edge: FIFO of (remaining bits, sender, message).
-    queues: Vec<VecDeque<(u64, NodeId, M)>>,
+    /// The arena-backed per-edge queues ([`MsgCore`]): bump-append
+    /// enqueue, O(active)-edge transfer, O(1) quiescence.
+    core: MsgCore<M>,
     /// Messages available to each node in the *next* `round` call.
     inboxes: Vec<Vec<Delivery<M>>>,
+    /// Nodes whose inbox is nonempty (pushed on the empty→nonempty
+    /// transition at delivery), so drain rounds visit only receivers —
+    /// O(active), not O(n).
+    dirty: Vec<u32>,
+    /// Reused send-record scratch (drained every round).
+    sends: Vec<SendRecord<M>>,
 }
 
 impl<M: Clone> Phase<'_, '_, M> {
@@ -181,26 +211,33 @@ impl<M: Clone> Phase<'_, '_, M> {
     /// semantics live in exactly one place.
     fn run_step(&mut self, mut g: impl FnMut(usize, &[Delivery<M>], &mut Outbox<'_, M>)) {
         let n = self.sim.graph.n();
-        let mut sends: Vec<SendRecord<M>> = Vec::new();
+        // Every inbox is consumed below, so the dirty worklist resets.
+        self.dirty.clear();
+        let mut sends = std::mem::take(&mut self.sends);
         for i in 0..n {
             let inbox = std::mem::take(&mut self.inboxes[i]);
             let mut out = Outbox::new(self.sim.graph, NodeId::from(i), &mut sends);
             g(i, &inbox, &mut out);
         }
-        self.finish_round(sends);
+        self.finish_round(&mut sends);
+        self.sends = sends;
     }
 
     /// The single definition of the quiescence loop backing both
-    /// [`Phase::drain`] and [`RoundPhase::settle`].
+    /// [`Phase::drain`] and [`RoundPhase::settle`]. Visits only nodes
+    /// with deliveries (the dirty worklist, in ID order) — a quiet
+    /// round while fragments cross costs O(active), not O(n).
     fn run_drain(&mut self, max_rounds: u64, mut g: impl FnMut(usize, &[Delivery<M>])) {
         let mut spent = 0;
         loop {
-            for i in 0..self.inboxes.len() {
-                let inbox = std::mem::take(&mut self.inboxes[i]);
-                if !inbox.is_empty() {
-                    g(i, &inbox);
-                }
+            let mut dirty = std::mem::take(&mut self.dirty);
+            dirty.sort_unstable();
+            for &i in &dirty {
+                let inbox = std::mem::take(&mut self.inboxes[i as usize]);
+                g(i as usize, &inbox);
             }
+            dirty.clear();
+            self.dirty = dirty;
             if !self.in_flight() {
                 break;
             }
@@ -232,57 +269,58 @@ impl<M: Clone> Phase<'_, '_, M> {
         self.run_drain(max_rounds, |i, inbox| f(NodeId::from(i), inbox));
     }
 
-    /// Whether any message is still queued on an edge.
+    /// Whether any message is still queued on an edge. O(1) on the
+    /// arena core.
     pub fn in_flight(&self) -> bool {
-        self.queues.iter().any(|q| !q.is_empty())
+        !self.core.is_empty()
     }
 
     /// Whether the phase is fully quiescent: nothing queued on any edge
     /// **and** nothing delivered-but-unread in any inbox. Termination
     /// checks must use this rather than [`Phase::in_flight`] alone — a
     /// message delivered at the end of the last round is no longer "in
-    /// flight" but still awaits processing.
+    /// flight" but still awaits processing. O(1): the dirty worklist
+    /// tracks unread inboxes exactly.
     pub fn idle(&self) -> bool {
-        !self.in_flight() && self.inboxes.iter().all(Vec::is_empty)
+        !self.in_flight() && self.dirty.is_empty()
     }
 
     /// Queues this round's sends, runs the transfer step and closes the
-    /// round's accounting.
-    fn finish_round(&mut self, sends: Vec<SendRecord<M>>) {
+    /// round's accounting. Only active edges are touched end to end.
+    fn finish_round(&mut self, sends: &mut Vec<SendRecord<M>>) {
+        let per_edge = self.sim.metrics.per_edge;
         for SendRecord {
             edge,
             bits,
             from,
             msg,
-        } in sends
+        } in sends.drain(..)
         {
             self.sim.metrics.bits += bits;
-            self.sim.metrics.edge_bits[edge] += bits;
-            self.queues[edge].push_back((bits, from, msg));
+            if per_edge {
+                self.sim.metrics.edge_bits[edge] += bits;
+            }
+            self.core.enqueue(edge, bits, from, msg);
         }
-        self.transfer();
-        self.sim.metrics.rounds += 1;
-    }
-
-    /// Moves up to `bandwidth` bits on every directed edge (via the
-    /// shared [`transfer_queue`] step); delivers completed messages.
-    fn transfer(&mut self) {
         let bw = self.sim.config.bandwidth as u64;
         let graph = self.sim.graph;
         let metrics = &mut self.sim.metrics;
         let inboxes = &mut self.inboxes;
-        for (edge, queue) in self.queues.iter_mut().enumerate() {
-            if queue.is_empty() {
-                continue;
-            }
-            metrics.peak_queue_depth = metrics.peak_queue_depth.max(queue.len() as u64);
-            let to = graph.edge_target(edge);
-            transfer_queue(queue, bw, |from, msg| {
-                metrics.messages += 1;
+        let dirty = &mut self.dirty;
+        let peak = self.core.transfer(bw, |edge, from, msg| {
+            metrics.messages += 1;
+            if per_edge {
                 metrics.edge_messages[edge] += 1;
-                inboxes[to.index()].push((from, msg));
-            });
-        }
+            }
+            let to = graph.edge_target(edge);
+            let inbox = &mut inboxes[to.index()];
+            if inbox.is_empty() {
+                dirty.push(to.0);
+            }
+            inbox.push((from, msg));
+        });
+        metrics.peak_queue_depth = metrics.peak_queue_depth.max(peak);
+        metrics.rounds += 1;
     }
 }
 
@@ -441,7 +479,7 @@ mod tests {
     #[test]
     fn per_edge_counters() {
         let g = generators::path(3);
-        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(16));
+        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(16).with_per_edge_accounting());
         let mut phase = sim.phase::<u8>();
         phase.rounds(3, |v, _in, out| {
             if v == NodeId(1) {
@@ -453,6 +491,69 @@ mod tests {
         assert_eq!(sim.messages_across(NodeId(1), NodeId(2)), 3);
         assert_eq!(sim.bits_across(NodeId(1), NodeId(2)), 15);
         assert_eq!(sim.messages_across(NodeId(2), NodeId(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-edge accounting is disabled")]
+    fn per_edge_query_without_accounting_panics() {
+        let g = generators::path(3);
+        let mut sim = Simulator::new(&g, SimConfig::for_graph(&g));
+        let mut phase = sim.phase::<u8>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(1) {
+                out.send(v, NodeId(2), 0, 5);
+            }
+        });
+        drop(phase);
+        let _ = sim.messages_across(NodeId(1), NodeId(2));
+    }
+
+    #[test]
+    fn aggregate_counters_identical_across_accounting_modes() {
+        let g = generators::cycle(8);
+        let run = |config: SimConfig| {
+            let mut sim = Simulator::new(&g, config);
+            let mut phase = sim.phase::<u32>();
+            phase.rounds(3, |v, _in, out| out.broadcast(v, v.0, 40));
+            phase.drain(64, |_, _| {});
+            drop(phase);
+            sim.metrics().clone()
+        };
+        let off = run(SimConfig::with_bandwidth(16));
+        let on = run(SimConfig::with_bandwidth(16).with_per_edge_accounting());
+        assert!(!off.per_edge && off.edge_messages.is_empty());
+        assert!(on.per_edge && !on.edge_messages.is_empty());
+        assert_eq!(
+            (off.rounds, off.messages, off.bits, off.peak_queue_depth),
+            (on.rounds, on.messages, on.bits, on.peak_queue_depth),
+            "always-on counters must not depend on the accounting mode"
+        );
+    }
+
+    #[test]
+    fn quiet_round_cost_is_bounded_by_active_edges() {
+        // One big message fragments across many rounds on a large star:
+        // the arena core must keep exactly one edge active while the
+        // other ~2m edges never enter the transfer loop.
+        let g = generators::star(500);
+        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(8));
+        let mut phase = sim.phase::<u8>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(1) {
+                out.send(v, NodeId(0), 7, 80); // 10 transfer rounds
+            }
+        });
+        assert!(phase.in_flight());
+        assert_eq!(
+            phase.core.active_edges(),
+            1,
+            "only the loaded edge is active"
+        );
+        let mut got = 0;
+        phase.drain(64, |_, inbox| got += inbox.len());
+        assert_eq!(got, 1);
+        assert!(phase.idle());
+        assert_eq!(phase.core.active_edges(), 0);
     }
 
     #[test]

@@ -256,13 +256,16 @@ unsafe impl<T: Send> Sync for DisjointChunks<'_, T> {}
 impl<'a, T> DisjointChunks<'a, T> {
     /// Wraps `slice` for per-worker access along `ranges` (which must be
     /// pairwise disjoint and within bounds; ascending contiguous layout
-    /// ranges are checked in debug builds).
+    /// ranges are checked in debug builds). An **empty** slice is
+    /// accepted regardless of the ranges and yields empty chunks — the
+    /// per-edge counter arrays are empty when per-edge accounting is
+    /// disabled, and the transfer stages branch on chunk emptiness.
     pub fn new(slice: &'a mut [T], ranges: &'a [std::ops::Range<usize>]) -> Self {
         debug_assert!(
             ranges.windows(2).all(|w| w[0].end <= w[1].start),
             "ranges must be ascending and disjoint"
         );
-        debug_assert!(ranges.iter().all(|r| r.end <= slice.len()));
+        debug_assert!(slice.is_empty() || ranges.iter().all(|r| r.end <= slice.len()));
         Self {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
@@ -271,7 +274,8 @@ impl<'a, T> DisjointChunks<'a, T> {
         }
     }
 
-    /// Exclusive access to chunk `w` (= `slice[ranges[w]]`).
+    /// Exclusive access to chunk `w` (= `slice[ranges[w]]`, or an empty
+    /// slice when the wrapped buffer is empty).
     ///
     /// # Safety
     ///
@@ -279,7 +283,12 @@ impl<'a, T> DisjointChunks<'a, T> {
     /// worker at a time.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn chunk(&self, w: usize) -> &mut [T] {
+        // Index the range table first so a bad worker index panics in
+        // both modes, not just when the buffer is populated.
         let r = self.ranges[w].clone();
+        if self.len == 0 {
+            return Default::default();
+        }
         assert!(r.start <= r.end && r.end <= self.len, "chunk out of bounds");
         std::slice::from_raw_parts_mut(self.ptr.add(r.start), r.len())
     }

@@ -31,9 +31,9 @@ use crate::routing::{
     capped_default_shards, deliveries_pending, flush_shard_sends, Routed, ShardLayout,
 };
 use powersparse_congest::engine::{
-    dir_edge_index, Delivery, EdgeQueue, Message, Metrics, Outbox, RoundEngine, RoundPhase,
-    SendRecord,
+    Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
 };
+use powersparse_congest::msgcore::MsgCore;
 use powersparse_congest::sim::SimConfig;
 use powersparse_graphs::{Graph, NodeId};
 use std::ops::Range;
@@ -69,7 +69,7 @@ impl<'g> PooledSimulator<'g> {
         Self {
             graph,
             config,
-            metrics: Metrics::for_graph(graph),
+            metrics: Metrics::for_graph(graph, config.metrics),
             layout,
             pool,
         }
@@ -105,18 +105,22 @@ impl<'g> RoundEngine for PooledSimulator<'g> {
     }
 
     fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_messages[dir_edge_index(self.graph, u, v)]
+        self.metrics.messages_across(self.graph, u, v)
     }
 
     fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_bits[dir_edge_index(self.graph, u, v)]
+        self.metrics.bits_across(self.graph, u, v)
     }
 
     fn phase<M: Message>(&mut self) -> PooledPhase<'_, 'g, M> {
-        let dir_edges = 2 * self.graph.m();
         let shards = self.layout.shards();
         PooledPhase {
-            queues: vec![EdgeQueue::new(); dir_edges],
+            cores: self
+                .layout
+                .edge_ranges
+                .iter()
+                .map(|r| MsgCore::new(r.len()))
+                .collect(),
             arrivals: (0..shards).map(|_| Vec::new()).collect(),
             scratch: (0..shards).map(|_| DistScratch::default()).collect(),
             send_bufs: (0..shards).map(|_| Vec::new()).collect(),
@@ -205,7 +209,7 @@ fn stage1_body<S, M, F>(
     state: &mut [S],
     arrivals: &mut Vec<Routed<M>>,
     scratch: &mut DistScratch<M>,
-    queues: &mut [EdgeQueue<M>],
+    core: &mut MsgCore<M>,
     edge_bits: &mut [u64],
     edge_messages: &mut [u64],
     sends: &mut Vec<SendRecord<M>>,
@@ -233,7 +237,7 @@ where
         shard_of,
         bw,
         edges,
-        queues,
+        core,
         edge_bits,
         edge_messages,
         sends,
@@ -243,16 +247,17 @@ where
 
 /// One typed communication phase on the pooled engine.
 ///
-/// All buffers (`queues`, `arrivals`, the distribution scratch,
-/// `send_bufs`, `cells`, `stage_out`) live for the whole phase and keep
+/// All buffers (the per-shard `cores`, `arrivals`, the distribution
+/// scratch, `send_bufs`, `cells`, `stage_out`) live for the whole phase and keep
 /// their capacity round after round; the scatter bodies reach them
 /// through zero-allocation disjoint views, so a round allocates nothing
 /// beyond what the node program itself sends.
 #[derive(Debug)]
 pub struct PooledPhase<'s, 'g, M> {
     sim: &'s mut PooledSimulator<'g>,
-    /// Per directed edge: FIFO of (remaining bits, sender, message).
-    queues: Vec<EdgeQueue<M>>,
+    /// One arena message core per shard, covering the shard's
+    /// CSR-aligned directed-edge range ([`MsgCore`]).
+    cores: Vec<MsgCore<M>>,
     /// Per receiver shard: the contiguous arrival run of messages
     /// delivered but not yet read, in ascending global edge order.
     arrivals: Vec<Vec<Routed<M>>>,
@@ -293,7 +298,7 @@ impl<M: Message> PooledPhase<'_, '_, M> {
         // disjoint view — no per-round work-item collection. ---
         {
             let state_c = DisjointChunks::new(state, &layout.node_ranges);
-            let queues_c = DisjointChunks::new(&mut self.queues, &layout.edge_ranges);
+            let cores_s = DisjointSlice::new(&mut self.cores);
             let ebits_c = DisjointChunks::new(&mut sim.metrics.edge_bits, &layout.edge_ranges);
             let emsgs_c = DisjointChunks::new(&mut sim.metrics.edge_messages, &layout.edge_ranges);
             let rows_c = DisjointChunks::new(&mut self.cells, &self.row_ranges);
@@ -314,7 +319,7 @@ impl<M: Message> PooledPhase<'_, '_, M> {
                         state_c.chunk(w),
                         arrivals_s.get(w),
                         scratch_s.get(w),
-                        queues_c.chunk(w),
+                        cores_s.get(w),
                         ebits_c.chunk(w),
                         emsgs_c.chunk(w),
                         sends_s.get(w),
@@ -409,7 +414,8 @@ impl<M: Message> RoundPhase<M> for PooledPhase<'_, '_, M> {
     }
 
     fn in_flight(&self) -> bool {
-        self.queues.iter().any(|q| !q.is_empty())
+        // O(shards): each core's emptiness is O(1).
+        self.cores.iter().any(|c| !c.is_empty())
     }
 
     fn idle(&self) -> bool {
@@ -502,7 +508,7 @@ mod tests {
         // serve both (nothing is re-spawned; this also exercises pool
         // reuse across message types).
         let g = generators::grid(6, 8);
-        let config = SimConfig::with_bandwidth(9);
+        let config = SimConfig::with_bandwidth(9).with_per_edge_accounting();
         let mut seq = Simulator::new(&g, config);
         let mut par = PooledSimulator::with_shards(&g, config, 5);
         echo_program(&mut seq, 3);

@@ -24,7 +24,8 @@
 //! grouped per node, never in what is delivered, in which order, or at
 //! what accounted cost.
 
-use powersparse_congest::engine::{transfer_queue, Delivery, EdgeQueue, Message, SendRecord};
+use powersparse_congest::engine::{Delivery, Message, SendRecord};
+use powersparse_congest::msgcore::MsgCore;
 use powersparse_graphs::partition::shard_ranges;
 use powersparse_graphs::{Graph, NodeId};
 use std::ops::Range;
@@ -124,11 +125,17 @@ pub fn deliveries_pending<T>(buffers: &[Vec<T>]) -> bool {
 }
 
 /// The sender-side tail of one round for one shard, shared by both
-/// engines: enqueue the shard's collected sends on its owned edge
-/// queues, then transfer up to `bw` bits per owned edge in ascending
-/// edge order, bucketing completed messages by receiver shard into `row`
+/// engines: enqueue the shard's collected sends on its arena core
+/// ([`MsgCore`], covering the shard's CSR-aligned edge range), then
+/// transfer up to `bw` bits per **active** owned edge in ascending edge
+/// order, bucketing completed messages by receiver shard into `row`
 /// (this shard's row of the phase's cell matrix). Returns the shard's
 /// bit/message totals and its peak single-edge queue depth.
+///
+/// `edge_bits`/`edge_messages` are the shard's slices of the per-edge
+/// counters — **empty slices when per-edge accounting is disabled**
+/// (the opt-in `MetricsConfig::per_edge` mode), in which case no
+/// per-edge accumulation happens at all.
 ///
 /// A node's out-edges all lie in the shard's edge range (CSR alignment),
 /// so this writes only shard-owned queues and counters.
@@ -138,12 +145,13 @@ pub fn flush_shard_sends<M: Message>(
     shard_of: &[u32],
     bw: u64,
     edges: Range<usize>,
-    queues: &mut [EdgeQueue<M>],
+    core: &mut MsgCore<M>,
     edge_bits: &mut [u64],
     edge_messages: &mut [u64],
     sends: &mut Vec<SendRecord<M>>,
     row: &mut [Vec<Routed<M>>],
 ) -> (u64, u64, u64) {
+    let per_edge = !edge_bits.is_empty();
     let mut bits_total = 0u64;
     for SendRecord {
         edge,
@@ -155,24 +163,32 @@ pub fn flush_shard_sends<M: Message>(
         debug_assert!(edges.contains(&edge), "send escaped its shard's edge range");
         let e = edge - edges.start;
         bits_total += bits;
-        edge_bits[e] += bits;
-        queues[e].push_back((bits, from, msg));
+        if per_edge {
+            edge_bits[e] += bits;
+        }
+        core.enqueue(e, bits, from, msg);
     }
     let mut msgs_total = 0u64;
-    let mut peak = 0u64;
-    for (e, queue) in queues.iter_mut().enumerate() {
-        if queue.is_empty() {
-            continue;
-        }
-        peak = peak.max(queue.len() as u64);
-        let to = graph.edge_target(edges.start + e);
-        transfer_queue(queue, bw, |from, msg| {
-            msgs_total += 1;
+    let peak = core.transfer(bw, |e, from, msg| {
+        msgs_total += 1;
+        if per_edge {
             edge_messages[e] += 1;
-            row[shard_of[to.index()] as usize].push((to, from, msg));
-        });
-    }
+        }
+        let to = graph.edge_target(edges.start + e);
+        row[shard_of[to.index()] as usize].push((to, from, msg));
+    });
     (bits_total, msgs_total, peak)
+}
+
+/// Splits a per-edge counter array into one shard-owned chunk per edge
+/// range — or, when per-edge accounting is disabled and the array is
+/// empty, into one empty slice per shard (so transfer stages can take
+/// `&mut [u64]` unconditionally and branch on emptiness).
+pub fn split_counters<'a>(counters: &'a mut [u64], ranges: &[Range<usize>]) -> Vec<&'a mut [u64]> {
+    if counters.is_empty() {
+        return ranges.iter().map(|_| Default::default()).collect();
+    }
+    split_by_ranges(counters, ranges)
 }
 
 /// Receiver-side routing for one shard of the *sharded* engine: drain

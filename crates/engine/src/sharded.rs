@@ -21,15 +21,15 @@
 pub use crate::routing::default_shards;
 
 use crate::routing::{
-    capped_default_shards, deliveries_pending, flush_shard_sends, route_stage, split_by_ranges,
-    Routed, ShardLayout,
+    capped_default_shards, flush_shard_sends, route_stage, split_by_ranges, split_counters, Routed,
+    ShardLayout,
 };
 use powersparse_congest::engine::{
-    dir_edge_index, Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
+    Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
 };
+use powersparse_congest::msgcore::MsgCore;
 use powersparse_congest::sim::SimConfig;
 use powersparse_graphs::{Graph, NodeId};
-use std::collections::VecDeque;
 use std::ops::Range;
 
 /// The sharded, data-parallel round engine.
@@ -60,7 +60,7 @@ impl<'g> ShardedSimulator<'g> {
         Self {
             graph,
             config,
-            metrics: Metrics::for_graph(graph),
+            metrics: Metrics::for_graph(graph, config.metrics),
             layout: ShardLayout::new(graph, shards),
         }
     }
@@ -95,20 +95,25 @@ impl<'g> RoundEngine for ShardedSimulator<'g> {
     }
 
     fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_messages[dir_edge_index(self.graph, u, v)]
+        self.metrics.messages_across(self.graph, u, v)
     }
 
     fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
-        self.metrics.edge_bits[dir_edge_index(self.graph, u, v)]
+        self.metrics.bits_across(self.graph, u, v)
     }
 
     fn phase<M: Message>(&mut self) -> ShardedPhase<'_, 'g, M> {
         let n = self.graph.n();
-        let dir_edges = 2 * self.graph.m();
         let shards = self.layout.shards();
         ShardedPhase {
-            queues: vec![VecDeque::new(); dir_edges],
+            cores: self
+                .layout
+                .edge_ranges
+                .iter()
+                .map(|r| MsgCore::new(r.len()))
+                .collect(),
             inboxes: vec![Vec::new(); n],
+            unread: 0,
             send_bufs: (0..shards).map(|_| Vec::new()).collect(),
             cells: (0..shards * shards).map(|_| Vec::new()).collect(),
             sim: self,
@@ -125,10 +130,16 @@ impl<'g> RoundEngine for ShardedSimulator<'g> {
 #[derive(Debug)]
 pub struct ShardedPhase<'s, 'g, M> {
     sim: &'s mut ShardedSimulator<'g>,
-    /// Per directed edge: FIFO of (remaining bits, sender, message).
-    queues: Vec<VecDeque<(u64, NodeId, M)>>,
+    /// One arena message core per shard, covering the shard's
+    /// CSR-aligned directed-edge range ([`MsgCore`]).
+    cores: Vec<MsgCore<M>>,
     /// Messages available to each node in the *next* step.
     inboxes: Vec<Vec<Delivery<M>>>,
+    /// Delivered-but-unread messages across all inboxes — the O(1)
+    /// `settle`/`idle` pre-check (every step and settle consumption
+    /// drains every inbox, so this is exactly the last round's delivery
+    /// count).
+    unread: u64,
     /// Per-shard reusable send buffer (drained while enqueueing).
     send_bufs: Vec<Vec<SendRecord<M>>>,
     /// Shard-to-shard delivery cells, rows-major: the cell for sender
@@ -156,20 +167,21 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
         let node_ranges = &sim.layout.node_ranges;
         let edge_ranges = &sim.layout.edge_ranges;
 
-        // --- Stage 1: step + enqueue + transfer, per sender shard. ---
+        // --- Stage 1: step + enqueue + transfer, per sender shard.
+        // Every inbox is consumed here, so the unread gauge resets. ---
+        self.unread = 0;
         let mut bits_total = 0u64;
         let mut msgs_total = 0u64;
         let mut peak = 0u64;
         {
             let state_chunks = split_by_ranges(state, node_ranges);
             let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
-            let queue_chunks = split_by_ranges(&mut self.queues, edge_ranges);
-            let ebits_chunks = split_by_ranges(&mut sim.metrics.edge_bits, edge_ranges);
-            let emsgs_chunks = split_by_ranges(&mut sim.metrics.edge_messages, edge_ranges);
+            let ebits_chunks = split_counters(&mut sim.metrics.edge_bits, edge_ranges);
+            let emsgs_chunks = split_counters(&mut sim.metrics.edge_messages, edge_ranges);
             let work = state_chunks
                 .into_iter()
                 .zip(inbox_chunks)
-                .zip(queue_chunks)
+                .zip(self.cores.iter_mut())
                 .zip(ebits_chunks)
                 .zip(emsgs_chunks)
                 .zip(self.send_bufs.iter_mut())
@@ -177,8 +189,7 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
                 .enumerate();
 
             if shards == 1 {
-                for (w, ((((((state_c, inbox_c), queue_c), ebits_c), emsgs_c), sends), row)) in work
-                {
+                for (w, ((((((state_c, inbox_c), core), ebits_c), emsgs_c), sends), row)) in work {
                     let (bits, msgs, qpeak) = sender_stage(
                         graph,
                         shard_of,
@@ -187,7 +198,7 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
                         edge_ranges[w].clone(),
                         state_c,
                         inbox_c,
-                        queue_c,
+                        core,
                         ebits_c,
                         emsgs_c,
                         sends,
@@ -201,14 +212,14 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
             } else {
                 std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(shards);
-                    for (w, ((((((state_c, inbox_c), queue_c), ebits_c), emsgs_c), sends), row)) in
+                    for (w, ((((((state_c, inbox_c), core), ebits_c), emsgs_c), sends), row)) in
                         work
                     {
                         let nr = node_ranges[w].clone();
                         let er = edge_ranges[w].clone();
                         handles.push(scope.spawn(move || {
                             sender_stage(
-                                graph, shard_of, bw, nr, er, state_c, inbox_c, queue_c, ebits_c,
+                                graph, shard_of, bw, nr, er, state_c, inbox_c, core, ebits_c,
                                 emsgs_c, sends, row, f,
                             )
                         }));
@@ -229,6 +240,7 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
         sim.metrics.bits += bits_total;
         sim.metrics.messages += msgs_total;
         sim.metrics.peak_queue_depth = sim.metrics.peak_queue_depth.max(peak);
+        self.unread = msgs_total;
 
         // --- Stage 2: route deliveries into receiver mailboxes, in
         // sender-shard order (= ascending edge order). Skipped entirely
@@ -275,7 +287,7 @@ fn sender_stage<S, M, F>(
     edges: Range<usize>,
     state: &mut [S],
     inboxes: &mut [Vec<Delivery<M>>],
-    queues: &mut [VecDeque<(u64, NodeId, M)>],
+    core: &mut MsgCore<M>,
     edge_bits: &mut [u64],
     edge_messages: &mut [u64],
     sends: &mut Vec<SendRecord<M>>,
@@ -304,7 +316,7 @@ where
         shard_of,
         bw,
         edges,
-        queues,
+        core,
         edge_bits,
         edge_messages,
         sends,
@@ -336,9 +348,10 @@ impl<M: Message> RoundPhase<M> for ShardedPhase<'_, '_, M> {
         let mut spent = 0u64;
         loop {
             // Hand every nonempty inbox to `f`, shard-parallel — unless
-            // the shared fast-path pre-check says nothing was delivered
-            // (see `routing::deliveries_pending`).
-            if deliveries_pending(&self.inboxes) {
+            // the O(1) unread gauge says nothing was delivered (quiet
+            // rounds skip the whole scatter).
+            if self.unread > 0 {
+                self.unread = 0;
                 let node_ranges = &self.sim.layout.node_ranges;
                 let shards = node_ranges.len();
                 let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
@@ -379,11 +392,12 @@ impl<M: Message> RoundPhase<M> for ShardedPhase<'_, '_, M> {
     }
 
     fn in_flight(&self) -> bool {
-        self.queues.iter().any(|q| !q.is_empty())
+        // O(shards): each core's emptiness is O(1).
+        self.cores.iter().any(|c| !c.is_empty())
     }
 
     fn idle(&self) -> bool {
-        !RoundPhase::in_flight(self) && !deliveries_pending(&self.inboxes)
+        !RoundPhase::in_flight(self) && self.unread == 0
     }
 }
 
@@ -472,7 +486,7 @@ mod tests {
     #[test]
     fn per_edge_counters_match() {
         let g = generators::grid(6, 8);
-        let config = SimConfig::with_bandwidth(9);
+        let config = SimConfig::with_bandwidth(9).with_per_edge_accounting();
         let mut seq = Simulator::new(&g, config);
         let mut par = ShardedSimulator::with_shards(&g, config, 5);
         echo_program(&mut seq, 4);

@@ -262,22 +262,42 @@ impl Case {
     }
 }
 
-/// Runs the case on the sequential reference engine; returns its
-/// canonical output and full metrics.
-pub fn reference(case: &Case) -> (String, Metrics) {
-    let config = SimConfig::for_graph(&case.graph);
+/// The engine configuration the conformance matrix runs under: the
+/// standard bandwidth **with per-edge accounting enabled**, so the
+/// bit-for-bit [`Metrics`] comparison covers the full per-edge traffic
+/// vectors, not just the aggregates. The aggregate-only mode (per-edge
+/// accounting off, the default) is exercised separately by
+/// `assert_case_conformance_with` in `matrix.rs`.
+pub fn case_config(case: &Case) -> SimConfig {
+    SimConfig::for_graph(&case.graph).with_per_edge_accounting()
+}
+
+/// Runs the case on the sequential reference engine under `config`;
+/// returns its canonical output and full metrics.
+pub fn reference_with(case: &Case, config: SimConfig) -> (String, Metrics) {
     let mut seq = Simulator::new(&case.graph, config);
     let out = case.algorithm.run(&case.graph, &mut seq, case.seed);
     (out, RoundEngine::metrics(&seq).clone())
 }
 
+/// Runs the case on the sequential reference engine (per-edge
+/// accounting enabled); returns its canonical output and full metrics.
+pub fn reference(case: &Case) -> (String, Metrics) {
+    reference_with(case, case_config(case))
+}
+
 /// Asserts that `factory`'s backend reproduces the sequential reference
-/// bit-for-bit — outputs and full [`Metrics`] including
-/// `peak_queue_depth` and the per-edge counters — at every shard count
-/// in `shard_grid`.
-pub fn assert_case_conformance<F: EngineFactory>(factory: &F, case: &Case, shard_grid: &[usize]) {
-    let (want, want_m) = reference(case);
-    let config = SimConfig::for_graph(&case.graph);
+/// bit-for-bit under an explicit [`SimConfig`] — outputs and full
+/// [`Metrics`] including `peak_queue_depth` (and, when the config
+/// enables accounting, the per-edge counters) — at every shard count in
+/// `shard_grid`.
+pub fn assert_case_conformance_with<F: EngineFactory>(
+    factory: &F,
+    case: &Case,
+    shard_grid: &[usize],
+    config: SimConfig,
+) {
+    let (want, want_m) = reference_with(case, config);
     for &shards in shard_grid {
         let mut eng = factory.build(&case.graph, config, shards);
         let got = case.algorithm.run(&case.graph, &mut eng, case.seed);
@@ -296,6 +316,12 @@ pub fn assert_case_conformance<F: EngineFactory>(factory: &F, case: &Case, shard
             factory.label()
         );
     }
+}
+
+/// Asserts conformance under the standard matrix configuration
+/// ([`case_config`]: per-edge accounting on).
+pub fn assert_case_conformance<F: EngineFactory>(factory: &F, case: &Case, shard_grid: &[usize]) {
+    assert_case_conformance_with(factory, case, shard_grid, case_config(case));
 }
 
 /// The curated deterministic matrix: every algorithm of the

@@ -3,13 +3,14 @@
 //! acceptance-scale and deep-pipeline checks.
 
 use crate::harness::{
-    self, assert_case_conformance, Algorithm, Case, EngineFactory, PooledFactory, ShardedFactory,
+    self, assert_case_conformance, assert_case_conformance_with, Algorithm, Case, EngineFactory,
+    PooledFactory, ShardedFactory,
 };
 use powersparse::mis::luby_mis;
-use powersparse_congest::engine::RoundEngine;
-use powersparse_congest::sim::SimConfig;
+use powersparse_congest::engine::{Metrics, RoundEngine, RoundPhase};
+use powersparse_congest::sim::{SimConfig, Simulator};
 use powersparse_engine::{PooledSimulator, ShardedSimulator};
-use powersparse_graphs::{check, generators, Graph};
+use powersparse_graphs::{check, generators, Graph, NodeId};
 
 #[test]
 fn sharded_passes_the_full_matrix() {
@@ -19,6 +20,104 @@ fn sharded_passes_the_full_matrix() {
 #[test]
 fn pooled_passes_the_full_matrix() {
     harness::run_full_matrix(&PooledFactory);
+}
+
+/// The opt-in accounting contract: with per-edge accounting **off**
+/// (the default [`SimConfig`]), a full algorithm still runs identically
+/// on every backend — outputs and the always-on aggregate counters
+/// bit-for-bit against the accounting-*on* reference — and no per-edge
+/// storage is ever allocated.
+#[test]
+fn aggregate_only_mode_conforms_and_allocates_nothing() {
+    let case = Case::new(
+        "luby/gnp-k2-aggregate-only",
+        generators::connected_gnp(120, 5.0 / 120.0, 11),
+        11,
+        Algorithm::LubyMis { k: 2 },
+    );
+    let off = SimConfig::for_graph(&case.graph);
+    assert!(
+        !off.metrics.per_edge,
+        "per-edge accounting must default off"
+    );
+    // Conformance of the whole run under aggregate-only accounting.
+    assert_case_conformance_with(&ShardedFactory, &case, &[1, 2, 4], off);
+    assert_case_conformance_with(&PooledFactory, &case, &[1, 2, 4], off);
+    // And the mode changes no always-on counter: compare against the
+    // per-edge-enabled reference field by field.
+    let (out_off, m_off) = harness::reference_with(&case, off);
+    let (out_on, m_on) = harness::reference(&case);
+    assert_eq!(out_off, out_on, "outputs must not depend on accounting");
+    assert!(m_off.edge_messages.is_empty() && m_off.edge_bits.is_empty());
+    assert!(!m_on.edge_messages.is_empty());
+    assert_eq!(
+        (
+            m_off.rounds,
+            m_off.messages,
+            m_off.bits,
+            m_off.peak_queue_depth
+        ),
+        (m_on.rounds, m_on.messages, m_on.bits, m_on.peak_queue_depth),
+        "aggregates diverged between accounting modes"
+    );
+}
+
+/// A crafted multi-edge burst pinning down the *meaning* of
+/// `peak_queue_depth`: the maximum number of messages queued on any
+/// **single** directed edge at a transfer start — not a total across
+/// edges. One edge receives a deepening burst each round while other
+/// edges carry singleton and fragmented traffic; every backend must
+/// measure the identical value (the sequential engine samples per queue
+/// inside its transfer loop, the parallel engines take a per-shard max
+/// and merge — the arena rewrite must not change either), and the peak
+/// can never exceed the delivered-message total.
+#[test]
+fn peak_queue_depth_agrees_on_multi_edge_burst() {
+    fn burst<E: RoundEngine>(eng: &mut E) -> Metrics {
+        let n = eng.graph().n();
+        let mut unit = vec![(); n];
+        let mut phase = eng.phase::<u32>();
+        for r in 0..4u32 {
+            phase.step(&mut unit, |_, v, _in, out| {
+                if v == NodeId(0) {
+                    // A deepening burst on the edge 0→1 (r + 3 messages
+                    // queued at once against bandwidth 5)...
+                    for i in 0..(r + 3) {
+                        out.send(v, NodeId(1), i, 9);
+                    }
+                    // ...plus a fragmented single on 0→2 and noise.
+                    out.send(v, NodeId(2), 7, 23);
+                } else if v == NodeId(3) {
+                    out.send(v, NodeId(0), 1, 4);
+                }
+            });
+        }
+        phase.settle(10_000, &mut unit, |_, _, _| {});
+        drop(phase);
+        RoundEngine::metrics(eng).clone()
+    }
+
+    let g = generators::star(6); // center 0, leaves 1..=6
+    let config = SimConfig::with_bandwidth(5);
+    let mut seq = Simulator::new(&g, config);
+    let want = burst(&mut seq);
+    assert!(
+        want.peak_queue_depth >= 6,
+        "burst too shallow to be a meaningful probe: {}",
+        want.peak_queue_depth
+    );
+    assert!(
+        want.peak_queue_depth <= want.messages,
+        "peak {} exceeds delivered messages {}",
+        want.peak_queue_depth,
+        want.messages
+    );
+    for shards in [1usize, 2, 4] {
+        let got = burst(&mut ShardedSimulator::with_shards(&g, config, shards));
+        assert_eq!(got, want, "sharded burst metrics diverged at {shards}");
+        let got = burst(&mut PooledSimulator::with_shards(&g, config, shards));
+        assert_eq!(got, want, "pooled burst metrics diverged at {shards}");
+    }
 }
 
 /// The delay-based MPX clustering path of the network decomposition (the

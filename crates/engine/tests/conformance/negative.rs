@@ -118,6 +118,92 @@ fn wrong_state_length_rejected_identically() {
     );
 }
 
+/// Querying per-edge traffic on an engine built without
+/// `MetricsConfig::per_edge` (the default) is rejected with the
+/// documented "per-edge accounting is disabled" panic — identically on
+/// all three engines, for both accessors, even after traffic flowed.
+#[test]
+fn per_edge_query_without_accounting_rejected_identically() {
+    fn query_panic<E: RoundEngine>(eng: &mut E, bits: bool) -> String {
+        // Run real traffic first: the rejection must come from the
+        // accounting mode, not from an empty engine.
+        let mut unit = vec![(); eng.graph().n()];
+        let mut phase = eng.phase::<u8>();
+        phase.step(&mut unit, |_, v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 9, 4);
+            }
+        });
+        phase.settle(16, &mut unit, |_, _, _| {});
+        drop(phase);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            if bits {
+                eng.bits_across(NodeId(0), NodeId(1))
+            } else {
+                eng.messages_across(NodeId(0), NodeId(1))
+            }
+        }))
+        .expect_err("per-edge query without accounting must panic");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default()
+    }
+    let g = generators::path(4);
+    let config = SimConfig::for_graph(&g);
+    assert!(
+        !config.metrics.per_edge,
+        "per-edge accounting must default off"
+    );
+    for bits in [false, true] {
+        let msgs = [
+            query_panic(&mut Simulator::new(&g, config), bits),
+            query_panic(&mut ShardedSimulator::with_shards(&g, config, 2), bits),
+            query_panic(&mut PooledSimulator::with_shards(&g, config, 2), bits),
+        ];
+        assert!(
+            msgs[0].contains("per-edge accounting is disabled"),
+            "unexpected panic message `{}`",
+            msgs[0]
+        );
+        assert_eq!(msgs[0], msgs[1], "sharded rejected differently");
+        assert_eq!(msgs[0], msgs[2], "pooled rejected differently");
+    }
+}
+
+/// With accounting enabled, the same query succeeds on all three
+/// engines and agrees — the positive control for the rejection above.
+#[test]
+fn per_edge_query_with_accounting_succeeds() {
+    let g = generators::path(4);
+    let config = SimConfig::for_graph(&g).with_per_edge_accounting();
+    fn traffic<E: RoundEngine>(eng: &mut E) -> (u64, u64) {
+        let mut unit = vec![(); eng.graph().n()];
+        let mut phase = eng.phase::<u8>();
+        phase.step(&mut unit, |_, v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 9, 4);
+            }
+        });
+        phase.settle(16, &mut unit, |_, _, _| {});
+        drop(phase);
+        (
+            eng.messages_across(NodeId(0), NodeId(1)),
+            eng.bits_across(NodeId(0), NodeId(1)),
+        )
+    }
+    let want = traffic(&mut Simulator::new(&g, config));
+    assert_eq!(want, (1, 4));
+    assert_eq!(
+        want,
+        traffic(&mut ShardedSimulator::with_shards(&g, config, 2))
+    );
+    assert_eq!(
+        want,
+        traffic(&mut PooledSimulator::with_shards(&g, config, 2))
+    );
+}
+
 /// The settle entry point enforces the state-slice discipline too.
 #[test]
 fn settle_rejects_wrong_state_length_identically() {

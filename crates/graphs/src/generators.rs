@@ -358,6 +358,128 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
     b.build()
 }
 
+/// A sampled point of the hyperbolic-disk model: `(radius, angle)`.
+type Polar = (f64, f64);
+
+/// Samples the point set of a hyperbolic random graph: `n` points on a
+/// hyperbolic disk of radius `R`, angles uniform, radii with density
+/// `∝ sinh(α·r)` (quasi-uniform in hyperbolic area for `α = 1`).
+/// Returns the points and `R`, chosen so the expected average degree is
+/// ≈ `avg_deg` (the Krioukov et al. estimate
+/// `d̄ ≈ n · ξ · e^{−R/2}` with `ξ = 2α²/(π(α−½)²)`).
+fn hyperbolic_points(n: usize, avg_deg: f64, alpha: f64, seed: u64) -> (Vec<Polar>, f64) {
+    let xi = 2.0 * alpha * alpha / (std::f64::consts::PI * (alpha - 0.5).powi(2));
+    let r_disk = (2.0 * ((n as f64) * xi / avg_deg).ln()).max(0.1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // 53 uniform mantissa bits in [0, 1) — the vendored rand has no
+    // float ranges (same derivation as `random_geometric`).
+    let mut unit = || ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+    let cosh_ar = (alpha * r_disk).cosh();
+    let pts: Vec<Polar> = (0..n)
+        .map(|_| {
+            // Inverse-CDF sample of F(r) = (cosh(αr) − 1)/(cosh(αR) − 1).
+            let r = (1.0 + unit() * (cosh_ar - 1.0)).acosh() / alpha;
+            let theta = unit() * std::f64::consts::TAU;
+            (r, theta)
+        })
+        .collect();
+    (pts, r_disk)
+}
+
+/// Whether two hyperbolic-disk points lie within distance `R` of each
+/// other (`cosh d = cosh r_i cosh r_j − sinh r_i sinh r_j cos Δθ`).
+/// The one predicate both the banded generator and the brute-force
+/// test oracle evaluate, so they agree bit-for-bit.
+fn hyperbolic_connected((ri, ti): Polar, (rj, tj): Polar, cosh_r_disk: f64) -> bool {
+    let cosh_d = ri.cosh() * rj.cosh() - ri.sinh() * rj.sinh() * (ti - tj).cos();
+    cosh_d <= cosh_r_disk
+}
+
+/// Hyperbolic random graph (Krioukov et al.): `n` points on a
+/// hyperbolic disk, an edge whenever two points are within hyperbolic
+/// distance `R` (the disk radius, tuned for average degree ≈
+/// `avg_deg`). Degrees follow a power law with exponent `2α + 1` while
+/// clustering stays high — the heavy-tailed small-world regime where
+/// `G^k` densifies around hubs, complementing [`barabasi_albert`]
+/// (which lacks geometry) and [`random_geometric`] (which lacks hubs).
+///
+/// Near-linear construction: points are bucketed into `O(log n)` radial
+/// bands, each sorted by angle; a node probes each band only within the
+/// widest angle at which the band's *innermost* radius could still
+/// connect (the connection-threshold angle is monotone decreasing in
+/// the neighbor's radius), then applies the exact distance predicate.
+/// Expected time `O((n + m) log n)`. Seeded and deterministic.
+///
+/// # Panics
+///
+/// Panics if `α ≤ ½` (the power-law regime requires `α > ½`) or if
+/// `avg_deg` is not positive.
+pub fn hyperbolic(n: usize, avg_deg: f64, alpha: f64, seed: u64) -> Graph {
+    assert!(alpha > 0.5, "alpha {alpha} must exceed 1/2");
+    assert!(avg_deg > 0.0, "avg_deg {avg_deg} must be positive");
+    let (pts, r_disk) = hyperbolic_points(n, avg_deg, alpha, seed);
+    let cosh_r_disk = r_disk.cosh();
+    let bands = ((n as f64).log2().ceil() as usize).max(1);
+    let band_width = r_disk / bands as f64;
+    let band_of = |r: f64| ((r / band_width) as usize).min(bands - 1);
+    // Each band holds its members sorted by angle for windowed probes.
+    let mut by_band: Vec<Vec<(f64, u32)>> = vec![Vec::new(); bands];
+    for (i, &(r, theta)) in pts.iter().enumerate() {
+        by_band[band_of(r)].push((theta, i as u32));
+    }
+    for band in &mut by_band {
+        band.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+    }
+    let mut b = GraphBuilder::new(n);
+    let mut probe = |i: usize, band: &[(f64, u32)], lo: f64, hi: f64| {
+        let from = band.partition_point(|&(t, _)| t < lo);
+        let to = band.partition_point(|&(t, _)| t <= hi);
+        for &(_, j) in &band[from..to] {
+            if u32::try_from(i).expect("n fits u32") < j
+                && hyperbolic_connected(pts[i], pts[j as usize], cosh_r_disk)
+            {
+                b.add_edge(NodeId::from(i), NodeId(j));
+            }
+        }
+    };
+    for (i, &(ri, ti)) in pts.iter().enumerate() {
+        for (bi, band) in by_band.iter().enumerate() {
+            // The widest connecting angle against this band: evaluated
+            // at the band's inner radius, which maximizes it (the
+            // threshold angle shrinks as the neighbor moves outward).
+            let r_lo = bi as f64 * band_width;
+            let window = if ri + r_lo <= r_disk {
+                // Close enough that every angle can connect (also the
+                // sinh(0) = 0 guard for the innermost band).
+                std::f64::consts::PI
+            } else {
+                let cos_max = (ri.cosh() * r_lo.cosh() - cosh_r_disk) / (ri.sinh() * r_lo.sinh());
+                if cos_max > 1.0 {
+                    continue; // the whole band is out of reach
+                }
+                // Tiny slack so float noise at the window boundary can
+                // only widen the candidate set (the exact predicate
+                // still decides).
+                cos_max.clamp(-1.0, 1.0).acos() + 1e-9
+            };
+            if window >= std::f64::consts::PI {
+                probe(i, band, f64::NEG_INFINITY, f64::INFINITY);
+            } else {
+                let (lo, hi) = (ti - window, ti + window);
+                probe(i, band, lo.max(0.0), hi);
+                // Wrapped tails of the angular window.
+                if lo < 0.0 {
+                    probe(i, band, lo + std::f64::consts::TAU, f64::INFINITY);
+                }
+                if hi > std::f64::consts::TAU {
+                    probe(i, band, f64::NEG_INFINITY, hi - std::f64::consts::TAU);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
 /// Bounded-growth cluster graph: a `rows × cols` grid of cliques of size
 /// `cluster`; cluster `(r, c)` occupies nodes `(r·cols + c)·cluster ..`
 /// and is bridged to its grid neighbors through its first node. Ball
@@ -712,5 +834,92 @@ mod tests {
         let g = gnp_with_avg_degree(400, 10.0, 42);
         let avg = 2.0 * g.m() as f64 / g.n() as f64;
         assert!((avg - 10.0).abs() < 2.0, "avg degree {avg} too far from 10");
+    }
+
+    /// The brute-force O(n²) oracle over the same sampled points and the
+    /// same connection predicate as the banded generator.
+    fn hyperbolic_brute(n: usize, avg_deg: f64, alpha: f64, seed: u64) -> Graph {
+        let (pts, r_disk) = hyperbolic_points(n, avg_deg, alpha, seed);
+        let cosh_r_disk = r_disk.cosh();
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if hyperbolic_connected(pts[i], pts[j], cosh_r_disk) {
+                    b.add_edge(NodeId::from(i), NodeId::from(j));
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn hyperbolic_banded_matches_bruteforce() {
+        for seed in [1u64, 7, 23, 91] {
+            let fast = hyperbolic(250, 6.0, 0.75, seed);
+            let slow = hyperbolic_brute(250, 6.0, 0.75, seed);
+            assert_eq!(fast, slow, "seed {seed}: band pruning changed the edge set");
+        }
+        // A denser, more homogeneous regime (larger alpha) too.
+        let fast = hyperbolic(180, 10.0, 1.1, 5);
+        let slow = hyperbolic_brute(180, 10.0, 1.1, 5);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn hyperbolic_seeded_reproducible() {
+        let a = hyperbolic(400, 8.0, 0.75, 13);
+        let b = hyperbolic(400, 8.0, 0.75, 13);
+        let c = hyperbolic(400, 8.0, 0.75, 14);
+        assert_eq!(a, b, "same seed must reproduce bit-for-bit");
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn hyperbolic_degrees_are_calibrated_and_heavy_tailed() {
+        let (n, target) = (2000usize, 8.0);
+        let g = hyperbolic(n, target, 0.75, 42);
+        let avg = 2.0 * g.m() as f64 / n as f64;
+        assert!(
+            avg > target / 3.0 && avg < target * 3.0,
+            "average degree {avg} too far from the {target} target"
+        );
+        // α = 0.75 gives a power-law tail with exponent 2.5: the hubs
+        // must tower over the average, unlike the geometric family.
+        assert!(
+            (g.max_degree() as f64) >= 4.0 * avg,
+            "max degree {} vs avg {avg}: tail not heavy",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn hyperbolic_has_a_giant_component() {
+        let n = 1500;
+        let g = hyperbolic(n, 8.0, 0.75, 3);
+        // Largest connected component via BFS sweep.
+        let mut seen = vec![false; n];
+        let mut largest = 0;
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            let mut size = 0;
+            let mut stack = vec![NodeId::from(s)];
+            seen[s] = true;
+            while let Some(v) = stack.pop() {
+                size += 1;
+                for &w in g.neighbors(v) {
+                    if !seen[w.index()] {
+                        seen[w.index()] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            largest = largest.max(size);
+        }
+        assert!(
+            largest >= n / 2,
+            "largest component {largest} of {n}: no giant component"
+        );
     }
 }

@@ -26,6 +26,9 @@
 //!   (`experiments suite --diff old.json new.json`): flags
 //!   round/message/bit regressions beyond a relative tolerance, missing
 //!   or reshaped scenarios and validation flips; wall clock never gates.
+//! * [`TrendReport`] — the cross-manifest trajectory (`experiments
+//!   trend DIR`): every committed `BENCH_*.json` grouped per scenario,
+//!   rounds/messages/bits/wall-clock across history, drift flagged.
 //!
 //! The `experiments suite` subcommand of `powersparse-bench` is the CLI
 //! front end; CI runs `experiments suite --smoke` on every PR.
@@ -53,6 +56,7 @@ pub mod json;
 pub mod manifest;
 pub mod runner;
 pub mod scenario;
+pub mod trend;
 
 pub use diff::{
     diff_manifests, diff_manifests_with, DiffOptions, DiffReport, FieldChange, ShapeChange,
@@ -64,3 +68,4 @@ pub use scenario::{
     builtin_suite, parse_suite, AlgorithmSpec, EngineSpec, GraphFamily, Scenario, SpecError,
     SuiteProfile,
 };
+pub use trend::{TrendPoint, TrendReport, TrendSeries};

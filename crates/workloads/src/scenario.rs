@@ -35,6 +35,16 @@ pub enum GraphFamily {
         /// Connection radius.
         radius: f64,
     },
+    /// Hyperbolic random graph (power-law degrees with exponent
+    /// `2·alpha + 1`, high clustering, giant component).
+    Hyperbolic {
+        /// Node count.
+        n: usize,
+        /// Target average degree.
+        avg_deg: f64,
+        /// Radial density exponent (`> 0.5`).
+        alpha: f64,
+    },
     /// 2D grid.
     Grid {
         /// Grid rows.
@@ -81,6 +91,7 @@ impl GraphFamily {
             Self::Gnp { .. } => "gnp",
             Self::PowerLaw { .. } => "power_law",
             Self::Geometric { .. } => "geometric",
+            Self::Hyperbolic { .. } => "hyperbolic",
             Self::Grid { .. } => "grid",
             Self::Torus { .. } => "torus",
             Self::Caterpillar { .. } => "caterpillar",
@@ -95,6 +106,9 @@ impl GraphFamily {
             Self::Gnp { n, avg_deg } => format!("gnp(n={n},d={avg_deg})"),
             Self::PowerLaw { n, attach } => format!("power_law(n={n},attach={attach})"),
             Self::Geometric { n, radius } => format!("geometric(n={n},r={radius})"),
+            Self::Hyperbolic { n, avg_deg, alpha } => {
+                format!("hyperbolic(n={n},d={avg_deg},a={alpha})")
+            }
             Self::Grid { rows, cols } => format!("grid({rows}x{cols})"),
             Self::Torus { rows, cols } => format!("torus({rows}x{cols})"),
             Self::Caterpillar { spine, legs } => format!("caterpillar(spine={spine},legs={legs})"),
@@ -114,6 +128,9 @@ impl GraphFamily {
             Self::Gnp { n, avg_deg } => generators::connected_sparse_gnp(n, avg_deg, seed),
             Self::PowerLaw { n, attach } => generators::barabasi_albert(n, attach, seed),
             Self::Geometric { n, radius } => generators::random_geometric(n, radius, seed),
+            Self::Hyperbolic { n, avg_deg, alpha } => {
+                generators::hyperbolic(n, avg_deg, alpha, seed)
+            }
             Self::Grid { rows, cols } => generators::grid(rows, cols),
             Self::Torus { rows, cols } => generators::torus(rows, cols),
             Self::Caterpillar { spine, legs } => generators::caterpillar(spine, legs),
@@ -364,6 +381,13 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
         n: 256 * s,
         radius: if s == 1 { 0.16 } else { 0.06 },
     };
+    // Power-law-with-geometry regime; Luby MIS validates per component,
+    // so the (rare) small satellite components are fine.
+    let hyperbolic = GraphFamily::Hyperbolic {
+        n: 256 * s,
+        avg_deg: 6.0,
+        alpha: 0.75,
+    };
     let grid = GraphFamily::Grid {
         rows: 16 * s,
         cols: 12,
@@ -394,6 +418,7 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
         Scenario::new(power_law).k(2).seed(7).pooled(sharded),
         Scenario::new(geometric.clone()).seed(3),
         Scenario::new(geometric).seed(3).pooled(2),
+        Scenario::new(hyperbolic).seed(17).pooled(sharded),
         Scenario::new(grid.clone()).k(2).sharded(sharded),
         Scenario::new(caterpillar).k(2),
         Scenario::new(broom).sharded(2),
@@ -516,8 +541,9 @@ impl std::error::Error for SpecError {}
 ///
 /// ```toml
 /// [[scenario]]
-/// family = "power_law"   # gnp | power_law | geometric | grid | torus |
-///                        # caterpillar | broom | cluster_grid
+/// family = "power_law"   # gnp | power_law | geometric | hyperbolic |
+///                        # grid | torus | caterpillar | broom |
+///                        # cluster_grid
 /// n = 300
 /// attach = 3
 /// k = 2
@@ -666,6 +692,18 @@ impl Block {
         }
     }
 
+    fn f64_or(&mut self, key: &str, default: f64) -> Result<f64, SpecError> {
+        match self.take(key) {
+            Some((_, SpecValue::Float(v))) => Ok(v),
+            Some((_, SpecValue::Int(v))) => Ok(v as f64),
+            Some((line, v)) => Err(SpecError {
+                line,
+                message: format!("`{key}` must be a number, got {}", v.type_name()),
+            }),
+            None => Ok(default),
+        }
+    }
+
     fn bool_or(&mut self, key: &str, default: bool) -> Result<bool, SpecError> {
         match self.take(key) {
             Some((_, SpecValue::Bool(v))) => Ok(v),
@@ -733,6 +771,11 @@ fn scenario_from_kv(
         "geometric" => GraphFamily::Geometric {
             n: b.usize("n")?,
             radius: b.f64("radius")?,
+        },
+        "hyperbolic" => GraphFamily::Hyperbolic {
+            n: b.usize("n")?,
+            avg_deg: b.f64("avg_deg")?,
+            alpha: b.f64_or("alpha", 0.75)?,
         },
         "grid" => GraphFamily::Grid {
             rows: b.usize("rows")?,
@@ -963,6 +1006,42 @@ algorithm = "sparsify"   # randomized
         );
         assert_eq!(suite[1].engine, EngineSpec::Sharded { shards: 8 });
         assert_eq!(suite[2].algorithm, AlgorithmSpec::PowerNd);
+    }
+
+    #[test]
+    fn hyperbolic_family_parses_builds_and_is_in_the_suite() {
+        let suite = parse_suite(
+            "[[scenario]]\nfamily = \"hyperbolic\"\nn = 200\navg_deg = 6.0\nseed = 9\n\n\
+             [[scenario]]\nfamily = \"hyperbolic\"\nn = 200\navg_deg = 6.0\nalpha = 1.1\n",
+        )
+        .unwrap();
+        assert_eq!(
+            suite[0].family,
+            GraphFamily::Hyperbolic {
+                n: 200,
+                avg_deg: 6.0,
+                alpha: 0.75, // the spec default
+            }
+        );
+        assert_eq!(
+            suite[1].family,
+            GraphFamily::Hyperbolic {
+                n: 200,
+                avg_deg: 6.0,
+                alpha: 1.1,
+            }
+        );
+        let g = suite[0].family.build(suite[0].seed);
+        assert_eq!(g.n(), 200);
+        assert!(g.m() > 0);
+        assert_eq!(
+            suite[0].name(),
+            "hyperbolic(n=200,d=6,a=0.75)/k1/luby_mis/sequential"
+        );
+        // And the smoke suite carries a hyperbolic row.
+        assert!(builtin_suite(SuiteProfile::Smoke)
+            .iter()
+            .any(|sc| sc.family.id() == "hyperbolic"));
     }
 
     #[test]

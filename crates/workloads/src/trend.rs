@@ -1,0 +1,344 @@
+//! Trend reports over `BENCH_*.json` manifest history.
+//!
+//! The repository commits one manifest per benchmark surface
+//! (`BENCH_suite.json` for the scenario smoke suite, `BENCH_engine.json`
+//! for the engine-comparison table); as PRs regenerate them, the set of
+//! manifests becomes the cost trajectory the ROADMAP asks for. A
+//! [`TrendReport`] groups every run by `(suite, scenario)` across all
+//! manifests it is fed, rendering the per-scenario series of
+//! rounds/messages/bits/wall-clock and flagging **drift** — any
+//! gated counter changing between sources, which `suite --diff` would
+//! also catch pairwise but is easier to see here across the whole
+//! history.
+//!
+//! The CLI front end is `experiments trend [DIR] [--out FILE.json]`: it
+//! loads every `BENCH_*.json` in the directory (a malformed manifest is
+//! a hard error — CI runs this, so a bad commit breaks the build),
+//! prints the markdown report and optionally writes it as JSON.
+
+use crate::json::Json;
+use crate::manifest::SuiteManifest;
+use std::collections::BTreeMap;
+
+/// One scenario's measurement in one manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrendPoint {
+    /// Which manifest this point came from (file name / label).
+    pub source: String,
+    /// CONGEST rounds.
+    pub rounds: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Bits sent.
+    pub bits: u64,
+    /// Peak single-edge queue depth.
+    pub peak_queue_depth: u64,
+    /// Algorithm wall clock, microseconds (never gates; context only).
+    pub run_us: u64,
+    /// Whether the run's validation passed.
+    pub passed: bool,
+}
+
+/// One scenario tracked across manifests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrendSeries {
+    /// Suite the scenario belongs to.
+    pub suite: String,
+    /// Canonical scenario name.
+    pub scenario: String,
+    /// One point per manifest containing the scenario, in source order.
+    pub points: Vec<TrendPoint>,
+}
+
+impl TrendSeries {
+    /// Whether every deterministic counter is identical across the
+    /// series (wall clock is expected to move; it never counts as
+    /// drift).
+    pub fn stable(&self) -> bool {
+        self.points.windows(2).all(|w| {
+            (w[0].rounds, w[0].messages, w[0].bits, w[0].peak_queue_depth)
+                == (w[1].rounds, w[1].messages, w[1].bits, w[1].peak_queue_depth)
+        })
+    }
+}
+
+/// The cross-manifest trend report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrendReport {
+    /// Every manifest source, in the order the series use.
+    pub sources: Vec<String>,
+    /// Per-`(suite, scenario)` series, sorted for stable output.
+    pub series: Vec<TrendSeries>,
+}
+
+impl TrendReport {
+    /// Builds the report from `(source label, manifest)` pairs. Sources
+    /// are ordered by label (file names sort chronologically once a
+    /// naming convention with dates/PR numbers exists; today's two
+    /// surfaces are simply alphabetical), series by suite then
+    /// scenario.
+    pub fn from_manifests(manifests: &[(String, SuiteManifest)]) -> Self {
+        let mut ordered: Vec<&(String, SuiteManifest)> = manifests.iter().collect();
+        ordered.sort_by(|a, b| a.0.cmp(&b.0));
+        let sources: Vec<String> = ordered.iter().map(|(s, _)| s.clone()).collect();
+        let mut by_key: BTreeMap<(String, String), Vec<TrendPoint>> = BTreeMap::new();
+        for (source, manifest) in ordered {
+            for run in &manifest.runs {
+                by_key
+                    .entry((manifest.suite.clone(), run.name.clone()))
+                    .or_default()
+                    .push(TrendPoint {
+                        source: source.clone(),
+                        rounds: run.rounds,
+                        messages: run.messages,
+                        bits: run.bits,
+                        peak_queue_depth: run.peak_queue_depth,
+                        run_us: run.wall.run_us,
+                        passed: run.validation.passed,
+                    });
+            }
+        }
+        let series = by_key
+            .into_iter()
+            .map(|((suite, scenario), points)| TrendSeries {
+                suite,
+                scenario,
+                points,
+            })
+            .collect();
+        Self { sources, series }
+    }
+
+    /// Number of series whose counters drift across sources.
+    pub fn drifting(&self) -> usize {
+        self.series.iter().filter(|s| !s.stable()).count()
+    }
+
+    /// The report as a [`Json`] document (the `--out` payload).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "sources".into(),
+                Json::Arr(self.sources.iter().map(|s| Json::str(s)).collect()),
+            ),
+            ("series_total".into(), Json::num(self.series.len() as u64)),
+            ("drifting".into(), Json::num(self.drifting() as u64)),
+            (
+                "series".into(),
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("suite".into(), Json::str(&s.suite)),
+                                ("scenario".into(), Json::str(&s.scenario)),
+                                ("stable".into(), Json::Bool(s.stable())),
+                                (
+                                    "points".into(),
+                                    Json::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|p| {
+                                                Json::Obj(vec![
+                                                    ("source".into(), Json::str(&p.source)),
+                                                    ("rounds".into(), Json::num(p.rounds)),
+                                                    ("messages".into(), Json::num(p.messages)),
+                                                    ("bits".into(), Json::num(p.bits)),
+                                                    (
+                                                        "peak_queue_depth".into(),
+                                                        Json::num(p.peak_queue_depth),
+                                                    ),
+                                                    ("run_us".into(), Json::num(p.run_us)),
+                                                    ("passed".into(), Json::Bool(p.passed)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The report as a markdown table, one row per (scenario, source).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} manifests, {} series ({} drifting)\n\n",
+            self.sources.len(),
+            self.series.len(),
+            self.drifting()
+        ));
+        out.push_str(
+            "| suite | scenario | source | rounds | messages | bits | run wall | valid | trend |\n",
+        );
+        out.push_str("| --- | --- | --- | --- | --- | --- | --- | --- | --- |\n");
+        for s in &self.series {
+            let marker = if s.stable() { "stable" } else { "DRIFT" };
+            for (i, p) in s.points.iter().enumerate() {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} | {:.1}ms | {} | {} |\n",
+                    s.suite,
+                    s.scenario,
+                    p.source,
+                    p.rounds,
+                    p.messages,
+                    p.bits,
+                    p.run_us as f64 / 1000.0,
+                    if p.passed { "yes" } else { "NO" },
+                    if i == 0 { marker } else { "" },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{PhaseWall, RunRecord, Validation};
+
+    fn record(name: &str, rounds: u64, messages: u64) -> RunRecord {
+        RunRecord {
+            name: name.into(),
+            family: "gnp".into(),
+            graph: "gnp(n=10,d=3)".into(),
+            n: 10,
+            m: 15,
+            max_degree: 5,
+            k: 1,
+            seed: 1,
+            algorithm: "luby_mis".into(),
+            engine: "sequential".into(),
+            shards: 1,
+            rounds,
+            charged_rounds: 0,
+            messages,
+            bits: messages * 8,
+            peak_queue_depth: 2,
+            output_size: 4,
+            wall: PhaseWall {
+                build_us: 10,
+                run_us: 100,
+                validate_us: 5,
+            },
+            validation: Validation {
+                passed: true,
+                detail: "ok".into(),
+            },
+        }
+    }
+
+    fn manifest(suite: &str, runs: Vec<RunRecord>) -> SuiteManifest {
+        SuiteManifest {
+            suite: suite.into(),
+            runs,
+        }
+    }
+
+    #[test]
+    fn groups_by_suite_and_scenario_across_sources() {
+        let report = TrendReport::from_manifests(&[
+            (
+                "b_new.json".into(),
+                manifest("smoke", vec![record("a", 5, 100), record("b", 7, 50)]),
+            ),
+            (
+                "a_old.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+        ]);
+        assert_eq!(report.sources, vec!["a_old.json", "b_new.json"]);
+        assert_eq!(report.series.len(), 2);
+        let a = &report.series[0];
+        assert_eq!((a.scenario.as_str(), a.points.len()), ("a", 2));
+        // Source order inside a series follows the sorted source order.
+        assert_eq!(a.points[0].source, "a_old.json");
+        assert!(a.stable());
+        assert_eq!(report.drifting(), 0);
+    }
+
+    #[test]
+    fn drift_is_flagged_per_series_and_rendered() {
+        let report = TrendReport::from_manifests(&[
+            (
+                "m1.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+            (
+                "m2.json".into(),
+                manifest("smoke", vec![record("a", 6, 100)]),
+            ),
+        ]);
+        assert_eq!(report.drifting(), 1);
+        assert!(!report.series[0].stable());
+        let md = report.render_markdown();
+        assert!(md.contains("DRIFT"), "{md}");
+        assert!(md.contains("| smoke | a | m1.json | 5 |"), "{md}");
+    }
+
+    #[test]
+    fn wall_clock_changes_are_not_drift() {
+        let mut fast = record("a", 5, 100);
+        fast.wall.run_us = 1;
+        let report = TrendReport::from_manifests(&[
+            (
+                "m1.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+            ("m2.json".into(), manifest("smoke", vec![fast])),
+        ]);
+        assert_eq!(report.drifting(), 0);
+    }
+
+    #[test]
+    fn different_suites_form_different_series() {
+        let report = TrendReport::from_manifests(&[
+            (
+                "m1.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+            (
+                "m2.json".into(),
+                manifest("engines", vec![record("a", 5, 100)]),
+            ),
+        ]);
+        assert_eq!(report.series.len(), 2, "same name, different suite");
+        assert!(report.series.iter().all(|s| s.points.len() == 1));
+    }
+
+    #[test]
+    fn json_payload_round_trips_through_the_parser() {
+        let report = TrendReport::from_manifests(&[
+            (
+                "m1.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+            (
+                "m2.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+        ]);
+        let text = report.to_json().to_string_pretty();
+        let parsed = Json::parse(&text).expect("trend JSON must parse");
+        assert_eq!(
+            parsed.get("series_total").and_then(Json::as_u64),
+            Some(1),
+            "{text}"
+        );
+        assert_eq!(parsed.get("drifting").and_then(Json::as_u64), Some(0));
+        let sources = parsed.get("sources").and_then(Json::as_arr).unwrap();
+        assert_eq!(sources.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_renders_an_empty_report() {
+        let report = TrendReport::from_manifests(&[]);
+        assert!(report.series.is_empty() && report.sources.is_empty());
+        assert!(report.render_markdown().contains("0 manifests"));
+    }
+}
