@@ -5,17 +5,24 @@
 //! experiments [all|table1-det|table1-mis|table1-ruling|fig1|sparsify|shattering|nd|derand] [--scale S]
 //! experiments engines [--out MANIFEST.json]
 //! experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] [--force-engine ENGINE]
+//!                   [--repeats R] [--warmup W]
 //! experiments suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine]
 //! experiments trend [DIR] [--out REPORT.json]
+//! experiments trace SCENARIO [--limit N]
 //! ```
 //!
 //! Output is markdown; EXPERIMENTS.md archives a run. The `suite`
 //! subcommand additionally writes a structured JSON manifest (default
 //! `BENCH_suite.json`) for cross-run regression diffing, and exits
-//! nonzero if any run fails its validity checks; `engines --out` writes
-//! the engine-comparison table as a manifest too (`BENCH_engine.json`
-//! is the committed instance), and `trend` renders the cost trajectory
-//! across every `BENCH_*.json` in a directory.
+//! nonzero if any run fails its validity checks; `--repeats R` times
+//! each scenario's run phase `R` times (plus `--warmup W` discarded
+//! invocations) and records mean/min/max/95%-CI wall statistics in the
+//! manifest. `engines --out` writes the engine-comparison table as a
+//! manifest too (`BENCH_engine.json` is the committed instance),
+//! `trend` renders the cost trajectory across every `BENCH_*.json` in a
+//! directory, and `trace` runs one named builtin scenario with a round
+//! probe attached and prints the per-round activity table
+//! (round, active edges, dirty nodes, messages, bits).
 
 use powersparse::mis::{beeping_mis, luby_mis, mis_power, PostShattering};
 use powersparse::nd::{diameter_bound, power_nd};
@@ -52,6 +59,7 @@ fn main() {
         "engines" => engines_cmd(&args[1..]),
         "suite" => suite_cmd(&args[1..]),
         "trend" => trend_cmd(&args[1..]),
+        "trace" => trace_cmd(&args[1..]),
         "all" => {
             table1_det(scale);
             table1_mis(scale);
@@ -557,7 +565,7 @@ fn engines_cmd(args: &[String]) {
 fn engines_exp(out: Option<&str>) {
     use powersparse_congest::engine::{Metrics, RoundEngine};
     use powersparse_engine::{PooledSimulator, ShardedSimulator};
-    use powersparse_workloads::{PhaseWall, RunRecord, SuiteManifest, Validation};
+    use powersparse_workloads::{PhaseWall, RunRecord, SuiteManifest, Validation, WallStats};
     use std::time::Instant;
 
     println!("\n## E9: Round-engine comparison — Luby MIS on G, wall clock\n");
@@ -609,12 +617,16 @@ fn engines_exp(out: Option<&str>) {
             messages: metrics.messages,
             bits: metrics.bits,
             peak_queue_depth: metrics.peak_queue_depth,
+            arena_cells_peak: metrics.arena_cells_peak,
+            arena_bytes_peak: metrics.arena_bytes_peak,
             output_size: mis_size,
             wall: PhaseWall {
                 build_us,
                 run_us,
                 validate_us: 0,
             },
+            wall_stats: WallStats::single(run_us),
+            trace: None,
             validation: Validation {
                 passed: true,
                 detail: "outputs + Metrics bit-for-bit vs the sequential reference".into(),
@@ -814,11 +826,149 @@ fn trend_cmd(args: &[String]) {
     }
 }
 
+/// E12 — `experiments trace SCENARIO [--limit N]`: run one builtin
+/// scenario with a round probe attached and print the per-round
+/// activity table (round, active edges, dirty nodes, messages, bits).
+/// The scenario is looked up by its canonical name in the builtin smoke
+/// and full suites; `--limit N` downsamples the table to at most `N`
+/// evenly strided rows (default: every round). The probe invariants
+/// (trace length = rounds on a full trace, per-round messages/bits
+/// summing to the run totals) are re-checked and a violation exits
+/// nonzero.
+fn trace_cmd(args: &[String]) {
+    use powersparse_workloads::{
+        builtin_suite, run_scenario_with, Repeat, RunOptions, Scenario, SuiteProfile,
+    };
+
+    let mut target: Option<String> = None;
+    let mut limit = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--limit" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("--limit requires a value");
+                    std::process::exit(2);
+                });
+                limit = value.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("cannot parse limit '{value}' (a row count; 0 = every round)");
+                    std::process::exit(2);
+                });
+            }
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_string());
+            }
+            other => {
+                eprintln!(
+                    "unknown trace argument '{other}' \
+                     (usage: experiments trace SCENARIO [--limit N])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("trace requires a scenario name (usage: experiments trace SCENARIO [--limit N])");
+        std::process::exit(2);
+    };
+    // Smoke first so the cheap instance of a name wins; the full suite
+    // adds the scenarios smoke does not carry.
+    let mut scenarios = builtin_suite(SuiteProfile::Smoke);
+    for sc in builtin_suite(SuiteProfile::Full) {
+        if !scenarios.iter().any(|s| s.name() == sc.name()) {
+            scenarios.push(sc);
+        }
+    }
+    let Some(sc) = scenarios.iter().find(|s| s.name() == target) else {
+        eprintln!("unknown scenario '{target}'; builtin scenarios:");
+        for s in &scenarios {
+            eprintln!("  {}", s.name());
+        }
+        std::process::exit(2);
+    };
+    let opts = RunOptions {
+        repeat: Repeat::once(),
+        trace: Some(limit),
+    };
+    let rec = run_scenario_with(sc, &opts).unwrap_or_else(|e| panic!("trace run failed: {e}"));
+    let trace = rec.trace.as_ref().expect("trace was requested");
+    println!(
+        "\n## E12: Round trace — `{}` ({} rounds, {} shown)\n",
+        Scenario::name(sc),
+        rec.rounds,
+        trace.len()
+    );
+    println!(
+        "{}",
+        row(&["round", "active edges", "dirty nodes", "messages", "bits"].map(String::from))
+    );
+    println!("{}", row(&["---"; 5].map(String::from)));
+    for r in trace {
+        println!(
+            "{}",
+            row(&[
+                r.round.to_string(),
+                r.active_edges.to_string(),
+                r.dirty_nodes.to_string(),
+                r.messages.to_string(),
+                r.bits.to_string(),
+            ])
+        );
+    }
+    println!(
+        "\ntotals: {} rounds ({} charged), {} messages, {} bits; peak queue {}; \
+         arena peak {} cells / {} bytes; validation: {}",
+        rec.rounds,
+        rec.charged_rounds,
+        rec.messages,
+        rec.bits,
+        rec.peak_queue_depth,
+        rec.arena_cells_peak,
+        rec.arena_bytes_peak,
+        rec.validation.detail
+    );
+    // Re-check the probe invariants the manifest trace section rests on.
+    let mut bad = false;
+    if limit == 0 {
+        if trace.len() as u64 != rec.rounds {
+            eprintln!(
+                "PROBE VIOLATION: full trace has {} rows but the run counted {} rounds",
+                trace.len(),
+                rec.rounds
+            );
+            bad = true;
+        }
+        let (msgs, bits): (u64, u64) = trace
+            .iter()
+            .fold((0, 0), |(m, b), r| (m + r.messages, b + r.bits));
+        if msgs != rec.messages || bits != rec.bits {
+            eprintln!(
+                "PROBE VIOLATION: trace sums ({msgs} msgs, {bits} bits) disagree with the \
+                 counters ({} msgs, {} bits)",
+                rec.messages, rec.bits
+            );
+            bad = true;
+        }
+    } else if trace.len() > limit {
+        eprintln!(
+            "PROBE VIOLATION: downsampled trace has {} rows > limit {limit}",
+            trace.len()
+        );
+        bad = true;
+    }
+    if !rec.validation.passed || bad {
+        eprintln!("trace failed — see above");
+        std::process::exit(1);
+    }
+}
+
 /// E10 — The workload scenario suite: the declarative graph-family ×
 /// algorithm × engine matrix of `powersparse-workloads`, validated run
 /// by run, with a JSON manifest for `BENCH_*.json` trajectory tracking.
 fn suite_cmd(args: &[String]) {
-    use powersparse_workloads::{builtin_suite, parse_suite, run_suite, EngineSpec, SuiteProfile};
+    use powersparse_workloads::{
+        builtin_suite, parse_suite, run_suite_with, EngineSpec, Repeat, RunOptions, SuiteProfile,
+    };
 
     // Strict argument parsing: a mistyped flag must not silently fall
     // back to the full builtin suite (the spec-file parser rejects
@@ -831,11 +981,33 @@ fn suite_cmd(args: &[String]) {
     let mut saw_tolerance = false;
     let mut force_engine: Option<String> = None;
     let mut ignore_engine = false;
+    let mut repeats = 1usize;
+    let mut warmup = 0usize;
+    let mut saw_repeat_flags = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--ignore-engine" => ignore_engine = true,
+            "--repeats" | "--warmup" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("{arg} requires a value");
+                    std::process::exit(2);
+                });
+                let parsed = match value.parse::<usize>() {
+                    Ok(v) if arg == "--warmup" || v >= 1 => v,
+                    _ => {
+                        eprintln!("cannot parse {arg} '{value}' (a count; --repeats needs ≥ 1)");
+                        std::process::exit(2);
+                    }
+                };
+                if arg == "--repeats" {
+                    repeats = parsed;
+                } else {
+                    warmup = parsed;
+                }
+                saw_repeat_flags = true;
+            }
             "--out" | "--spec" | "--force-engine" => {
                 let value = it.next().unwrap_or_else(|| {
                     eprintln!("{arg} requires a value");
@@ -874,7 +1046,7 @@ fn suite_cmd(args: &[String]) {
                 eprintln!(
                     "unknown suite argument '{other}' \
                      (usage: experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] \
-                     [--force-engine sequential|sharded|pooled] \
+                     [--force-engine sequential|sharded|pooled] [--repeats R] [--warmup W] \
                      | suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine])"
                 );
                 std::process::exit(2);
@@ -882,8 +1054,8 @@ fn suite_cmd(args: &[String]) {
         }
     }
     if let Some((old_path, new_path)) = diff {
-        if smoke || out.is_some() || spec.is_some() || force_engine.is_some() {
-            eprintln!("--diff compares two existing manifests; it cannot be combined with --smoke/--spec/--out/--force-engine");
+        if smoke || out.is_some() || spec.is_some() || force_engine.is_some() || saw_repeat_flags {
+            eprintln!("--diff compares two existing manifests; it cannot be combined with --smoke/--spec/--out/--force-engine/--repeats/--warmup");
             std::process::exit(2);
         }
         return diff_cmd(&old_path, &new_path, tolerance, ignore_engine);
@@ -927,9 +1099,22 @@ fn suite_cmd(args: &[String]) {
         name = format!("{name}+force-{engine}");
     }
 
+    let opts = RunOptions {
+        repeat: Repeat {
+            invocations: repeats,
+            iterations: 1,
+            warmup,
+        },
+        trace: None,
+    };
     println!(
-        "\n## E10: Workload suite `{name}` — {} scenarios\n",
-        scenarios.len()
+        "\n## E10: Workload suite `{name}` — {} scenarios{}\n",
+        scenarios.len(),
+        if repeats > 1 {
+            format!(" ({repeats} repeats, {warmup} warmup)")
+        } else {
+            String::new()
+        }
     );
     println!(
         "{}",
@@ -946,8 +1131,18 @@ fn suite_cmd(args: &[String]) {
         .map(String::from))
     );
     println!("{}", row(&["---"; 8].map(String::from)));
-    let manifest = run_suite(&name, &scenarios).unwrap_or_else(|e| panic!("suite failed: {e}"));
+    let manifest =
+        run_suite_with(&name, &scenarios, &opts).unwrap_or_else(|e| panic!("suite failed: {e}"));
     for run in &manifest.runs {
+        let wall = if run.wall_stats.samples > 1 {
+            format!(
+                "{:.1}±{:.1}ms",
+                run.wall_stats.mean_us / 1000.0,
+                run.wall_stats.ci95_us / 1000.0
+            )
+        } else {
+            format!("{:.1}ms", run.wall.run_us as f64 / 1000.0)
+        };
         println!(
             "{}",
             row(&[
@@ -957,7 +1152,7 @@ fn suite_cmd(args: &[String]) {
                 run.rounds.to_string(),
                 run.messages.to_string(),
                 run.peak_queue_depth.to_string(),
-                format!("{:.1}ms", run.wall.run_us as f64 / 1000.0),
+                wall,
                 if run.validation.passed {
                     "yes".into()
                 } else {

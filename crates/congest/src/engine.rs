@@ -66,6 +66,29 @@
 //! backend. Enabling the mode changes no always-on counter: they stay
 //! bit-for-bit identical either way (conformance-gated).
 //!
+//! # Probe emission points
+//!
+//! Engines are generic over a [`crate::probe::Probe`] (default
+//! [`crate::probe::NoProbe`], which compiles the entire layer out) and
+//! emit one [`crate::probe::RoundObs`] per `Metrics::rounds` increment
+//! — the observation fires exactly where the round counter advances, so
+//! trace length equals `rounds` on every backend:
+//!
+//! * the sequential `Simulator` emits at the end of its round step,
+//!   after the transfer delivered;
+//! * the sharded and pooled backends gather shard-local counts during
+//!   the round stages and emit **on the caller thread** after the
+//!   stage-2 barrier, merged exactly where the shard counters merge;
+//! * [`RoundEngine::charge_rounds`] emits one zeroed observation per
+//!   charged round, in order.
+//!
+//! The observation's engine-invariant core (round index, post-transfer
+//! active edges, distinct delivery receivers, messages, bits) is part
+//! of rule 3: conformance pins it bit-for-bit across backends at every
+//! shard count. A [`crate::probe::PhaseObs`] fires when a typed phase
+//! drops, carrying the phase ordinal and the rounds/messages/bits it
+//! consumed.
+//!
 //! # Misbehaving node programs
 //!
 //! The contract is two-sided: programs that break the rules are rejected
@@ -166,6 +189,17 @@ pub struct Metrics {
     /// congestion gauge for the benchmark manifests; part of the engine
     /// contract — every backend must measure the identical value.
     pub peak_queue_depth: u64,
+    /// Peak arena footprint in cells: the maximum over rounds of the
+    /// *total* messages queued across all message cores at the start of
+    /// a transfer step (summed across shards at the round barrier, so
+    /// every backend measures the identical value regardless of how the
+    /// arena is partitioned).
+    pub arena_cells_peak: u64,
+    /// Peak arena footprint in bytes: `arena_cells_peak` rounds scaled
+    /// by the per-message cell size (payload plus intrusive FIFO
+    /// links), maxed over rounds. Engine-invariant like
+    /// [`Metrics::arena_cells_peak`].
+    pub arena_bytes_peak: u64,
     /// Whether per-edge accounting is enabled ([`MetricsConfig`]).
     pub per_edge: bool,
     /// Per-directed-edge delivered message counts, indexed like the CSR

@@ -72,6 +72,7 @@
 pub mod engine;
 pub mod msgcore;
 pub mod primitives;
+pub mod probe;
 pub mod sim;
 pub mod trees;
 
@@ -79,5 +80,6 @@ pub use engine::{
     Delivery, Message, Metrics, MetricsConfig, Outbox, RoundEngine, RoundPhase, SendRecord,
 };
 pub use msgcore::MsgCore;
+pub use probe::{NoProbe, PhaseObs, Probe, RoundObs, TraceProbe};
 pub use sim::{Phase, SimConfig, Simulator};
 pub use trees::{GlobalTree, QTrees};

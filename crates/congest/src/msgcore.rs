@@ -96,6 +96,12 @@ pub struct MsgCore<M> {
     active: Vec<u32>,
     /// Total queued messages (so emptiness is O(1)).
     queued: usize,
+    /// Current free-list length.
+    free_len: usize,
+    /// High-water mark of the free list — how many arena cells were
+    /// idle-but-retained at once, the recycling half of the arena
+    /// footprint gauge ([`MsgCore::free_list_high_water`]).
+    free_high: usize,
 }
 
 impl<M> MsgCore<M> {
@@ -108,6 +114,8 @@ impl<M> MsgCore<M> {
             cursors: vec![EdgeCursor::EMPTY; edges],
             active: Vec::new(),
             queued: 0,
+            free_len: 0,
+            free_high: 0,
         }
     }
 
@@ -132,6 +140,21 @@ impl<M> MsgCore<M> {
         self.active.len()
     }
 
+    /// Size of one arena cell in bytes for this payload type — the
+    /// multiplier turning peak cell counts into the manifest's
+    /// arena-footprint bytes.
+    pub fn cell_size(&self) -> usize {
+        std::mem::size_of::<Cell<M>>()
+    }
+
+    /// High-water mark of the free list: the most arena cells ever
+    /// sitting idle (delivered but retained for reuse) at once. A local
+    /// diagnostic — unlike the queued-cell peak it depends on delivery
+    /// batching and is not part of the cross-engine contract.
+    pub fn free_list_high_water(&self) -> usize {
+        self.free_high
+    }
+
     /// Appends a message of `bits` bits to local edge `edge`'s FIFO.
     /// Amortized O(1): a free-list pop or a bump-append, plus cursor
     /// updates; newly nonempty edges join the active worklist.
@@ -153,6 +176,7 @@ impl<M> MsgCore<M> {
             free => {
                 let cell = &mut self.cells[free as usize];
                 self.free_head = cell.next;
+                self.free_len -= 1;
                 *cell = Cell {
                     bits,
                     next: NIL,
@@ -209,6 +233,8 @@ impl<M> MsgCore<M> {
                 cur.head = cell.next;
                 cell.next = self.free_head;
                 self.free_head = freed;
+                self.free_len += 1;
+                self.free_high = self.free_high.max(self.free_len);
                 cur.len -= 1;
                 self.queued -= 1;
                 deliver(edge as usize, from, msg);
@@ -330,6 +356,26 @@ mod tests {
         core.transfer(4, |_, _, _| {});
         assert_eq!(core.active_edges(), 1, "drained edge must leave the list");
         assert_eq!(core.queued(), 1);
+    }
+
+    #[test]
+    fn footprint_gauges_track_arena_recycling() {
+        let mut core = MsgCore::new(4);
+        assert!(core.cell_size() >= std::mem::size_of::<u64>() + std::mem::size_of::<u32>());
+        assert_eq!(core.free_list_high_water(), 0);
+        for e in 0..4usize {
+            core.enqueue(e, 8, NodeId(0), 1u32);
+        }
+        core.transfer(8, |_, _, _| {});
+        // All four cells delivered and parked on the free list at once.
+        assert_eq!(core.free_list_high_water(), 4);
+        for e in 0..4usize {
+            core.enqueue(e, 8, NodeId(0), 2u32);
+        }
+        core.transfer(8, |_, _, _| {});
+        // Recycling never grew the idle pool past the first generation.
+        assert_eq!(core.free_list_high_water(), 4);
+        assert_eq!(core.queued(), 0);
     }
 
     #[test]

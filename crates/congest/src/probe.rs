@@ -1,0 +1,196 @@
+//! The round-level observability layer: a [`Probe`] receives one
+//! [`RoundObs`] per executed (or charged) round and one [`PhaseObs`] per
+//! closed phase, on **every** [`crate::engine::RoundEngine`] backend.
+//!
+//! # Contract
+//!
+//! The engine contract (see [`crate::engine`] module docs) extends to
+//! probes: the *engine-invariant core* of every `RoundObs` — round
+//! index, post-transfer active-edge count, distinct delivery receivers,
+//! messages delivered and bits enqueued this round — is **bit-for-bit
+//! identical across backends at every shard count**, and the trace
+//! length always equals `Metrics::rounds` (charged rounds emit zeroed
+//! observations so the invariant survives analytical charging). The
+//! per-shard splice volumes are the only backend-shaped field: their sum
+//! equals `messages` everywhere, and two sharded backends at the *same*
+//! shard count agree on the whole vector.
+//!
+//! Emission points (one per `Metrics::rounds` increment):
+//!
+//! * sequential `Simulator` — at the end of `finish_round`, after the
+//!   transfer delivered;
+//! * `ShardedSimulator` / `PooledSimulator` — on the caller thread after
+//!   the stage-2 barrier, from shard observations merged exactly where
+//!   the shard-local counters merge;
+//! * `charge_rounds(r)` — `r` zeroed observations, in order.
+//!
+//! [`PhaseObs`] fires when a typed phase is dropped, carrying the phase
+//! ordinal and the rounds/messages/bits the phase consumed.
+//!
+//! # Cost
+//!
+//! [`NoProbe`] (the default type parameter of every engine) sets
+//! [`Probe::ENABLED`] to `false`; every gathering site is guarded by
+//! that associated constant, so the disabled path compiles down to the
+//! pre-probe engine — no branch, no allocation, no trace storage.
+
+/// What one round looked like, observed at the round barrier.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundObs {
+    /// Round index (0-based; equals this observation's position in the
+    /// trace, counting charged rounds).
+    pub round: u64,
+    /// Directed edges still holding queued bits *after* this round's
+    /// transfer (fragments still crossing).
+    pub active_edges: u64,
+    /// Distinct nodes that received at least one delivery this round.
+    pub dirty_nodes: u64,
+    /// Messages delivered this round.
+    pub messages: u64,
+    /// Bits enqueued (sent) this round.
+    pub bits: u64,
+    /// Messages routed per sender shard this round (backend-shaped:
+    /// length = shard count; empty for charged rounds). Sums to
+    /// [`RoundObs::messages`] on every backend.
+    pub shard_splice: Vec<u64>,
+}
+
+impl RoundObs {
+    /// A charged (analytically accounted) round: everything zero except
+    /// the index.
+    pub fn charged(round: u64) -> Self {
+        Self {
+            round,
+            ..Self::default()
+        }
+    }
+
+    /// The engine-invariant core `(round, active_edges, dirty_nodes,
+    /// messages, bits)` — identical across backends at every shard
+    /// count.
+    pub fn core(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.round,
+            self.active_edges,
+            self.dirty_nodes,
+            self.messages,
+            self.bits,
+        )
+    }
+}
+
+/// What one closed phase consumed, observed when the phase drops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseObs {
+    /// Phase ordinal on this engine (0-based, in open order).
+    pub phase: u64,
+    /// Rounds the phase executed (charged rounds between phases are not
+    /// attributed to any phase).
+    pub rounds: u64,
+    /// Messages the phase delivered.
+    pub messages: u64,
+    /// Bits the phase sent.
+    pub bits: u64,
+}
+
+/// A round/phase observer attached to an engine.
+///
+/// Implementations are called on the engine's caller thread only, after
+/// the round's barrier — never from worker threads — so no `Sync` bound
+/// is required.
+pub trait Probe {
+    /// Whether the engine should gather observations at all. Every
+    /// gathering site is guarded by this constant; [`NoProbe`] sets it
+    /// to `false` and costs nothing.
+    const ENABLED: bool = true;
+
+    /// Called once per round, in round order, after delivery completed.
+    fn on_round_end(&mut self, obs: RoundObs);
+
+    /// Called once per phase, when the phase is dropped.
+    fn on_phase_end(&mut self, obs: PhaseObs);
+}
+
+/// The zero-cost default probe: observes nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_round_end(&mut self, _obs: RoundObs) {}
+
+    #[inline(always)]
+    fn on_phase_end(&mut self, _obs: PhaseObs) {}
+}
+
+/// A probe that records the full trace — the conformance suite compares
+/// these across backends, and the workload runner turns them into the
+/// manifest's per-round trace section.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceProbe {
+    /// One entry per round, in round order.
+    pub rounds: Vec<RoundObs>,
+    /// One entry per closed phase, in open order.
+    pub phases: Vec<PhaseObs>,
+}
+
+impl TraceProbe {
+    /// An empty trace collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The engine-invariant per-round cores (see [`RoundObs::core`]).
+    pub fn cores(&self) -> Vec<(u64, u64, u64, u64, u64)> {
+        self.rounds.iter().map(RoundObs::core).collect()
+    }
+}
+
+impl Probe for TraceProbe {
+    fn on_round_end(&mut self, obs: RoundObs) {
+        self.rounds.push(obs);
+    }
+
+    fn on_phase_end(&mut self, obs: PhaseObs) {
+        self.phases.push(obs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_probe_is_disabled_and_inert() {
+        const { assert!(!NoProbe::ENABLED) };
+        let mut p = NoProbe;
+        p.on_round_end(RoundObs::charged(0));
+        p.on_phase_end(PhaseObs::default());
+    }
+
+    #[test]
+    fn trace_probe_collects_in_order() {
+        const { assert!(TraceProbe::ENABLED) };
+        let mut p = TraceProbe::new();
+        p.on_round_end(RoundObs {
+            round: 0,
+            active_edges: 3,
+            dirty_nodes: 2,
+            messages: 4,
+            bits: 32,
+            shard_splice: vec![4],
+        });
+        p.on_round_end(RoundObs::charged(1));
+        p.on_phase_end(PhaseObs {
+            phase: 0,
+            rounds: 2,
+            messages: 4,
+            bits: 32,
+        });
+        assert_eq!(p.cores(), vec![(0, 3, 2, 4, 32), (1, 0, 0, 0, 0)]);
+        assert_eq!(p.rounds[1].shard_splice, Vec::<u64>::new());
+        assert_eq!(p.phases.len(), 1);
+    }
+}

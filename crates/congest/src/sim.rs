@@ -5,6 +5,7 @@ pub use crate::engine::{Metrics, MetricsConfig, Outbox};
 
 use crate::engine::{Delivery, Message, RoundEngine, RoundPhase, SendRecord};
 use crate::msgcore::MsgCore;
+use crate::probe::{NoProbe, PhaseObs, Probe, RoundObs};
 use powersparse_graphs::{Graph, NodeId};
 
 /// Configuration of a round engine (shared by all backends). No
@@ -55,21 +56,49 @@ impl SimConfig {
 
 /// The sequential simulator: owns cost metrics across algorithm phases on
 /// one graph, stepping nodes one by one in ID order.
+///
+/// The probe parameter `P` defaults to [`NoProbe`] (observation sites
+/// compile out entirely); [`Simulator::with_probe`] attaches a real
+/// [`Probe`] that receives one [`RoundObs`] per round and one
+/// [`PhaseObs`] per closed phase.
 #[derive(Debug)]
-pub struct Simulator<'g> {
+pub struct Simulator<'g, P: Probe = NoProbe> {
     graph: &'g Graph,
     config: SimConfig,
     metrics: Metrics,
+    probe: P,
+    /// Phases opened so far (the [`PhaseObs::phase`] ordinal source).
+    phases_opened: u64,
 }
 
 impl<'g> Simulator<'g> {
     /// Creates a simulator over communication network `graph`.
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        Self::with_probe(graph, config, NoProbe)
+    }
+}
+
+impl<'g, P: Probe> Simulator<'g, P> {
+    /// Creates a simulator with an attached round/phase [`Probe`].
+    pub fn with_probe(graph: &'g Graph, config: SimConfig, probe: P) -> Self {
         Self {
             graph,
             config,
             metrics: Metrics::for_graph(graph, config.metrics),
+            probe,
+            phases_opened: 0,
         }
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the simulator, returning the probe (and whatever trace
+    /// it collected).
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// The communication network.
@@ -89,8 +118,16 @@ impl<'g> Simulator<'g> {
 
     /// Charges `r` rounds without running them. Only used for
     /// cost-accounting substitutions documented in DESIGN.md (the charge
-    /// is also recorded separately in [`Metrics::charged_rounds`]).
+    /// is also recorded separately in [`Metrics::charged_rounds`]). An
+    /// attached probe sees `r` zeroed observations so the trace length
+    /// stays equal to [`Metrics::rounds`].
     pub fn charge_rounds(&mut self, r: u64) {
+        if P::ENABLED {
+            for i in 0..r {
+                self.probe
+                    .on_round_end(RoundObs::charged(self.metrics.rounds + i));
+            }
+        }
         self.metrics.rounds += r;
         self.metrics.charged_rounds += r;
     }
@@ -118,22 +155,31 @@ impl<'g> Simulator<'g> {
     }
 
     /// Opens a communication phase with message type `M`.
-    pub fn phase<M: Clone>(&mut self) -> Phase<'_, 'g, M> {
+    pub fn phase<M: Clone>(&mut self) -> Phase<'_, 'g, M, P> {
         let n = self.graph.n();
         let dir_edges = 2 * self.graph.m();
+        let ordinal = self.phases_opened;
+        self.phases_opened += 1;
+        let open = (
+            self.metrics.rounds,
+            self.metrics.messages,
+            self.metrics.bits,
+        );
         Phase {
             core: MsgCore::new(dir_edges),
             inboxes: vec![Vec::new(); n],
             dirty: Vec::new(),
             sends: Vec::new(),
+            ordinal,
+            open,
             sim: self,
         }
     }
 }
 
-impl<'g> RoundEngine for Simulator<'g> {
+impl<'g, P: Probe> RoundEngine for Simulator<'g, P> {
     type Phase<'s, M: Message>
-        = Phase<'s, 'g, M>
+        = Phase<'s, 'g, M, P>
     where
         Self: 's;
 
@@ -161,7 +207,7 @@ impl<'g> RoundEngine for Simulator<'g> {
         Simulator::bits_across(self, u, v)
     }
 
-    fn phase<M: Message>(&mut self) -> Phase<'_, 'g, M> {
+    fn phase<M: Message>(&mut self) -> Phase<'_, 'g, M, P> {
         Simulator::phase(self)
     }
 }
@@ -174,8 +220,8 @@ impl<'g> RoundEngine for Simulator<'g> {
 /// bandwidth⌉` — i.e. fragmentation and pipelining are handled by the
 /// engine.
 #[derive(Debug)]
-pub struct Phase<'s, 'g, M> {
-    sim: &'s mut Simulator<'g>,
+pub struct Phase<'s, 'g, M, P: Probe = NoProbe> {
+    sim: &'s mut Simulator<'g, P>,
     /// The arena-backed per-edge queues ([`MsgCore`]): bump-append
     /// enqueue, O(active)-edge transfer, O(1) quiescence.
     core: MsgCore<M>,
@@ -187,9 +233,28 @@ pub struct Phase<'s, 'g, M> {
     dirty: Vec<u32>,
     /// Reused send-record scratch (drained every round).
     sends: Vec<SendRecord<M>>,
+    /// Phase ordinal on this simulator (0-based, open order).
+    ordinal: u64,
+    /// `(rounds, messages, bits)` at phase open — the [`PhaseObs`]
+    /// deltas are taken against these when the phase drops.
+    open: (u64, u64, u64),
 }
 
-impl<M: Clone> Phase<'_, '_, M> {
+impl<M, P: Probe> Drop for Phase<'_, '_, M, P> {
+    fn drop(&mut self) {
+        if P::ENABLED {
+            let m = &self.sim.metrics;
+            self.sim.probe.on_phase_end(PhaseObs {
+                phase: self.ordinal,
+                rounds: m.rounds - self.open.0,
+                messages: m.messages - self.open.1,
+                bits: m.bits - self.open.2,
+            });
+        }
+    }
+}
+
+impl<M: Clone, P: Probe> Phase<'_, '_, M, P> {
     /// The communication network.
     pub fn graph(&self) -> &Graph {
         self.sim.graph
@@ -289,6 +354,7 @@ impl<M: Clone> Phase<'_, '_, M> {
     /// round's accounting. Only active edges are touched end to end.
     fn finish_round(&mut self, sends: &mut Vec<SendRecord<M>>) {
         let per_edge = self.sim.metrics.per_edge;
+        let (msgs_before, bits_before) = (self.sim.metrics.messages, self.sim.metrics.bits);
         for SendRecord {
             edge,
             bits,
@@ -302,6 +368,11 @@ impl<M: Clone> Phase<'_, '_, M> {
             }
             self.core.enqueue(edge, bits, from, msg);
         }
+        // Arena footprint at transfer start: everything enqueued is in
+        // the arena right now (shard-partitioned cores sample the same
+        // instant per shard and sum at the barrier, so the gauge is
+        // engine-invariant — see the engine-contract docs).
+        let queued = self.core.queued() as u64;
         let bw = self.sim.config.bandwidth as u64;
         let graph = self.sim.graph;
         let metrics = &mut self.sim.metrics;
@@ -320,11 +391,31 @@ impl<M: Clone> Phase<'_, '_, M> {
             inbox.push((from, msg));
         });
         metrics.peak_queue_depth = metrics.peak_queue_depth.max(peak);
+        metrics.arena_cells_peak = metrics.arena_cells_peak.max(queued);
+        metrics.arena_bytes_peak = metrics
+            .arena_bytes_peak
+            .max(queued * self.core.cell_size() as u64);
         metrics.rounds += 1;
+        if P::ENABLED {
+            let (messages, bits, round) = (
+                self.sim.metrics.messages - msgs_before,
+                self.sim.metrics.bits - bits_before,
+                self.sim.metrics.rounds - 1,
+            );
+            let obs = RoundObs {
+                round,
+                active_edges: self.core.active_edges() as u64,
+                dirty_nodes: self.dirty.len() as u64,
+                messages,
+                bits,
+                shard_splice: vec![messages],
+            };
+            self.sim.probe.on_round_end(obs);
+        }
     }
 }
 
-impl<M: Message> RoundPhase<M> for Phase<'_, '_, M> {
+impl<M: Message, P: Probe> RoundPhase<M> for Phase<'_, '_, M, P> {
     fn graph(&self) -> &Graph {
         self.sim.graph
     }
@@ -604,6 +695,86 @@ mod tests {
         let mut got = 0;
         phase.round(|_, inbox, _| got += inbox.len());
         assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn probe_traces_rounds_phases_and_charges() {
+        use crate::probe::TraceProbe;
+        let g = generators::path(3);
+        let mut sim = Simulator::with_probe(&g, SimConfig::with_bandwidth(8), TraceProbe::new());
+        let mut phase = sim.phase::<u32>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 9, 8);
+            }
+        });
+        phase.round(|_, _, _| {});
+        drop(phase);
+        sim.charge_rounds(2);
+        assert_eq!(sim.metrics().rounds, 4);
+        let trace = sim.into_probe();
+        assert_eq!(trace.rounds.len(), 4, "trace length == Metrics::rounds");
+        // Round 0: 8 bits sent and delivered within the round (bw 8).
+        assert_eq!(trace.rounds[0].core(), (0, 0, 1, 1, 8));
+        assert_eq!(trace.rounds[0].shard_splice, vec![1]);
+        // Round 1 is quiet; rounds 2-3 are charged (zeroed, in order).
+        assert_eq!(trace.rounds[1].core(), (1, 0, 0, 0, 0));
+        assert_eq!(trace.rounds[2].core(), (2, 0, 0, 0, 0));
+        assert_eq!(trace.rounds[3].core(), (3, 0, 0, 0, 0));
+        assert!(trace.rounds[2].shard_splice.is_empty());
+        assert_eq!(
+            trace.phases,
+            vec![PhaseObs {
+                phase: 0,
+                rounds: 2,
+                messages: 1,
+                bits: 8,
+            }]
+        );
+    }
+
+    #[test]
+    fn probe_sees_fragment_crossing_rounds_as_active() {
+        use crate::probe::TraceProbe;
+        let g = generators::path(2);
+        let mut sim = Simulator::with_probe(&g, SimConfig::with_bandwidth(10), TraceProbe::new());
+        let mut phase = sim.phase::<u8>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 1, 35); // 4 transfer rounds
+            }
+        });
+        phase.drain(16, |_, _| {});
+        drop(phase);
+        let rounds = sim.metrics().rounds;
+        let trace = sim.into_probe();
+        let cores = trace.cores();
+        // Rounds 0-2: the fragment is still crossing (1 active edge, no
+        // delivery); round 3 delivers.
+        assert_eq!(cores[0], (0, 1, 0, 0, 35));
+        assert_eq!(cores[1], (1, 1, 0, 0, 0));
+        assert_eq!(cores[2], (2, 1, 0, 0, 0));
+        assert_eq!(cores[3], (3, 0, 1, 1, 0));
+        assert_eq!(trace.rounds.len() as u64, rounds);
+    }
+
+    #[test]
+    fn arena_footprint_peaks_at_transfer_start() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, SimConfig::with_bandwidth(8));
+        let mut phase = sim.phase::<u32>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 1, 8);
+                out.send(v, NodeId(1), 2, 8);
+            }
+        });
+        let cell = phase.core.cell_size() as u64;
+        phase.drain(16, |_, _| {});
+        drop(phase);
+        assert_eq!(sim.metrics().arena_cells_peak, 2);
+        assert_eq!(sim.metrics().arena_bytes_peak, 2 * cell);
+        assert_eq!(sim.metrics().peak_queue_depth, 2);
     }
 
     #[test]

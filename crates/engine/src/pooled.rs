@@ -34,18 +34,23 @@ use powersparse_congest::engine::{
     Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
 };
 use powersparse_congest::msgcore::MsgCore;
+use powersparse_congest::probe::{NoProbe, PhaseObs, Probe, RoundObs};
 use powersparse_congest::sim::SimConfig;
 use powersparse_graphs::{Graph, NodeId};
 use std::ops::Range;
 
 /// The persistent worker-pool round engine.
 #[derive(Debug)]
-pub struct PooledSimulator<'g> {
+pub struct PooledSimulator<'g, P: Probe = NoProbe> {
     graph: &'g Graph,
     config: SimConfig,
     metrics: Metrics,
     layout: ShardLayout,
     pool: WorkerPool,
+    /// The round/phase observer (zero-cost [`NoProbe`] by default).
+    probe: P,
+    /// Phases opened so far (the ordinal assigned to the next phase).
+    phases_opened: u64,
 }
 
 impl<'g> PooledSimulator<'g> {
@@ -64,6 +69,20 @@ impl<'g> PooledSimulator<'g> {
     ///
     /// Panics if `shards == 0`.
     pub fn with_shards(graph: &'g Graph, config: SimConfig, shards: usize) -> Self {
+        Self::with_probe(graph, config, shards, NoProbe)
+    }
+}
+
+impl<'g, P: Probe> PooledSimulator<'g, P> {
+    /// Creates a pooled engine observed by `probe` (see
+    /// [`powersparse_congest::probe`] for the emission contract). The
+    /// probe is only ever called on the caller thread, after the round
+    /// barrier — never from pool workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_probe(graph: &'g Graph, config: SimConfig, shards: usize, probe: P) -> Self {
         let layout = ShardLayout::new(graph, shards);
         let pool = WorkerPool::new(layout.shards());
         Self {
@@ -72,6 +91,8 @@ impl<'g> PooledSimulator<'g> {
             metrics: Metrics::for_graph(graph, config.metrics),
             layout,
             pool,
+            probe,
+            phases_opened: 0,
         }
     }
 
@@ -79,11 +100,22 @@ impl<'g> PooledSimulator<'g> {
     pub fn shards(&self) -> usize {
         self.layout.shards()
     }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the engine, returning the probe (and its gathered
+    /// observations).
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
 }
 
-impl<'g> RoundEngine for PooledSimulator<'g> {
+impl<'g, P: Probe> RoundEngine for PooledSimulator<'g, P> {
     type Phase<'s, M: Message>
-        = PooledPhase<'s, 'g, M>
+        = PooledPhase<'s, 'g, M, P>
     where
         Self: 's;
 
@@ -100,6 +132,12 @@ impl<'g> RoundEngine for PooledSimulator<'g> {
     }
 
     fn charge_rounds(&mut self, r: u64) {
+        if P::ENABLED {
+            for i in 0..r {
+                self.probe
+                    .on_round_end(RoundObs::charged(self.metrics.rounds + i));
+            }
+        }
         self.metrics.rounds += r;
         self.metrics.charged_rounds += r;
     }
@@ -112,8 +150,15 @@ impl<'g> RoundEngine for PooledSimulator<'g> {
         self.metrics.bits_across(self.graph, u, v)
     }
 
-    fn phase<M: Message>(&mut self) -> PooledPhase<'_, 'g, M> {
+    fn phase<M: Message>(&mut self) -> PooledPhase<'_, 'g, M, P> {
         let shards = self.layout.shards();
+        let ordinal = self.phases_opened;
+        self.phases_opened += 1;
+        let open = (
+            self.metrics.rounds,
+            self.metrics.messages,
+            self.metrics.bits,
+        );
         PooledPhase {
             cores: self
                 .layout
@@ -125,8 +170,17 @@ impl<'g> RoundEngine for PooledSimulator<'g> {
             scratch: (0..shards).map(|_| DistScratch::default()).collect(),
             send_bufs: (0..shards).map(|_| Vec::new()).collect(),
             cells: (0..shards * shards).map(|_| Vec::new()).collect(),
-            stage_out: vec![(0, 0, 0); shards],
+            stage_out: vec![(0, 0, 0, 0); shards],
             row_ranges: (0..shards).map(|w| w * shards..(w + 1) * shards).collect(),
+            pre_len: vec![0; shards],
+            dirty_stamp: if P::ENABLED {
+                vec![0; self.graph.n()]
+            } else {
+                Vec::new()
+            },
+            round_stamp: 0,
+            ordinal,
+            open,
             sim: self,
         }
     }
@@ -197,8 +251,9 @@ impl<M> DistScratch<M> {
 /// Stage 1 body for one shard: distribute the shard's arrival run into
 /// per-node inbox slices, step the owned nodes, then enqueue + transfer
 /// the owned edges (the [`flush_shard_sends`] tail shared with the
-/// sharded engine). Returns the shard's bit/message totals and its peak
-/// single-edge queue depth.
+/// sharded engine). Returns the shard's bit/message totals, its peak
+/// single-edge queue depth, and its transfer-start queued-message count
+/// (arena footprint share).
 #[allow(clippy::too_many_arguments)]
 fn stage1_body<S, M, F>(
     graph: &Graph,
@@ -215,7 +270,7 @@ fn stage1_body<S, M, F>(
     sends: &mut Vec<SendRecord<M>>,
     row: &mut [Vec<Routed<M>>],
     f: &F,
-) -> (u64, u64, u64)
+) -> (u64, u64, u64, u64)
 where
     S: Send,
     M: Message,
@@ -253,8 +308,8 @@ where
 /// through zero-allocation disjoint views, so a round allocates nothing
 /// beyond what the node program itself sends.
 #[derive(Debug)]
-pub struct PooledPhase<'s, 'g, M> {
-    sim: &'s mut PooledSimulator<'g>,
+pub struct PooledPhase<'s, 'g, M, P: Probe = NoProbe> {
+    sim: &'s mut PooledSimulator<'g, P>,
     /// One arena message core per shard, covering the shard's
     /// CSR-aligned directed-edge range ([`MsgCore`]).
     cores: Vec<MsgCore<M>>,
@@ -269,13 +324,43 @@ pub struct PooledPhase<'s, 'g, M> {
     /// engine's: sender shard `w` × receiver shard `r` is
     /// `cells[w * shards + r]`.
     cells: Vec<Vec<Routed<M>>>,
-    /// Per-shard `(bits, messages, peak)` result slots of stage 1.
-    stage_out: Vec<(u64, u64, u64)>,
+    /// Per-shard `(bits, messages, peak, queued)` result slots of stage 1.
+    stage_out: Vec<(u64, u64, u64, u64)>,
     /// Cell-row range of each sender shard: `w * shards..(w+1) * shards`.
     row_ranges: Vec<Range<usize>>,
+    /// Per-receiver-shard arrival-run length captured before stage 2,
+    /// so the probe can scan exactly this round's appended suffix.
+    pre_len: Vec<usize>,
+    /// Per-node last-dirty round stamp (for counting *distinct*
+    /// delivery receivers without clearing a set every round).
+    /// Allocated only when a probe is attached.
+    dirty_stamp: Vec<u64>,
+    /// The monotone stamp written into `dirty_stamp` (current round + 1,
+    /// so the zero-initialized vector never matches).
+    round_stamp: u64,
+    /// Phase ordinal on the owning engine (0-based, in open order).
+    ordinal: u64,
+    /// `(rounds, messages, bits)` snapshot at phase open, for the
+    /// [`PhaseObs`] deltas emitted on drop.
+    open: (u64, u64, u64),
 }
 
-impl<M: Message> PooledPhase<'_, '_, M> {
+impl<M, P: Probe> Drop for PooledPhase<'_, '_, M, P> {
+    fn drop(&mut self) {
+        if P::ENABLED {
+            let m = &self.sim.metrics;
+            let obs = PhaseObs {
+                phase: self.ordinal,
+                rounds: m.rounds - self.open.0,
+                messages: m.messages - self.open.1,
+                bits: m.bits - self.open.2,
+            };
+            self.sim.probe.on_phase_end(obs);
+        }
+    }
+}
+
+impl<M: Message, P: Probe> PooledPhase<'_, '_, M, P> {
     /// Executes one round through the two barrier-separated stages; with
     /// one shard both run inline on the calling thread.
     fn run_round<S, F>(&mut self, state: &mut [S], f: &F)
@@ -329,16 +414,32 @@ impl<M: Message> PooledPhase<'_, '_, M> {
                 }
             });
         }
-        for &(bits, msgs, peak) in &self.stage_out {
-            sim.metrics.bits += bits;
-            sim.metrics.messages += msgs;
+        let mut bits_total = 0u64;
+        let mut msgs_total = 0u64;
+        let mut queued_total = 0u64;
+        for &(bits, msgs, peak, queued) in &self.stage_out {
+            bits_total += bits;
+            msgs_total += msgs;
+            queued_total += queued;
             sim.metrics.peak_queue_depth = sim.metrics.peak_queue_depth.max(peak);
         }
+        sim.metrics.bits += bits_total;
+        sim.metrics.messages += msgs_total;
+        // Arena footprint at the barrier: the per-shard queued counts
+        // sum to the sequential engine's global transfer-start value.
+        let cell_size = self.cores[0].cell_size() as u64;
+        sim.metrics.arena_cells_peak = sim.metrics.arena_cells_peak.max(queued_total);
+        sim.metrics.arena_bytes_peak = sim.metrics.arena_bytes_peak.max(queued_total * cell_size);
 
         // --- Stage 2: splice the delivery cells onto the receiver
         // shards' arrival runs, in sender-shard order (= ascending edge
         // order) — one memcpy-style append per shard pair. Skipped
         // entirely on quiet transfer rounds. ---
+        if P::ENABLED {
+            for (len, run) in self.pre_len.iter_mut().zip(&self.arrivals) {
+                *len = run.len();
+            }
+        }
         if self.cells.iter().any(|c| !c.is_empty()) {
             let cells_s = DisjointSlice::new(&mut self.cells);
             let arrivals_s = DisjointSlice::new(&mut self.arrivals);
@@ -355,10 +456,37 @@ impl<M: Message> PooledPhase<'_, '_, M> {
             });
         }
         sim.metrics.rounds += 1;
+        if P::ENABLED {
+            // Count distinct receivers in the suffixes stage 2 appended,
+            // on the caller thread, behind the barrier. The stamp trick
+            // avoids clearing an n-sized set every round.
+            self.round_stamp += 1;
+            let stamp = self.round_stamp;
+            let mut dirty_nodes = 0u64;
+            for (&len, run) in self.pre_len.iter().zip(&self.arrivals) {
+                for (to, _, _) in &run[len..] {
+                    let slot = &mut self.dirty_stamp[to.index()];
+                    if *slot != stamp {
+                        *slot = stamp;
+                        dirty_nodes += 1;
+                    }
+                }
+            }
+            let active_edges: u64 = self.cores.iter().map(|c| c.active_edges() as u64).sum();
+            let obs = RoundObs {
+                round: sim.metrics.rounds - 1,
+                active_edges,
+                dirty_nodes,
+                messages: msgs_total,
+                bits: bits_total,
+                shard_splice: self.stage_out.iter().map(|s| s.1).collect(),
+            };
+            sim.probe.on_round_end(obs);
+        }
     }
 }
 
-impl<M: Message> RoundPhase<M> for PooledPhase<'_, '_, M> {
+impl<M: Message, P: Probe> RoundPhase<M> for PooledPhase<'_, '_, M, P> {
     fn graph(&self) -> &Graph {
         self.sim.graph
     }
@@ -594,6 +722,38 @@ mod tests {
         }
         assert_eq!(seq.metrics().rounds, RoundEngine::metrics(&par).rounds);
         assert_eq!(seq.metrics(), RoundEngine::metrics(&par));
+    }
+
+    #[test]
+    fn probe_trace_matches_sequential_core_for_core() {
+        use powersparse_congest::probe::TraceProbe;
+        let g = generators::connected_gnp(80, 0.07, 5);
+        let config = SimConfig::with_bandwidth(16);
+        let mut seq = Simulator::with_probe(&g, config, TraceProbe::new());
+        echo_program(&mut seq, 4);
+        seq.charge_rounds(2);
+        let seq_rounds = seq.metrics().rounds;
+        let want = seq.into_probe();
+        for shards in [1usize, 3, 4] {
+            let mut par = PooledSimulator::with_probe(&g, config, shards, TraceProbe::new());
+            echo_program(&mut par, 4);
+            par.charge_rounds(2);
+            assert_eq!(RoundEngine::metrics(&par).rounds, seq_rounds);
+            let got = par.into_probe();
+            assert_eq!(got.rounds.len() as u64, seq_rounds);
+            assert_eq!(
+                got.cores(),
+                want.cores(),
+                "trace diverged at {shards} shards"
+            );
+            assert_eq!(
+                got.phases, want.phases,
+                "phases diverged at {shards} shards"
+            );
+            for obs in &got.rounds {
+                assert_eq!(obs.shard_splice.iter().sum::<u64>(), obs.messages);
+            }
+        }
     }
 
     #[test]

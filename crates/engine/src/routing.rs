@@ -130,7 +130,10 @@ pub fn deliveries_pending<T>(buffers: &[Vec<T>]) -> bool {
 /// transfer up to `bw` bits per **active** owned edge in ascending edge
 /// order, bucketing completed messages by receiver shard into `row`
 /// (this shard's row of the phase's cell matrix). Returns the shard's
-/// bit/message totals and its peak single-edge queue depth.
+/// bit/message totals, its peak single-edge queue depth, and the number
+/// of messages queued on its core at transfer start (the shard's share
+/// of the round's arena footprint — summed across shards at the barrier
+/// it equals the sequential engine's global value).
 ///
 /// `edge_bits`/`edge_messages` are the shard's slices of the per-edge
 /// counters — **empty slices when per-edge accounting is disabled**
@@ -150,7 +153,7 @@ pub fn flush_shard_sends<M: Message>(
     edge_messages: &mut [u64],
     sends: &mut Vec<SendRecord<M>>,
     row: &mut [Vec<Routed<M>>],
-) -> (u64, u64, u64) {
+) -> (u64, u64, u64, u64) {
     let per_edge = !edge_bits.is_empty();
     let mut bits_total = 0u64;
     for SendRecord {
@@ -168,6 +171,7 @@ pub fn flush_shard_sends<M: Message>(
         }
         core.enqueue(e, bits, from, msg);
     }
+    let queued = core.queued() as u64;
     let mut msgs_total = 0u64;
     let peak = core.transfer(bw, |e, from, msg| {
         msgs_total += 1;
@@ -177,7 +181,7 @@ pub fn flush_shard_sends<M: Message>(
         let to = graph.edge_target(edges.start + e);
         row[shard_of[to.index()] as usize].push((to, from, msg));
     });
-    (bits_total, msgs_total, peak)
+    (bits_total, msgs_total, peak, queued)
 }
 
 /// Splits a per-edge counter array into one shard-owned chunk per edge
@@ -194,13 +198,26 @@ pub fn split_counters<'a>(counters: &'a mut [u64], ranges: &[Range<usize>]) -> V
 /// Receiver-side routing for one shard of the *sharded* engine: drain
 /// the cells bound for the shard's nodes (given in sender-shard order)
 /// into their per-node mailboxes. Draining (rather than consuming) the
-/// cells keeps their capacity for the next round.
-pub fn route_stage<M>(inboxes: &mut [Vec<Delivery<M>>], col: Vec<&mut Vec<Routed<M>>>, lo: usize) {
+/// cells keeps their capacity for the next round. Returns the number of
+/// mailboxes that went from empty to nonempty — all mailboxes are empty
+/// at stage-2 start (stage 1 consumed every inbox), so this is the
+/// shard's count of distinct delivery receivers this round.
+pub fn route_stage<M>(
+    inboxes: &mut [Vec<Delivery<M>>],
+    col: Vec<&mut Vec<Routed<M>>>,
+    lo: usize,
+) -> u64 {
+    let mut dirty = 0u64;
     for cell in col {
         for (to, from, msg) in cell.drain(..) {
-            inboxes[to.index() - lo].push((from, msg));
+            let inbox = &mut inboxes[to.index() - lo];
+            if inbox.is_empty() {
+                dirty += 1;
+            }
+            inbox.push((from, msg));
         }
     }
+    dirty
 }
 
 /// Splits `slice` into disjoint mutable chunks along contiguous `ranges`

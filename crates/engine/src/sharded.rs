@@ -28,18 +28,23 @@ use powersparse_congest::engine::{
     Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
 };
 use powersparse_congest::msgcore::MsgCore;
+use powersparse_congest::probe::{NoProbe, PhaseObs, Probe, RoundObs};
 use powersparse_congest::sim::SimConfig;
 use powersparse_graphs::{Graph, NodeId};
 use std::ops::Range;
 
 /// The sharded, data-parallel round engine.
 #[derive(Debug)]
-pub struct ShardedSimulator<'g> {
+pub struct ShardedSimulator<'g, P: Probe = NoProbe> {
     graph: &'g Graph,
     config: SimConfig,
     metrics: Metrics,
     /// The contiguous CSR-aligned shard partition.
     layout: ShardLayout,
+    /// The round/phase observer (zero-cost [`NoProbe`] by default).
+    probe: P,
+    /// Phases opened so far (the ordinal assigned to the next phase).
+    phases_opened: u64,
 }
 
 impl<'g> ShardedSimulator<'g> {
@@ -57,11 +62,25 @@ impl<'g> ShardedSimulator<'g> {
     ///
     /// Panics if `shards == 0`.
     pub fn with_shards(graph: &'g Graph, config: SimConfig, shards: usize) -> Self {
+        Self::with_probe(graph, config, shards, NoProbe)
+    }
+}
+
+impl<'g, P: Probe> ShardedSimulator<'g, P> {
+    /// Creates a sharded engine observed by `probe` (see
+    /// [`powersparse_congest::probe`] for the emission contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_probe(graph: &'g Graph, config: SimConfig, shards: usize, probe: P) -> Self {
         Self {
             graph,
             config,
             metrics: Metrics::for_graph(graph, config.metrics),
             layout: ShardLayout::new(graph, shards),
+            probe,
+            phases_opened: 0,
         }
     }
 
@@ -69,11 +88,22 @@ impl<'g> ShardedSimulator<'g> {
     pub fn shards(&self) -> usize {
         self.layout.shards()
     }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the engine, returning the probe (and its gathered
+    /// observations).
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
 }
 
-impl<'g> RoundEngine for ShardedSimulator<'g> {
+impl<'g, P: Probe> RoundEngine for ShardedSimulator<'g, P> {
     type Phase<'s, M: Message>
-        = ShardedPhase<'s, 'g, M>
+        = ShardedPhase<'s, 'g, M, P>
     where
         Self: 's;
 
@@ -90,6 +120,12 @@ impl<'g> RoundEngine for ShardedSimulator<'g> {
     }
 
     fn charge_rounds(&mut self, r: u64) {
+        if P::ENABLED {
+            for i in 0..r {
+                self.probe
+                    .on_round_end(RoundObs::charged(self.metrics.rounds + i));
+            }
+        }
         self.metrics.rounds += r;
         self.metrics.charged_rounds += r;
     }
@@ -102,9 +138,16 @@ impl<'g> RoundEngine for ShardedSimulator<'g> {
         self.metrics.bits_across(self.graph, u, v)
     }
 
-    fn phase<M: Message>(&mut self) -> ShardedPhase<'_, 'g, M> {
+    fn phase<M: Message>(&mut self) -> ShardedPhase<'_, 'g, M, P> {
         let n = self.graph.n();
         let shards = self.layout.shards();
+        let ordinal = self.phases_opened;
+        self.phases_opened += 1;
+        let open = (
+            self.metrics.rounds,
+            self.metrics.messages,
+            self.metrics.bits,
+        );
         ShardedPhase {
             cores: self
                 .layout
@@ -116,6 +159,8 @@ impl<'g> RoundEngine for ShardedSimulator<'g> {
             unread: 0,
             send_bufs: (0..shards).map(|_| Vec::new()).collect(),
             cells: (0..shards * shards).map(|_| Vec::new()).collect(),
+            ordinal,
+            open,
             sim: self,
         }
     }
@@ -128,8 +173,8 @@ impl<'g> RoundEngine for ShardedSimulator<'g> {
 /// their capacity is reused round after round instead of reallocating
 /// (the ROADMAP's wall-clock-only follow-up from PR 1).
 #[derive(Debug)]
-pub struct ShardedPhase<'s, 'g, M> {
-    sim: &'s mut ShardedSimulator<'g>,
+pub struct ShardedPhase<'s, 'g, M, P: Probe = NoProbe> {
+    sim: &'s mut ShardedSimulator<'g, P>,
     /// One arena message core per shard, covering the shard's
     /// CSR-aligned directed-edge range ([`MsgCore`]).
     cores: Vec<MsgCore<M>>,
@@ -147,9 +192,29 @@ pub struct ShardedPhase<'s, 'g, M> {
     /// Filled by stage 1 (each sender owns its contiguous row), drained
     /// by stage 2 (each receiver drains its strided column).
     cells: Vec<Vec<Routed<M>>>,
+    /// Phase ordinal on the owning engine (0-based, in open order).
+    ordinal: u64,
+    /// `(rounds, messages, bits)` snapshot at phase open, for the
+    /// [`PhaseObs`] deltas emitted on drop.
+    open: (u64, u64, u64),
 }
 
-impl<M: Message> ShardedPhase<'_, '_, M> {
+impl<M, P: Probe> Drop for ShardedPhase<'_, '_, M, P> {
+    fn drop(&mut self) {
+        if P::ENABLED {
+            let m = &self.sim.metrics;
+            let obs = PhaseObs {
+                phase: self.ordinal,
+                rounds: m.rounds - self.open.0,
+                messages: m.messages - self.open.1,
+                bits: m.bits - self.open.2,
+            };
+            self.sim.probe.on_phase_end(obs);
+        }
+    }
+}
+
+impl<M: Message, P: Probe> ShardedPhase<'_, '_, M, P> {
     /// Executes one round through the two parallel stages (see module
     /// docs). With one shard everything runs inline.
     fn run_round<S, F>(&mut self, state: &mut [S], f: &F)
@@ -173,6 +238,11 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
         let mut bits_total = 0u64;
         let mut msgs_total = 0u64;
         let mut peak = 0u64;
+        let mut queued_total = 0u64;
+        // Per-sender-shard delivered counts, in shard order — the
+        // round observation's splice volumes (gathered only when a
+        // probe is attached).
+        let mut splice: Vec<u64> = Vec::new();
         {
             let state_chunks = split_by_ranges(state, node_ranges);
             let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
@@ -190,7 +260,7 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
 
             if shards == 1 {
                 for (w, ((((((state_c, inbox_c), core), ebits_c), emsgs_c), sends), row)) in work {
-                    let (bits, msgs, qpeak) = sender_stage(
+                    let (bits, msgs, qpeak, queued) = sender_stage(
                         graph,
                         shard_of,
                         bw,
@@ -208,6 +278,10 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
                     bits_total += bits;
                     msgs_total += msgs;
                     peak = peak.max(qpeak);
+                    queued_total += queued;
+                    if P::ENABLED {
+                        splice.push(msgs);
+                    }
                 }
             } else {
                 std::thread::scope(|scope| {
@@ -226,10 +300,14 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
                     }
                     for h in handles {
                         match h.join() {
-                            Ok((bits, msgs, qpeak)) => {
+                            Ok((bits, msgs, qpeak, queued)) => {
                                 bits_total += bits;
                                 msgs_total += msgs;
                                 peak = peak.max(qpeak);
+                                queued_total += queued;
+                                if P::ENABLED {
+                                    splice.push(msgs);
+                                }
                             }
                             Err(payload) => std::panic::resume_unwind(payload),
                         }
@@ -240,12 +318,18 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
         sim.metrics.bits += bits_total;
         sim.metrics.messages += msgs_total;
         sim.metrics.peak_queue_depth = sim.metrics.peak_queue_depth.max(peak);
+        // Arena footprint at the barrier: the per-shard queued counts
+        // sum to the sequential engine's global transfer-start value.
+        let cell_size = self.cores[0].cell_size() as u64;
+        sim.metrics.arena_cells_peak = sim.metrics.arena_cells_peak.max(queued_total);
+        sim.metrics.arena_bytes_peak = sim.metrics.arena_bytes_peak.max(queued_total * cell_size);
         self.unread = msgs_total;
 
         // --- Stage 2: route deliveries into receiver mailboxes, in
         // sender-shard order (= ascending edge order). Skipped entirely
         // when nothing was delivered (quiet transfer rounds): no point
         // scattering a thread scope to drain empty cells. ---
+        let mut dirty_nodes = 0u64;
         if self.cells.iter().any(|c| !c.is_empty()) {
             let mut cols: Vec<Vec<&mut Vec<Routed<M>>>> =
                 (0..shards).map(|_| Vec::with_capacity(shards)).collect();
@@ -258,26 +342,46 @@ impl<M: Message> ShardedPhase<'_, '_, M> {
             let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
             if shards == 1 {
                 for (inbox_c, col) in inbox_chunks.into_iter().zip(cols) {
-                    route_stage(inbox_c, col, 0);
+                    dirty_nodes += route_stage(inbox_c, col, 0);
                 }
             } else {
                 std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(shards);
                     for ((inbox_c, col), nr) in inbox_chunks.into_iter().zip(cols).zip(node_ranges)
                     {
                         let lo = nr.start;
-                        scope.spawn(move || route_stage(inbox_c, col, lo));
+                        handles.push(scope.spawn(move || route_stage(inbox_c, col, lo)));
+                    }
+                    for h in handles {
+                        match h.join() {
+                            Ok(dirty) => dirty_nodes += dirty,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
                     }
                 });
             }
         }
         sim.metrics.rounds += 1;
+        if P::ENABLED {
+            let active_edges: u64 = self.cores.iter().map(|c| c.active_edges() as u64).sum();
+            let obs = RoundObs {
+                round: sim.metrics.rounds - 1,
+                active_edges,
+                dirty_nodes,
+                messages: msgs_total,
+                bits: bits_total,
+                shard_splice: std::mem::take(&mut splice),
+            };
+            sim.probe.on_round_end(obs);
+        }
     }
 }
 
 /// Stage 1 body for one shard: step the owned nodes against their
 /// mailboxes, then enqueue + transfer the owned edges (the
 /// [`flush_shard_sends`] tail shared with the pooled engine). Returns
-/// the shard's bit/message totals and its peak single-edge queue depth.
+/// the shard's bit/message totals, its peak single-edge queue depth,
+/// and its transfer-start queued-message count (arena footprint share).
 #[allow(clippy::too_many_arguments)]
 fn sender_stage<S, M, F>(
     graph: &Graph,
@@ -293,7 +397,7 @@ fn sender_stage<S, M, F>(
     sends: &mut Vec<SendRecord<M>>,
     row: &mut [Vec<Routed<M>>],
     f: &F,
-) -> (u64, u64, u64)
+) -> (u64, u64, u64, u64)
 where
     S: Send,
     M: Message,
@@ -324,7 +428,7 @@ where
     )
 }
 
-impl<M: Message> RoundPhase<M> for ShardedPhase<'_, '_, M> {
+impl<M: Message, P: Probe> RoundPhase<M> for ShardedPhase<'_, '_, M, P> {
     fn graph(&self) -> &Graph {
         self.sim.graph
     }
@@ -525,6 +629,41 @@ mod tests {
         phase.step(&mut got, |g_, _v, inbox, _out| *g_ += inbox.len());
         drop(phase);
         assert_eq!(got, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn probe_trace_matches_sequential_core_for_core() {
+        use powersparse_congest::probe::TraceProbe;
+        let g = generators::connected_gnp(80, 0.07, 5);
+        let config = SimConfig::with_bandwidth(16);
+        let mut seq = Simulator::with_probe(&g, config, TraceProbe::new());
+        echo_program(&mut seq, 4);
+        seq.charge_rounds(2);
+        let seq_rounds = seq.metrics().rounds;
+        let want = seq.into_probe();
+        for shards in [1usize, 3, 4] {
+            let mut par = ShardedSimulator::with_probe(&g, config, shards, TraceProbe::new());
+            echo_program(&mut par, 4);
+            par.charge_rounds(2);
+            assert_eq!(par.metrics().rounds, seq_rounds);
+            let got = par.into_probe();
+            assert_eq!(got.rounds.len() as u64, seq_rounds);
+            assert_eq!(
+                got.cores(),
+                want.cores(),
+                "trace diverged at {shards} shards"
+            );
+            assert_eq!(
+                got.phases, want.phases,
+                "phases diverged at {shards} shards"
+            );
+            for obs in &got.rounds {
+                assert_eq!(obs.shard_splice.iter().sum::<u64>(), obs.messages);
+                if obs.messages > 0 {
+                    assert_eq!(obs.shard_splice.len(), shards.min(g.n()));
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //! * [`random`] — randomized parity properties (proptest) per backend.
 //! * [`negative`] — the misbehaving-phase contract: illegal node
 //!   programs panic identically on all three engines.
+//! * [`probe`] — round-level probe traces: identical engine-invariant
+//!   observations (and trace length = `rounds`) on every backend.
 
 pub mod harness;
 mod matrix;
 mod negative;
+mod probe;
 mod random;

@@ -13,8 +13,14 @@
 //!   run's validation flipped from passed to failed.
 //!
 //! Improvements and newly added runs are reported but never gate.
-//! Wall-clock fields are deliberately ignored: they vary per machine,
-//! while every gated field is bit-deterministic per seed.
+//! Wall clock is held to a *statistical* standard instead of the exact
+//! one: a single measurement varies per machine, so `wall_stats` gates
+//! only when both sides carry repeat-run statistics (≥ 2 samples) and
+//! their 95% confidence intervals are disjoint with the new mean above
+//! the old — evidence of a real slowdown, not noise. Arena footprint
+//! gauges (`arena_cells_peak`/`arena_bytes_peak`) are reported but not
+//! gated here: old manifests default them to zero, and the conformance
+//! suite already pins them engine-invariant.
 //!
 //! [`DiffOptions::ignore_engine`] turns the diff into a **cross-engine
 //! conformance gate**: runs are matched modulo the engine backend and
@@ -336,6 +342,26 @@ fn compare_run(o: &RunRecord, n: &RunRecord, opts: DiffOptions, report: &mut Dif
             report.improvements.push(change);
         }
     }
+    // Wall clock gates only on statistical evidence: both runs must
+    // carry repeat statistics and the 95% confidence intervals must be
+    // disjoint. Single-sample runs never gate on wall clock.
+    if o.wall_stats.samples >= 2 && n.wall_stats.samples >= 2 {
+        let (old_lo, old_hi) = o.wall_stats.interval();
+        let (new_lo, new_hi) = n.wall_stats.interval();
+        let change = FieldChange {
+            run: key_label(o),
+            field: "wall_stats.mean_us",
+            old: o.wall_stats.mean_us as u64,
+            new: n.wall_stats.mean_us as u64,
+        };
+        if n.wall_stats.mean_us > o.wall_stats.mean_us && new_lo > old_hi {
+            changed = true;
+            report.regressions.push(change);
+        } else if n.wall_stats.mean_us < o.wall_stats.mean_us && new_hi < old_lo {
+            changed = true;
+            report.improvements.push(change);
+        }
+    }
     if !changed {
         report.unchanged += 1;
     }
@@ -344,7 +370,7 @@ fn compare_run(o: &RunRecord, n: &RunRecord, opts: DiffOptions, report: &mut Dif
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manifest::{PhaseWall, Validation};
+    use crate::manifest::{PhaseWall, Validation, WallStats};
 
     fn record(name: &str, rounds: u64, messages: u64, bits: u64) -> RunRecord {
         RunRecord {
@@ -364,12 +390,16 @@ mod tests {
             messages,
             bits,
             peak_queue_depth: 3,
+            arena_cells_peak: 140,
+            arena_bytes_peak: 4480,
             output_size: 30,
             wall: PhaseWall {
                 build_us: 10,
                 run_us: 500,
                 validate_us: 20,
             },
+            wall_stats: WallStats::single(500),
+            trace: None,
             validation: Validation {
                 passed: true,
                 detail: "ok".into(),
@@ -598,6 +628,65 @@ mod tests {
         let report = diff_manifests_with(&old, &manifest(vec![pooled]), opts);
         assert_eq!(report.regressions.len(), 1, "{report}");
         assert_eq!(report.regressions[0].field, "messages");
+    }
+
+    #[test]
+    fn single_sample_wall_clock_never_gates() {
+        // The pre-statistics behavior: plain runs carry one sample each,
+        // so even a 100× slowdown is not gated — it is indistinguishable
+        // from machine noise.
+        let old = manifest(vec![record("a", 10, 100, 1000)]);
+        let mut slow = record("a", 10, 100, 1000);
+        slow.wall.run_us = 50_000;
+        slow.wall_stats = WallStats::single(50_000);
+        let report = diff_manifests(&old, &manifest(vec![slow]), 0.0);
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.unchanged, 1);
+    }
+
+    #[test]
+    fn disjoint_confidence_intervals_gate_wall_clock() {
+        let mut o = record("a", 10, 100, 1000);
+        o.wall_stats = WallStats::from_samples(&[100.0, 102.0, 98.0]);
+        let mut n = o.clone();
+        n.wall_stats = WallStats::from_samples(&[200.0, 202.0, 198.0]);
+        let report = diff_manifests(&manifest(vec![o.clone()]), &manifest(vec![n]), 0.0);
+        assert!(!report.clean(), "{report}");
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].field, "wall_stats.mean_us");
+        assert_eq!(
+            (report.regressions[0].old, report.regressions[0].new),
+            (100, 200)
+        );
+
+        // The mirror image is an improvement, never a gate.
+        let mut fast = o.clone();
+        fast.wall_stats = WallStats::from_samples(&[50.0, 52.0, 48.0]);
+        let report = diff_manifests(&manifest(vec![o]), &manifest(vec![fast]), 0.0);
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.improvements.len(), 1);
+        assert_eq!(report.improvements[0].field, "wall_stats.mean_us");
+    }
+
+    #[test]
+    fn overlapping_confidence_intervals_do_not_gate() {
+        // Noisy measurements whose CIs overlap: a mean shift alone is
+        // not evidence of a regression.
+        let mut o = record("a", 10, 100, 1000);
+        o.wall_stats = WallStats::from_samples(&[100.0, 200.0, 150.0]);
+        let mut n = o.clone();
+        n.wall_stats = WallStats::from_samples(&[160.0, 260.0, 210.0]);
+        let (old_lo, old_hi) = o.wall_stats.interval();
+        let (new_lo, new_hi) = n.wall_stats.interval();
+        assert!(
+            new_lo < old_hi,
+            "fixture must overlap: {new_lo} vs {old_hi}"
+        );
+        assert!(old_lo < new_hi);
+        let report = diff_manifests(&manifest(vec![o]), &manifest(vec![n]), 0.0);
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.unchanged, 1);
+        assert!(report.improvements.is_empty());
     }
 
     #[test]

@@ -18,17 +18,25 @@
 //!   re-verify every output with the `powersparse_graphs::check`
 //!   predicates (MIS independence + maximality, ruling-set packing +
 //!   covering, sparsifier invariant I3 + domination) and collect rounds,
-//!   messages, bits, peak queue depth and per-phase wall clock.
+//!   messages, bits, peak queue depth, arena footprint and per-phase
+//!   wall clock. The `_with` variants take [`RunOptions`]: a [`Repeat`]
+//!   scheme (warmup + timed invocations × iterations) that turns the
+//!   wall clock into [`WallStats`] (mean/min/max/95% CI), and an
+//!   optional untimed probe run capturing a bounded per-round
+//!   [`TraceRow`] activity trace.
 //! * [`SuiteManifest`] — the structured JSON result
 //!   (`BENCH_*.json`-ready), with an exact parse/serialize round trip
 //!   for cross-run regression diffing.
 //! * [`diff_manifests`] — field-by-field manifest comparison
 //!   (`experiments suite --diff old.json new.json`): flags
 //!   round/message/bit regressions beyond a relative tolerance, missing
-//!   or reshaped scenarios and validation flips; wall clock never gates.
+//!   or reshaped scenarios and validation flips; wall clock gates only
+//!   when both sides carry repeat statistics with disjoint confidence
+//!   intervals.
 //! * [`TrendReport`] — the cross-manifest trajectory (`experiments
 //!   trend DIR`): every committed `BENCH_*.json` grouped per scenario,
-//!   rounds/messages/bits/wall-clock across history, drift flagged.
+//!   rounds/messages/bits/wall-clock across history, drift flagged
+//!   against the per-scenario series median.
 //!
 //! The `experiments suite` subcommand of `powersparse-bench` is the CLI
 //! front end; CI runs `experiments suite --smoke` on every PR.
@@ -62,8 +70,10 @@ pub use diff::{
     diff_manifests, diff_manifests_with, DiffOptions, DiffReport, FieldChange, ShapeChange,
 };
 pub use json::{Json, JsonError};
-pub use manifest::{PhaseWall, RunRecord, SuiteManifest, Validation};
-pub use runner::{run_scenario, run_suite, suite_params};
+pub use manifest::{PhaseWall, RunRecord, SuiteManifest, TraceRow, Validation, WallStats};
+pub use runner::{
+    run_scenario, run_scenario_with, run_suite, run_suite_with, suite_params, Repeat, RunOptions,
+};
 pub use scenario::{
     builtin_suite, parse_suite, AlgorithmSpec, EngineSpec, GraphFamily, Scenario, SpecError,
     SuiteProfile,

@@ -21,6 +21,92 @@ pub struct PhaseWall {
     pub validate_us: u64,
 }
 
+/// Wall-clock statistics over repeated invocations of the same
+/// scenario (the run phase only). With a single invocation (the
+/// default `Repeat::once()`), mean = min = max = the measured time and
+/// `ci95_us` is zero; regression gating on wall clock only engages
+/// when **both** compared records carry `samples >= 2` (see
+/// `crate::diff`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WallStats {
+    /// Mean run time per iteration, microseconds.
+    pub mean_us: f64,
+    /// Fastest invocation, microseconds.
+    pub min_us: f64,
+    /// Slowest invocation, microseconds.
+    pub max_us: f64,
+    /// Half-width of the 95% confidence interval of the mean
+    /// (`1.96 * sd / sqrt(samples)`, sample standard deviation); zero
+    /// when `samples < 2`.
+    pub ci95_us: f64,
+    /// Number of measured invocations (warmup excluded).
+    pub samples: u64,
+}
+
+impl WallStats {
+    /// The single-sample statistics a plain (non-repeated) run carries:
+    /// mean = min = max = `run_us`, zero CI, one sample. Also how old
+    /// manifests without a `wall_stats` section are interpreted.
+    pub fn single(run_us: u64) -> Self {
+        let t = run_us as f64;
+        Self {
+            mean_us: t,
+            min_us: t,
+            max_us: t,
+            ci95_us: 0.0,
+            samples: 1,
+        }
+    }
+
+    /// Computes statistics from per-invocation samples (microseconds
+    /// per iteration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let ci95 = if samples.len() < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            1.96 * var.sqrt() / n.sqrt()
+        };
+        Self {
+            mean_us: mean,
+            min_us: min,
+            max_us: max,
+            ci95_us: ci95,
+            samples: samples.len() as u64,
+        }
+    }
+
+    /// The `[mean - ci95, mean + ci95]` interval.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.mean_us - self.ci95_us, self.mean_us + self.ci95_us)
+    }
+}
+
+/// One row of the optional per-round trace section: the
+/// engine-invariant core of a `powersparse_congest::probe::RoundObs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceRow {
+    /// Round index (real, even when the trace is downsampled).
+    pub round: u64,
+    /// Directed edges still holding queued bits after the transfer.
+    pub active_edges: u64,
+    /// Distinct nodes that received a delivery this round.
+    pub dirty_nodes: u64,
+    /// Messages delivered this round.
+    pub messages: u64,
+    /// Bits sent this round.
+    pub bits: u64,
+}
+
 /// The validation verdict of one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Validation {
@@ -65,10 +151,20 @@ pub struct RunRecord {
     pub bits: u64,
     /// Peak single-edge queue depth (messages), the congestion gauge.
     pub peak_queue_depth: u64,
+    /// Peak arena footprint in cells (total queued messages at any
+    /// transfer start, engine-invariant).
+    pub arena_cells_peak: u64,
+    /// Peak arena footprint in bytes (cells scaled by cell size).
+    pub arena_bytes_peak: u64,
     /// Output cardinality (|MIS|, |ruling set|, |Q|).
     pub output_size: u64,
-    /// Per-phase wall clock.
+    /// Per-phase wall clock (first measured invocation).
     pub wall: PhaseWall,
+    /// Wall-clock statistics over repeated invocations.
+    pub wall_stats: WallStats,
+    /// Optional per-round activity trace (possibly downsampled; absent
+    /// unless the run was traced).
+    pub trace: Option<Vec<TraceRow>>,
     /// Validation verdict.
     pub validation: Validation,
 }
@@ -133,9 +229,11 @@ impl SuiteManifest {
 }
 
 impl RunRecord {
-    /// The record as a [`Json`] object.
+    /// The record as a [`Json`] object. The `trace` key is emitted only
+    /// when a trace was captured, so untraced manifests stay compact
+    /// and byte-stable against older builds' diff tooling.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("name".into(), Json::str(&self.name)),
             ("family".into(), Json::str(&self.family)),
             ("graph".into(), Json::str(&self.graph)),
@@ -152,6 +250,8 @@ impl RunRecord {
             ("messages".into(), Json::num(self.messages)),
             ("bits".into(), Json::num(self.bits)),
             ("peak_queue_depth".into(), Json::num(self.peak_queue_depth)),
+            ("arena_cells_peak".into(), Json::num(self.arena_cells_peak)),
+            ("arena_bytes_peak".into(), Json::num(self.arena_bytes_peak)),
             ("output_size".into(), Json::num(self.output_size)),
             (
                 "wall_us".into(),
@@ -162,16 +262,51 @@ impl RunRecord {
                 ]),
             ),
             (
-                "validation".into(),
+                "wall_stats".into(),
                 Json::Obj(vec![
-                    ("passed".into(), Json::Bool(self.validation.passed)),
-                    ("detail".into(), Json::str(&self.validation.detail)),
+                    ("mean_us".into(), Json::Num(self.wall_stats.mean_us)),
+                    ("min_us".into(), Json::Num(self.wall_stats.min_us)),
+                    ("max_us".into(), Json::Num(self.wall_stats.max_us)),
+                    ("ci95_us".into(), Json::Num(self.wall_stats.ci95_us)),
+                    ("samples".into(), Json::num(self.wall_stats.samples)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(trace) = &self.trace {
+            fields.push((
+                "trace".into(),
+                Json::Arr(
+                    trace
+                        .iter()
+                        .map(|row| {
+                            Json::Obj(vec![
+                                ("round".into(), Json::num(row.round)),
+                                ("active_edges".into(), Json::num(row.active_edges)),
+                                ("dirty_nodes".into(), Json::num(row.dirty_nodes)),
+                                ("messages".into(), Json::num(row.messages)),
+                                ("bits".into(), Json::num(row.bits)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push((
+            "validation".into(),
+            Json::Obj(vec![
+                ("passed".into(), Json::Bool(self.validation.passed)),
+                ("detail".into(), Json::str(&self.validation.detail)),
+            ]),
+        ));
+        Json::Obj(fields)
     }
 
-    /// Parses one record from its JSON object.
+    /// Parses one record from its JSON object. The observability fields
+    /// introduced with the probe layer (`arena_*_peak`, `wall_stats`,
+    /// `trace`) are optional, so manifests written by older builds
+    /// still parse: missing arena gauges read as zero, missing
+    /// statistics derive from the plain `wall_us.run` sample, and a
+    /// missing trace reads as "not captured".
     ///
     /// # Errors
     ///
@@ -179,6 +314,35 @@ impl RunRecord {
     pub fn from_json(doc: &Json) -> Result<Self, JsonError> {
         let wall = doc.get("wall_us").ok_or_else(|| missing("wall_us"))?;
         let validation = doc.get("validation").ok_or_else(|| missing("validation"))?;
+        let run_us = req_u64(wall, "run")?;
+        let wall_stats = match doc.get("wall_stats") {
+            None => WallStats::single(run_us),
+            Some(stats) => WallStats {
+                mean_us: req_f64(stats, "mean_us")?,
+                min_us: req_f64(stats, "min_us")?,
+                max_us: req_f64(stats, "max_us")?,
+                ci95_us: req_f64(stats, "ci95_us")?,
+                samples: req_u64(stats, "samples")?,
+            },
+        };
+        let trace = match doc.get("trace") {
+            None => None,
+            Some(rows) => Some(
+                rows.as_arr()
+                    .ok_or_else(|| missing("trace"))?
+                    .iter()
+                    .map(|row| {
+                        Ok(TraceRow {
+                            round: req_u64(row, "round")?,
+                            active_edges: req_u64(row, "active_edges")?,
+                            dirty_nodes: req_u64(row, "dirty_nodes")?,
+                            messages: req_u64(row, "messages")?,
+                            bits: req_u64(row, "bits")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?,
+            ),
+        };
         Ok(Self {
             name: req_str(doc, "name")?,
             family: req_str(doc, "family")?,
@@ -196,12 +360,16 @@ impl RunRecord {
             messages: req_u64(doc, "messages")?,
             bits: req_u64(doc, "bits")?,
             peak_queue_depth: req_u64(doc, "peak_queue_depth")?,
+            arena_cells_peak: opt_u64(doc, "arena_cells_peak")?,
+            arena_bytes_peak: opt_u64(doc, "arena_bytes_peak")?,
             output_size: req_u64(doc, "output_size")?,
             wall: PhaseWall {
                 build_us: req_u64(wall, "build")?,
-                run_us: req_u64(wall, "run")?,
+                run_us,
                 validate_us: req_u64(wall, "validate")?,
             },
+            wall_stats,
+            trace,
             validation: Validation {
                 passed: validation
                     .get("passed")
@@ -233,6 +401,21 @@ fn req_u64(doc: &Json, field: &str) -> Result<u64, JsonError> {
         .ok_or_else(|| missing(field))
 }
 
+fn req_f64(doc: &Json, field: &str) -> Result<f64, JsonError> {
+    doc.get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| missing(field))
+}
+
+/// An optional numeric field that older manifests lack: absent reads
+/// as zero, but a *present* mistyped value is still an error.
+fn opt_u64(doc: &Json, field: &str) -> Result<u64, JsonError> {
+    match doc.get(field) {
+        None => Ok(0),
+        Some(v) => v.as_u64().ok_or_else(|| missing(field)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,12 +440,37 @@ mod tests {
                 messages: 12345,
                 bits: 98765,
                 peak_queue_depth: 9,
+                arena_cells_peak: 140,
+                arena_bytes_peak: 4480,
                 output_size: 55,
                 wall: PhaseWall {
                     build_us: 120,
                     run_us: 4800,
                     validate_us: 310,
                 },
+                wall_stats: WallStats {
+                    mean_us: 4730.25,
+                    min_us: 4601.0,
+                    max_us: 4905.5,
+                    ci95_us: 88.125,
+                    samples: 4,
+                },
+                trace: Some(vec![
+                    TraceRow {
+                        round: 0,
+                        active_edges: 12,
+                        dirty_nodes: 0,
+                        messages: 0,
+                        bits: 96,
+                    },
+                    TraceRow {
+                        round: 76,
+                        active_edges: 0,
+                        dirty_nodes: 3,
+                        messages: 3,
+                        bits: 0,
+                    },
+                ]),
                 validation: Validation {
                     passed: true,
                     detail: "MIS of G^1: independent + maximal, |S| = 55".into(),
@@ -278,8 +486,62 @@ mod tests {
         let back = SuiteManifest::parse(&text).unwrap();
         assert_eq!(back, m);
         // And the re-serialization is byte-identical (stable field
-        // order), so manifests diff cleanly across runs.
+        // order), so manifests diff cleanly across runs. This also pins
+        // the non-integral wall statistics round-tripping exactly (the
+        // writer uses the shortest-round-trip f64 representation).
         assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn untraced_record_omits_the_trace_key() {
+        let mut m = sample();
+        m.runs[0].trace = None;
+        let text = m.to_json_string();
+        assert!(!text.contains("\"trace\""));
+        assert_eq!(SuiteManifest::parse(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn old_schema_without_observability_fields_still_parses() {
+        // A manifest written before the probe layer: no arena gauges,
+        // no wall_stats, no trace.
+        let mut m = sample();
+        m.runs[0].trace = None;
+        let mut text = m.to_json_string();
+        for key in ["arena_cells_peak", "arena_bytes_peak"] {
+            let from = text.find(key).unwrap() - 1;
+            let to = text[from..].find('\n').unwrap() + from + 1;
+            text.replace_range(from..to, "");
+        }
+        let from = text.find("\"wall_stats\"").unwrap();
+        let to = from + text[from..].find('}').unwrap();
+        let to = to + text[to..].find('\n').unwrap() + 1;
+        text.replace_range(from..to, "");
+        assert!(!text.contains("wall_stats") && !text.contains("arena_"));
+        let back = SuiteManifest::parse(&text).unwrap();
+        let r = &back.runs[0];
+        assert_eq!(r.arena_cells_peak, 0);
+        assert_eq!(r.arena_bytes_peak, 0);
+        assert_eq!(r.wall_stats, WallStats::single(r.wall.run_us));
+        assert_eq!(r.wall_stats.samples, 1);
+        assert_eq!(r.trace, None);
+    }
+
+    #[test]
+    fn wall_stats_from_samples() {
+        let s = WallStats::from_samples(&[100.0]);
+        assert_eq!(
+            (s.mean_us, s.min_us, s.max_us, s.ci95_us),
+            (100.0, 100.0, 100.0, 0.0)
+        );
+        assert_eq!(s.samples, 1);
+        let s = WallStats::from_samples(&[90.0, 110.0, 100.0]);
+        assert_eq!(s.mean_us, 100.0);
+        assert_eq!((s.min_us, s.max_us), (90.0, 110.0));
+        // sd = 10, ci95 = 1.96 * 10 / sqrt(3)
+        assert!((s.ci95_us - 1.96 * 10.0 / 3f64.sqrt()).abs() < 1e-9);
+        let (lo, hi) = s.interval();
+        assert!(lo < 100.0 && hi > 100.0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! slow, obviously-correct checkers agree (MIS independence + maximality,
 //! ruling-set packing + covering, sparsifier invariant I3 + domination).
 
-use crate::manifest::{PhaseWall, RunRecord, SuiteManifest, Validation};
+use crate::manifest::{PhaseWall, RunRecord, SuiteManifest, TraceRow, Validation, WallStats};
 use crate::scenario::{AlgorithmSpec, EngineSpec, Scenario};
 use powersparse::mis::{beeping_mis, luby_mis, mis_power, PostShattering};
 use powersparse::nd::{diameter_bound, power_nd, NetworkDecomposition};
@@ -15,6 +15,7 @@ use powersparse::params::TheoryParams;
 use powersparse::ruling::{beta_ruling_set, det_ruling_set_k2};
 use powersparse::sparsify::{sparsify_power, SamplingStrategy, SparsifyOutcome};
 use powersparse_congest::engine::{Metrics, RoundEngine};
+use powersparse_congest::probe::TraceProbe;
 use powersparse_congest::sim::{SimConfig, Simulator};
 use powersparse_engine::{PooledSimulator, ShardedSimulator};
 use powersparse_graphs::{check, generators, power, Graph, NodeId};
@@ -24,6 +25,57 @@ use std::time::Instant;
 /// choice as the `experiments` tables; see DESIGN.md §3 substitution 4).
 pub fn suite_params() -> TheoryParams {
     TheoryParams::scaled()
+}
+
+/// How often a scenario's run phase is executed for wall-clock
+/// statistics, following the measured-benchmarking discipline of
+/// invocation/iteration separation: `warmup` whole invocations are
+/// discarded, then each of `invocations` timed blocks runs the
+/// algorithm `iterations` times on a fresh engine and contributes one
+/// sample (elapsed / iterations). Counters are taken from the first
+/// measured run and asserted identical across invocations — only wall
+/// clock may vary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repeat {
+    /// Timed invocations (one wall sample each). Must be ≥ 1.
+    pub invocations: usize,
+    /// Algorithm runs per invocation (each on a fresh engine). Must be
+    /// ≥ 1.
+    pub iterations: usize,
+    /// Discarded warmup invocations before measurement starts.
+    pub warmup: usize,
+}
+
+impl Repeat {
+    /// The default non-repeated measurement: one invocation, one
+    /// iteration, no warmup — exactly the pre-statistics runner
+    /// behavior.
+    pub fn once() -> Self {
+        Self {
+            invocations: 1,
+            iterations: 1,
+            warmup: 0,
+        }
+    }
+}
+
+impl Default for Repeat {
+    fn default() -> Self {
+        Self::once()
+    }
+}
+
+/// Per-run options of [`run_scenario_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Repetition scheme for wall-clock statistics.
+    pub repeat: Repeat,
+    /// Capture a per-round activity trace: `Some(limit)` runs the
+    /// scenario once more, untimed, with a
+    /// [`powersparse_congest::probe::TraceProbe`] attached and stores
+    /// at most `limit` evenly strided rows (real round indices are
+    /// preserved; `Some(0)` keeps every round).
+    pub trace: Option<usize>,
 }
 
 /// What an algorithm produced, in the shape its checker wants.
@@ -51,31 +103,143 @@ enum AlgOutput {
 /// fails validation still returns `Ok` with
 /// `record.validation.passed == false`, so a suite can report it.
 pub fn run_scenario(sc: &Scenario) -> Result<RunRecord, String> {
+    run_scenario_with(sc, &RunOptions::default())
+}
+
+/// One run-phase execution: builds a fresh engine for the scenario's
+/// backend, runs the algorithm, returns output + final metrics.
+fn execute(g: &Graph, config: SimConfig, sc: &Scenario) -> Result<(AlgOutput, Metrics), String> {
+    match sc.engine {
+        EngineSpec::Sequential => {
+            let mut sim = Simulator::new(g, config);
+            let out = run_generic(&mut sim, sc)?;
+            let m = sim.metrics().clone();
+            Ok((out, m))
+        }
+        EngineSpec::Sharded { shards } => {
+            let mut sim = ShardedSimulator::with_shards(g, config, shards);
+            let out = run_generic(&mut sim, sc)?;
+            let m = RoundEngine::metrics(&sim).clone();
+            Ok((out, m))
+        }
+        EngineSpec::Pooled { shards } => {
+            let mut sim = PooledSimulator::with_shards(g, config, shards);
+            let out = run_generic(&mut sim, sc)?;
+            let m = RoundEngine::metrics(&sim).clone();
+            Ok((out, m))
+        }
+    }
+}
+
+/// One untimed traced execution: the same run with a [`TraceProbe`]
+/// attached, reduced to manifest [`TraceRow`]s and downsampled to at
+/// most `limit` rows (`0` = keep all; real round indices survive
+/// downsampling).
+fn execute_traced(
+    g: &Graph,
+    config: SimConfig,
+    sc: &Scenario,
+    limit: usize,
+) -> Result<Vec<TraceRow>, String> {
+    let trace = match sc.engine {
+        EngineSpec::Sequential => {
+            let mut sim = Simulator::with_probe(g, config, TraceProbe::new());
+            run_generic(&mut sim, sc)?;
+            sim.into_probe()
+        }
+        EngineSpec::Sharded { shards } => {
+            let mut sim = ShardedSimulator::with_probe(g, config, shards, TraceProbe::new());
+            run_generic(&mut sim, sc)?;
+            sim.into_probe()
+        }
+        EngineSpec::Pooled { shards } => {
+            let mut sim = PooledSimulator::with_probe(g, config, shards, TraceProbe::new());
+            run_generic(&mut sim, sc)?;
+            sim.into_probe()
+        }
+    };
+    let rows: Vec<TraceRow> = trace
+        .rounds
+        .iter()
+        .map(|obs| TraceRow {
+            round: obs.round,
+            active_edges: obs.active_edges,
+            dirty_nodes: obs.dirty_nodes,
+            messages: obs.messages,
+            bits: obs.bits,
+        })
+        .collect();
+    Ok(downsample(rows, limit))
+}
+
+/// Evenly strided downsampling that keeps real round indices.
+fn downsample(rows: Vec<TraceRow>, limit: usize) -> Vec<TraceRow> {
+    if limit == 0 || rows.len() <= limit {
+        return rows;
+    }
+    let stride = rows.len().div_ceil(limit);
+    rows.into_iter().step_by(stride).collect()
+}
+
+/// Executes one scenario with explicit repetition/trace options (see
+/// [`run_scenario`] for the error contract).
+///
+/// # Errors
+///
+/// As [`run_scenario`]; additionally rejects a [`Repeat`] with zero
+/// invocations or iterations, and reports counters that drift between
+/// invocations of the same scenario (which would mean the run is not
+/// deterministic and its statistics meaningless).
+pub fn run_scenario_with(sc: &Scenario, opts: &RunOptions) -> Result<RunRecord, String> {
     sc.validate_spec()?;
+    let rep = opts.repeat;
+    if rep.invocations == 0 || rep.iterations == 0 {
+        return Err("repeat needs at least one invocation and one iteration".into());
+    }
     let t = Instant::now();
     let g = sc.family.build(sc.seed);
     let build_us = t.elapsed().as_micros() as u64;
     let config = SimConfig::for_graph(&g);
 
-    let t = Instant::now();
-    let (output, metrics) = match sc.engine {
-        EngineSpec::Sequential => {
-            let mut sim = Simulator::new(&g, config);
-            let out = run_generic(&mut sim, sc)?;
-            (out, sim.metrics().clone())
+    for _ in 0..rep.warmup {
+        execute(&g, config, sc)?;
+    }
+
+    let mut samples: Vec<f64> = Vec::with_capacity(rep.invocations);
+    let mut first: Option<(AlgOutput, Metrics)> = None;
+    for _ in 0..rep.invocations {
+        let t = Instant::now();
+        let mut last = None;
+        for _ in 0..rep.iterations {
+            last = Some(execute(&g, config, sc)?);
         }
-        EngineSpec::Sharded { shards } => {
-            let mut sim = ShardedSimulator::with_shards(&g, config, shards);
-            let out = run_generic(&mut sim, sc)?;
-            (out, RoundEngine::metrics(&sim).clone())
+        samples.push(t.elapsed().as_micros() as f64 / rep.iterations as f64);
+        let (out, metrics) = last.expect("iterations >= 1");
+        match &first {
+            None => first = Some((out, metrics)),
+            Some((_, m0)) => {
+                if *m0 != metrics {
+                    return Err(format!(
+                        "counters drifted between invocations of {} — \
+                         rounds {} vs {}, messages {} vs {}",
+                        sc.name(),
+                        m0.rounds,
+                        metrics.rounds,
+                        m0.messages,
+                        metrics.messages
+                    ));
+                }
+            }
         }
-        EngineSpec::Pooled { shards } => {
-            let mut sim = PooledSimulator::with_shards(&g, config, shards);
-            let out = run_generic(&mut sim, sc)?;
-            (out, RoundEngine::metrics(&sim).clone())
-        }
+    }
+    let (output, metrics) = first.expect("invocations >= 1");
+    let wall_stats = WallStats::from_samples(&samples);
+    let run_us = samples[0] as u64;
+
+    let trace = match opts.trace {
+        None => None,
+        Some(limit) => Some(execute_traced(&g, config, sc, limit)?),
     };
-    let run_us = t.elapsed().as_micros() as u64;
 
     let t = Instant::now();
     let (validation, output_size) = validate(&g, sc, &output);
@@ -90,6 +254,8 @@ pub fn run_scenario(sc: &Scenario) -> Result<RunRecord, String> {
             run_us,
             validate_us,
         },
+        wall_stats,
+        trace,
         validation,
         output_size,
     ))
@@ -102,9 +268,22 @@ pub fn run_scenario(sc: &Scenario) -> Result<RunRecord, String> {
 /// Propagates the first specification/algorithm error (validation
 /// failures do not abort the suite; they are recorded per run).
 pub fn run_suite(suite: &str, scenarios: &[Scenario]) -> Result<SuiteManifest, String> {
+    run_suite_with(suite, scenarios, &RunOptions::default())
+}
+
+/// Executes a whole scenario matrix with explicit options.
+///
+/// # Errors
+///
+/// As [`run_suite`].
+pub fn run_suite_with(
+    suite: &str,
+    scenarios: &[Scenario],
+    opts: &RunOptions,
+) -> Result<SuiteManifest, String> {
     let runs = scenarios
         .iter()
-        .map(|sc| run_scenario(sc).map_err(|e| format!("{}: {e}", sc.name())))
+        .map(|sc| run_scenario_with(sc, opts).map_err(|e| format!("{}: {e}", sc.name())))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(SuiteManifest {
         suite: suite.to_string(),
@@ -235,11 +414,14 @@ fn validate(g: &Graph, sc: &Scenario, output: &AlgOutput) -> (Validation, u64) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn record(
     sc: &Scenario,
     g: &Graph,
     metrics: &Metrics,
     wall: PhaseWall,
+    wall_stats: WallStats,
+    trace: Option<Vec<TraceRow>>,
     validation: Validation,
     output_size: u64,
 ) -> RunRecord {
@@ -260,8 +442,12 @@ fn record(
         messages: metrics.messages,
         bits: metrics.bits,
         peak_queue_depth: metrics.peak_queue_depth,
+        arena_cells_peak: metrics.arena_cells_peak,
+        arena_bytes_peak: metrics.arena_bytes_peak,
         output_size,
         wall,
+        wall_stats,
+        trace,
         validation,
     }
 }
@@ -401,6 +587,107 @@ mod tests {
             assert_eq!(seq.bits, par.bits, "{}", par.name);
             assert_eq!(seq.peak_queue_depth, par.peak_queue_depth, "{}", par.name);
             assert_eq!(seq.output_size, par.output_size, "{}", par.name);
+        }
+    }
+
+    #[test]
+    fn repeated_runs_collect_wall_stats_and_keep_counters_exact() {
+        let sc = Scenario::new(GraphFamily::Grid { rows: 5, cols: 5 }).seed(2);
+        let opts = RunOptions {
+            repeat: Repeat {
+                invocations: 3,
+                iterations: 2,
+                warmup: 1,
+            },
+            trace: None,
+        };
+        let rec = run_scenario_with(&sc, &opts).unwrap();
+        assert_eq!(rec.wall_stats.samples, 3);
+        assert!(rec.wall_stats.min_us <= rec.wall_stats.mean_us);
+        assert!(rec.wall_stats.mean_us <= rec.wall_stats.max_us);
+        assert!(rec.wall_stats.ci95_us >= 0.0);
+        // Counters are the deterministic single-run values.
+        let base = run_scenario(&sc).unwrap();
+        assert_eq!(rec.rounds, base.rounds);
+        assert_eq!(rec.messages, base.messages);
+        assert_eq!(rec.bits, base.bits);
+        assert_eq!(rec.arena_cells_peak, base.arena_cells_peak);
+        assert_eq!(base.wall_stats.samples, 1);
+        assert_eq!(base.wall_stats.mean_us, base.wall.run_us as f64);
+    }
+
+    #[test]
+    fn full_trace_reconciles_with_the_counters() {
+        let sc = Scenario::new(GraphFamily::Grid { rows: 5, cols: 5 })
+            .seed(2)
+            .pooled(3);
+        let opts = RunOptions {
+            repeat: Repeat::once(),
+            trace: Some(0), // keep every round
+        };
+        let rec = run_scenario_with(&sc, &opts).unwrap();
+        let trace = rec.trace.as_ref().unwrap();
+        assert_eq!(trace.len() as u64, rec.rounds);
+        assert_eq!(trace.iter().map(|r| r.messages).sum::<u64>(), rec.messages);
+        assert_eq!(trace.iter().map(|r| r.bits).sum::<u64>(), rec.bits);
+        for (i, row) in trace.iter().enumerate() {
+            assert_eq!(row.round, i as u64);
+        }
+    }
+
+    #[test]
+    fn downsampled_trace_is_bounded_and_keeps_real_round_indices() {
+        let sc = Scenario::new(GraphFamily::Grid { rows: 6, cols: 6 })
+            .k(2)
+            .seed(3);
+        let full = run_scenario_with(
+            &sc,
+            &RunOptions {
+                repeat: Repeat::once(),
+                trace: Some(0),
+            },
+        )
+        .unwrap();
+        let rounds = full.rounds;
+        assert!(rounds > 4, "need a multi-round run for downsampling");
+        let limit = 4usize;
+        let rec = run_scenario_with(
+            &sc,
+            &RunOptions {
+                repeat: Repeat::once(),
+                trace: Some(limit),
+            },
+        )
+        .unwrap();
+        let trace = rec.trace.as_ref().unwrap();
+        assert!(trace.len() <= limit, "{} rows > limit {limit}", trace.len());
+        assert_eq!(trace[0].round, 0, "first round must survive");
+        let full_rows = full.trace.as_ref().unwrap();
+        for row in trace {
+            assert_eq!(&full_rows[row.round as usize], row, "strided row differs");
+        }
+    }
+
+    #[test]
+    fn zero_repeat_counts_are_spec_errors() {
+        let sc = Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 });
+        for repeat in [
+            Repeat {
+                invocations: 0,
+                iterations: 1,
+                warmup: 0,
+            },
+            Repeat {
+                invocations: 1,
+                iterations: 0,
+                warmup: 0,
+            },
+        ] {
+            let opts = RunOptions {
+                repeat,
+                trace: None,
+            };
+            assert!(run_scenario_with(&sc, &opts).is_err());
         }
     }
 

@@ -51,14 +51,41 @@ pub struct TrendSeries {
 }
 
 impl TrendSeries {
-    /// Whether every deterministic counter is identical across the
-    /// series (wall clock is expected to move; it never counts as
-    /// drift).
+    /// The per-counter series medians `(rounds, messages, bits,
+    /// peak_queue_depth)` — the robust center every point is compared
+    /// against. Uses the lower median for even-length series, so the
+    /// reference is always a value the series actually took.
+    pub fn medians(&self) -> (u64, u64, u64, u64) {
+        fn median(mut v: Vec<u64>) -> u64 {
+            v.sort_unstable();
+            v[(v.len() - 1) / 2]
+        }
+        (
+            median(self.points.iter().map(|p| p.rounds).collect()),
+            median(self.points.iter().map(|p| p.messages).collect()),
+            median(self.points.iter().map(|p| p.bits).collect()),
+            median(self.points.iter().map(|p| p.peak_queue_depth).collect()),
+        )
+    }
+
+    /// Whether a point deviates from the series medians in any
+    /// deterministic counter.
+    pub fn point_drifts(&self, p: &TrendPoint) -> bool {
+        (p.rounds, p.messages, p.bits, p.peak_queue_depth) != self.medians()
+    }
+
+    /// Whether every deterministic counter matches the per-counter
+    /// series **median** at every point (wall clock is expected to
+    /// move; it never counts as drift). Comparing against the median
+    /// rather than the previous point makes a single outlier manifest
+    /// show up as one drifting point instead of poisoning both of its
+    /// neighboring comparisons, and is trivially stable for
+    /// single-point and constant series.
     pub fn stable(&self) -> bool {
-        self.points.windows(2).all(|w| {
-            (w[0].rounds, w[0].messages, w[0].bits, w[0].peak_queue_depth)
-                == (w[1].rounds, w[1].messages, w[1].bits, w[1].peak_queue_depth)
-        })
+        let m = self.medians();
+        self.points
+            .iter()
+            .all(|p| (p.rounds, p.messages, p.bits, p.peak_queue_depth) == m)
     }
 }
 
@@ -177,8 +204,17 @@ impl TrendReport {
         );
         out.push_str("| --- | --- | --- | --- | --- | --- | --- | --- | --- |\n");
         for s in &self.series {
-            let marker = if s.stable() { "stable" } else { "DRIFT" };
             for (i, p) in s.points.iter().enumerate() {
+                // The drift marker sits on the rows that deviate from
+                // the series medians, so the outlier manifest — not its
+                // neighbors — is the one flagged.
+                let marker = if s.point_drifts(p) {
+                    "DRIFT"
+                } else if i == 0 {
+                    "stable"
+                } else {
+                    ""
+                };
                 out.push_str(&format!(
                     "| {} | {} | {} | {} | {} | {} | {:.1}ms | {} | {} |\n",
                     s.suite,
@@ -189,7 +225,7 @@ impl TrendReport {
                     p.bits,
                     p.run_us as f64 / 1000.0,
                     if p.passed { "yes" } else { "NO" },
-                    if i == 0 { marker } else { "" },
+                    marker,
                 ));
             }
         }
@@ -200,7 +236,7 @@ impl TrendReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manifest::{PhaseWall, RunRecord, Validation};
+    use crate::manifest::{PhaseWall, RunRecord, Validation, WallStats};
 
     fn record(name: &str, rounds: u64, messages: u64) -> RunRecord {
         RunRecord {
@@ -220,12 +256,16 @@ mod tests {
             messages,
             bits: messages * 8,
             peak_queue_depth: 2,
+            arena_cells_peak: 12,
+            arena_bytes_peak: 384,
             output_size: 4,
             wall: PhaseWall {
                 build_us: 10,
                 run_us: 100,
                 validate_us: 5,
             },
+            wall_stats: WallStats::single(100),
+            trace: None,
             validation: Validation {
                 passed: true,
                 detail: "ok".into(),
@@ -279,6 +319,102 @@ mod tests {
         let md = report.render_markdown();
         assert!(md.contains("DRIFT"), "{md}");
         assert!(md.contains("| smoke | a | m1.json | 5 |"), "{md}");
+    }
+
+    #[test]
+    fn single_point_and_constant_series_are_stable() {
+        // A series with one point is its own median — trivially stable.
+        let report = TrendReport::from_manifests(&[(
+            "m1.json".into(),
+            manifest("smoke", vec![record("a", 5, 100)]),
+        )]);
+        assert!(report.series[0].stable());
+        assert_eq!(report.drifting(), 0);
+
+        // A constant series matches its medians at every point.
+        let report = TrendReport::from_manifests(&[
+            (
+                "m1.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+            (
+                "m2.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+            (
+                "m3.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+        ]);
+        assert!(report.series[0].stable());
+        assert_eq!(report.series[0].medians(), (5, 100, 800, 2));
+        assert_eq!(report.drifting(), 0);
+    }
+
+    #[test]
+    fn outlier_is_flagged_against_the_series_median_not_its_neighbors() {
+        // One outlier in a long series: the median of (5,5,9,5,5) is
+        // still 5, so only the outlier point drifts — the m4 return to
+        // baseline is not blamed, which pairwise comparison would do.
+        let report = TrendReport::from_manifests(&[
+            (
+                "m1.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+            (
+                "m2.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+            (
+                "m3.json".into(),
+                manifest("smoke", vec![record("a", 9, 100)]),
+            ),
+            (
+                "m4.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+        ]);
+        let s = &report.series[0];
+        assert_eq!(s.medians().0, 5);
+        assert!(!s.stable());
+        assert_eq!(report.drifting(), 1);
+        let drifters: Vec<&str> = s
+            .points
+            .iter()
+            .filter(|p| s.point_drifts(p))
+            .map(|p| p.source.as_str())
+            .collect();
+        assert_eq!(drifters, vec!["m3.json"]);
+        // The markdown flags exactly the outlier row.
+        let md = report.render_markdown();
+        assert!(
+            md.contains("| m3.json | 9 | 100 | 800 | 0.1ms | yes | DRIFT |"),
+            "{md}"
+        );
+        assert!(
+            !md.contains("| m4.json | 5 | 100 | 800 | 0.1ms | yes | DRIFT |"),
+            "{md}"
+        );
+    }
+
+    #[test]
+    fn even_length_series_use_the_lower_median() {
+        let report = TrendReport::from_manifests(&[
+            (
+                "m1.json".into(),
+                manifest("smoke", vec![record("a", 5, 100)]),
+            ),
+            (
+                "m2.json".into(),
+                manifest("smoke", vec![record("a", 7, 100)]),
+            ),
+        ]);
+        // Lower median of [5, 7] is 5: a real value of the series, so
+        // the m1 point is the stable one and m2 the drifter.
+        let s = &report.series[0];
+        assert_eq!(s.medians().0, 5);
+        assert!(!s.point_drifts(&s.points[0]));
+        assert!(s.point_drifts(&s.points[1]));
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! engine backends.
 
 use powersparse_workloads::{
-    builtin_suite, run_scenario, run_suite, AlgorithmSpec, EngineSpec, GraphFamily, PhaseWall,
-    RunRecord, Scenario, SuiteManifest, SuiteProfile,
+    builtin_suite, run_scenario, run_scenario_with, run_suite, AlgorithmSpec, EngineSpec,
+    GraphFamily, PhaseWall, Repeat, RunOptions, RunRecord, Scenario, SuiteManifest, SuiteProfile,
+    WallStats,
 };
 use std::collections::BTreeSet;
 
@@ -49,10 +50,11 @@ fn ported_algorithm_scenarios() -> Vec<Scenario> {
     ]
 }
 
-/// Strips the only nondeterministic fields (wall clock) so records can
-/// be compared as JSON bytes.
+/// Strips the only nondeterministic fields (wall clock and its
+/// statistics) so records can be compared as JSON bytes.
 fn dewalled(mut rec: RunRecord) -> RunRecord {
     rec.wall = PhaseWall::default();
+    rec.wall_stats = WallStats::single(0);
     rec
 }
 
@@ -226,6 +228,50 @@ fn same_seed_same_suite_manifest_bytes() {
     let a = strip(run_suite("det", &scenarios).unwrap());
     let b = strip(run_suite("det", &scenarios).unwrap());
     assert_eq!(a.to_json_string(), b.to_json_string());
+}
+
+#[test]
+fn repeated_run_statistics_round_trip_exactly_through_json() {
+    // The acceptance bar for the repeat-run statistics: a --repeats ≥ 3
+    // run emits mean/ci95 wall stats (plus a bounded trace) that
+    // survive the JSON parser bit-for-bit, fractional values included.
+    let sc = Scenario::new(GraphFamily::Grid { rows: 6, cols: 6 })
+        .k(2)
+        .seed(3)
+        .sharded(2);
+    let opts = RunOptions {
+        repeat: Repeat {
+            invocations: 3,
+            iterations: 1,
+            warmup: 1,
+        },
+        trace: Some(16),
+    };
+    let rec = run_scenario_with(&sc, &opts).unwrap();
+    assert!(rec.validation.passed, "{}", rec.validation.detail);
+    assert_eq!(rec.wall_stats.samples, 3);
+    assert!(rec.wall_stats.min_us <= rec.wall_stats.mean_us);
+    assert!(rec.wall_stats.mean_us <= rec.wall_stats.max_us);
+    let trace = rec.trace.as_ref().expect("trace requested");
+    assert!(!trace.is_empty() && trace.len() <= 16);
+
+    let manifest = SuiteManifest {
+        suite: "repeats".into(),
+        runs: vec![rec],
+    };
+    let text = manifest.to_json_string();
+    let back = SuiteManifest::parse(&text).expect("manifest must parse");
+    assert_eq!(back, manifest, "wall stats / trace did not round-trip");
+    assert_eq!(back.to_json_string(), text, "re-serialization not stable");
+    let stats = &back.runs[0].wall_stats;
+    assert_eq!(
+        stats.mean_us.to_bits(),
+        manifest.runs[0].wall_stats.mean_us.to_bits()
+    );
+    assert_eq!(
+        stats.ci95_us.to_bits(),
+        manifest.runs[0].wall_stats.ci95_us.to_bits()
+    );
 }
 
 #[test]
