@@ -8,7 +8,8 @@
 //!                   [--repeats R] [--warmup W]
 //! experiments suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine]
 //! experiments trend [DIR] [--out REPORT.json]
-//! experiments trace SCENARIO [--limit N]
+//! experiments trace SCENARIO [--limit N] [--out FILE.json]
+//! experiments profile SCENARIO [--repeats R] [--chrome-trace OUT.json]
 //! ```
 //!
 //! Output is markdown; EXPERIMENTS.md archives a run. The `suite`
@@ -22,7 +23,11 @@
 //! `trend` renders the cost trajectory across every `BENCH_*.json` in a
 //! directory, and `trace` runs one named builtin scenario with a round
 //! probe attached and prints the per-round activity table
-//! (round, active edges, dirty nodes, messages, bits).
+//! (round, active edges, dirty nodes, messages, bits) — `--out` exports
+//! the same rows as JSON. `profile` runs one scenario with the span
+//! probe attached and prints the per-stage × per-shard wall breakdown
+//! (step/transfer/barrier, imbalance, barrier-overhead share);
+//! `--chrome-trace` exports a Perfetto-loadable trace-event file.
 
 use powersparse::mis::{beeping_mis, luby_mis, mis_power, PostShattering};
 use powersparse::nd::{diameter_bound, power_nd};
@@ -60,6 +65,7 @@ fn main() {
         "suite" => suite_cmd(&args[1..]),
         "trend" => trend_cmd(&args[1..]),
         "trace" => trace_cmd(&args[1..]),
+        "profile" => profile_cmd(&args[1..]),
         "all" => {
             table1_det(scale);
             table1_mis(scale);
@@ -619,6 +625,8 @@ fn engines_exp(out: Option<&str>) {
             peak_queue_depth: metrics.peak_queue_depth,
             arena_cells_peak: metrics.arena_cells_peak,
             arena_bytes_peak: metrics.arena_bytes_peak,
+            alloc_count: 0,
+            alloc_bytes_peak: 0,
             output_size: mis_size,
             wall: PhaseWall {
                 build_us,
@@ -626,6 +634,7 @@ fn engines_exp(out: Option<&str>) {
                 validate_us: 0,
             },
             wall_stats: WallStats::single(run_us),
+            profile: None,
             trace: None,
             validation: Validation {
                 passed: true,
@@ -835,13 +844,34 @@ fn trend_cmd(args: &[String]) {
 /// (trace length = rounds on a full trace, per-round messages/bits
 /// summing to the run totals) are re-checked and a violation exits
 /// nonzero.
-fn trace_cmd(args: &[String]) {
-    use powersparse_workloads::{
-        builtin_suite, run_scenario_with, Repeat, RunOptions, Scenario, SuiteProfile,
+/// Looks a scenario up by canonical name across the builtin suites —
+/// smoke first so the cheap instance of a name wins, then the full-suite
+/// scenarios smoke does not carry. Unknown names list the catalogue and
+/// exit nonzero.
+fn find_builtin_scenario(target: &str) -> powersparse_workloads::Scenario {
+    use powersparse_workloads::{builtin_suite, SuiteProfile};
+    let mut scenarios = builtin_suite(SuiteProfile::Smoke);
+    for sc in builtin_suite(SuiteProfile::Full) {
+        if !scenarios.iter().any(|s| s.name() == sc.name()) {
+            scenarios.push(sc);
+        }
+    }
+    let Some(i) = scenarios.iter().position(|s| s.name() == target) else {
+        eprintln!("unknown scenario '{target}'; builtin scenarios:");
+        for s in &scenarios {
+            eprintln!("  {}", s.name());
+        }
+        std::process::exit(2);
     };
+    scenarios.swap_remove(i)
+}
+
+fn trace_cmd(args: &[String]) {
+    use powersparse_workloads::{run_scenario_with, Json, Repeat, RunOptions, Scenario, TraceRow};
 
     let mut target: Option<String> = None;
     let mut limit = 0usize;
+    let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -855,40 +885,40 @@ fn trace_cmd(args: &[String]) {
                     std::process::exit(2);
                 });
             }
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--out requires a path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
             other if target.is_none() && !other.starts_with('-') => {
                 target = Some(other.to_string());
             }
             other => {
                 eprintln!(
                     "unknown trace argument '{other}' \
-                     (usage: experiments trace SCENARIO [--limit N])"
+                     (usage: experiments trace SCENARIO [--limit N] [--out FILE.json])"
                 );
                 std::process::exit(2);
             }
         }
     }
     let Some(target) = target else {
-        eprintln!("trace requires a scenario name (usage: experiments trace SCENARIO [--limit N])");
+        eprintln!(
+            "trace requires a scenario name \
+             (usage: experiments trace SCENARIO [--limit N] [--out FILE.json])"
+        );
         std::process::exit(2);
     };
-    // Smoke first so the cheap instance of a name wins; the full suite
-    // adds the scenarios smoke does not carry.
-    let mut scenarios = builtin_suite(SuiteProfile::Smoke);
-    for sc in builtin_suite(SuiteProfile::Full) {
-        if !scenarios.iter().any(|s| s.name() == sc.name()) {
-            scenarios.push(sc);
-        }
-    }
-    let Some(sc) = scenarios.iter().find(|s| s.name() == target) else {
-        eprintln!("unknown scenario '{target}'; builtin scenarios:");
-        for s in &scenarios {
-            eprintln!("  {}", s.name());
-        }
-        std::process::exit(2);
-    };
+    let sc = &find_builtin_scenario(&target);
     let opts = RunOptions {
         repeat: Repeat::once(),
         trace: Some(limit),
+        profile: false,
     };
     let rec = run_scenario_with(sc, &opts).unwrap_or_else(|e| panic!("trace run failed: {e}"));
     let trace = rec.trace.as_ref().expect("trace was requested");
@@ -956,9 +986,191 @@ fn trace_cmd(args: &[String]) {
         );
         bad = true;
     }
+    if let Some(path) = &out {
+        // Structured export of the same rows, gated by an exact
+        // round trip through the manifest TraceRow schema.
+        let doc = Json::Obj(vec![
+            ("scenario".into(), Json::str(&Scenario::name(sc))),
+            ("rounds".into(), Json::num(rec.rounds)),
+            (
+                "rows".into(),
+                Json::Arr(trace.iter().map(TraceRow::to_json).collect()),
+            ),
+        ]);
+        let text = doc.to_string_pretty();
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        let reread =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot re-read {path}: {e}"));
+        let back = Json::parse(&reread).unwrap_or_else(|e| {
+            eprintln!("TRACE EXPORT VIOLATION: {path} does not parse back: {e}");
+            std::process::exit(1);
+        });
+        let rows: Result<Vec<TraceRow>, _> = back
+            .get("rows")
+            .and_then(Json::as_arr)
+            .map(|rows| rows.iter().map(TraceRow::from_json).collect())
+            .unwrap_or_else(|| {
+                eprintln!("TRACE EXPORT VIOLATION: {path} lost its rows array");
+                std::process::exit(1);
+            });
+        match rows {
+            Ok(rows) if rows == *trace => println!("trace JSON written to {path}"),
+            Ok(_) => {
+                eprintln!("TRACE EXPORT VIOLATION: {path} rows drifted through the round trip");
+                bad = true;
+            }
+            Err(e) => {
+                eprintln!("TRACE EXPORT VIOLATION: {path} rows do not parse: {e}");
+                bad = true;
+            }
+        }
+    }
     if !rec.validation.passed || bad {
         eprintln!("trace failed — see above");
         std::process::exit(1);
+    }
+}
+
+/// E13 — `profile`: stage-level time attribution for one builtin
+/// scenario. Runs the scenario `--repeats` times with a span probe
+/// attached and prints the per-stage × per-shard wall breakdown, the
+/// step-imbalance metric (max/mean shard step time) and the barrier
+/// overhead share; `--chrome-trace OUT.json` additionally exports the
+/// first profiled run as a Chrome trace-event file (one Perfetto track
+/// per shard plus active-edge/arena counter tracks), gated by parsing
+/// the written file back. Span timings are machine-shaped: nothing here
+/// is compared across runs or engines.
+fn profile_cmd(args: &[String]) {
+    use powersparse_bench::alloc_gauge;
+    use powersparse_workloads::{breakdown, chrome_trace, profile_scenario, Json, Scenario};
+
+    let mut target: Option<String> = None;
+    let mut repeats = 1usize;
+    let mut trace_out: Option<String> = None;
+    let usage = "usage: experiments profile SCENARIO [--repeats R] [--chrome-trace OUT.json]";
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--repeats" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("--repeats requires a value ({usage})");
+                    std::process::exit(2);
+                });
+                repeats = match value.parse::<usize>() {
+                    Ok(v) if v >= 1 => v,
+                    _ => {
+                        eprintln!("cannot parse repeats '{value}' (an integer >= 1)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--chrome-trace" => {
+                trace_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--chrome-trace requires a path ({usage})");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown profile argument '{other}' ({usage})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("profile requires a scenario name ({usage})");
+        std::process::exit(2);
+    };
+    let sc = find_builtin_scenario(&target);
+
+    alloc_gauge::reset();
+    let t = std::time::Instant::now();
+    let probes =
+        profile_scenario(&sc, repeats).unwrap_or_else(|e| panic!("profile run failed: {e}"));
+    let wall_mean_us = t.elapsed().as_micros() as f64 / repeats as f64;
+    let gauge = alloc_gauge::snapshot();
+    let b = breakdown(&probes);
+
+    println!(
+        "\n## E13: Stage profile — `{}` ({} rounds, {} shard{}, {} repeat{})\n",
+        Scenario::name(&sc),
+        b.rounds,
+        b.stats.shards,
+        if b.stats.shards == 1 { "" } else { "s" },
+        repeats,
+        if repeats == 1 { "" } else { "s" },
+    );
+    println!(
+        "{}",
+        row(&["shard", "step", "transfer", "barrier wait", "total"].map(String::from))
+    );
+    println!("{}", row(&["---"; 5].map(String::from)));
+    let us = |v: f64| format!("{v:.1}µs");
+    for sp in &b.shards {
+        println!(
+            "{}",
+            row(&[
+                sp.shard.to_string(),
+                us(sp.step_us),
+                us(sp.transfer_us),
+                us(sp.barrier_us),
+                us(sp.total_us()),
+            ])
+        );
+    }
+    println!(
+        "{}",
+        row(&[
+            "Σ".into(),
+            us(b.stats.step_us),
+            us(b.stats.transfer_us),
+            us(b.stats.barrier_us),
+            us(b.stats.step_us + b.stats.transfer_us + b.stats.barrier_us),
+        ])
+    );
+    println!(
+        "\nstep imbalance (max/mean over shards): {:.2}; barrier overhead: {:.1}% of \
+         attributed time; spanned-run wall mean: {:.1}µs",
+        b.stats.imbalance,
+        100.0 * b.stats.barrier_share,
+        wall_mean_us,
+    );
+    if alloc_gauge::enabled() {
+        println!(
+            "allocation gauges: {} allocations, {} bytes peak live across the profiled runs",
+            gauge.count, gauge.bytes_peak
+        );
+    }
+
+    if let Some(path) = &trace_out {
+        let doc = chrome_trace(&probes[0], &Scenario::name(&sc));
+        let text = doc.to_string_pretty();
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        let reread =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot re-read {path}: {e}"));
+        match Json::parse(&reread) {
+            Ok(back) if back == doc => {
+                let events = back
+                    .get("traceEvents")
+                    .and_then(Json::as_arr)
+                    .map_or(0, |a| a.len());
+                println!("chrome trace written to {path} ({events} events) — load it in Perfetto");
+            }
+            Ok(_) => {
+                eprintln!("CHROME TRACE VIOLATION: {path} drifted through the round trip");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("CHROME TRACE VIOLATION: {path} does not parse back: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -967,7 +1179,8 @@ fn trace_cmd(args: &[String]) {
 /// by run, with a JSON manifest for `BENCH_*.json` trajectory tracking.
 fn suite_cmd(args: &[String]) {
     use powersparse_workloads::{
-        builtin_suite, parse_suite, run_suite_with, EngineSpec, Repeat, RunOptions, SuiteProfile,
+        builtin_suite, parse_suite, run_scenario_with, run_suite_with, EngineSpec, Repeat,
+        RunOptions, SuiteManifest, SuiteProfile,
     };
 
     // Strict argument parsing: a mistyped flag must not silently fall
@@ -1106,6 +1319,7 @@ fn suite_cmd(args: &[String]) {
             warmup,
         },
         trace: None,
+        profile: false,
     };
     println!(
         "\n## E10: Workload suite `{name}` — {} scenarios{}\n",
@@ -1131,8 +1345,29 @@ fn suite_cmd(args: &[String]) {
         .map(String::from))
     );
     println!("{}", row(&["---"; 8].map(String::from)));
-    let manifest =
-        run_suite_with(&name, &scenarios, &opts).unwrap_or_else(|e| panic!("suite failed: {e}"));
+    let manifest = if powersparse_bench::alloc_gauge::enabled() {
+        // With the counting allocator installed (`--features
+        // alloc-gauge`), run scenario by scenario so each manifest row
+        // carries its own allocation-count and peak-live gauges.
+        let runs = scenarios
+            .iter()
+            .map(|sc| {
+                powersparse_bench::alloc_gauge::reset();
+                let mut rec = run_scenario_with(sc, &opts)
+                    .unwrap_or_else(|e| panic!("suite failed: {}: {e}", sc.name()));
+                let gauge = powersparse_bench::alloc_gauge::snapshot();
+                rec.alloc_count = gauge.count;
+                rec.alloc_bytes_peak = gauge.bytes_peak;
+                rec
+            })
+            .collect();
+        SuiteManifest {
+            suite: name.clone(),
+            runs,
+        }
+    } else {
+        run_suite_with(&name, &scenarios, &opts).unwrap_or_else(|e| panic!("suite failed: {e}"))
+    };
     for run in &manifest.runs {
         let wall = if run.wall_stats.samples > 1 {
             format!(

@@ -11,6 +11,8 @@ use powersparse::RunReport;
 use powersparse_congest::sim::{SimConfig, Simulator};
 use powersparse_graphs::{generators, Graph};
 
+pub mod alloc_gauge;
+
 /// A named benchmark instance.
 pub struct Workload {
     /// Display name (family + parameters).

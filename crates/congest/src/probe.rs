@@ -27,12 +27,47 @@
 //! [`PhaseObs`] fires when a typed phase is dropped, carrying the phase
 //! ordinal and the rounds/messages/bits the phase consumed.
 //!
+//! # Span emission points
+//!
+//! Directly after each [`RoundObs`], an engine emits one [`RoundSpans`]
+//! through [`Probe::on_round_spans`] carrying the round's per-shard
+//! stage timings. The emission site is the same as the round
+//! observation's (end of `finish_round` sequentially; the caller thread
+//! after the stage-2 barrier on the parallel backends; zeroed/empty for
+//! charged rounds), and the timestamps themselves are taken where the
+//! work happens:
+//!
+//! * sequential `Simulator` — `step` brackets the node-stepping loop of
+//!   `run_step`, `transfer` brackets the whole of `finish_round`
+//!   (enqueue + transfer + accounting); `barrier` is empty (there is no
+//!   barrier to wait on).
+//! * `ShardedSimulator` — each scoped worker timestamps its own stage-1
+//!   step loop and `flush_shard_sends` tail, and its stage-2
+//!   `route_stage` body, **on its own thread**; the caller measures each
+//!   stage's wall clock around the scatter and attributes
+//!   `barrier = Σ stage walls − the shard's busy time` per shard.
+//! * `PooledSimulator` — identical attribution, with the worker-side
+//!   timestamps written into probe-only per-shard slots through the
+//!   same disjoint views the counters use, merged on the caller at the
+//!   stage-2 barrier exactly where the counters merge.
+//!
+//! **Timing values are backend-shaped and never conformance-gated** —
+//! two runs of the same binary disagree on them. What *is*
+//! engine-invariant (and conformance-tested) is the span **structure**:
+//! one `RoundSpans` per `Metrics::rounds` entry, `step`/`transfer`
+//! vectors of length = shard count, `barrier` present exactly on the
+//! parallel backends, all vectors empty on charged rounds, and the
+//! per-shard [`RoundSpans::arena_cells`] gauge summing to the same
+//! engine-invariant transfer-start footprint everywhere.
+//!
 //! # Cost
 //!
 //! [`NoProbe`] (the default type parameter of every engine) sets
 //! [`Probe::ENABLED`] to `false`; every gathering site is guarded by
 //! that associated constant, so the disabled path compiles down to the
-//! pre-probe engine — no branch, no allocation, no trace storage.
+//! pre-probe engine — no branch, no allocation, no trace storage, no
+//! clock reads ([`now_if`] returns `None` without touching the clock,
+//! and [`probe_vec`] returns a zero-capacity vector).
 
 /// What one round looked like, observed at the round barrier.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -79,6 +114,101 @@ impl RoundObs {
     }
 }
 
+/// Per-round, per-shard stage timings — the span layer of the probe.
+///
+/// Every vector is indexed by shard (the sequential engine is its own
+/// single shard) and lengths are part of the engine-invariant span
+/// *structure*; the nanosecond values are backend-shaped wall-clock
+/// measurements and never conformance-gated (see the module docs'
+/// "Span emission points").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundSpans {
+    /// Round index (matches the paired [`RoundObs::round`]).
+    pub round: u64,
+    /// Nanoseconds each shard spent stepping its nodes this round
+    /// (empty for charged rounds).
+    pub step_ns: Vec<u64>,
+    /// Nanoseconds each shard spent enqueueing + transferring its owned
+    /// edges (stage 1, as sender) plus routing/splicing deliveries
+    /// (stage 2, as receiver). Empty for charged rounds.
+    pub transfer_ns: Vec<u64>,
+    /// Nanoseconds each shard's worker spent idle at the round's stage
+    /// barriers (stage wall clock minus the shard's busy time, summed
+    /// over both stages). **Empty on the sequential engine** — there is
+    /// no barrier — and for charged rounds.
+    pub barrier_ns: Vec<u64>,
+    /// Queued arena cells per shard at transfer start — the per-shard
+    /// share of the round's arena footprint. Backend-shaped lengths,
+    /// but the *sum* is engine-invariant (it is the value the
+    /// `arena_cells_peak` gauge maxes over). Empty for charged rounds.
+    pub arena_cells: Vec<u64>,
+}
+
+impl RoundSpans {
+    /// A charged (analytically accounted) round: index only, every
+    /// per-shard vector empty — mirroring [`RoundObs::charged`].
+    pub fn charged(round: u64) -> Self {
+        Self {
+            round,
+            ..Self::default()
+        }
+    }
+
+    /// The engine-invariant span structure: `(step shards, transfer
+    /// shards, barrier shards)` — the vector lengths, with the timing
+    /// values stripped. Identical across runs; equal between the
+    /// sharded and pooled backends at the same shard count.
+    pub fn structure(&self) -> (usize, usize, usize) {
+        (
+            self.step_ns.len(),
+            self.transfer_ns.len(),
+            self.barrier_ns.len(),
+        )
+    }
+
+    /// Shard count this round was executed at (0 for charged rounds).
+    pub fn shards(&self) -> usize {
+        self.step_ns.len()
+    }
+
+    /// The shard's total busy time this round (step + transfer), in
+    /// nanoseconds.
+    pub fn busy_ns(&self, shard: usize) -> u64 {
+        self.step_ns[shard] + self.transfer_ns[shard]
+    }
+}
+
+/// Reads the monotonic clock only when `enabled` — the span layer's
+/// single time source. Call with [`Probe::ENABLED`] so the disabled
+/// path contains no clock read at all.
+#[inline(always)]
+pub fn now_if(enabled: bool) -> Option<std::time::Instant> {
+    enabled.then(std::time::Instant::now)
+}
+
+/// Nanoseconds between two [`now_if`] reads; 0 when either side was
+/// disabled.
+#[inline(always)]
+pub fn ns_between(start: Option<std::time::Instant>, end: Option<std::time::Instant>) -> u64 {
+    match (start, end) {
+        (Some(a), Some(b)) => b.saturating_duration_since(a).as_nanos() as u64,
+        _ => 0,
+    }
+}
+
+/// Probe-only per-shard scratch: a `len`-element zeroed vector when `P`
+/// gathers observations, a **zero-capacity** vector otherwise. Every
+/// engine allocates its span/observation scratch through this, which is
+/// what makes "`NoProbe` engines allocate zero span storage" a
+/// type-level guarantee (tested in the conformance suite).
+pub fn probe_vec<T: Default + Clone, P: Probe>(len: usize) -> Vec<T> {
+    if P::ENABLED {
+        vec![T::default(); len]
+    } else {
+        Vec::new()
+    }
+}
+
 /// What one closed phase consumed, observed when the phase drops.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseObs {
@@ -107,6 +237,15 @@ pub trait Probe {
     /// Called once per round, in round order, after delivery completed.
     fn on_round_end(&mut self, obs: RoundObs);
 
+    /// Called once per round, directly after [`Probe::on_round_end`],
+    /// with the round's per-shard stage timings (see the module docs'
+    /// "Span emission points"). The default implementation drops the
+    /// spans, so trace probes that only care about counters (like
+    /// [`TraceProbe`]) stay comparable across backends.
+    fn on_round_spans(&mut self, spans: RoundSpans) {
+        let _ = spans;
+    }
+
     /// Called once per phase, when the phase is dropped.
     fn on_phase_end(&mut self, obs: PhaseObs);
 }
@@ -120,6 +259,9 @@ impl Probe for NoProbe {
 
     #[inline(always)]
     fn on_round_end(&mut self, _obs: RoundObs) {}
+
+    #[inline(always)]
+    fn on_round_spans(&mut self, _spans: RoundSpans) {}
 
     #[inline(always)]
     fn on_phase_end(&mut self, _obs: PhaseObs) {}
@@ -151,6 +293,47 @@ impl TraceProbe {
 impl Probe for TraceProbe {
     fn on_round_end(&mut self, obs: RoundObs) {
         self.rounds.push(obs);
+    }
+
+    fn on_phase_end(&mut self, obs: PhaseObs) {
+        self.phases.push(obs);
+    }
+}
+
+/// A probe that records the full trace *and* the per-round stage spans
+/// — the profiler's collector. Kept separate from [`TraceProbe`] so the
+/// conformance suite can keep comparing whole `TraceProbe`s across
+/// backends (span timings are backend-shaped and would never match).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanProbe {
+    /// One entry per round, in round order.
+    pub rounds: Vec<RoundObs>,
+    /// One entry per round, in round order (paired with
+    /// [`SpanProbe::rounds`] by index).
+    pub spans: Vec<RoundSpans>,
+    /// One entry per closed phase, in open order.
+    pub phases: Vec<PhaseObs>,
+}
+
+impl SpanProbe {
+    /// An empty span collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The engine-invariant per-round cores (see [`RoundObs::core`]).
+    pub fn cores(&self) -> Vec<(u64, u64, u64, u64, u64)> {
+        self.rounds.iter().map(RoundObs::core).collect()
+    }
+}
+
+impl Probe for SpanProbe {
+    fn on_round_end(&mut self, obs: RoundObs) {
+        self.rounds.push(obs);
+    }
+
+    fn on_round_spans(&mut self, spans: RoundSpans) {
+        self.spans.push(spans);
     }
 
     fn on_phase_end(&mut self, obs: PhaseObs) {
@@ -192,5 +375,59 @@ mod tests {
         assert_eq!(p.cores(), vec![(0, 3, 2, 4, 32), (1, 0, 0, 0, 0)]);
         assert_eq!(p.rounds[1].shard_splice, Vec::<u64>::new());
         assert_eq!(p.phases.len(), 1);
+    }
+
+    #[test]
+    fn trace_probe_drops_spans() {
+        // The default on_round_spans keeps TraceProbe span-free, so
+        // whole-struct comparisons across backends stay meaningful.
+        let mut p = TraceProbe::new();
+        p.on_round_spans(RoundSpans {
+            round: 0,
+            step_ns: vec![10],
+            transfer_ns: vec![20],
+            barrier_ns: Vec::new(),
+            arena_cells: vec![1],
+        });
+        assert_eq!(p, TraceProbe::new());
+    }
+
+    #[test]
+    fn span_probe_collects_spans_in_order() {
+        const { assert!(SpanProbe::ENABLED) };
+        let mut p = SpanProbe::new();
+        p.on_round_end(RoundObs::charged(0));
+        p.on_round_spans(RoundSpans {
+            round: 0,
+            step_ns: vec![5, 7],
+            transfer_ns: vec![3, 2],
+            barrier_ns: vec![1, 4],
+            arena_cells: vec![0, 6],
+        });
+        p.on_round_spans(RoundSpans::charged(1));
+        assert_eq!(p.spans.len(), 2);
+        assert_eq!(p.spans[0].structure(), (2, 2, 2));
+        assert_eq!(p.spans[0].shards(), 2);
+        assert_eq!(p.spans[0].busy_ns(0), 8);
+        assert_eq!(p.spans[1].structure(), (0, 0, 0));
+        assert_eq!(p.spans[1].round, 1);
+    }
+
+    #[test]
+    fn disabled_helpers_touch_nothing() {
+        assert_eq!(now_if(false), None);
+        assert_eq!(ns_between(None, None), 0);
+        assert_eq!(ns_between(now_if(true), None), 0);
+        let a = now_if(true);
+        let b = now_if(true);
+        // Monotonic clock: never negative (saturating either way).
+        let _ = ns_between(a, b);
+        assert_eq!(ns_between(b, a), 0, "saturates instead of underflowing");
+        // Zero span storage for NoProbe, real storage for SpanProbe —
+        // the type-level allocation guarantee.
+        let off: Vec<u64> = probe_vec::<u64, NoProbe>(64);
+        assert_eq!(off.capacity(), 0);
+        let on: Vec<u64> = probe_vec::<u64, SpanProbe>(64);
+        assert_eq!(on.len(), 64);
     }
 }

@@ -5,7 +5,7 @@ pub use crate::engine::{Metrics, MetricsConfig, Outbox};
 
 use crate::engine::{Delivery, Message, RoundEngine, RoundPhase, SendRecord};
 use crate::msgcore::MsgCore;
-use crate::probe::{NoProbe, PhaseObs, Probe, RoundObs};
+use crate::probe::{now_if, ns_between, NoProbe, PhaseObs, Probe, RoundObs, RoundSpans};
 use powersparse_graphs::{Graph, NodeId};
 
 /// Configuration of a round engine (shared by all backends). No
@@ -124,8 +124,9 @@ impl<'g, P: Probe> Simulator<'g, P> {
     pub fn charge_rounds(&mut self, r: u64) {
         if P::ENABLED {
             for i in 0..r {
-                self.probe
-                    .on_round_end(RoundObs::charged(self.metrics.rounds + i));
+                let round = self.metrics.rounds + i;
+                self.probe.on_round_end(RoundObs::charged(round));
+                self.probe.on_round_spans(RoundSpans::charged(round));
             }
         }
         self.metrics.rounds += r;
@@ -279,12 +280,14 @@ impl<M: Clone, P: Probe> Phase<'_, '_, M, P> {
         // Every inbox is consumed below, so the dirty worklist resets.
         self.dirty.clear();
         let mut sends = std::mem::take(&mut self.sends);
+        let step_start = now_if(P::ENABLED);
         for i in 0..n {
             let inbox = std::mem::take(&mut self.inboxes[i]);
             let mut out = Outbox::new(self.sim.graph, NodeId::from(i), &mut sends);
             g(i, &inbox, &mut out);
         }
-        self.finish_round(&mut sends);
+        let step_ns = ns_between(step_start, now_if(P::ENABLED));
+        self.finish_round(&mut sends, step_ns);
         self.sends = sends;
     }
 
@@ -352,8 +355,11 @@ impl<M: Clone, P: Probe> Phase<'_, '_, M, P> {
 
     /// Queues this round's sends, runs the transfer step and closes the
     /// round's accounting. Only active edges are touched end to end.
-    fn finish_round(&mut self, sends: &mut Vec<SendRecord<M>>) {
+    /// `step_ns` is the caller-measured node-stepping time, forwarded
+    /// into the round's [`RoundSpans`] (0 when un-probed).
+    fn finish_round(&mut self, sends: &mut Vec<SendRecord<M>>, step_ns: u64) {
         let per_edge = self.sim.metrics.per_edge;
+        let transfer_start = now_if(P::ENABLED);
         let (msgs_before, bits_before) = (self.sim.metrics.messages, self.sim.metrics.bits);
         for SendRecord {
             edge,
@@ -397,6 +403,7 @@ impl<M: Clone, P: Probe> Phase<'_, '_, M, P> {
             .max(queued * self.core.cell_size() as u64);
         metrics.rounds += 1;
         if P::ENABLED {
+            let transfer_ns = ns_between(transfer_start, now_if(true));
             let (messages, bits, round) = (
                 self.sim.metrics.messages - msgs_before,
                 self.sim.metrics.bits - bits_before,
@@ -411,6 +418,15 @@ impl<M: Clone, P: Probe> Phase<'_, '_, M, P> {
                 shard_splice: vec![messages],
             };
             self.sim.probe.on_round_end(obs);
+            // The sequential engine is its own single shard; no barrier
+            // to wait on, so the barrier vector stays empty.
+            self.sim.probe.on_round_spans(RoundSpans {
+                round,
+                step_ns: vec![step_ns],
+                transfer_ns: vec![transfer_ns],
+                barrier_ns: Vec::new(),
+                arena_cells: vec![queued],
+            });
         }
     }
 }
@@ -756,6 +772,36 @@ mod tests {
         assert_eq!(cores[2], (2, 1, 0, 0, 0));
         assert_eq!(cores[3], (3, 0, 1, 1, 0));
         assert_eq!(trace.rounds.len() as u64, rounds);
+    }
+
+    #[test]
+    fn spans_cover_every_round_with_single_shard_structure() {
+        use crate::probe::SpanProbe;
+        let g = generators::path(3);
+        let mut sim = Simulator::with_probe(&g, SimConfig::with_bandwidth(8), SpanProbe::new());
+        let mut phase = sim.phase::<u32>();
+        phase.round(|v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 9, 8);
+            }
+        });
+        phase.round(|_, _, _| {});
+        drop(phase);
+        sim.charge_rounds(2);
+        let probe = sim.into_probe();
+        assert_eq!(probe.spans.len(), 4, "one RoundSpans per Metrics::rounds");
+        for (i, s) in probe.spans.iter().enumerate() {
+            assert_eq!(s.round, i as u64);
+        }
+        // Executed rounds: single-shard structure, no barrier spans.
+        assert_eq!(probe.spans[0].structure(), (1, 1, 0));
+        assert_eq!(probe.spans[1].structure(), (1, 1, 0));
+        assert_eq!(probe.spans[0].arena_cells, vec![1]);
+        // Charged rounds: empty everywhere, like shard_splice.
+        assert_eq!(probe.spans[2].structure(), (0, 0, 0));
+        assert_eq!(probe.spans[3].structure(), (0, 0, 0));
+        // The span-carrying probe still sees the identical counter trace.
+        assert_eq!(probe.cores()[0], (0, 0, 1, 1, 8));
     }
 
     #[test]

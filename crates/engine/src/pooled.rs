@@ -28,13 +28,15 @@
 
 use crate::pool::{DisjointChunks, DisjointSlice, WorkerPool};
 use crate::routing::{
-    capped_default_shards, deliveries_pending, flush_shard_sends, Routed, ShardLayout,
+    capped_default_shards, deliveries_pending, flush_shard_sends, Routed, ShardLayout, StageOut,
 };
 use powersparse_congest::engine::{
     Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
 };
 use powersparse_congest::msgcore::MsgCore;
-use powersparse_congest::probe::{NoProbe, PhaseObs, Probe, RoundObs};
+use powersparse_congest::probe::{
+    now_if, ns_between, NoProbe, PhaseObs, Probe, RoundObs, RoundSpans,
+};
 use powersparse_congest::sim::SimConfig;
 use powersparse_graphs::{Graph, NodeId};
 use std::ops::Range;
@@ -134,8 +136,9 @@ impl<'g, P: Probe> RoundEngine for PooledSimulator<'g, P> {
     fn charge_rounds(&mut self, r: u64) {
         if P::ENABLED {
             for i in 0..r {
-                self.probe
-                    .on_round_end(RoundObs::charged(self.metrics.rounds + i));
+                let round = self.metrics.rounds + i;
+                self.probe.on_round_end(RoundObs::charged(round));
+                self.probe.on_round_spans(RoundSpans::charged(round));
             }
         }
         self.metrics.rounds += r;
@@ -170,9 +173,14 @@ impl<'g, P: Probe> RoundEngine for PooledSimulator<'g, P> {
             scratch: (0..shards).map(|_| DistScratch::default()).collect(),
             send_bufs: (0..shards).map(|_| Vec::new()).collect(),
             cells: (0..shards * shards).map(|_| Vec::new()).collect(),
-            stage_out: vec![(0, 0, 0, 0); shards],
+            stage_out: vec![StageOut::default(); shards],
             row_ranges: (0..shards).map(|w| w * shards..(w + 1) * shards).collect(),
             pre_len: vec![0; shards],
+            splice_ns: if P::ENABLED {
+                vec![0; shards]
+            } else {
+                Vec::new()
+            },
             dirty_stamp: if P::ENABLED {
                 vec![0; self.graph.n()]
             } else {
@@ -251,9 +259,11 @@ impl<M> DistScratch<M> {
 /// Stage 1 body for one shard: distribute the shard's arrival run into
 /// per-node inbox slices, step the owned nodes, then enqueue + transfer
 /// the owned edges (the [`flush_shard_sends`] tail shared with the
-/// sharded engine). Returns the shard's bit/message totals, its peak
-/// single-edge queue depth, and its transfer-start queued-message count
-/// (arena footprint share).
+/// sharded engine). Returns the shard's counters and — when `timed`
+/// (call sites pass `P::ENABLED`, so the clock reads const-fold away
+/// un-probed) — its span nanoseconds, timestamped on the worker's own
+/// thread. The distribution pass is deferred receiver-side grouping, so
+/// its time is attributed to the transfer/splice span, not the step.
 #[allow(clippy::too_many_arguments)]
 fn stage1_body<S, M, F>(
     graph: &Graph,
@@ -270,7 +280,8 @@ fn stage1_body<S, M, F>(
     sends: &mut Vec<SendRecord<M>>,
     row: &mut [Vec<Routed<M>>],
     f: &F,
-) -> (u64, u64, u64, u64)
+    timed: bool,
+) -> StageOut
 where
     S: Send,
     M: Message,
@@ -281,13 +292,16 @@ where
         row.iter().all(Vec::is_empty),
         "cell scratch not drained last round"
     );
+    let t0 = now_if(timed);
     scratch.distribute(arrivals, nodes.start, nodes.len());
+    let t1 = now_if(timed);
     for (local, i) in nodes.enumerate() {
         let v = NodeId::from(i);
         let mut out = Outbox::new(graph, v, sends);
         f(&mut state[local], v, scratch.inbox(local), &mut out);
     }
-    flush_shard_sends(
+    let t2 = now_if(timed);
+    let (bits, msgs, peak, queued) = flush_shard_sends(
         graph,
         shard_of,
         bw,
@@ -297,7 +311,15 @@ where
         edge_messages,
         sends,
         row,
-    )
+    );
+    StageOut {
+        bits,
+        msgs,
+        peak,
+        queued,
+        step_ns: ns_between(t1, t2),
+        transfer_ns: ns_between(t0, t1) + ns_between(t2, now_if(timed)),
+    }
 }
 
 /// One typed communication phase on the pooled engine.
@@ -324,13 +346,19 @@ pub struct PooledPhase<'s, 'g, M, P: Probe = NoProbe> {
     /// engine's: sender shard `w` × receiver shard `r` is
     /// `cells[w * shards + r]`.
     cells: Vec<Vec<Routed<M>>>,
-    /// Per-shard `(bits, messages, peak, queued)` result slots of stage 1.
-    stage_out: Vec<(u64, u64, u64, u64)>,
+    /// Per-shard stage-1 result slots (counters plus worker-side span
+    /// timestamps — see [`StageOut`]), written by workers through a
+    /// disjoint view and merged on the caller behind the barrier.
+    stage_out: Vec<StageOut>,
     /// Cell-row range of each sender shard: `w * shards..(w+1) * shards`.
     row_ranges: Vec<Range<usize>>,
     /// Per-receiver-shard arrival-run length captured before stage 2,
     /// so the probe can scan exactly this round's appended suffix.
     pre_len: Vec<usize>,
+    /// Per-receiver-shard stage-2 splice time, timestamped by the
+    /// workers themselves through a disjoint view. Allocated only when
+    /// a probe is attached (empty under [`NoProbe`]).
+    splice_ns: Vec<u64>,
     /// Per-node last-dirty round stamp (for counting *distinct*
     /// delivery receivers without clearing a set every round).
     /// Allocated only when a probe is attached.
@@ -381,6 +409,7 @@ impl<M: Message, P: Probe> PooledPhase<'_, '_, M, P> {
         // --- Stage 1: distribute + step + enqueue + transfer. Every
         // phase-lived buffer is handed to its owning worker through a
         // disjoint view — no per-round work-item collection. ---
+        let stage1_start = now_if(P::ENABLED);
         {
             let state_c = DisjointChunks::new(state, &layout.node_ranges);
             let cores_s = DisjointSlice::new(&mut self.cores);
@@ -410,14 +439,23 @@ impl<M: Message, P: Probe> PooledPhase<'_, '_, M, P> {
                         sends_s.get(w),
                         rows_c.chunk(w),
                         f,
+                        P::ENABLED,
                     );
                 }
             });
         }
+        let stage1_wall = ns_between(stage1_start, now_if(P::ENABLED));
         let mut bits_total = 0u64;
         let mut msgs_total = 0u64;
         let mut queued_total = 0u64;
-        for &(bits, msgs, peak, queued) in &self.stage_out {
+        for &StageOut {
+            bits,
+            msgs,
+            peak,
+            queued,
+            ..
+        } in &self.stage_out
+        {
             bits_total += bits;
             msgs_total += msgs;
             queued_total += queued;
@@ -439,11 +477,17 @@ impl<M: Message, P: Probe> PooledPhase<'_, '_, M, P> {
             for (len, run) in self.pre_len.iter_mut().zip(&self.arrivals) {
                 *len = run.len();
             }
+            // Reset the per-receiver splice clocks: quiet rounds skip
+            // the scatter and must report zero, not last round's value.
+            self.splice_ns.fill(0);
         }
+        let stage2_start = now_if(P::ENABLED);
         if self.cells.iter().any(|c| !c.is_empty()) {
             let cells_s = DisjointSlice::new(&mut self.cells);
             let arrivals_s = DisjointSlice::new(&mut self.arrivals);
+            let splice_s = DisjointSlice::new(&mut self.splice_ns);
             pool.scatter(&|r| {
+                let t0 = now_if(P::ENABLED);
                 // SAFETY: receiver `r` appends only to its own arrival
                 // run and drains only its own strided cell column
                 // `{w · shards + r}` — disjoint across receivers; cells
@@ -453,8 +497,14 @@ impl<M: Message, P: Probe> PooledPhase<'_, '_, M, P> {
                     // Ascending `w` keeps the run in sender-shard order.
                     run.append(unsafe { cells_s.get(w * shards + r) });
                 }
+                if P::ENABLED {
+                    // SAFETY: receiver `r` writes only its own slot (the
+                    // vector has one per shard whenever `P::ENABLED`).
+                    unsafe { *splice_s.get(r) = ns_between(t0, now_if(true)) };
+                }
             });
         }
+        let stage2_wall = ns_between(stage2_start, now_if(P::ENABLED));
         sim.metrics.rounds += 1;
         if P::ENABLED {
             // Count distinct receivers in the suffixes stage 2 appended,
@@ -479,9 +529,37 @@ impl<M: Message, P: Probe> PooledPhase<'_, '_, M, P> {
                 dirty_nodes,
                 messages: msgs_total,
                 bits: bits_total,
-                shard_splice: self.stage_out.iter().map(|s| s.1).collect(),
+                shard_splice: self.stage_out.iter().map(|s| s.msgs).collect(),
             };
             sim.probe.on_round_end(obs);
+            // Barrier attribution: a shard's wait is each stage's wall
+            // (measured on the caller) minus the shard's own busy time
+            // in that stage, saturating — cross-thread clock reads can
+            // make a worker's busy span exceed the caller's wall by a
+            // few nanoseconds.
+            let mut step_ns = Vec::with_capacity(shards);
+            let mut transfer_ns = Vec::with_capacity(shards);
+            let mut barrier_ns = Vec::with_capacity(shards);
+            let mut arena_cells = Vec::with_capacity(shards);
+            for (w, out) in self.stage_out.iter().enumerate() {
+                let wait1 = stage1_wall.saturating_sub(out.step_ns + out.transfer_ns);
+                let wait2 = stage2_wall.saturating_sub(self.splice_ns[w]);
+                step_ns.push(out.step_ns);
+                // A shard's transfer span covers its sender-side flush
+                // tail, its receiver-side stage-2 splice, and next
+                // round's deferred distribution (already inside
+                // `out.transfer_ns`).
+                transfer_ns.push(out.transfer_ns + self.splice_ns[w]);
+                barrier_ns.push(wait1 + wait2);
+                arena_cells.push(out.queued);
+            }
+            sim.probe.on_round_spans(RoundSpans {
+                round: sim.metrics.rounds - 1,
+                step_ns,
+                transfer_ns,
+                barrier_ns,
+                arena_cells,
+            });
         }
     }
 }

@@ -113,6 +113,32 @@ impl ShardLayout {
 /// A delivery routed between shards: `(receiver, sender, payload)`.
 pub type Routed<M> = (NodeId, NodeId, M);
 
+/// One shard's stage-1 result, shared by both parallel backends:
+/// the counters returned by [`flush_shard_sends`] plus the shard's
+/// worker-side span timestamps (zero when the engine runs un-probed —
+/// see `powersparse_congest::probe`'s "Span emission points"). The
+/// pooled engine writes these into per-shard slots through its disjoint
+/// views and merges them on the caller at the stage-2 barrier, exactly
+/// where the counters merge; the sharded engine returns them through
+/// the scoped joins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageOut {
+    /// Bits the shard enqueued this round.
+    pub bits: u64,
+    /// Messages the shard's transfer delivered this round.
+    pub msgs: u64,
+    /// Peak single-edge queue depth observed on the shard's core.
+    pub peak: u64,
+    /// Messages queued on the shard's core at transfer start (arena
+    /// footprint share; sums to the sequential engine's global value).
+    pub queued: u64,
+    /// Nanoseconds the shard spent stepping its nodes (probe only).
+    pub step_ns: u64,
+    /// Nanoseconds the shard spent in the enqueue + transfer tail
+    /// (probe only).
+    pub transfer_ns: u64,
+}
+
 /// The `settle` fast-path pre-check shared by both engines: whether any
 /// delivery buffer still holds an unread message. On quiet rounds
 /// (fragmented messages still crossing, nothing delivered yet) every

@@ -22,13 +22,15 @@ pub use crate::routing::default_shards;
 
 use crate::routing::{
     capped_default_shards, flush_shard_sends, route_stage, split_by_ranges, split_counters, Routed,
-    ShardLayout,
+    ShardLayout, StageOut,
 };
 use powersparse_congest::engine::{
     Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
 };
 use powersparse_congest::msgcore::MsgCore;
-use powersparse_congest::probe::{NoProbe, PhaseObs, Probe, RoundObs};
+use powersparse_congest::probe::{
+    now_if, ns_between, NoProbe, PhaseObs, Probe, RoundObs, RoundSpans,
+};
 use powersparse_congest::sim::SimConfig;
 use powersparse_graphs::{Graph, NodeId};
 use std::ops::Range;
@@ -122,8 +124,9 @@ impl<'g, P: Probe> RoundEngine for ShardedSimulator<'g, P> {
     fn charge_rounds(&mut self, r: u64) {
         if P::ENABLED {
             for i in 0..r {
-                self.probe
-                    .on_round_end(RoundObs::charged(self.metrics.rounds + i));
+                let round = self.metrics.rounds + i;
+                self.probe.on_round_end(RoundObs::charged(round));
+                self.probe.on_round_spans(RoundSpans::charged(round));
             }
         }
         self.metrics.rounds += r;
@@ -241,8 +244,13 @@ impl<M: Message, P: Probe> ShardedPhase<'_, '_, M, P> {
         let mut queued_total = 0u64;
         // Per-sender-shard delivered counts, in shard order — the
         // round observation's splice volumes (gathered only when a
-        // probe is attached).
+        // probe is attached), plus the shard-indexed span timings and
+        // arena-cell gauges riding the same joins.
         let mut splice: Vec<u64> = Vec::new();
+        let mut step_ns: Vec<u64> = Vec::new();
+        let mut transfer_ns: Vec<u64> = Vec::new();
+        let mut arena_cells: Vec<u64> = Vec::new();
+        let stage1_start = now_if(P::ENABLED);
         {
             let state_chunks = split_by_ranges(state, node_ranges);
             let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
@@ -258,9 +266,21 @@ impl<M: Message, P: Probe> ShardedPhase<'_, '_, M, P> {
                 .zip(self.cells.chunks_mut(shards))
                 .enumerate();
 
+            let mut merge = |out: StageOut| {
+                bits_total += out.bits;
+                msgs_total += out.msgs;
+                peak = peak.max(out.peak);
+                queued_total += out.queued;
+                if P::ENABLED {
+                    splice.push(out.msgs);
+                    step_ns.push(out.step_ns);
+                    transfer_ns.push(out.transfer_ns);
+                    arena_cells.push(out.queued);
+                }
+            };
             if shards == 1 {
                 for (w, ((((((state_c, inbox_c), core), ebits_c), emsgs_c), sends), row)) in work {
-                    let (bits, msgs, qpeak, queued) = sender_stage(
+                    merge(sender_stage(
                         graph,
                         shard_of,
                         bw,
@@ -274,14 +294,8 @@ impl<M: Message, P: Probe> ShardedPhase<'_, '_, M, P> {
                         sends,
                         row,
                         f,
-                    );
-                    bits_total += bits;
-                    msgs_total += msgs;
-                    peak = peak.max(qpeak);
-                    queued_total += queued;
-                    if P::ENABLED {
-                        splice.push(msgs);
-                    }
+                        P::ENABLED,
+                    ));
                 }
             } else {
                 std::thread::scope(|scope| {
@@ -293,28 +307,33 @@ impl<M: Message, P: Probe> ShardedPhase<'_, '_, M, P> {
                         let er = edge_ranges[w].clone();
                         handles.push(scope.spawn(move || {
                             sender_stage(
-                                graph, shard_of, bw, nr, er, state_c, inbox_c, core, ebits_c,
-                                emsgs_c, sends, row, f,
+                                graph,
+                                shard_of,
+                                bw,
+                                nr,
+                                er,
+                                state_c,
+                                inbox_c,
+                                core,
+                                ebits_c,
+                                emsgs_c,
+                                sends,
+                                row,
+                                f,
+                                P::ENABLED,
                             )
                         }));
                     }
                     for h in handles {
                         match h.join() {
-                            Ok((bits, msgs, qpeak, queued)) => {
-                                bits_total += bits;
-                                msgs_total += msgs;
-                                peak = peak.max(qpeak);
-                                queued_total += queued;
-                                if P::ENABLED {
-                                    splice.push(msgs);
-                                }
-                            }
+                            Ok(out) => merge(out),
                             Err(payload) => std::panic::resume_unwind(payload),
                         }
                     }
                 });
             }
         }
+        let stage1_wall = ns_between(stage1_start, now_if(P::ENABLED));
         sim.metrics.bits += bits_total;
         sim.metrics.messages += msgs_total;
         sim.metrics.peak_queue_depth = sim.metrics.peak_queue_depth.max(peak);
@@ -330,6 +349,14 @@ impl<M: Message, P: Probe> ShardedPhase<'_, '_, M, P> {
         // when nothing was delivered (quiet transfer rounds): no point
         // scattering a thread scope to drain empty cells. ---
         let mut dirty_nodes = 0u64;
+        // Per-receiver-shard stage-2 routing time (probe only); stays
+        // zero on quiet rounds where the stage is skipped.
+        let mut splice_ns: Vec<u64> = if P::ENABLED {
+            vec![0; shards]
+        } else {
+            Vec::new()
+        };
+        let stage2_start = now_if(P::ENABLED);
         if self.cells.iter().any(|c| !c.is_empty()) {
             let mut cols: Vec<Vec<&mut Vec<Routed<M>>>> =
                 (0..shards).map(|_| Vec::with_capacity(shards)).collect();
@@ -341,8 +368,12 @@ impl<M: Message, P: Probe> ShardedPhase<'_, '_, M, P> {
             }
             let inbox_chunks = split_by_ranges(&mut self.inboxes, node_ranges);
             if shards == 1 {
-                for (inbox_c, col) in inbox_chunks.into_iter().zip(cols) {
+                for (r, (inbox_c, col)) in inbox_chunks.into_iter().zip(cols).enumerate() {
+                    let t0 = now_if(P::ENABLED);
                     dirty_nodes += route_stage(inbox_c, col, 0);
+                    if P::ENABLED {
+                        splice_ns[r] = ns_between(t0, now_if(true));
+                    }
                 }
             } else {
                 std::thread::scope(|scope| {
@@ -350,17 +381,27 @@ impl<M: Message, P: Probe> ShardedPhase<'_, '_, M, P> {
                     for ((inbox_c, col), nr) in inbox_chunks.into_iter().zip(cols).zip(node_ranges)
                     {
                         let lo = nr.start;
-                        handles.push(scope.spawn(move || route_stage(inbox_c, col, lo)));
+                        handles.push(scope.spawn(move || {
+                            let t0 = now_if(P::ENABLED);
+                            let dirty = route_stage(inbox_c, col, lo);
+                            (dirty, ns_between(t0, now_if(P::ENABLED)))
+                        }));
                     }
-                    for h in handles {
+                    for (r, h) in handles.into_iter().enumerate() {
                         match h.join() {
-                            Ok(dirty) => dirty_nodes += dirty,
+                            Ok((dirty, ns)) => {
+                                dirty_nodes += dirty;
+                                if P::ENABLED {
+                                    splice_ns[r] = ns;
+                                }
+                            }
                             Err(payload) => std::panic::resume_unwind(payload),
                         }
                     }
                 });
             }
         }
+        let stage2_wall = ns_between(stage2_start, now_if(P::ENABLED));
         sim.metrics.rounds += 1;
         if P::ENABLED {
             let active_edges: u64 = self.cores.iter().map(|c| c.active_edges() as u64).sum();
@@ -373,6 +414,27 @@ impl<M: Message, P: Probe> ShardedPhase<'_, '_, M, P> {
                 shard_splice: std::mem::take(&mut splice),
             };
             sim.probe.on_round_end(obs);
+            // Barrier attribution: a shard's wait is each stage's wall
+            // (measured on the caller) minus the shard's own busy time
+            // in that stage, saturating — cross-thread clock reads can
+            // make a worker's busy span exceed the caller's wall by a
+            // few nanoseconds.
+            let mut barrier_ns = Vec::with_capacity(shards);
+            for w in 0..shards {
+                let wait1 = stage1_wall.saturating_sub(step_ns[w] + transfer_ns[w]);
+                let wait2 = stage2_wall.saturating_sub(splice_ns[w]);
+                barrier_ns.push(wait1 + wait2);
+                // A shard's transfer span covers its sender-side flush
+                // tail *and* its receiver-side stage-2 routing.
+                transfer_ns[w] += splice_ns[w];
+            }
+            sim.probe.on_round_spans(RoundSpans {
+                round: sim.metrics.rounds - 1,
+                step_ns,
+                transfer_ns,
+                barrier_ns,
+                arena_cells,
+            });
         }
     }
 }
@@ -380,8 +442,10 @@ impl<M: Message, P: Probe> ShardedPhase<'_, '_, M, P> {
 /// Stage 1 body for one shard: step the owned nodes against their
 /// mailboxes, then enqueue + transfer the owned edges (the
 /// [`flush_shard_sends`] tail shared with the pooled engine). Returns
-/// the shard's bit/message totals, its peak single-edge queue depth,
-/// and its transfer-start queued-message count (arena footprint share).
+/// the shard's counters and — when `timed` (call sites pass
+/// `P::ENABLED`, so the clock reads const-fold away un-probed) — its
+/// step/transfer span nanoseconds, timestamped on the worker's own
+/// thread.
 #[allow(clippy::too_many_arguments)]
 fn sender_stage<S, M, F>(
     graph: &Graph,
@@ -397,7 +461,8 @@ fn sender_stage<S, M, F>(
     sends: &mut Vec<SendRecord<M>>,
     row: &mut [Vec<Routed<M>>],
     f: &F,
-) -> (u64, u64, u64, u64)
+    timed: bool,
+) -> StageOut
 where
     S: Send,
     M: Message,
@@ -409,13 +474,15 @@ where
         "cell scratch not drained last round"
     );
     // Step the shard's nodes, collecting sends into the shard buffer.
+    let t0 = now_if(timed);
     for (local, i) in nodes.enumerate() {
         let v = NodeId::from(i);
         let inbox = std::mem::take(&mut inboxes[local]);
         let mut out = Outbox::new(graph, v, sends);
         f(&mut state[local], v, &inbox, &mut out);
     }
-    flush_shard_sends(
+    let t1 = now_if(timed);
+    let (bits, msgs, peak, queued) = flush_shard_sends(
         graph,
         shard_of,
         bw,
@@ -425,7 +492,15 @@ where
         edge_messages,
         sends,
         row,
-    )
+    );
+    StageOut {
+        bits,
+        msgs,
+        peak,
+        queued,
+        step_ns: ns_between(t0, t1),
+        transfer_ns: ns_between(t1, now_if(timed)),
+    }
 }
 
 impl<M: Message, P: Probe> RoundPhase<M> for ShardedPhase<'_, '_, M, P> {

@@ -17,9 +17,13 @@
 //!   programs panic identically on all three engines.
 //! * [`probe`] — round-level probe traces: identical engine-invariant
 //!   observations (and trace length = `rounds`) on every backend.
+//! * [`spans`] — span-structure invariance: per-round per-shard stage
+//!   spans have engine-invariant structure (timings stay backend-shaped
+//!   and are never compared).
 
 pub mod harness;
 mod matrix;
 mod negative;
 mod probe;
 mod random;
+mod spans;

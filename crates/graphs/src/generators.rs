@@ -539,6 +539,49 @@ pub fn clustered_ring(clusters: usize, cluster_size: usize) -> Graph {
     b.build()
 }
 
+/// Planted-community graph (a stochastic block model with equal-size
+/// blocks): `n` nodes split round-robin-free into `communities`
+/// contiguous blocks (the first `n % communities` blocks get one extra
+/// node), an edge inside a block with probability `p_in` and across
+/// blocks with probability `p_out`, all draws from one seeded RNG.
+///
+/// With `p_in ≫ p_out` this is the classic community-detection regime:
+/// dense pockets joined by a sparse cut — the shape under which
+/// shattering leaves whole blocks active while the cut goes quiet, which
+/// is exactly the imbalance the stage profiler is built to expose.
+///
+/// # Panics
+///
+/// Panics if `communities == 0` or either probability is outside
+/// `[0, 1]`.
+pub fn planted(n: usize, communities: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
+    assert!(communities > 0, "planted needs at least one community");
+    assert!((0.0..=1.0).contains(&p_in), "p_in must be a probability");
+    assert!((0.0..=1.0).contains(&p_out), "p_out must be a probability");
+    // Contiguous block id per node: block sizes differ by at most one.
+    let base = n / communities;
+    let extra = n % communities;
+    let block = |u: usize| {
+        let fat = extra * (base + 1);
+        if u < fat {
+            u / (base + 1)
+        } else {
+            extra + (u - fat) / base.max(1)
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block(u) == block(v) { p_in } else { p_out };
+            if p > 0.0 && rng.gen_bool(p) {
+                b.add_edge(NodeId::from(u), NodeId::from(v));
+            }
+        }
+    }
+    b.build()
+}
+
 /// The example graph of **Figure 1** of the paper, parameterized by `hatd`
 /// (the sparsity bound `Δ̂ = max_u d_{s-1}(u, Q)`). Requires `s ≥ 3`.
 ///
@@ -704,6 +747,65 @@ mod tests {
         assert_eq!(g.n(), 12);
         // Each clique has 3 edges; 4 bridges.
         assert_eq!(g.m(), 4 * 3 + 4);
+    }
+
+    #[test]
+    fn planted_is_deterministic_per_seed() {
+        let a = planted(120, 4, 0.3, 0.01, 9);
+        let b = planted(120, 4, 0.3, 0.01, 9);
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+        assert!(a.edges().eq(b.edges()), "same seed must replay bit-for-bit");
+        let c = planted(120, 4, 0.3, 0.01, 10);
+        assert!(
+            a.m() != c.m() || !a.edges().eq(c.edges()),
+            "a different seed should draw a different graph"
+        );
+    }
+
+    #[test]
+    fn planted_separates_intra_and_inter_edge_rates() {
+        // 4 blocks of 50: 4 * C(50,2) = 4900 intra pairs, C(200,2) - 4900
+        // = 15000 inter pairs.
+        let (n, communities, p_in, p_out) = (200, 4, 0.4, 0.02);
+        let g = planted(n, communities, p_in, p_out, 7);
+        let block = |u: usize| u / (n / communities);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if block(u.index()) == block(v.index()) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        let intra_rate = intra as f64 / 4900.0;
+        let inter_rate = inter as f64 / 15000.0;
+        // Loose 3-sigma-ish bands: the point is the separation, not the
+        // exact binomial tail.
+        assert!(
+            (0.3..0.5).contains(&intra_rate),
+            "intra rate {intra_rate} should sit near p_in = {p_in}"
+        );
+        assert!(
+            (0.005..0.04).contains(&inter_rate),
+            "inter rate {inter_rate} should sit near p_out = {p_out}"
+        );
+        assert!(
+            intra_rate > 10.0 * inter_rate,
+            "communities must be planted"
+        );
+    }
+
+    #[test]
+    fn planted_handles_uneven_blocks_and_zero_cut() {
+        // 10 nodes over 3 communities: blocks of 4/3/3, no cut edges at
+        // all when p_out = 0 and full cliques inside when p_in = 1.
+        let g = planted(10, 3, 1.0, 0.0, 1);
+        let sizes = [4usize, 3, 3];
+        let want: usize = sizes.iter().map(|s| s * (s - 1) / 2).sum();
+        assert_eq!(g.m(), want, "three cliques, empty cut");
+        let block = |u: usize| if u < 4 { 0 } else { (u - 4) / 3 + 1 };
+        assert!(g.edges().all(|(u, v)| block(u.index()) == block(v.index())));
     }
 
     #[test]

@@ -62,6 +62,7 @@
 pub mod diff;
 pub mod json;
 pub mod manifest;
+pub mod profile;
 pub mod runner;
 pub mod scenario;
 pub mod trend;
@@ -70,9 +71,13 @@ pub use diff::{
     diff_manifests, diff_manifests_with, DiffOptions, DiffReport, FieldChange, ShapeChange,
 };
 pub use json::{Json, JsonError};
-pub use manifest::{PhaseWall, RunRecord, SuiteManifest, TraceRow, Validation, WallStats};
+pub use manifest::{
+    PhaseWall, ProfileStats, RunRecord, SuiteManifest, TraceRow, Validation, WallStats,
+};
+pub use profile::{breakdown, chrome_trace, profile_stats, ProfileBreakdown, ShardProfile};
 pub use runner::{
-    run_scenario, run_scenario_with, run_suite, run_suite_with, suite_params, Repeat, RunOptions,
+    profile_scenario, run_scenario, run_scenario_with, run_suite, run_suite_with, suite_params,
+    Repeat, RunOptions,
 };
 pub use scenario::{
     builtin_suite, parse_suite, AlgorithmSpec, EngineSpec, GraphFamily, Scenario, SpecError,

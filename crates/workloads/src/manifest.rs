@@ -36,11 +36,33 @@ pub struct WallStats {
     /// Slowest invocation, microseconds.
     pub max_us: f64,
     /// Half-width of the 95% confidence interval of the mean
-    /// (`1.96 * sd / sqrt(samples)`, sample standard deviation); zero
-    /// when `samples < 2`.
+    /// (`t * sd / sqrt(samples)` with the Student-t critical value for
+    /// `samples - 1` degrees of freedom below 30 samples, the normal
+    /// `z = 1.96` from 30 on; sample standard deviation); zero when
+    /// `samples < 2`.
     pub ci95_us: f64,
     /// Number of measured invocations (warmup excluded).
     pub samples: u64,
+}
+
+/// Two-sided 95% Student-t critical values for 1–29 degrees of freedom
+/// (index `df - 1`). Suite repeats are typically 3–5, where the normal
+/// `z = 1.96` badly understates the interval (df = 2 needs 4.303).
+const T95: [f64; 29] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045,
+];
+
+/// The two-sided 95% critical value for `samples` measurements:
+/// Student-t for fewer than 30, the normal `z` beyond.
+fn crit95(samples: usize) -> f64 {
+    debug_assert!(samples >= 2, "no interval from fewer than two samples");
+    if samples < 30 {
+        T95[samples - 2]
+    } else {
+        1.96
+    }
 }
 
 impl WallStats {
@@ -74,7 +96,7 @@ impl WallStats {
             0.0
         } else {
             let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
-            1.96 * var.sqrt() / n.sqrt()
+            crit95(samples.len()) * var.sqrt() / n.sqrt()
         };
         Self {
             mean_us: mean,
@@ -105,6 +127,89 @@ pub struct TraceRow {
     pub messages: u64,
     /// Bits sent this round.
     pub bits: u64,
+}
+
+impl TraceRow {
+    /// The row as a [`Json`] object (the schema `experiments trace
+    /// --out` emits and the manifest `trace` section embeds).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("round".into(), Json::num(self.round)),
+            ("active_edges".into(), Json::num(self.active_edges)),
+            ("dirty_nodes".into(), Json::num(self.dirty_nodes)),
+            ("messages".into(), Json::num(self.messages)),
+            ("bits".into(), Json::num(self.bits)),
+        ])
+    }
+
+    /// Parses one row back from its JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            round: req_u64(doc, "round")?,
+            active_edges: req_u64(doc, "active_edges")?,
+            dirty_nodes: req_u64(doc, "dirty_nodes")?,
+            messages: req_u64(doc, "messages")?,
+            bits: req_u64(doc, "bits")?,
+        })
+    }
+}
+
+/// Aggregated stage-attribution statistics of a profiled run — the
+/// optional `profile` manifest section (absent unless the run was
+/// executed under the span profiler). All times are totals over the
+/// run's rounds, in microseconds, averaged over repeats; like the wall
+/// statistics they are machine-shaped and never regression-gated, but
+/// `barrier_share` is what `experiments trend` plots across PRs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProfileStats {
+    /// Worker/shard count the profiled engine ran at.
+    pub shards: u64,
+    /// Total step time summed over shards and rounds, microseconds.
+    pub step_us: f64,
+    /// Total transfer/splice time summed over shards and rounds.
+    pub transfer_us: f64,
+    /// Total barrier-wait time summed over shards and rounds (zero on
+    /// the sequential engine, which has no barrier).
+    pub barrier_us: f64,
+    /// Shard imbalance: max over shards of total step time, divided by
+    /// the mean (1.0 = perfectly balanced; 0 with no step work).
+    pub imbalance: f64,
+    /// Barrier share of total attributed busy+wait time, in `[0, 1]`.
+    pub barrier_share: f64,
+}
+
+impl ProfileStats {
+    /// The section as a [`Json`] object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("shards".into(), Json::num(self.shards)),
+            ("step_us".into(), Json::Num(self.step_us)),
+            ("transfer_us".into(), Json::Num(self.transfer_us)),
+            ("barrier_us".into(), Json::Num(self.barrier_us)),
+            ("imbalance".into(), Json::Num(self.imbalance)),
+            ("barrier_share".into(), Json::Num(self.barrier_share)),
+        ])
+    }
+
+    /// Parses the section back from its JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            shards: req_u64(doc, "shards")?,
+            step_us: req_f64(doc, "step_us")?,
+            transfer_us: req_f64(doc, "transfer_us")?,
+            barrier_us: req_f64(doc, "barrier_us")?,
+            imbalance: req_f64(doc, "imbalance")?,
+            barrier_share: req_f64(doc, "barrier_share")?,
+        })
+    }
 }
 
 /// The validation verdict of one run.
@@ -156,12 +261,21 @@ pub struct RunRecord {
     pub arena_cells_peak: u64,
     /// Peak arena footprint in bytes (cells scaled by cell size).
     pub arena_bytes_peak: u64,
+    /// Heap allocations during the run phase (0 = not measured; only
+    /// the bench binary's opt-in `alloc-gauge` counting allocator fills
+    /// this in).
+    pub alloc_count: u64,
+    /// Peak live heap bytes during the run phase (0 = not measured).
+    pub alloc_bytes_peak: u64,
     /// Output cardinality (|MIS|, |ruling set|, |Q|).
     pub output_size: u64,
     /// Per-phase wall clock (first measured invocation).
     pub wall: PhaseWall,
     /// Wall-clock statistics over repeated invocations.
     pub wall_stats: WallStats,
+    /// Optional stage-attribution profile (absent unless the run was
+    /// profiled).
+    pub profile: Option<ProfileStats>,
     /// Optional per-round activity trace (possibly downsampled; absent
     /// unless the run was traced).
     pub trace: Option<Vec<TraceRow>>,
@@ -229,9 +343,10 @@ impl SuiteManifest {
 }
 
 impl RunRecord {
-    /// The record as a [`Json`] object. The `trace` key is emitted only
-    /// when a trace was captured, so untraced manifests stay compact
-    /// and byte-stable against older builds' diff tooling.
+    /// The record as a [`Json`] object. The optional keys (`alloc_*`
+    /// gauges, `profile`, `trace`) are emitted only when captured, so
+    /// plain manifests stay compact and byte-stable against older
+    /// builds' diff tooling.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("name".into(), Json::str(&self.name)),
@@ -252,6 +367,12 @@ impl RunRecord {
             ("peak_queue_depth".into(), Json::num(self.peak_queue_depth)),
             ("arena_cells_peak".into(), Json::num(self.arena_cells_peak)),
             ("arena_bytes_peak".into(), Json::num(self.arena_bytes_peak)),
+        ];
+        if self.alloc_count != 0 || self.alloc_bytes_peak != 0 {
+            fields.push(("alloc_count".into(), Json::num(self.alloc_count)));
+            fields.push(("alloc_bytes_peak".into(), Json::num(self.alloc_bytes_peak)));
+        }
+        fields.extend([
             ("output_size".into(), Json::num(self.output_size)),
             (
                 "wall_us".into(),
@@ -271,24 +392,14 @@ impl RunRecord {
                     ("samples".into(), Json::num(self.wall_stats.samples)),
                 ]),
             ),
-        ];
+        ]);
+        if let Some(profile) = &self.profile {
+            fields.push(("profile".into(), profile.to_json()));
+        }
         if let Some(trace) = &self.trace {
             fields.push((
                 "trace".into(),
-                Json::Arr(
-                    trace
-                        .iter()
-                        .map(|row| {
-                            Json::Obj(vec![
-                                ("round".into(), Json::num(row.round)),
-                                ("active_edges".into(), Json::num(row.active_edges)),
-                                ("dirty_nodes".into(), Json::num(row.dirty_nodes)),
-                                ("messages".into(), Json::num(row.messages)),
-                                ("bits".into(), Json::num(row.bits)),
-                            ])
-                        })
-                        .collect(),
-                ),
+                Json::Arr(trace.iter().map(TraceRow::to_json).collect()),
             ));
         }
         fields.push((
@@ -325,21 +436,17 @@ impl RunRecord {
                 samples: req_u64(stats, "samples")?,
             },
         };
+        let profile = match doc.get("profile") {
+            None => None,
+            Some(section) => Some(ProfileStats::from_json(section)?),
+        };
         let trace = match doc.get("trace") {
             None => None,
             Some(rows) => Some(
                 rows.as_arr()
                     .ok_or_else(|| missing("trace"))?
                     .iter()
-                    .map(|row| {
-                        Ok(TraceRow {
-                            round: req_u64(row, "round")?,
-                            active_edges: req_u64(row, "active_edges")?,
-                            dirty_nodes: req_u64(row, "dirty_nodes")?,
-                            messages: req_u64(row, "messages")?,
-                            bits: req_u64(row, "bits")?,
-                        })
-                    })
+                    .map(TraceRow::from_json)
                     .collect::<Result<Vec<_>, JsonError>>()?,
             ),
         };
@@ -362,6 +469,8 @@ impl RunRecord {
             peak_queue_depth: req_u64(doc, "peak_queue_depth")?,
             arena_cells_peak: opt_u64(doc, "arena_cells_peak")?,
             arena_bytes_peak: opt_u64(doc, "arena_bytes_peak")?,
+            alloc_count: opt_u64(doc, "alloc_count")?,
+            alloc_bytes_peak: opt_u64(doc, "alloc_bytes_peak")?,
             output_size: req_u64(doc, "output_size")?,
             wall: PhaseWall {
                 build_us: req_u64(wall, "build")?,
@@ -369,6 +478,7 @@ impl RunRecord {
                 validate_us: req_u64(wall, "validate")?,
             },
             wall_stats,
+            profile,
             trace,
             validation: Validation {
                 passed: validation
@@ -448,6 +558,8 @@ mod tests {
                     run_us: 4800,
                     validate_us: 310,
                 },
+                alloc_count: 0,
+                alloc_bytes_peak: 0,
                 wall_stats: WallStats {
                     mean_us: 4730.25,
                     min_us: 4601.0,
@@ -455,6 +567,7 @@ mod tests {
                     ci95_us: 88.125,
                     samples: 4,
                 },
+                profile: None,
                 trace: Some(vec![
                     TraceRow {
                         round: 0,
@@ -538,10 +651,71 @@ mod tests {
         let s = WallStats::from_samples(&[90.0, 110.0, 100.0]);
         assert_eq!(s.mean_us, 100.0);
         assert_eq!((s.min_us, s.max_us), (90.0, 110.0));
-        // sd = 10, ci95 = 1.96 * 10 / sqrt(3)
-        assert!((s.ci95_us - 1.96 * 10.0 / 3f64.sqrt()).abs() < 1e-9);
+        // sd = 10; n = 3 is deep in Student-t territory: df = 2 needs
+        // 4.303, more than double the old z = 1.96.
+        assert!((s.ci95_us - 4.303 * 10.0 / 3f64.sqrt()).abs() < 1e-9);
         let (lo, hi) = s.interval();
         assert!(lo < 100.0 && hi > 100.0);
+    }
+
+    #[test]
+    fn ci95_uses_student_t_below_30_samples_and_z_beyond() {
+        // Small n: the typical suite repeat counts all pull their
+        // critical value from the t table.
+        assert_eq!(crit95(2), 12.706);
+        assert_eq!(crit95(3), 4.303);
+        assert_eq!(crit95(5), 2.776);
+        assert_eq!(crit95(29), 2.048);
+        // Large n: the normal approximation takes over at exactly 30.
+        assert_eq!(crit95(30), 1.96);
+        assert_eq!(crit95(1000), 1.96);
+        // End-to-end through from_samples: 30 equal-variance samples
+        // use z, one fewer uses t(28).
+        let wide: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 90.0 } else { 110.0 })
+            .collect();
+        let s30 = WallStats::from_samples(&wide);
+        let s29 = WallStats::from_samples(&wide[..29]);
+        let sd30 = (wide.iter().map(|s| (s - 100.0).powi(2)).sum::<f64>() / 29.0).sqrt();
+        assert!((s30.ci95_us - 1.96 * sd30 / 30f64.sqrt()).abs() < 1e-9);
+        let mean29 = wide[..29].iter().sum::<f64>() / 29.0;
+        let sd29 = (wide[..29].iter().map(|s| (s - mean29).powi(2)).sum::<f64>() / 28.0).sqrt();
+        assert!((s29.ci95_us - 2.048 * sd29 / 29f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_and_alloc_sections_round_trip_and_stay_optional() {
+        let mut m = sample();
+        // Plain record: no alloc keys, no profile key.
+        let text = m.to_json_string();
+        assert!(!text.contains("alloc_count") && !text.contains("\"profile\""));
+        m.runs[0].alloc_count = 812;
+        m.runs[0].alloc_bytes_peak = 65536;
+        m.runs[0].profile = Some(ProfileStats {
+            shards: 4,
+            step_us: 1200.5,
+            transfer_us: 340.25,
+            barrier_us: 610.75,
+            imbalance: 1.37,
+            barrier_share: 0.284,
+        });
+        let text = m.to_json_string();
+        let back = SuiteManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn trace_row_json_round_trips() {
+        let row = TraceRow {
+            round: 7,
+            active_edges: 12,
+            dirty_nodes: 3,
+            messages: 5,
+            bits: 160,
+        };
+        assert_eq!(TraceRow::from_json(&row.to_json()).unwrap(), row);
+        assert!(TraceRow::from_json(&Json::Obj(vec![])).is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use powersparse::params::TheoryParams;
 use powersparse::ruling::{beta_ruling_set, det_ruling_set_k2};
 use powersparse::sparsify::{sparsify_power, SamplingStrategy, SparsifyOutcome};
 use powersparse_congest::engine::{Metrics, RoundEngine};
-use powersparse_congest::probe::TraceProbe;
+use powersparse_congest::probe::{SpanProbe, TraceProbe};
 use powersparse_congest::sim::{SimConfig, Simulator};
 use powersparse_engine::{PooledSimulator, ShardedSimulator};
 use powersparse_graphs::{check, generators, power, Graph, NodeId};
@@ -76,6 +76,10 @@ pub struct RunOptions {
     /// at most `limit` evenly strided rows (real round indices are
     /// preserved; `Some(0)` keeps every round).
     pub trace: Option<usize>,
+    /// Attach the span profiler: one extra untimed execution with a
+    /// [`SpanProbe`], aggregated into the record's optional `profile`
+    /// manifest section (see [`crate::profile`]).
+    pub profile: bool,
 }
 
 /// What an algorithm produced, in the shape its checker wants.
@@ -172,6 +176,48 @@ fn execute_traced(
     Ok(downsample(rows, limit))
 }
 
+/// One untimed profiled execution: the same run with a [`SpanProbe`]
+/// attached, returning the raw per-round observations and stage spans
+/// for aggregation (see [`crate::profile`]).
+pub fn execute_spanned(g: &Graph, config: SimConfig, sc: &Scenario) -> Result<SpanProbe, String> {
+    match sc.engine {
+        EngineSpec::Sequential => {
+            let mut sim = Simulator::with_probe(g, config, SpanProbe::new());
+            run_generic(&mut sim, sc)?;
+            Ok(sim.into_probe())
+        }
+        EngineSpec::Sharded { shards } => {
+            let mut sim = ShardedSimulator::with_probe(g, config, shards, SpanProbe::new());
+            run_generic(&mut sim, sc)?;
+            Ok(sim.into_probe())
+        }
+        EngineSpec::Pooled { shards } => {
+            let mut sim = PooledSimulator::with_probe(g, config, shards, SpanProbe::new());
+            run_generic(&mut sim, sc)?;
+            Ok(sim.into_probe())
+        }
+    }
+}
+
+/// Builds a scenario's graph once and profiles `repeats` independent
+/// executions with a [`SpanProbe`] attached (the `experiments profile`
+/// front end; aggregate the probes with [`crate::profile::breakdown`]).
+///
+/// # Errors
+///
+/// As [`run_scenario`]; additionally rejects `repeats == 0`.
+pub fn profile_scenario(sc: &Scenario, repeats: usize) -> Result<Vec<SpanProbe>, String> {
+    sc.validate_spec()?;
+    if repeats == 0 {
+        return Err("profile needs at least one repeat".into());
+    }
+    let g = sc.family.build(sc.seed);
+    let config = SimConfig::for_graph(&g);
+    (0..repeats)
+        .map(|_| execute_spanned(&g, config, sc))
+        .collect()
+}
+
 /// Evenly strided downsampling that keeps real round indices.
 fn downsample(rows: Vec<TraceRow>, limit: usize) -> Vec<TraceRow> {
     if limit == 0 || rows.len() <= limit {
@@ -240,12 +286,18 @@ pub fn run_scenario_with(sc: &Scenario, opts: &RunOptions) -> Result<RunRecord, 
         None => None,
         Some(limit) => Some(execute_traced(&g, config, sc, limit)?),
     };
+    let profile = if opts.profile {
+        let probe = execute_spanned(&g, config, sc)?;
+        Some(crate::profile::profile_stats(std::slice::from_ref(&probe)))
+    } else {
+        None
+    };
 
     let t = Instant::now();
     let (validation, output_size) = validate(&g, sc, &output);
     let validate_us = t.elapsed().as_micros() as u64;
 
-    Ok(record(
+    let mut rec = record(
         sc,
         &g,
         &metrics,
@@ -258,7 +310,9 @@ pub fn run_scenario_with(sc: &Scenario, opts: &RunOptions) -> Result<RunRecord, 
         trace,
         validation,
         output_size,
-    ))
+    );
+    rec.profile = profile;
+    Ok(rec)
 }
 
 /// Executes a whole scenario matrix, in order.
@@ -444,9 +498,12 @@ fn record(
         peak_queue_depth: metrics.peak_queue_depth,
         arena_cells_peak: metrics.arena_cells_peak,
         arena_bytes_peak: metrics.arena_bytes_peak,
+        alloc_count: 0,
+        alloc_bytes_peak: 0,
         output_size,
         wall,
         wall_stats,
+        profile: None,
         trace,
         validation,
     }
@@ -600,6 +657,7 @@ mod tests {
                 warmup: 1,
             },
             trace: None,
+            profile: false,
         };
         let rec = run_scenario_with(&sc, &opts).unwrap();
         assert_eq!(rec.wall_stats.samples, 3);
@@ -624,6 +682,7 @@ mod tests {
         let opts = RunOptions {
             repeat: Repeat::once(),
             trace: Some(0), // keep every round
+            profile: false,
         };
         let rec = run_scenario_with(&sc, &opts).unwrap();
         let trace = rec.trace.as_ref().unwrap();
@@ -645,6 +704,7 @@ mod tests {
             &RunOptions {
                 repeat: Repeat::once(),
                 trace: Some(0),
+                profile: false,
             },
         )
         .unwrap();
@@ -656,6 +716,7 @@ mod tests {
             &RunOptions {
                 repeat: Repeat::once(),
                 trace: Some(limit),
+                profile: false,
             },
         )
         .unwrap();
@@ -686,6 +747,7 @@ mod tests {
             let opts = RunOptions {
                 repeat,
                 trace: None,
+                profile: false,
             };
             assert!(run_scenario_with(&sc, &opts).is_err());
         }

@@ -82,6 +82,18 @@ pub enum GraphFamily {
         /// Clique size per cluster.
         cluster: usize,
     },
+    /// Planted-community graph (equal-block stochastic block model):
+    /// dense blocks (`p_in`) joined by a sparse random cut (`p_out`).
+    Planted {
+        /// Node count.
+        n: usize,
+        /// Community count.
+        communities: usize,
+        /// Intra-community edge probability.
+        p_in: f64,
+        /// Inter-community edge probability.
+        p_out: f64,
+    },
 }
 
 impl GraphFamily {
@@ -97,6 +109,7 @@ impl GraphFamily {
             Self::Caterpillar { .. } => "caterpillar",
             Self::Broom { .. } => "broom",
             Self::ClusterGrid { .. } => "cluster_grid",
+            Self::Planted { .. } => "planted",
         }
     }
 
@@ -118,6 +131,12 @@ impl GraphFamily {
                 cols,
                 cluster,
             } => format!("cluster_grid({rows}x{cols},c={cluster})"),
+            Self::Planted {
+                n,
+                communities,
+                p_in,
+                p_out,
+            } => format!("planted(n={n},c={communities},pin={p_in},pout={p_out})"),
         }
     }
 
@@ -140,6 +159,12 @@ impl GraphFamily {
                 cols,
                 cluster,
             } => generators::cluster_grid(rows, cols, cluster),
+            Self::Planted {
+                n,
+                communities,
+                p_in,
+                p_out,
+            } => generators::planted(n, communities, p_in, p_out, seed),
         }
     }
 }
@@ -409,6 +434,14 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
         cols: 4 * s,
         cluster: 6,
     };
+    // Dense pockets over a sparse cut — the imbalance workload the
+    // stage profiler is built to expose (`experiments profile`).
+    let planted = GraphFamily::Planted {
+        n: 160 * s,
+        communities: 4,
+        p_in: if s == 1 { 0.25 } else { 0.25 / s as f64 },
+        p_out: 0.01 / s as f64,
+    };
     vec![
         // MIS across every family, alternating/pairing engines so each
         // family and all three engine backends appear.
@@ -423,6 +456,7 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
         Scenario::new(caterpillar).k(2),
         Scenario::new(broom).sharded(2),
         Scenario::new(cluster.clone()).k(2).sharded(sharded),
+        Scenario::new(planted).seed(23).sharded(sharded),
         // Sparsification (Lemma 3.1) on structured topologies, both
         // engines.
         Scenario::new(torus.clone()).algorithm(Sparsify {
@@ -798,6 +832,12 @@ fn scenario_from_kv(
             cols: b.usize("cols")?,
             cluster: b.usize("cluster")?,
         },
+        "planted" => GraphFamily::Planted {
+            n: b.usize("n")?,
+            communities: b.usize("communities")?,
+            p_in: b.f64("p_in")?,
+            p_out: b.f64("p_out")?,
+        },
         other => {
             return Err(SpecError {
                 line,
@@ -955,6 +995,31 @@ algorithm = "sparsify"   # randomized
     }
 
     #[test]
+    fn planted_family_parses_builds_and_names() {
+        let suite = parse_suite(
+            "[[scenario]]\nfamily = \"planted\"\nn = 60\ncommunities = 3\n\
+             p_in = 0.4\np_out = 0.02\nseed = 9\nengine = \"pooled\"\nshards = 2\n",
+        )
+        .unwrap();
+        assert_eq!(suite.len(), 1);
+        let family = GraphFamily::Planted {
+            n: 60,
+            communities: 3,
+            p_in: 0.4,
+            p_out: 0.02,
+        };
+        assert_eq!(suite[0], Scenario::new(family.clone()).seed(9).pooled(2));
+        assert_eq!(family.id(), "planted");
+        assert_eq!(family.label(), "planted(n=60,c=3,pin=0.4,pout=0.02)");
+        let g = family.build(9);
+        assert_eq!(g.n(), 60);
+        assert!(g.m() > 0);
+        let missing = parse_suite("[[scenario]]\nfamily = \"planted\"\nn = 60\ncommunities = 3\n")
+            .unwrap_err();
+        assert!(missing.message.contains("p_in"), "{missing}");
+    }
+
+    #[test]
     fn spec_errors_are_located() {
         let missing = parse_suite("[[scenario]]\nfamily = \"gnp\"\nn = 100\n").unwrap_err();
         assert!(missing.message.contains("avg_deg"), "{missing}");
@@ -1055,6 +1120,10 @@ algorithm = "sparsify"   # randomized
             let families: std::collections::BTreeSet<&str> =
                 suite.iter().map(|s| s.family.id()).collect();
             assert!(families.len() >= 5, "families: {families:?}");
+            assert!(
+                families.contains("planted"),
+                "the planted-community row must stay in both profiles"
+            );
             assert!(suite.iter().any(|s| s.engine == EngineSpec::Sequential));
             assert!(suite
                 .iter()

@@ -258,6 +258,8 @@ mod tests {
             peak_queue_depth: 2,
             arena_cells_peak: 12,
             arena_bytes_peak: 384,
+            alloc_count: 0,
+            alloc_bytes_peak: 0,
             output_size: 4,
             wall: PhaseWall {
                 build_us: 10,
@@ -265,6 +267,7 @@ mod tests {
                 validate_us: 5,
             },
             wall_stats: WallStats::single(100),
+            profile: None,
             trace: None,
             validation: Validation {
                 passed: true,

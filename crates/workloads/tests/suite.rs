@@ -246,6 +246,7 @@ fn repeated_run_statistics_round_trip_exactly_through_json() {
             warmup: 1,
         },
         trace: Some(16),
+        profile: false,
     };
     let rec = run_scenario_with(&sc, &opts).unwrap();
     assert!(rec.validation.passed, "{}", rec.validation.detail);
