@@ -561,16 +561,16 @@ fn engines_cmd(args: &[String]) {
     engines_exp(out.as_deref());
 }
 
-/// E9 — Engine comparison: sequential `Simulator` vs the sharded and
-/// pooled `powersparse-engine` backends running Luby MIS on `G`, with
-/// the bit-for-bit parity of outputs and `Metrics` re-verified on every
-/// row. With `--out`, the table is also written as a `SuiteManifest`
+/// E9 — Engine comparison: sequential `Simulator` vs the sharded,
+/// pooled, and multi-process `powersparse-engine` backends running Luby
+/// MIS on `G`, with the bit-for-bit parity of outputs and `Metrics`
+/// re-verified on every row. With `--out`, the table is also written as a `SuiteManifest`
 /// (suite `engines`) so `experiments trend` can track the engine
 /// trajectory alongside the scenario suite — `BENCH_engine.json` is the
 /// committed instance.
 fn engines_exp(out: Option<&str>) {
     use powersparse_congest::engine::{Metrics, RoundEngine};
-    use powersparse_engine::{PooledSimulator, ShardedSimulator};
+    use powersparse_engine::{PooledSimulator, ProcessSimulator, ShardedSimulator};
     use powersparse_workloads::{PhaseWall, RunRecord, SuiteManifest, Validation, WallStats};
     use std::time::Instant;
 
@@ -745,12 +745,50 @@ fn engines_exp(out: Option<&str>) {
                     "yes".into(),
                 ])
             );
+            let start = Instant::now();
+            let mut process = ProcessSimulator::with_shards(&g, config, shards);
+            let got = luby_mis(&mut process, 1, 3);
+            let process_wall = start.elapsed();
+            assert!(
+                got == want && RoundEngine::metrics(&process) == seq.metrics(),
+                "process engine diverged at {shards} shards on n={n}"
+            );
+            record(
+                &g,
+                n,
+                "process",
+                shards,
+                RoundEngine::metrics(&process),
+                mis_size,
+                build_us,
+                process_wall.as_micros() as u64,
+            );
+            println!(
+                "{}",
+                row(&[
+                    n.to_string(),
+                    g.m().to_string(),
+                    format!("process({shards})"),
+                    format!("{process_wall:.2?}"),
+                    format!(
+                        "{:.2}x",
+                        seq_wall.as_secs_f64() / process_wall.as_secs_f64()
+                    ),
+                    format!(
+                        "{:.2}x",
+                        sharded_wall.as_secs_f64() / process_wall.as_secs_f64()
+                    ),
+                    RoundEngine::metrics(&process).rounds.to_string(),
+                    "yes".into(),
+                ])
+            );
         }
     }
     println!(
         "\nIdentical = same MIS mask, same Metrics (rounds, messages, bits, peak queue depth).\n\
-         `vs sharded` = sharded wall / pooled wall at the same shard count \
-         (> 1.00x means the persistent pool wins)."
+         `vs sharded` = sharded wall / this engine's wall at the same shard count \
+         (> 1.00x means the pool or process backend wins; the process rows pay the \
+         wire codec + socket splice tax on every round)."
     );
     if let Some(path) = out {
         let manifest = SuiteManifest {
@@ -1259,7 +1297,7 @@ fn suite_cmd(args: &[String]) {
                 eprintln!(
                     "unknown suite argument '{other}' \
                      (usage: experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] \
-                     [--force-engine sequential|sharded|pooled] [--repeats R] [--warmup W] \
+                     [--force-engine sequential|sharded|pooled|process] [--repeats R] [--warmup W] \
                      | suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine])"
                 );
                 std::process::exit(2);
@@ -1303,8 +1341,11 @@ fn suite_cmd(args: &[String]) {
                 "sequential" => EngineSpec::Sequential,
                 "sharded" => EngineSpec::Sharded { shards },
                 "pooled" => EngineSpec::Pooled { shards },
+                "process" => EngineSpec::Process { shards },
                 other => {
-                    eprintln!("unknown engine '{other}' (expected sequential|sharded|pooled)");
+                    eprintln!(
+                        "unknown engine '{other}' (expected sequential|sharded|pooled|process)"
+                    );
                     std::process::exit(2);
                 }
             };

@@ -112,8 +112,35 @@
 //! rejected statically: a step function receives `&mut S` for its own
 //! node only, and the `F: Sync` bound keeps captured context read-only
 //! across worker threads. `tests/conformance/negative.rs` in
-//! `powersparse-engine` pins the runtime rejections down on all three
-//! engines.
+//! `powersparse-engine` pins the runtime rejections down on all four
+//! engines (the multi-process backend steps nodes on the parent side,
+//! so contract panics fire before any wire traffic).
+//!
+//! # Transport failure semantics
+//!
+//! Backends that cross a process boundary add a third contract side:
+//! **transport faults fail closed**. A backend may never return a wrong
+//! answer or hang forever because its wire misbehaved — every detectable
+//! fault becomes a deterministic panic whose message is the `Display` of
+//! the backend's `EngineError` (in `powersparse-engine`, the
+//! `wire::EngineError` carrying the shard index and a stable
+//! description). The multi-process backend's vocabulary, pinned by its
+//! fault-injection wall (`tests/faults.rs`):
+//!
+//! * a short read mid-frame → "truncated frame";
+//! * a frame whose CRC does not authenticate (header or payload
+//!   corruption) → "frame checksum mismatch";
+//! * a duplicated or reordered frame → "unexpected frame
+//!   (want …, got …)" — the per-shard stream has exactly one legal next
+//!   frame kind at all times;
+//! * a child process dying (socket closed) → "child for shard _s_ died
+//!   mid-round (socket closed)";
+//! * a child that stops responding → "barrier timeout waiting on
+//!   shard _s_", bounded by the engine's configured barrier timeout.
+//!
+//! In-process backends have no transport and never raise these; the
+//! contract only requires that *if* a backend has a wire, its failures
+//! are loud, attributed, and bounded in time.
 //!
 //! # Writing engine-generic node programs
 //!

@@ -1,7 +1,10 @@
 //! `powersparse-engine` — the parallel CONGEST round executors behind
 //! the [`RoundEngine`](powersparse_congest::RoundEngine) trait of
-//! `powersparse-congest`: the scoped-scatter [`ShardedSimulator`] and
-//! the persistent worker-pool [`PooledSimulator`].
+//! `powersparse-congest`: the scoped-scatter [`ShardedSimulator`], the
+//! persistent worker-pool [`PooledSimulator`], and the multi-process
+//! [`ProcessSimulator`], whose shards live in forked child processes
+//! and exchange splice buffers over a Unix-socket wire protocol
+//! ([`wire`]).
 //!
 //! # Architecture: shards, mailboxes, barriers
 //!
@@ -57,6 +60,19 @@
 //! with rayon-based tooling), then the machine's available parallelism.
 //! With one shard either engine runs inline with no thread overhead.
 //!
+//! # Crossing the process boundary
+//!
+//! [`ProcessSimulator`] takes the same shard layout out-of-process:
+//! each shard's message core runs in a forked child and every
+//! cross-shard byte rides the length-prefixed, checksummed frame codec
+//! in [`wire`]. The parent steps nodes (CONGEST computation is free;
+//! only bandwidth is charged) and plays the stage-2 splicer by reading
+//! children in ascending shard order — ascending global edge order, the
+//! reference delivery order. Transport faults fail closed with a
+//! deterministic [`wire::EngineError`] ("died mid-round", "barrier
+//! timeout", "checksum mismatch", …) instead of hanging or corrupting
+//! results; `tests/faults.rs` injects each fault and pins the error.
+//!
 //! # Example
 //!
 //! ```
@@ -77,9 +93,12 @@
 
 mod pool;
 pub mod pooled;
+pub mod process;
 pub mod routing;
 pub mod sharded;
+pub mod wire;
 
 pub use pooled::{PooledPhase, PooledSimulator};
+pub use process::{ProcessPhase, ProcessSimulator};
 pub use routing::default_shards;
 pub use sharded::{ShardedPhase, ShardedSimulator};

@@ -1,0 +1,1013 @@
+//! The multi-process executor: [`ProcessSimulator`] and its phase type.
+//!
+//! The fourth [`RoundEngine`] backend moves the shard-to-shard transfer
+//! across a real I/O boundary: each shard's arena core
+//! ([`MsgCore`]) lives in a **forked child process**, and everything
+//! that crosses shards rides the length-prefixed frame protocol of
+//! [`crate::wire`] over a Unix-domain socket pair.  The deployment
+//! shape this models is the paper's actual target — machines that only
+//! ever exchange bandwidth-limited messages — while the engine contract
+//! (identical outputs, identical [`Metrics`], identical probe traces)
+//! stays bit-for-bit intact.
+//!
+//! # Division of labour
+//!
+//! CONGEST charges rounds and per-edge bandwidth; local computation is
+//! free.  The split mirrors that cost model:
+//!
+//! * the **parent** steps every node (node programs capture non-`Send`
+//!   borrows and per-phase state slices, which cannot cross a process
+//!   boundary), buckets the round's sends per shard in one monotone
+//!   pass, and plays the stage-2 splicer: children are read in
+//!   ascending shard order, which — shards being CSR-aligned
+//!   contiguous edge ranges ([`ShardLayout`]) — *is* ascending global
+//!   edge order, the sequential reference delivery order;
+//! * each **child** owns its shard's `MsgCore<Vec<u8>>` over the
+//!   shard's local edge range and runs the bandwidth/fragmentation
+//!   semantics ([`MsgCore::transfer`]) on opaque payload bytes.  The
+//!   transfer is payload-agnostic, so every counter the child reports
+//!   (peak depth, arena share, active edges) is identical to what an
+//!   in-process core would have measured.
+//!
+//! Children are forked once, at engine construction, and serve every
+//! phase until the engine drops (a `PhaseStart` frame rebuilds the
+//! core).  Payloads cross the wire by value when the message type has
+//! an inline codec, and park in a parent-side
+//! [`PayloadSlab`](crate::wire::PayloadSlab) otherwise — the wire then
+//! carries only a slot id, round-tripped through the child untouched.
+//!
+//! # Failure semantics
+//!
+//! Every fault fails closed with a deterministic
+//! [`EngineError`] (panicking with its stable display — the
+//! engine trait has no fallible surface): a dead child is an EOF on its
+//! socket ("died mid-round"), a wedged child trips the barrier timeout
+//! ([`ProcessSimulator::set_barrier_timeout`]), and torn or corrupted
+//! frames are rejected by checksum before any state is touched.  A
+//! misbehaving node program panics in the parent during the step loop,
+//! *before* any frame is written, so the four contract panics surface
+//! identically to the in-process backends; `tests/faults.rs` and
+//! `tests/conformance/` pin all of this.
+
+use crate::routing::{capped_default_shards, ShardLayout};
+use crate::wire::{
+    decode_cells, decode_payload, encode_cells, encode_payload, get_varint, put_varint,
+    EngineError, Frame, FrameKind, PayloadSlab, StreamTransport, Transport, WireCell, WireError,
+    PROTOCOL_VERSION,
+};
+use powersparse_congest::engine::{
+    Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
+};
+use powersparse_congest::msgcore::MsgCore;
+use powersparse_congest::probe::{
+    now_if, ns_between, probe_vec, NoProbe, PhaseObs, Probe, RoundObs, RoundSpans,
+};
+use powersparse_congest::sim::SimConfig;
+use powersparse_graphs::{Graph, NodeId};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::panic::AssertUnwindSafe;
+use std::time::{Duration, Instant};
+
+/// Raw syscall shims (no libc crate in the image; these are the stable
+/// kernel ABI symbols glibc exports).
+mod sys {
+    pub const SIGKILL: i32 = 9;
+    pub const SIGSTOP: i32 = 19;
+    pub const WNOHANG: i32 = 1;
+    pub const PR_SET_PDEATHSIG: i32 = 1;
+
+    extern "C" {
+        pub fn fork() -> i32;
+        pub fn waitpid(pid: i32, status: *mut i32, options: i32) -> i32;
+        pub fn kill(pid: i32, sig: i32) -> i32;
+        pub fn _exit(code: i32) -> !;
+        pub fn close(fd: i32) -> i32;
+        pub fn prctl(option: i32, arg2: u64, arg3: u64, arg4: u64, arg5: u64) -> i32;
+    }
+}
+
+/// Default bound on a barrier read before the parent declares the child
+/// wedged. Generous, because it only fires on genuine failure — fault
+/// tests shrink it to keep the negative wall fast.
+const DEFAULT_BARRIER_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn raise(shard: usize, error: WireError) -> ! {
+    panic!("{}", EngineError { shard, error })
+}
+
+// ---------------------------------------------------------------------------
+// Child side
+// ---------------------------------------------------------------------------
+
+/// The child's whole life: a payload-opaque core servant.  It needs no
+/// graph, no message type and no metrics — just its local edge count
+/// and the bandwidth, delivered by `PhaseStart`.
+fn child_serve(shard: u16, t: &mut StreamTransport) -> Result<(), WireError> {
+    let mut hello = Frame::control(FrameKind::Hello, shard, 0);
+    put_varint(&mut hello.payload, PROTOCOL_VERSION);
+    t.send(&hello.encode())?;
+    let mut core: Option<MsgCore<Vec<u8>>> = None;
+    let mut bw: u64 = 0;
+    let mut epoch: u32 = 0;
+    let mut out_cells: Vec<WireCell> = Vec::new();
+    loop {
+        let frame = Frame::decode(&t.recv()?)?;
+        if frame.shard != shard {
+            return Err(WireError::ShardMismatch {
+                want: shard,
+                got: frame.shard,
+            });
+        }
+        match frame.kind {
+            FrameKind::PhaseStart => {
+                let mut p = frame.payload.as_slice();
+                let edges = get_varint(&mut p)? as usize;
+                bw = get_varint(&mut p)?;
+                core = Some(MsgCore::new(edges));
+                epoch = frame.epoch;
+            }
+            FrameKind::Sends => {
+                let core = core.as_mut().ok_or(WireError::Payload)?;
+                for c in decode_cells(&frame.payload, frame.count as usize)? {
+                    core.enqueue(c.edge as usize, c.bits, NodeId(c.from), c.payload);
+                }
+                epoch = frame.epoch;
+            }
+            FrameKind::Barrier => {
+                if frame.epoch != epoch {
+                    return Err(WireError::EpochMismatch {
+                        want: epoch,
+                        got: frame.epoch,
+                    });
+                }
+                let core = core.as_mut().ok_or(WireError::Payload)?;
+                let t0 = Instant::now();
+                let queued = core.queued() as u64;
+                out_cells.clear();
+                let peak = core.transfer(bw, |e, from, payload| {
+                    out_cells.push(WireCell {
+                        edge: e as u64,
+                        bits: 0,
+                        from: from.0,
+                        payload,
+                    });
+                });
+                let transfer_ns = t0.elapsed().as_nanos() as u64;
+                let mut payload = Vec::new();
+                encode_cells(&out_cells, &mut payload);
+                let deliveries = Frame {
+                    kind: FrameKind::Deliveries,
+                    shard,
+                    epoch: frame.epoch,
+                    count: out_cells.len() as u32,
+                    payload,
+                };
+                t.send(&deliveries.encode())?;
+                let mut sp = Vec::new();
+                put_varint(&mut sp, queued);
+                put_varint(&mut sp, peak);
+                put_varint(&mut sp, core.active_edges() as u64);
+                put_varint(&mut sp, core.queued() as u64);
+                put_varint(&mut sp, transfer_ns);
+                let stats = Frame {
+                    kind: FrameKind::RoundStats,
+                    shard,
+                    epoch: frame.epoch,
+                    count: 0,
+                    payload: sp,
+                };
+                t.send(&stats.encode())?;
+            }
+            FrameKind::Shutdown => return Ok(()),
+            other => {
+                return Err(WireError::UnexpectedKind {
+                    want: FrameKind::Barrier,
+                    got: other,
+                })
+            }
+        }
+    }
+}
+
+/// Post-fork entry point.  Runs in the child, never returns.
+fn child_main(shard: u16, stream: UnixStream) -> ! {
+    unsafe {
+        // Die with the parent even if it crashes before Drop runs.
+        sys::prctl(sys::PR_SET_PDEATHSIG, sys::SIGKILL as u64, 0, 0, 0);
+        // Drop every inherited descriptor except our own socket: other
+        // engines' sockets (including other tests' in the same binary)
+        // must see EOF the moment *their* parent or child goes away,
+        // not be held open by an unrelated fork.
+        let keep = stream.as_raw_fd();
+        for fd in 3..4096 {
+            if fd != keep {
+                sys::close(fd);
+            }
+        }
+    }
+    // Never unwind into the inherited test harness, and never write to
+    // the shared stderr.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut t = StreamTransport::new(stream);
+    let code = match std::panic::catch_unwind(AssertUnwindSafe(|| child_serve(shard, &mut t))) {
+        Ok(Ok(())) => 0,
+        Ok(Err(e)) => {
+            let mut f = Frame::control(FrameKind::Error, shard, 0);
+            f.payload = e.to_string().into_bytes();
+            let _ = t.send(&f.encode());
+            1
+        }
+        Err(_) => 101,
+    };
+    unsafe { sys::_exit(code) }
+}
+
+// ---------------------------------------------------------------------------
+// Parent side
+// ---------------------------------------------------------------------------
+
+struct ChildHandle {
+    pid: i32,
+    /// `Option` so [`ProcessSimulator::wrap_transport`] can take and
+    /// re-box it; always `Some` between public calls.
+    transport: Option<Box<dyn Transport>>,
+}
+
+impl ChildHandle {
+    fn transport(&mut self) -> &mut dyn Transport {
+        self.transport.as_mut().expect("transport present").as_mut()
+    }
+}
+
+/// Owns the forked children; the drop glue lives here (not on the
+/// engine) so [`ProcessSimulator::into_probe`] can move the probe out.
+#[derive(Default)]
+struct Children(Vec<ChildHandle>);
+
+impl Drop for Children {
+    fn drop(&mut self) {
+        // Best-effort clean shutdown (ignored for already-dead
+        // children: std leaves SIGPIPE ignored, so the send just
+        // errors), then reap; escalate to SIGKILL for wedged children.
+        for (w, child) in self.0.iter_mut().enumerate() {
+            let frame = Frame::control(FrameKind::Shutdown, w as u16, 0);
+            if let Some(t) = child.transport.as_mut() {
+                let _ = t.send(&frame.encode());
+            }
+        }
+        for child in &mut self.0 {
+            let mut status = 0i32;
+            let mut reaped = false;
+            for _ in 0..500 {
+                let r = unsafe { sys::waitpid(child.pid, &mut status, sys::WNOHANG) };
+                if r != 0 {
+                    reaped = true; // exited (r == pid) or already reaped (r < 0)
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if !reaped {
+                unsafe {
+                    sys::kill(child.pid, sys::SIGKILL);
+                    sys::waitpid(child.pid, &mut status, 0);
+                }
+            }
+        }
+    }
+}
+
+/// The multi-process round engine: one forked child per shard, wire
+/// frames for every cross-shard byte.  See the module docs for the
+/// architecture and `crate::wire` for the protocol.
+pub struct ProcessSimulator<'g, P: Probe = NoProbe> {
+    graph: &'g Graph,
+    config: SimConfig,
+    metrics: Metrics,
+    layout: ShardLayout,
+    children: Children,
+    barrier_timeout: Duration,
+    probe: P,
+    phases_opened: u64,
+}
+
+impl<'g> ProcessSimulator<'g> {
+    /// Creates a process engine with the default shard count
+    /// ([`capped_default_shards`]); one child process per shard.
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        Self::with_shards(graph, config, capped_default_shards(graph))
+    }
+
+    /// Creates a process engine with an explicit shard count. The
+    /// children are forked here, once, and live until the engine drops.
+    /// Results are identical for every count (the engine contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, or with an [`EngineError`] if a child
+    /// fails its `Hello` handshake.
+    pub fn with_shards(graph: &'g Graph, config: SimConfig, shards: usize) -> Self {
+        Self::with_probe(graph, config, shards, NoProbe)
+    }
+}
+
+impl<'g, P: Probe> ProcessSimulator<'g, P> {
+    /// Creates a process engine observed by `probe`. Like the pooled
+    /// engine, the probe only ever runs on the caller thread, behind
+    /// the round barrier — children report raw counters over the wire
+    /// and the parent reconstructs every observation.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ProcessSimulator::with_shards`].
+    pub fn with_probe(graph: &'g Graph, config: SimConfig, shards: usize, probe: P) -> Self {
+        let layout = ShardLayout::new(graph, shards);
+        let mut sim = Self {
+            graph,
+            config,
+            metrics: Metrics::for_graph(graph, config.metrics),
+            layout,
+            children: Children::default(),
+            barrier_timeout: DEFAULT_BARRIER_TIMEOUT,
+            probe,
+            phases_opened: 0,
+        };
+        for w in 0..sim.layout.shards() {
+            let (parent_end, child_end) =
+                UnixStream::pair().expect("process engine: socketpair failed");
+            let pid = unsafe { sys::fork() };
+            assert!(pid >= 0, "process engine: fork failed");
+            if pid == 0 {
+                drop(parent_end);
+                child_main(w as u16, child_end);
+            }
+            drop(child_end);
+            let mut t = StreamTransport::new(parent_end);
+            t.set_timeout(Some(sim.barrier_timeout));
+            sim.children.0.push(ChildHandle {
+                pid,
+                transport: Some(Box::new(t)),
+            });
+            let hello = sim.recv_from(w);
+            if hello.kind != FrameKind::Hello {
+                raise(
+                    w,
+                    WireError::UnexpectedKind {
+                        want: FrameKind::Hello,
+                        got: hello.kind,
+                    },
+                );
+            }
+            let mut p = hello.payload.as_slice();
+            let version = get_varint(&mut p).unwrap_or_else(|e| raise(w, e));
+            assert_eq!(
+                version, PROTOCOL_VERSION,
+                "process engine: protocol version skew"
+            );
+        }
+        sim
+    }
+
+    /// Number of shards (= child processes).
+    pub fn shards(&self) -> usize {
+        self.layout.shards()
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the engine, returning the probe (and its gathered
+    /// observations). The children are shut down and reaped by the
+    /// engine's drop glue.
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
+    /// Bounds every barrier read: if a child has not produced its round
+    /// frames within `timeout`, the round panics with the stable
+    /// "barrier timeout waiting on shard …" error instead of hanging.
+    pub fn set_barrier_timeout(&mut self, timeout: Duration) {
+        self.barrier_timeout = timeout;
+        for child in &mut self.children.0 {
+            child.transport().set_timeout(Some(timeout));
+        }
+    }
+
+    /// Builder form of [`ProcessSimulator::set_barrier_timeout`].
+    pub fn with_barrier_timeout(mut self, timeout: Duration) -> Self {
+        self.set_barrier_timeout(timeout);
+        self
+    }
+
+    /// Test hook: replaces shard `w`'s transport with whatever `f`
+    /// wraps it into (e.g. a [`crate::wire::FaultyTransport`]). The
+    /// `Hello` frame is consumed at construction, so the wrapper's
+    /// first received frame is round 0's `Deliveries`.
+    pub fn wrap_transport(
+        &mut self,
+        shard: usize,
+        f: impl FnOnce(Box<dyn Transport>) -> Box<dyn Transport>,
+    ) {
+        let t = self.children.0[shard]
+            .transport
+            .take()
+            .expect("transport present");
+        self.children.0[shard].transport = Some(f(t));
+    }
+
+    /// Test hook: SIGKILLs shard `w`'s child and reaps it, so the next
+    /// barrier read observes a closed socket.
+    pub fn kill_child(&mut self, shard: usize) {
+        let pid = self.children.0[shard].pid;
+        unsafe {
+            sys::kill(pid, sys::SIGKILL);
+            let mut status = 0i32;
+            sys::waitpid(pid, &mut status, 0);
+        }
+    }
+
+    /// Test hook: SIGSTOPs shard `w`'s child (alive but wedged), so the
+    /// next barrier read runs into the timeout.
+    pub fn stop_child(&mut self, shard: usize) {
+        unsafe {
+            sys::kill(self.children.0[shard].pid, sys::SIGSTOP);
+        }
+    }
+
+    fn send_to(&mut self, w: usize, frame: &Frame) {
+        if let Err(e) = self.children.0[w].transport().send(&frame.encode()) {
+            raise(w, e);
+        }
+    }
+
+    fn recv_from(&mut self, w: usize) -> Frame {
+        let bytes = match self.children.0[w].transport().recv() {
+            Ok(b) => b,
+            Err(e) => raise(w, e),
+        };
+        match Frame::decode(&bytes) {
+            Ok(f) => f,
+            Err(e) => raise(w, e),
+        }
+    }
+
+    /// Receives shard `w`'s next frame and holds it to the protocol
+    /// state: an `Error` frame surfaces the child's own report, and any
+    /// kind/epoch/shard skew (duplicated or reordered traffic) is a
+    /// deterministic failure.
+    fn expect_frame(&mut self, w: usize, want: FrameKind, epoch: u32) -> Frame {
+        let f = self.recv_from(w);
+        if f.kind == FrameKind::Error {
+            let report = String::from_utf8_lossy(&f.payload).into_owned();
+            raise(w, WireError::ChildError(report));
+        }
+        if f.kind != want {
+            raise(w, WireError::UnexpectedKind { want, got: f.kind });
+        }
+        if f.epoch != epoch {
+            raise(
+                w,
+                WireError::EpochMismatch {
+                    want: epoch,
+                    got: f.epoch,
+                },
+            );
+        }
+        if f.shard as usize != w {
+            raise(
+                w,
+                WireError::ShardMismatch {
+                    want: w as u16,
+                    got: f.shard,
+                },
+            );
+        }
+        f
+    }
+}
+
+impl<'g, P: Probe> RoundEngine for ProcessSimulator<'g, P> {
+    type Phase<'s, M: Message>
+        = ProcessPhase<'s, 'g, M, P>
+    where
+        Self: 's;
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn bandwidth(&self) -> usize {
+        self.config.bandwidth
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn charge_rounds(&mut self, r: u64) {
+        if P::ENABLED {
+            for i in 0..r {
+                let round = self.metrics.rounds + i;
+                self.probe.on_round_end(RoundObs::charged(round));
+                self.probe.on_round_spans(RoundSpans::charged(round));
+            }
+        }
+        self.metrics.rounds += r;
+        self.metrics.charged_rounds += r;
+    }
+
+    fn messages_across(&self, u: NodeId, v: NodeId) -> u64 {
+        self.metrics.messages_across(self.graph, u, v)
+    }
+
+    fn bits_across(&self, u: NodeId, v: NodeId) -> u64 {
+        self.metrics.bits_across(self.graph, u, v)
+    }
+
+    fn phase<M: Message>(&mut self) -> ProcessPhase<'_, 'g, M, P> {
+        let n = self.graph.n();
+        let shards = self.layout.shards();
+        let ordinal = self.phases_opened;
+        self.phases_opened += 1;
+        let open = (
+            self.metrics.rounds,
+            self.metrics.messages,
+            self.metrics.bits,
+        );
+        let epoch = self.metrics.rounds as u32;
+        let bw = self.config.bandwidth as u64;
+        for w in 0..shards {
+            let mut frame = Frame::control(FrameKind::PhaseStart, w as u16, epoch);
+            put_varint(&mut frame.payload, self.layout.edge_ranges[w].len() as u64);
+            put_varint(&mut frame.payload, bw);
+            self.send_to(w, &frame);
+        }
+        ProcessPhase {
+            slab: PayloadSlab::new(),
+            inboxes: vec![Vec::new(); n],
+            dirty: Vec::new(),
+            sends: Vec::new(),
+            wire_cells: (0..shards).map(|_| Vec::new()).collect(),
+            cell_size: MsgCore::<M>::new(0).cell_size() as u64,
+            live: vec![false; shards],
+            ordinal,
+            open,
+            sim: self,
+        }
+    }
+}
+
+/// One typed communication phase on the process engine.  Structured
+/// like the sequential [`powersparse_congest::sim::Phase`] (the parent
+/// steps nodes in ID order and owns the inboxes), with the enqueue +
+/// transfer tail replaced by one wire round-trip per shard per round.
+pub struct ProcessPhase<'s, 'g, M, P: Probe = NoProbe> {
+    sim: &'s mut ProcessSimulator<'g, P>,
+    /// Parking lot for payloads without an inline wire codec.
+    slab: PayloadSlab<M>,
+    /// Messages available to each node in the next round.
+    inboxes: Vec<Vec<Delivery<M>>>,
+    /// Nodes whose inbox went empty→nonempty this round (drain
+    /// worklist, exactly like the sequential engine's).
+    dirty: Vec<u32>,
+    /// Reused send-record scratch (drained every round).
+    sends: Vec<SendRecord<M>>,
+    /// Per-shard outbound cell scratch (capacity reused across rounds).
+    wire_cells: Vec<Vec<WireCell>>,
+    /// The parent-side `MsgCore::<M>` cell size: children queue encoded
+    /// bytes, so the engine-invariant `arena_bytes_peak` must be scaled
+    /// by the *typed* cell size, not the child's.
+    cell_size: u64,
+    /// Per-shard in-flight flag (child cores nonempty after the last
+    /// transfer, from `RoundStats`).
+    live: Vec<bool>,
+    /// Phase ordinal on the owning engine (0-based, in open order).
+    ordinal: u64,
+    /// `(rounds, messages, bits)` at phase open, for the [`PhaseObs`]
+    /// deltas emitted on drop.
+    open: (u64, u64, u64),
+}
+
+impl<M, P: Probe> Drop for ProcessPhase<'_, '_, M, P> {
+    fn drop(&mut self) {
+        if P::ENABLED {
+            let m = &self.sim.metrics;
+            self.sim.probe.on_phase_end(PhaseObs {
+                phase: self.ordinal,
+                rounds: m.rounds - self.open.0,
+                messages: m.messages - self.open.1,
+                bits: m.bits - self.open.2,
+            });
+        }
+    }
+}
+
+impl<M: Message, P: Probe> ProcessPhase<'_, '_, M, P> {
+    /// Test hook: [`ProcessSimulator::kill_child`] through an open
+    /// phase, for killing a child *between rounds* of a live protocol
+    /// exchange.
+    pub fn kill_child(&mut self, shard: usize) {
+        self.sim.kill_child(shard);
+    }
+
+    /// One round: step every node in ID order (timed per shard — node
+    /// ranges are contiguous and ascending, so ID order visits shards
+    /// in order), then run the wire tail.  Mirrors the sequential
+    /// engine's `run_step`; panics from misbehaving node programs fire
+    /// here, before any frame is written, leaving the protocol clean.
+    fn run_step(&mut self, mut g: impl FnMut(usize, &[Delivery<M>], &mut Outbox<'_, M>)) {
+        self.dirty.clear();
+        let mut sends = std::mem::take(&mut self.sends);
+        let shards = self.sim.layout.shards();
+        let mut step_ns = probe_vec::<u64, P>(shards);
+        let round_start = now_if(P::ENABLED);
+        for w in 0..shards {
+            let t0 = now_if(P::ENABLED);
+            for i in self.sim.layout.node_ranges[w].clone() {
+                let inbox = std::mem::take(&mut self.inboxes[i]);
+                let mut out = Outbox::new(self.sim.graph, NodeId::from(i), &mut sends);
+                g(i, &inbox, &mut out);
+            }
+            if P::ENABLED {
+                step_ns[w] = ns_between(t0, now_if(true));
+            }
+        }
+        self.finish_round(&mut sends, step_ns, round_start);
+        self.sends = sends;
+    }
+
+    /// The wire tail of one round: bucket the sends per shard, ship
+    /// `Sends` + `Barrier` to every child (all writes before any read —
+    /// children read until their barrier, so the two directions never
+    /// deadlock), then collect `Deliveries` + `RoundStats` per shard in
+    /// ascending order and close the round's accounting.
+    fn finish_round(
+        &mut self,
+        sends: &mut Vec<SendRecord<M>>,
+        step_ns: Vec<u64>,
+        round_start: Option<Instant>,
+    ) {
+        let shards = self.sim.layout.shards();
+        let per_edge = self.sim.metrics.per_edge;
+        let epoch = self.sim.metrics.rounds as u32;
+
+        // Bucket the round's sends per shard in one pass: nodes are
+        // stepped in ID order and a node's out-edges all lie in its
+        // shard's CSR range, so edge indices never cross back over a
+        // shard boundary.
+        let mut bits_total = 0u64;
+        {
+            let mut w = 0usize;
+            for rec in sends.drain(..) {
+                while rec.edge >= self.sim.layout.edge_ranges[w].end {
+                    w += 1;
+                }
+                bits_total += rec.bits;
+                if per_edge {
+                    self.sim.metrics.edge_bits[rec.edge] += rec.bits;
+                }
+                let mut payload = Vec::new();
+                encode_payload(rec.msg, &mut self.slab, &mut payload);
+                self.wire_cells[w].push(WireCell {
+                    edge: (rec.edge - self.sim.layout.edge_ranges[w].start) as u64,
+                    bits: rec.bits,
+                    from: rec.from.0,
+                    payload,
+                });
+            }
+        }
+        self.sim.metrics.bits += bits_total;
+
+        // Ship the round. Every child gets a Sends frame (even empty:
+        // it advances the child's epoch) and its barrier.
+        for w in 0..shards {
+            let mut payload = Vec::new();
+            encode_cells(&self.wire_cells[w], &mut payload);
+            let count = self.wire_cells[w].len() as u32;
+            self.wire_cells[w].clear();
+            let frame = Frame {
+                kind: FrameKind::Sends,
+                shard: w as u16,
+                epoch,
+                count,
+                payload,
+            };
+            self.sim.send_to(w, &frame);
+            self.sim
+                .send_to(w, &Frame::control(FrameKind::Barrier, w as u16, epoch));
+        }
+
+        // Collect. Ascending shard order = ascending global edge order,
+        // the reference delivery order.
+        let mut queued_total = 0u64;
+        let mut active_total = 0u64;
+        let mut transfer_ns = probe_vec::<u64, P>(shards);
+        let mut arena_cells = probe_vec::<u64, P>(shards);
+        let mut shard_splice = probe_vec::<u64, P>(shards);
+        let mut msgs_total = 0u64;
+        for w in 0..shards {
+            let deliveries = self.sim.expect_frame(w, FrameKind::Deliveries, epoch);
+            let cells = decode_cells(&deliveries.payload, deliveries.count as usize)
+                .unwrap_or_else(|e| raise(w, e));
+            let edge_range = self.sim.layout.edge_ranges[w].clone();
+            for cell in cells {
+                let edge = edge_range.start + cell.edge as usize;
+                if edge >= edge_range.end {
+                    raise(w, WireError::Payload);
+                }
+                let msg =
+                    decode_payload(&cell.payload, &mut self.slab).unwrap_or_else(|e| raise(w, e));
+                self.sim.metrics.messages += 1;
+                msgs_total += 1;
+                if per_edge {
+                    self.sim.metrics.edge_messages[edge] += 1;
+                }
+                let to = self.sim.graph.edge_target(edge);
+                let inbox = &mut self.inboxes[to.index()];
+                if inbox.is_empty() {
+                    self.dirty.push(to.0);
+                }
+                inbox.push((NodeId(cell.from), msg));
+            }
+            let stats = self.sim.expect_frame(w, FrameKind::RoundStats, epoch);
+            let mut p = stats.payload.as_slice();
+            let mut next = || get_varint(&mut p).unwrap_or_else(|e| raise(w, e));
+            let (queued, peak, active_after, queued_after, child_transfer_ns) =
+                (next(), next(), next(), next(), next());
+            self.sim.metrics.peak_queue_depth = self.sim.metrics.peak_queue_depth.max(peak);
+            queued_total += queued;
+            active_total += active_after;
+            self.live[w] = queued_after > 0;
+            if P::ENABLED {
+                transfer_ns[w] = child_transfer_ns;
+                arena_cells[w] = queued;
+                shard_splice[w] = deliveries.count as u64;
+            }
+        }
+        // The per-shard queued counts are sampled at each child's
+        // transfer start and sum to the sequential engine's global
+        // value; bytes scale by the parent-side typed cell size.
+        self.sim.metrics.arena_cells_peak = self.sim.metrics.arena_cells_peak.max(queued_total);
+        self.sim.metrics.arena_bytes_peak = self
+            .sim
+            .metrics
+            .arena_bytes_peak
+            .max(queued_total * self.cell_size);
+        self.sim.metrics.rounds += 1;
+        if P::ENABLED {
+            let round = self.sim.metrics.rounds - 1;
+            self.sim.probe.on_round_end(RoundObs {
+                round,
+                active_edges: active_total,
+                dirty_nodes: self.dirty.len() as u64,
+                messages: msgs_total,
+                bits: bits_total,
+                shard_splice,
+            });
+            // Barrier attribution: round wall (on the parent) minus the
+            // shard's attributed busy time, saturating like the pooled
+            // engine's (wire latency all lands in the barrier span).
+            let wall = ns_between(round_start, now_if(true));
+            let barrier_ns = (0..shards)
+                .map(|w| wall.saturating_sub(step_ns[w] + transfer_ns[w]))
+                .collect();
+            self.sim.probe.on_round_spans(RoundSpans {
+                round,
+                step_ns,
+                transfer_ns,
+                barrier_ns,
+                arena_cells,
+            });
+        }
+    }
+
+    /// The quiescence loop, mirroring the sequential engine's
+    /// `run_drain` (dirty worklist in ID order, silent rounds while
+    /// anything is in flight).
+    fn run_drain(&mut self, max_rounds: u64, mut g: impl FnMut(usize, &[Delivery<M>])) {
+        let mut spent = 0u64;
+        loop {
+            let mut dirty = std::mem::take(&mut self.dirty);
+            dirty.sort_unstable();
+            for &i in &dirty {
+                let inbox = std::mem::take(&mut self.inboxes[i as usize]);
+                g(i as usize, &inbox);
+            }
+            dirty.clear();
+            self.dirty = dirty;
+            if !RoundPhase::in_flight(self) {
+                break;
+            }
+            assert!(spent < max_rounds, "settle exceeded {max_rounds} rounds");
+            self.run_step(|_, _, _| {});
+            spent += 1;
+        }
+    }
+}
+
+impl<M: Message, P: Probe> RoundPhase<M> for ProcessPhase<'_, '_, M, P> {
+    fn graph(&self) -> &Graph {
+        self.sim.graph
+    }
+
+    fn step<S, F>(&mut self, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>], &mut Outbox<'_, M>) + Sync,
+    {
+        let n = self.sim.graph.n();
+        assert_eq!(state.len(), n, "state slice must have one entry per node");
+        self.run_step(|i, inbox, out| f(&mut state[i], NodeId::from(i), inbox, out));
+    }
+
+    fn settle<S, F>(&mut self, max_rounds: u64, state: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, NodeId, &[Delivery<M>]) + Sync,
+    {
+        assert_eq!(
+            state.len(),
+            self.inboxes.len(),
+            "state slice must have one entry per node"
+        );
+        self.run_drain(max_rounds, |i, inbox| {
+            f(&mut state[i], NodeId::from(i), inbox)
+        });
+    }
+
+    fn in_flight(&self) -> bool {
+        self.live.iter().any(|&l| l)
+    }
+
+    fn idle(&self) -> bool {
+        !RoundPhase::in_flight(self) && self.dirty.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powersparse_congest::sim::Simulator;
+    use powersparse_graphs::generators;
+
+    /// The same nontrivial echo program as the other backends' unit
+    /// tests: fragmentation, FIFO order and per-node state.
+    fn echo_program<E: RoundEngine>(eng: &mut E, rounds: usize) -> (Vec<u64>, Metrics) {
+        let n = eng.graph().n();
+        let mut acc: Vec<u64> = vec![0; n];
+        let mut phase = eng.phase::<u64>();
+        for r in 0..rounds {
+            phase.step(&mut acc, |a, v, inbox, out| {
+                for &(from, m) in inbox {
+                    *a = a.wrapping_mul(31).wrapping_add(m ^ u64::from(from.0));
+                }
+                let payload = *a ^ (v.0 as u64) << 8 | r as u64;
+                let bits = if v.0 % 2 == 1 { 200 } else { 5 };
+                out.broadcast(v, payload, bits);
+            });
+        }
+        phase.settle(10_000, &mut acc, |a, _v, inbox| {
+            for &(from, m) in inbox {
+                *a = a.wrapping_mul(31).wrapping_add(m ^ u64::from(from.0));
+            }
+        });
+        drop(phase);
+        (acc, eng.metrics().clone())
+    }
+
+    #[test]
+    fn parity_with_sequential_across_shard_counts() {
+        let g = generators::connected_gnp(120, 0.05, 9);
+        let config = SimConfig::with_bandwidth(24).with_per_edge_accounting();
+        let mut seq = Simulator::new(&g, config);
+        let (want, want_m) = echo_program(&mut seq, 4);
+        for shards in [1usize, 2, 5] {
+            let mut pr = ProcessSimulator::with_shards(&g, config, shards);
+            let (got, got_m) = echo_program(&mut pr, 4);
+            assert_eq!(got, want, "outputs diverged at {shards} shards");
+            assert_eq!(got_m, want_m, "metrics diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn slab_payload_types_round_trip_through_children() {
+        // `String` has no inline wire codec, so every payload parks in
+        // the parent-side slab and only slot ids cross the wire.
+        let g = generators::cycle(10);
+        let config = SimConfig::for_graph(&g);
+        fn program<E: RoundEngine>(eng: &mut E) -> Vec<Vec<String>> {
+            let n = eng.graph().n();
+            let mut log: Vec<Vec<String>> = vec![Vec::new(); n];
+            let mut phase = eng.phase::<String>();
+            phase.step(&mut log, |_, v, _in, out| {
+                out.broadcast(v, format!("hi from {v}"), 16);
+            });
+            phase.settle(64, &mut log, |mine, _v, inbox| {
+                mine.extend(inbox.iter().map(|(f, m)| format!("{f}:{m}")));
+            });
+            drop(phase);
+            log
+        }
+        let mut seq = Simulator::new(&g, config);
+        let want = program(&mut seq);
+        let mut pr = ProcessSimulator::with_shards(&g, config, 3);
+        let got = program(&mut pr);
+        assert_eq!(got, want);
+        assert_eq!(seq.metrics(), RoundEngine::metrics(&pr));
+    }
+
+    #[test]
+    fn settle_counts_rounds_like_drain() {
+        let g = generators::path(2);
+        let config = SimConfig::with_bandwidth(4);
+        let mut seq = Simulator::new(&g, config);
+        {
+            let mut phase = seq.phase::<u8>();
+            phase.round(|v, _in, out| {
+                if v == NodeId(0) {
+                    out.send(v, NodeId(1), 1, 40);
+                }
+            });
+            phase.drain(64, |_, _| {});
+        }
+        let mut pr = ProcessSimulator::with_shards(&g, config, 2);
+        {
+            let mut unit = vec![(); 2];
+            let mut phase = pr.phase::<u8>();
+            phase.step(&mut unit, |_, v, _in, out| {
+                if v == NodeId(0) {
+                    out.send(v, NodeId(1), 1, 40);
+                }
+            });
+            phase.settle(64, &mut unit, |_, _, _| {});
+        }
+        assert_eq!(seq.metrics(), RoundEngine::metrics(&pr));
+    }
+
+    #[test]
+    fn charge_rounds_and_accessors() {
+        let g = generators::path(5);
+        let mut pr = ProcessSimulator::new(&g, SimConfig::for_graph(&g));
+        assert!(pr.shards() >= 1);
+        pr.charge_rounds(3);
+        assert_eq!(pr.metrics().rounds, 3);
+        assert_eq!(pr.metrics().charged_rounds, 3);
+        assert_eq!(
+            RoundEngine::bandwidth(&pr),
+            SimConfig::for_graph(&g).bandwidth
+        );
+    }
+
+    #[test]
+    fn idle_tracks_unread_inboxes() {
+        let g = generators::path(2);
+        let mut pr = ProcessSimulator::with_shards(&g, SimConfig::with_bandwidth(64), 2);
+        let mut unit = vec![(); 2];
+        let mut phase = pr.phase::<u8>();
+        assert!(RoundPhase::idle(&phase));
+        phase.step(&mut unit, |_, v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, NodeId(1), 7, 4);
+            }
+        });
+        // Delivered but unread: not idle, though nothing is in flight.
+        assert!(!RoundPhase::in_flight(&phase));
+        assert!(!RoundPhase::idle(&phase));
+        phase.step(&mut unit, |_, _, _, _| {});
+        assert!(RoundPhase::idle(&phase));
+    }
+
+    #[test]
+    fn phases_reuse_the_same_children() {
+        let g = generators::grid(4, 5);
+        let config = SimConfig::with_bandwidth(9).with_per_edge_accounting();
+        let mut seq = Simulator::new(&g, config);
+        let mut pr = ProcessSimulator::with_shards(&g, config, 4);
+        echo_program(&mut seq, 2);
+        echo_program(&mut pr, 2);
+        let mut unit = vec![0usize; g.n()];
+        let mut p = pr.phase::<u8>();
+        p.step(&mut unit, |_, v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, g.neighbors(v)[0], 1, 4);
+            }
+        });
+        p.settle(16, &mut unit, |s, _, inbox| *s += inbox.len());
+        drop(p);
+        let mut q = seq.phase::<u8>();
+        RoundPhase::step(&mut q, &mut vec![0usize; g.n()], |_, v, _in, out| {
+            if v == NodeId(0) {
+                out.send(v, g.neighbors(v)[0], 1, 4);
+            }
+        });
+        q.settle(16, &mut vec![0usize; g.n()], |_, _, _| {});
+        drop(q);
+        assert_eq!(seq.metrics(), RoundEngine::metrics(&pr));
+        for (u, v) in g.edges() {
+            assert_eq!(seq.messages_across(u, v), pr.messages_across(u, v));
+            assert_eq!(seq.bits_across(v, u), pr.bits_across(v, u));
+        }
+    }
+}

@@ -28,7 +28,7 @@ use powersparse::sparsify::{sparsify_power, SamplingStrategy};
 use powersparse::TheoryParams;
 use powersparse_congest::engine::{Metrics, RoundEngine};
 use powersparse_congest::sim::{SimConfig, Simulator};
-use powersparse_engine::{PooledSimulator, ShardedSimulator};
+use powersparse_engine::{PooledSimulator, ProcessSimulator, ShardedSimulator};
 use powersparse_graphs::{check, generators, Graph};
 
 /// The shard counts every backend is checked at (1 shard is the
@@ -77,6 +77,22 @@ impl EngineFactory for PooledFactory {
 
     fn build<'g>(&self, g: &'g Graph, config: SimConfig, shards: usize) -> PooledSimulator<'g> {
         PooledSimulator::with_shards(g, config, shards)
+    }
+}
+
+/// Factory for the multi-process [`ProcessSimulator`] (one forked child
+/// per shard, wire frames for every cross-shard byte).
+pub struct ProcessFactory;
+
+impl EngineFactory for ProcessFactory {
+    type Engine<'g> = ProcessSimulator<'g>;
+
+    fn label(&self) -> &'static str {
+        "process"
+    }
+
+    fn build<'g>(&self, g: &'g Graph, config: SimConfig, shards: usize) -> ProcessSimulator<'g> {
+        ProcessSimulator::with_shards(g, config, shards)
     }
 }
 

@@ -1,15 +1,15 @@
-//! The deterministic conformance matrix, instantiated for both parallel
-//! backends at every [`harness::SHARD_GRID`] count, plus the
+//! The deterministic conformance matrix, instantiated for every
+//! parallel backend at every [`harness::SHARD_GRID`] count, plus the
 //! acceptance-scale and deep-pipeline checks.
 
 use crate::harness::{
     self, assert_case_conformance, assert_case_conformance_with, Algorithm, Case, EngineFactory,
-    PooledFactory, ShardedFactory,
+    PooledFactory, ProcessFactory, ShardedFactory,
 };
 use powersparse::mis::luby_mis;
 use powersparse_congest::engine::{Metrics, RoundEngine, RoundPhase};
 use powersparse_congest::sim::{SimConfig, Simulator};
-use powersparse_engine::{PooledSimulator, ShardedSimulator};
+use powersparse_engine::{PooledSimulator, ProcessSimulator, ShardedSimulator};
 use powersparse_graphs::{check, generators, Graph, NodeId};
 
 #[test]
@@ -20,6 +20,11 @@ fn sharded_passes_the_full_matrix() {
 #[test]
 fn pooled_passes_the_full_matrix() {
     harness::run_full_matrix(&PooledFactory);
+}
+
+#[test]
+fn process_passes_the_full_matrix() {
+    harness::run_full_matrix(&ProcessFactory);
 }
 
 /// The opt-in accounting contract: with per-edge accounting **off**
@@ -43,6 +48,7 @@ fn aggregate_only_mode_conforms_and_allocates_nothing() {
     // Conformance of the whole run under aggregate-only accounting.
     assert_case_conformance_with(&ShardedFactory, &case, &[1, 2, 4], off);
     assert_case_conformance_with(&PooledFactory, &case, &[1, 2, 4], off);
+    assert_case_conformance_with(&ProcessFactory, &case, &[2], off);
     // And the mode changes no always-on counter: compare against the
     // per-edge-enabled reference field by field.
     let (out_off, m_off) = harness::reference_with(&case, off);
@@ -117,6 +123,8 @@ fn peak_queue_depth_agrees_on_multi_edge_burst() {
         assert_eq!(got, want, "sharded burst metrics diverged at {shards}");
         let got = burst(&mut PooledSimulator::with_shards(&g, config, shards));
         assert_eq!(got, want, "pooled burst metrics diverged at {shards}");
+        let got = burst(&mut ProcessSimulator::with_shards(&g, config, shards));
+        assert_eq!(got, want, "process burst metrics diverged at {shards}");
     }
 }
 
@@ -141,6 +149,7 @@ fn delayed_bfs_path_conforms_on_both_backends() {
     assert!(nd.color.len() > 1, "must have formed several clusters");
     assert_case_conformance(&ShardedFactory, &case, &[1, 4]);
     assert_case_conformance(&PooledFactory, &case, &[1, 4]);
+    assert_case_conformance(&ProcessFactory, &case, &[2]);
 }
 
 /// One shard versus the machine-default worker count: same bits, same
@@ -165,6 +174,14 @@ fn one_shard_matches_default_shards() {
     assert_eq!(c, d, "pooled default ({}) diverged", dflt.shards());
     assert_eq!(RoundEngine::metrics(&one), RoundEngine::metrics(&dflt));
     assert_eq!(a, c, "backends diverged from each other");
+
+    let mut one = ProcessSimulator::with_shards(&g, config, 1);
+    let mut dflt = ProcessSimulator::new(&g, config);
+    let e = luby_mis(&mut one, 2, 13);
+    let f = luby_mis(&mut dflt, 2, 13);
+    assert_eq!(e, f, "process default ({}) diverged", dflt.shards());
+    assert_eq!(RoundEngine::metrics(&one), RoundEngine::metrics(&dflt));
+    assert_eq!(a, e, "process backend diverged from the others");
 }
 
 /// The full acceptance-scale check at a size where sharding matters:
@@ -181,6 +198,7 @@ fn large_graph_luby_conformance() {
     );
     assert_case_conformance(&ShardedFactory, &case, &[8]);
     assert_case_conformance(&PooledFactory, &case, &[8]);
+    assert_case_conformance(&ProcessFactory, &case, &[8]);
     // And the reference output is a valid MIS of G (not just equal).
     let (_, metrics) = harness::reference(&case);
     assert!(metrics.rounds > 0);

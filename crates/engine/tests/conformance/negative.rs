@@ -1,7 +1,11 @@
 //! The negative side of the engine contract: a deliberately misbehaving
-//! `RoundPhase` program must be rejected **identically on all three
+//! `RoundPhase` program must be rejected **identically on all four
 //! engines** — same panic, same message — so no backend silently
-//! tolerates an illegal node program another backend would reject.
+//! tolerates an illegal node program another backend would reject. The
+//! multi-process backend steps nodes in the parent, so every contract
+//! panic below fires before a byte crosses the wire; the panic message
+//! must still match the sequential reference exactly even though the
+//! message cores live in forked children.
 //!
 //! The misbehaviors a node program can express at runtime:
 //!
@@ -18,7 +22,7 @@
 
 use powersparse_congest::engine::{RoundEngine, RoundPhase};
 use powersparse_congest::sim::{SimConfig, Simulator};
-use powersparse_engine::{PooledSimulator, ShardedSimulator};
+use powersparse_engine::{PooledSimulator, ProcessSimulator, ShardedSimulator};
 use powersparse_graphs::{generators, NodeId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -61,9 +65,9 @@ fn misbehavior_message<E: RoundEngine>(eng: &mut E, mis: Misbehavior) -> String 
 }
 
 /// Asserts that the misbehavior panics with the same message on the
-/// sequential, sharded and pooled engines (several shard counts, so the
-/// offending node lands both on the coordinator's shard and on helper
-/// threads).
+/// sequential, sharded, pooled and process engines (several shard
+/// counts, so the offending node lands both on the coordinator's shard
+/// and on helper threads / forked children).
 fn assert_identical_rejection(mis: Misbehavior, expected_fragment: &str) {
     let g = generators::path(4);
     let config = SimConfig::for_graph(&g);
@@ -80,6 +84,10 @@ fn assert_identical_rejection(mis: Misbehavior, expected_fragment: &str) {
         messages.push((
             format!("pooled{shards}"),
             misbehavior_message(&mut PooledSimulator::with_shards(&g, config, shards), mis),
+        ));
+        messages.push((
+            format!("process{shards}"),
+            misbehavior_message(&mut ProcessSimulator::with_shards(&g, config, shards), mis),
         ));
     }
     let (ref_engine, ref_msg) = &messages[0];
@@ -121,7 +129,7 @@ fn wrong_state_length_rejected_identically() {
 /// Querying per-edge traffic on an engine built without
 /// `MetricsConfig::per_edge` (the default) is rejected with the
 /// documented "per-edge accounting is disabled" panic — identically on
-/// all three engines, for both accessors, even after traffic flowed.
+/// all four engines, for both accessors, even after traffic flowed.
 #[test]
 fn per_edge_query_without_accounting_rejected_identically() {
     fn query_panic<E: RoundEngine>(eng: &mut E, bits: bool) -> String {
@@ -160,6 +168,7 @@ fn per_edge_query_without_accounting_rejected_identically() {
             query_panic(&mut Simulator::new(&g, config), bits),
             query_panic(&mut ShardedSimulator::with_shards(&g, config, 2), bits),
             query_panic(&mut PooledSimulator::with_shards(&g, config, 2), bits),
+            query_panic(&mut ProcessSimulator::with_shards(&g, config, 2), bits),
         ];
         assert!(
             msgs[0].contains("per-edge accounting is disabled"),
@@ -168,10 +177,11 @@ fn per_edge_query_without_accounting_rejected_identically() {
         );
         assert_eq!(msgs[0], msgs[1], "sharded rejected differently");
         assert_eq!(msgs[0], msgs[2], "pooled rejected differently");
+        assert_eq!(msgs[0], msgs[3], "process rejected differently");
     }
 }
 
-/// With accounting enabled, the same query succeeds on all three
+/// With accounting enabled, the same query succeeds on all four
 /// engines and agrees — the positive control for the rejection above.
 #[test]
 fn per_edge_query_with_accounting_succeeds() {
@@ -202,6 +212,10 @@ fn per_edge_query_with_accounting_succeeds() {
         want,
         traffic(&mut PooledSimulator::with_shards(&g, config, 2))
     );
+    assert_eq!(
+        want,
+        traffic(&mut ProcessSimulator::with_shards(&g, config, 2))
+    );
 }
 
 /// The settle entry point enforces the state-slice discipline too.
@@ -225,8 +239,10 @@ fn settle_rejects_wrong_state_length_identically() {
         settle_panic(&mut Simulator::new(&g, config)),
         settle_panic(&mut ShardedSimulator::with_shards(&g, config, 2)),
         settle_panic(&mut PooledSimulator::with_shards(&g, config, 2)),
+        settle_panic(&mut ProcessSimulator::with_shards(&g, config, 2)),
     ];
     assert!(msgs[0].contains("state slice"), "{}", msgs[0]);
     assert_eq!(msgs[0], msgs[1]);
     assert_eq!(msgs[0], msgs[2]);
+    assert_eq!(msgs[0], msgs[3]);
 }

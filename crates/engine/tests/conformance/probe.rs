@@ -8,14 +8,16 @@
 //!   `(round, active_edges, dirty_nodes, messages, bits)`,
 //! * identical [`PhaseObs`] sequences, and
 //! * per-shard splice volumes that sum to the round's message count —
-//!   with the *whole* splice vector equal between the sharded and
-//!   pooled backends at the same shard count (they shard identically).
+//!   with the *whole* splice vector equal between the sharded, pooled
+//!   and process backends at the same shard count (they shard
+//!   identically; the process backend reports splice volumes from its
+//!   children's `Deliveries` frame counts).
 
 use crate::harness::{case_config, full_matrix, Case, SHARD_GRID};
 use powersparse_congest::engine::RoundEngine;
 use powersparse_congest::probe::{PhaseObs, TraceProbe};
 use powersparse_congest::sim::{SimConfig, Simulator};
-use powersparse_engine::{PooledSimulator, ShardedSimulator};
+use powersparse_engine::{PooledSimulator, ProcessSimulator, ShardedSimulator};
 use powersparse_graphs::generators;
 use proptest::prelude::*;
 
@@ -86,7 +88,22 @@ fn traces_agree_across_engines_at_all_shard_counts() {
             assert_eq!(RoundEngine::metrics(&po).rounds, rounds);
             let po_trace = po.into_probe();
 
-            for (label, trace) in [("sharded", &sh_trace), ("pooled", &po_trace)] {
+            let mut pr =
+                ProcessSimulator::with_probe(&case.graph, config, shards, TraceProbe::new());
+            let pr_out = case.algorithm.run(&case.graph, &mut pr, case.seed);
+            assert_eq!(
+                pr_out, want_out,
+                "{}: process output at {shards}",
+                case.name
+            );
+            assert_eq!(RoundEngine::metrics(&pr).rounds, rounds);
+            let pr_trace = pr.into_probe();
+
+            for (label, trace) in [
+                ("sharded", &sh_trace),
+                ("pooled", &po_trace),
+                ("process", &pr_trace),
+            ] {
                 assert_trace_well_formed(trace, rounds, label);
                 assert_eq!(
                     trace.cores(),
@@ -100,11 +117,17 @@ fn traces_agree_across_engines_at_all_shard_counts() {
                     case.name
                 );
             }
-            // Sharded and pooled shard identically, so even the
-            // backend-shaped splice vectors must agree whole.
+            // All parallel backends shard identically, so even the
+            // backend-shaped splice vectors must agree whole — the
+            // process backend's come back over the wire.
             assert_eq!(
                 sh_trace, po_trace,
                 "{}: full traces (incl. splice volumes) diverged at {shards} shards",
+                case.name
+            );
+            assert_eq!(
+                sh_trace, pr_trace,
+                "{}: process trace (incl. splice volumes) diverged at {shards} shards",
                 case.name
             );
         }
@@ -131,6 +154,9 @@ fn quiet_rounds_fire_zeroed_observations_in_order() {
         let mut po = PooledSimulator::with_probe(&g, config, shards, TraceProbe::new());
         drive(&mut po);
         traces.push(po.into_probe());
+        let mut pr = ProcessSimulator::with_probe(&g, config, shards, TraceProbe::new());
+        drive(&mut pr);
+        traces.push(pr.into_probe());
     }
     for t in &traces {
         let cores = t.cores();
@@ -194,5 +220,10 @@ proptest! {
             prop_assert_eq!(r, rounds);
             assert_trace_well_formed(&po.into_probe(), r, "pooled");
         }
+        let mut pr = ProcessSimulator::with_probe(&case.graph, config, 2, TraceProbe::new());
+        case.algorithm.run(&case.graph, &mut pr, case.seed);
+        let r = RoundEngine::metrics(&pr).rounds;
+        prop_assert_eq!(r, rounds);
+        assert_trace_well_formed(&pr.into_probe(), r, "process");
     }
 }

@@ -1,18 +1,23 @@
 //! Randomized conformance properties: seeded random graphs and
-//! parameters, both parallel backends, checked through the same
+//! parameters, every parallel backend, checked through the same
 //! [`crate::harness`] assertion as the deterministic matrix. These are
 //! the direct descendants of the PR 1–3 parity property tests, now
 //! phrased once and instantiated per backend.
 
-use crate::harness::{assert_case_conformance, Algorithm, Case, PooledFactory, ShardedFactory};
+use crate::harness::{
+    assert_case_conformance, Algorithm, Case, PooledFactory, ProcessFactory, ShardedFactory,
+};
 use powersparse_graphs::generators;
 use proptest::prelude::*;
 
-/// Both backends, at an inline and a non-divisor shard count each (the
-/// deterministic matrix already sweeps the full 1/2/4/8 grid).
-fn both_backends(case: &Case) {
+/// Every backend: the thread engines at an inline and a non-divisor
+/// shard count each, the process engine at one parallel count (forking
+/// is the expensive part; the deterministic matrix already sweeps its
+/// full 1/2/4/8 grid).
+fn all_backends(case: &Case) {
     assert_case_conformance(&ShardedFactory, case, &[1, 3]);
     assert_case_conformance(&PooledFactory, case, &[2, 5]);
+    assert_case_conformance(&ProcessFactory, case, &[2]);
 }
 
 proptest! {
@@ -23,14 +28,14 @@ proptest! {
     #[test]
     fn luby_conformance_on_random_graphs(n in 20usize..140, k in 1usize..3, seed in 0u64..500) {
         let g = generators::connected_gnp(n, 4.0 / n as f64, seed);
-        both_backends(&Case::new("luby/random", g, seed, Algorithm::LubyMis { k }));
+        all_backends(&Case::new("luby/random", g, seed, Algorithm::LubyMis { k }));
     }
 
     /// BeepingMIS (Lemma 8.2 beeps) on random graphs.
     #[test]
     fn beeping_conformance_on_random_graphs(n in 20usize..110, k in 1usize..3, seed in 0u64..400) {
         let g = generators::connected_gnp(n, 5.0 / n as f64, seed);
-        both_backends(&Case::new("beeping/random", g, seed, Algorithm::BeepingMis { k }));
+        all_backends(&Case::new("beeping/random", g, seed, Algorithm::BeepingMis { k }));
     }
 
     /// The AGLP ruling set with ball partition (min-ID knock-out floods
@@ -38,7 +43,7 @@ proptest! {
     #[test]
     fn aglp_conformance_on_random_graphs(n in 20usize..110, dist in 1usize..4, seed in 0u64..400) {
         let g = generators::connected_gnp(n, 5.0 / n as f64, seed);
-        both_backends(&Case::new("aglp/random", g, seed, Algorithm::AglpRuling { dist }));
+        all_backends(&Case::new("aglp/random", g, seed, Algorithm::AglpRuling { dist }));
     }
 
     /// Corollary 1.3's randomized `(k+1, kβ)`-ruling set.
@@ -46,7 +51,7 @@ proptest! {
     fn beta_ruling_conformance_on_random_graphs(n in 24usize..100, beta in 2usize..4, seed in 0u64..400) {
         let g = generators::connected_gnp(n, 6.0 / n as f64, seed);
         let k = 1 + (seed as usize % 2);
-        both_backends(&Case::new("beta/random", g, seed, Algorithm::BetaRuling { k, beta }));
+        all_backends(&Case::new("beta/random", g, seed, Algorithm::BetaRuling { k, beta }));
     }
 }
 
@@ -59,7 +64,7 @@ proptest! {
     #[test]
     fn sparsifier_conformance_on_random_graphs(n in 24usize..80, k in 1usize..3, seed in 0u64..300) {
         let g = generators::connected_gnp(n, 5.0 / n as f64, seed);
-        both_backends(&Case::new(
+        all_backends(&Case::new(
             "sparsify-det/random",
             g,
             seed,
@@ -72,7 +77,7 @@ proptest! {
     #[test]
     fn randomized_sparsifier_conformance(n in 24usize..90, seed in 0u64..300) {
         let g = generators::connected_gnp(n, 6.0 / n as f64, seed);
-        both_backends(&Case::new(
+        all_backends(&Case::new(
             "sparsify-rand/random",
             g,
             seed,
@@ -84,7 +89,7 @@ proptest! {
     #[test]
     fn det_ruling_conformance_on_random_graphs(n in 24usize..70, k in 1usize..3, seed in 0u64..200) {
         let g = generators::connected_gnp(n, 5.0 / n as f64, seed);
-        both_backends(&Case::new("detk2/random", g, seed, Algorithm::DetRulingK2 { k }));
+        all_backends(&Case::new("detk2/random", g, seed, Algorithm::DetRulingK2 { k }));
     }
 
     /// The shattering MIS of Theorems 1.2/1.4 — every phase of the
@@ -93,7 +98,7 @@ proptest! {
     fn shatter_mis_conformance_on_random_graphs(n in 40usize..100, seed in 0u64..200) {
         let g = generators::connected_gnp(n, 6.0 / n as f64, seed);
         let k = 1 + (seed as usize % 2);
-        both_backends(&Case::new(
+        all_backends(&Case::new(
             "shatter/random",
             g,
             seed,
@@ -106,6 +111,6 @@ proptest! {
     #[test]
     fn power_nd_conformance_on_random_graphs(n in 30usize..90, k in 1usize..3, seed in 0u64..200) {
         let g = generators::connected_gnp(n, 5.0 / n as f64, seed);
-        both_backends(&Case::new("nd/random", g, seed, Algorithm::PowerNd { k }));
+        all_backends(&Case::new("nd/random", g, seed, Algorithm::PowerNd { k }));
     }
 }

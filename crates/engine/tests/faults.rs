@@ -1,0 +1,206 @@
+//! The transport fault-injection wall for the multi-process backend.
+//!
+//! Every way the wire can fail — torn frame, flipped bits, duplicated
+//! or reordered traffic, a child killed mid-round, a child wedged past
+//! the barrier timeout — must fail **closed**: a deterministic panic
+//! carrying the stable `wire::EngineError` display, never a hang and
+//! never a wrong answer.  Faults are injected through
+//! `ProcessSimulator::wrap_transport` (a `wire::FaultyTransport` around
+//! the real socket) and the two child-signal hooks.
+//!
+//! The recv stream a wrapper sees is fixed by the protocol: the `Hello`
+//! frame is consumed at engine construction, so received frame `2r` is
+//! round `r`'s `Deliveries` and `2r + 1` its `RoundStats` — injecting
+//! at index 0 always hits round 0's reply.
+
+use powersparse_congest::engine::{RoundEngine, RoundPhase};
+use powersparse_congest::sim::{SimConfig, Simulator};
+use powersparse_engine::wire::{Fault, FaultyTransport};
+use powersparse_engine::ProcessSimulator;
+use powersparse_graphs::{generators, NodeId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Steps ping-pong traffic on every edge of the path for three rounds,
+/// then settles.  The workload every fault is injected into.
+fn drive<E: RoundEngine>(eng: &mut E) {
+    let n = eng.graph().n();
+    let mut unit = vec![(); n];
+    let mut phase = eng.phase::<u32>();
+    for _ in 0..3 {
+        phase.step(&mut unit, |_, v, _in, out| {
+            if (v.0 as usize) + 1 < n {
+                out.send(v, NodeId(v.0 + 1), v.0, 8);
+            }
+            if v.0 > 0 {
+                out.send(v, NodeId(v.0 - 1), v.0, 8);
+            }
+        });
+    }
+    phase.settle(64, &mut unit, |_, _, _| {});
+}
+
+/// Builds a 2-shard process engine with a short barrier timeout over a
+/// path graph, applies `prepare` (the fault hook), drives real traffic,
+/// and returns the deterministic panic message the faulted round
+/// produced.  Also proves the "never hangs" half of the contract: the
+/// whole run is bounded by a wall-clock assertion.
+fn fault_panic(prepare: impl FnOnce(&mut ProcessSimulator<'_>)) -> String {
+    let g = generators::path(8);
+    let config = SimConfig::for_graph(&g);
+    let mut eng = ProcessSimulator::with_shards(&g, config, 2)
+        .with_barrier_timeout(Duration::from_millis(300));
+    prepare(&mut eng);
+    let start = Instant::now();
+    let err = catch_unwind(AssertUnwindSafe(|| drive(&mut eng)))
+        .expect_err("faulted run must panic, not produce an answer");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "fault took {:?} to surface — the wall must not hang",
+        start.elapsed()
+    );
+    drop(eng);
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".into())
+}
+
+#[test]
+fn truncated_frame_fails_closed() {
+    let msg = fault_panic(|eng| {
+        eng.wrap_transport(1, |t| {
+            Box::new(FaultyTransport::new(t, 0, Fault::Truncate { drop: 3 }))
+        });
+    });
+    assert_eq!(msg, "process engine: shard 1: truncated frame");
+}
+
+#[test]
+fn corrupted_checksum_fails_closed() {
+    // Offset 17 is the first CRC byte: the frame still parses as a
+    // frame, but can no longer authenticate.
+    let msg = fault_panic(|eng| {
+        eng.wrap_transport(1, |t| {
+            Box::new(FaultyTransport::new(t, 0, Fault::FlipByte { offset: 17 }))
+        });
+    });
+    assert_eq!(msg, "process engine: shard 1: frame checksum mismatch");
+}
+
+#[test]
+fn corrupted_payload_byte_fails_closed() {
+    // A flip in the payload body is caught by the same checksum.
+    let msg = fault_panic(|eng| {
+        eng.wrap_transport(1, |t| {
+            Box::new(FaultyTransport::new(t, 0, Fault::FlipByte { offset: 64 }))
+        });
+    });
+    assert_eq!(msg, "process engine: shard 1: frame checksum mismatch");
+}
+
+#[test]
+fn duplicated_frame_fails_closed() {
+    // The duplicated `Deliveries` arrives where `RoundStats` is due.
+    let msg = fault_panic(|eng| {
+        eng.wrap_transport(1, |t| {
+            Box::new(FaultyTransport::new(t, 0, Fault::Duplicate))
+        });
+    });
+    assert_eq!(
+        msg,
+        "process engine: shard 1: unexpected frame (want RoundStats, got Deliveries)"
+    );
+}
+
+#[test]
+fn reordered_frames_fail_closed() {
+    // `RoundStats` overtakes `Deliveries`.
+    let msg = fault_panic(|eng| {
+        eng.wrap_transport(1, |t| Box::new(FaultyTransport::new(t, 0, Fault::Reorder)));
+    });
+    assert_eq!(
+        msg,
+        "process engine: shard 1: unexpected frame (want Deliveries, got RoundStats)"
+    );
+}
+
+#[test]
+fn killed_child_is_detected_before_any_round() {
+    let msg = fault_panic(|eng| eng.kill_child(1));
+    assert_eq!(
+        msg,
+        "process engine: child for shard 1 died mid-round (socket closed)"
+    );
+}
+
+/// The headline child-death case: a child SIGKILLed *between* rounds of
+/// an open phase.  The next round's barrier observes the closed socket
+/// and raises the stable error instead of hanging.
+#[test]
+fn killed_child_mid_phase_errors_on_the_next_barrier() {
+    let g = generators::path(8);
+    let config = SimConfig::for_graph(&g);
+    let mut eng = ProcessSimulator::with_shards(&g, config, 2)
+        .with_barrier_timeout(Duration::from_millis(300));
+    let start = Instant::now();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let mut unit = vec![(); 8];
+        let mut phase = eng.phase::<u32>();
+        // Round 0 completes cleanly...
+        phase.step(&mut unit, |_, v, _in, out| {
+            if v.0 > 0 {
+                out.send(v, NodeId(v.0 - 1), v.0, 8);
+            }
+        });
+        // ...then shard 0's child dies mid-phase.
+        phase.kill_child(0);
+        phase.step(&mut unit, |_, v, _in, out| {
+            if v.0 > 0 {
+                out.send(v, NodeId(v.0 - 1), v.0, 8);
+            }
+        });
+        phase.settle(64, &mut unit, |_, _, _| {});
+    }))
+    .expect_err("a dead child must abort the phase");
+    assert!(start.elapsed() < Duration::from_secs(10));
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert_eq!(
+        msg,
+        "process engine: child for shard 0 died mid-round (socket closed)"
+    );
+}
+
+#[test]
+fn wedged_child_trips_the_barrier_timeout() {
+    let start = Instant::now();
+    let msg = fault_panic(|eng| eng.stop_child(1));
+    assert_eq!(msg, "process engine: barrier timeout waiting on shard 1");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "timeout must be bounded by the configured barrier timeout"
+    );
+}
+
+/// Positive control: a pass-through `FaultyTransport` that never
+/// reaches its injection point changes nothing — outputs and metrics
+/// stay bit-identical to the sequential reference.  This pins that the
+/// fault results above come from the injected fault, not from the
+/// wrapping itself.
+#[test]
+fn pass_through_wrapper_preserves_conformance() {
+    let g = generators::path(8);
+    let config = SimConfig::for_graph(&g).with_per_edge_accounting();
+    let mut seq = Simulator::new(&g, config);
+    drive(&mut seq);
+    let mut eng = ProcessSimulator::with_shards(&g, config, 2);
+    eng.wrap_transport(1, |t| {
+        Box::new(FaultyTransport::new(t, u64::MAX, Fault::Duplicate))
+    });
+    drive(&mut eng);
+    assert_eq!(RoundEngine::metrics(&eng), seq.metrics());
+    assert_eq!(
+        eng.messages_across(NodeId(4), NodeId(5)),
+        seq.messages_across(NodeId(4), NodeId(5))
+    );
+}

@@ -17,7 +17,7 @@ use powersparse::sparsify::{sparsify_power, SamplingStrategy, SparsifyOutcome};
 use powersparse_congest::engine::{Metrics, RoundEngine};
 use powersparse_congest::probe::{SpanProbe, TraceProbe};
 use powersparse_congest::sim::{SimConfig, Simulator};
-use powersparse_engine::{PooledSimulator, ShardedSimulator};
+use powersparse_engine::{PooledSimulator, ProcessSimulator, ShardedSimulator};
 use powersparse_graphs::{check, generators, power, Graph, NodeId};
 use std::time::Instant;
 
@@ -132,6 +132,12 @@ fn execute(g: &Graph, config: SimConfig, sc: &Scenario) -> Result<(AlgOutput, Me
             let m = RoundEngine::metrics(&sim).clone();
             Ok((out, m))
         }
+        EngineSpec::Process { shards } => {
+            let mut sim = ProcessSimulator::with_shards(g, config, shards);
+            let out = run_generic(&mut sim, sc)?;
+            let m = RoundEngine::metrics(&sim).clone();
+            Ok((out, m))
+        }
     }
 }
 
@@ -158,6 +164,11 @@ fn execute_traced(
         }
         EngineSpec::Pooled { shards } => {
             let mut sim = PooledSimulator::with_probe(g, config, shards, TraceProbe::new());
+            run_generic(&mut sim, sc)?;
+            sim.into_probe()
+        }
+        EngineSpec::Process { shards } => {
+            let mut sim = ProcessSimulator::with_probe(g, config, shards, TraceProbe::new());
             run_generic(&mut sim, sc)?;
             sim.into_probe()
         }
@@ -193,6 +204,11 @@ pub fn execute_spanned(g: &Graph, config: SimConfig, sc: &Scenario) -> Result<Sp
         }
         EngineSpec::Pooled { shards } => {
             let mut sim = PooledSimulator::with_probe(g, config, shards, SpanProbe::new());
+            run_generic(&mut sim, sc)?;
+            Ok(sim.into_probe())
+        }
+        EngineSpec::Process { shards } => {
+            let mut sim = ProcessSimulator::with_probe(g, config, shards, SpanProbe::new());
             run_generic(&mut sim, sc)?;
             Ok(sim.into_probe())
         }

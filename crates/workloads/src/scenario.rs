@@ -245,6 +245,12 @@ pub enum EngineSpec {
         /// Worker/shard count.
         shards: usize,
     },
+    /// The multi-process `ProcessSimulator` (one forked child per
+    /// shard, Unix-socket wire frames).
+    Process {
+        /// Worker/shard count.
+        shards: usize,
+    },
 }
 
 impl EngineSpec {
@@ -254,6 +260,7 @@ impl EngineSpec {
             Self::Sequential => "sequential",
             Self::Sharded { .. } => "sharded",
             Self::Pooled { .. } => "pooled",
+            Self::Process { .. } => "process",
         }
     }
 
@@ -261,7 +268,9 @@ impl EngineSpec {
     pub fn shards(&self) -> usize {
         match self {
             Self::Sequential => 1,
-            Self::Sharded { shards } | Self::Pooled { shards } => *shards,
+            Self::Sharded { shards } | Self::Pooled { shards } | Self::Process { shards } => {
+                *shards
+            }
         }
     }
 }
@@ -325,6 +334,12 @@ impl Scenario {
         self
     }
 
+    /// Runs on the multi-process engine with `shards` forked children.
+    pub fn process(mut self, shards: usize) -> Self {
+        self.engine = EngineSpec::Process { shards };
+        self
+    }
+
     /// Runs on the sequential reference engine.
     pub fn sequential(mut self) -> Self {
         self.engine = EngineSpec::Sequential;
@@ -342,9 +357,9 @@ impl Scenario {
             self.engine.id(),
             match self.engine {
                 EngineSpec::Sequential => String::new(),
-                EngineSpec::Sharded { shards } | EngineSpec::Pooled { shards } => {
-                    shards.to_string()
-                }
+                EngineSpec::Sharded { shards }
+                | EngineSpec::Pooled { shards }
+                | EngineSpec::Process { shards } => shards.to_string(),
             }
         )
     }
@@ -377,7 +392,7 @@ pub enum SuiteProfile {
     Full,
 }
 
-/// The curated built-in scenario suite: every graph family, all three
+/// The curated built-in scenario suite: every graph family, all four
 /// engines, all four algorithm classes. The smoke profile is the one CI
 /// runs on every PR; the full profile scales sizes up for the
 /// `BENCH_*.json` trajectory.
@@ -444,9 +459,10 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
     };
     vec![
         // MIS across every family, alternating/pairing engines so each
-        // family and all three engine backends appear.
+        // family and all four engine backends appear.
         Scenario::new(gnp.clone()).seed(42),
         Scenario::new(gnp.clone()).seed(42).sharded(sharded),
+        Scenario::new(gnp.clone()).seed(42).process(2),
         Scenario::new(power_law.clone()).k(2).seed(7),
         Scenario::new(power_law).k(2).seed(7).pooled(sharded),
         Scenario::new(geometric.clone()).seed(3),
@@ -467,6 +483,11 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
                 derandomized: false,
             })
             .pooled(sharded),
+        Scenario::new(torus.clone())
+            .algorithm(Sparsify {
+                derandomized: false,
+            })
+            .process(2),
         Scenario::new(cluster.clone()).k(2).algorithm(Sparsify {
             derandomized: false,
         }),
@@ -586,7 +607,7 @@ impl std::error::Error for SpecError {}
 ///                        # shatter_mis_two_phase | sparsify |
 ///                        # sparsify_derandomized | beta_ruling |
 ///                        # det_ruling_k2 | power_nd
-/// engine = "sharded"     # sequential | sharded | pooled
+/// engine = "sharded"     # sequential | sharded | pooled | process
 /// shards = 4
 /// ```
 ///
@@ -889,6 +910,9 @@ fn scenario_from_kv(
         "pooled" => EngineSpec::Pooled {
             shards: b.usize_or("shards", 4)?,
         },
+        "process" => EngineSpec::Process {
+            shards: b.usize_or("shards", 4)?,
+        },
         other => {
             return Err(SpecError {
                 line,
@@ -1131,7 +1155,21 @@ algorithm = "sparsify"   # randomized
             assert!(suite
                 .iter()
                 .any(|s| matches!(s.engine, EngineSpec::Pooled { .. })));
+            assert!(suite
+                .iter()
+                .any(|s| matches!(s.engine, EngineSpec::Process { .. })));
         }
+    }
+
+    #[test]
+    fn process_engine_parses_and_names() {
+        let suite = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"process\"\nshards = 3\n",
+        )
+        .unwrap();
+        assert_eq!(suite[0].engine, EngineSpec::Process { shards: 3 });
+        assert_eq!(suite[0].name(), "grid(4x4)/k1/luby_mis/process3");
     }
 
     #[test]

@@ -64,6 +64,116 @@ pub trait Strategy {
     type Value: Debug;
     /// Draws one value.
     fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps the generated values through `f`, mirroring
+    /// `proptest::Strategy::prop_map`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+/// A strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.sample(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = runner
+                .rng()
+                .gen_range(self.len.start..self.len.end.max(self.len.start + 1));
+            (0..n).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+}
+
+/// Uniform choice among strategies of one value type, mirroring
+/// `proptest::prop_oneof!` (without the optional weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$(
+            ::std::boxed::Box::new($strategy)
+                as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        )+])
+    };
+}
+
+/// The strategy produced by [`prop_oneof!`].
+pub struct OneOf<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        let i = runner.rng().gen_range(0..self.0.len());
+        self.0[i].sample(runner)
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -89,7 +199,7 @@ impl_range_strategy!(u16, u32, u64, usize);
 #[derive(Debug, Clone, Copy)]
 pub struct Any<T>(core::marker::PhantomData<T>);
 
-/// The `any::<T>()` strategy (only `bool` is needed here).
+/// The `any::<T>()` strategy (`bool` and the unsigned integers).
 pub fn any<T>() -> Any<T> {
     Any(core::marker::PhantomData)
 }
@@ -101,10 +211,25 @@ impl Strategy for Any<bool> {
     }
 }
 
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                use rand::RngCore;
+                runner.rng().next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
 /// Commonly used items, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRunner,
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        TestRunner,
     };
 }
 
