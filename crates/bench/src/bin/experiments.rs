@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! experiments [all|table1-det|table1-mis|table1-ruling|fig1|sparsify|shattering|nd|derand] [--scale S]
-//! experiments engines [--out MANIFEST.json]
+//! experiments engines [--out MANIFEST.json] [--net SPEC]...
 //! experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] [--force-engine ENGINE]
-//!                   [--repeats R] [--warmup W]
+//!                   [--net SPEC] [--repeats R] [--warmup W]
 //! experiments suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine]
 //! experiments trend [DIR] [--out REPORT.json]
 //! experiments trace SCENARIO [--limit N] [--out FILE.json]
@@ -19,7 +19,11 @@
 //! each scenario's run phase `R` times (plus `--warmup W` discarded
 //! invocations) and records mean/min/max/95%-CI wall statistics in the
 //! manifest. `engines --out` writes the engine-comparison table as a
-//! manifest too (`BENCH_engine.json` is the committed instance),
+//! manifest too (`BENCH_engine.json` is the committed instance), and
+//! each `engines --net latency_us=N[,bandwidth_bytes_per_s=N]\
+//! [,jitter_seed=N]` adds shaped-process latency-scaling rows; `suite
+//! --net SPEC` shapes the wire of every process-engine scenario (pair
+//! it with `--force-engine process` for the shaped conformance gate).
 //! `trend` renders the cost trajectory across every `BENCH_*.json` in a
 //! directory, and `trace` runs one named builtin scenario with a round
 //! probe attached and prints the per-round activity table
@@ -75,7 +79,7 @@ fn main() {
             shattering_exp(scale);
             nd_exp(scale);
             derand_exp();
-            engines_exp(None);
+            engines_exp(None, &[]);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -536,9 +540,49 @@ fn derand_exp() {
     println!("  (fanout 1 loses the beep — the 2-tuple rule of Lemma 8.2 is necessary)");
 }
 
-/// Strict `engines` argument parsing: only `--out MANIFEST.json`.
+/// Strict parse of a `--net` shaping spec:
+/// `latency_us=N[,bandwidth_bytes_per_s=N][,jitter_seed=N]`.
+/// `latency_us` is required so a typo cannot silently request an
+/// unshaped wire; the other knobs default to 0 (infinite bandwidth, no
+/// jitter).
+fn parse_net_spec(text: &str) -> Result<powersparse_engine::NetworkSpec, String> {
+    let mut spec = powersparse_engine::NetworkSpec::default();
+    let mut saw_latency = false;
+    for part in text.split(',') {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("expected `key=value`, got `{part}`"))?;
+        let value: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("cannot parse `{}` as an integer", value.trim()))?;
+        match key.trim() {
+            "latency_us" => {
+                spec.latency_us = value;
+                saw_latency = true;
+            }
+            "bandwidth_bytes_per_s" => spec.bandwidth_bytes_per_s = value,
+            "jitter_seed" => spec.jitter_seed = value,
+            other => {
+                return Err(format!(
+                    "unknown net key `{other}` (expected latency_us, \
+                     bandwidth_bytes_per_s, jitter_seed)"
+                ))
+            }
+        }
+    }
+    if !saw_latency {
+        return Err("a net spec needs `latency_us=N`".into());
+    }
+    Ok(spec)
+}
+
+/// Strict `engines` argument parsing: `--out MANIFEST.json` plus a
+/// repeatable `--net SPEC` adding one shaped-wire profile per flag to
+/// the latency-scaling rows.
 fn engines_cmd(args: &[String]) {
     let mut out: Option<String> = None;
+    let mut nets: Vec<powersparse_engine::NetworkSpec> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -552,23 +596,40 @@ fn engines_cmd(args: &[String]) {
                         .clone(),
                 );
             }
+            "--net" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!(
+                        "--net requires a spec like \
+                         latency_us=200,bandwidth_bytes_per_s=16777216,jitter_seed=7"
+                    );
+                    std::process::exit(2);
+                });
+                nets.push(parse_net_spec(value).unwrap_or_else(|e| {
+                    eprintln!("cannot parse --net '{value}': {e}");
+                    std::process::exit(2);
+                }));
+            }
             other => {
-                eprintln!("unknown engines argument '{other}' (usage: experiments engines [--out MANIFEST.json])");
+                eprintln!("unknown engines argument '{other}' (usage: experiments engines [--out MANIFEST.json] [--net SPEC]...)");
                 std::process::exit(2);
             }
         }
     }
-    engines_exp(out.as_deref());
+    engines_exp(out.as_deref(), &nets);
 }
 
 /// E9 — Engine comparison: sequential `Simulator` vs the sharded,
 /// pooled, and multi-process `powersparse-engine` backends running Luby
 /// MIS on `G`, with the bit-for-bit parity of outputs and `Metrics`
-/// re-verified on every row. With `--out`, the table is also written as a `SuiteManifest`
+/// re-verified on every row. Each `--net` shaping profile adds a
+/// latency-scaling block: the process engine re-runs under that shaped
+/// wire with repeat statistics (mean ± 95% CI over 3 invocations), and
+/// its counters are asserted identical to the unshaped run — shaping
+/// may move wall clock only. With `--out`, the table is also written as a `SuiteManifest`
 /// (suite `engines`) so `experiments trend` can track the engine
 /// trajectory alongside the scenario suite — `BENCH_engine.json` is the
 /// committed instance.
-fn engines_exp(out: Option<&str>) {
+fn engines_exp(out: Option<&str>, nets: &[powersparse_engine::NetworkSpec]) {
     use powersparse_congest::engine::{Metrics, RoundEngine};
     use powersparse_engine::{PooledSimulator, ProcessSimulator, ShardedSimulator};
     use powersparse_workloads::{PhaseWall, RunRecord, SuiteManifest, Validation, WallStats};
@@ -618,6 +679,7 @@ fn engines_exp(out: Option<&str>) {
             algorithm: "luby_mis".into(),
             engine: engine.into(),
             shards: shards as u64,
+            net: None,
             rounds: metrics.rounds,
             charged_rounds: metrics.charged_rounds,
             messages: metrics.messages,
@@ -790,6 +852,93 @@ fn engines_exp(out: Option<&str>) {
          (> 1.00x means the pool or process backend wins; the process rows pay the \
          wire codec + socket splice tax on every round)."
     );
+    if !nets.is_empty() {
+        use powersparse_workloads::{
+            run_scenario, run_scenario_with, GraphFamily, Repeat, RunOptions, Scenario,
+        };
+        println!("\n### Latency scaling — shaped process wire, Luby MIS on gnp(n=1000,d=8)\n");
+        println!(
+            "{}",
+            row(&[
+                "latency",
+                "bandwidth B/s",
+                "jitter",
+                "shards",
+                "wall (mean±ci95)",
+                "rounds",
+                "counters = unshaped"
+            ]
+            .map(String::from))
+        );
+        println!("{}", row(&["---"; 7].map(String::from)));
+        let scaling_shards = [2usize, 4];
+        let base = |shards: usize| {
+            Scenario::new(GraphFamily::Gnp {
+                n: 1_000,
+                avg_deg: 8.0,
+            })
+            .seed(42)
+            .process(shards)
+        };
+        // Unshaped reference counters per shard count, for the parity
+        // column (not recorded: the main table already carries the
+        // unshaped process rows).
+        let reference: Vec<_> = scaling_shards
+            .iter()
+            .map(|&shards| run_scenario(&base(shards)).expect("unshaped reference run"))
+            .collect();
+        let opts = RunOptions {
+            repeat: Repeat {
+                invocations: 3,
+                iterations: 1,
+                warmup: 1,
+            },
+            trace: None,
+            profile: false,
+        };
+        for &net in nets {
+            for (i, &shards) in scaling_shards.iter().enumerate() {
+                let sc = base(shards).network(net);
+                let rec = run_scenario_with(&sc, &opts)
+                    .unwrap_or_else(|e| panic!("shaped run failed: {}: {e}", sc.name()));
+                let want = &reference[i];
+                assert!(
+                    rec.rounds == want.rounds
+                        && rec.messages == want.messages
+                        && rec.bits == want.bits
+                        && rec.peak_queue_depth == want.peak_queue_depth
+                        && rec.output_size == want.output_size,
+                    "shaped wire changed a gated counter on {}",
+                    sc.name()
+                );
+                println!(
+                    "{}",
+                    row(&[
+                        format!("{}us", net.latency_us),
+                        if net.bandwidth_bytes_per_s == 0 {
+                            "inf".into()
+                        } else {
+                            net.bandwidth_bytes_per_s.to_string()
+                        },
+                        net.jitter_seed.to_string(),
+                        shards.to_string(),
+                        format!(
+                            "{:.1}±{:.1}ms",
+                            rec.wall_stats.mean_us / 1000.0,
+                            rec.wall_stats.ci95_us / 1000.0
+                        ),
+                        rec.rounds.to_string(),
+                        "yes".into(),
+                    ])
+                );
+                runs.push(rec);
+            }
+        }
+        println!(
+            "\nEvery shaped row re-validated its MIS and matched the unshaped process \
+             counters exactly; only wall clock moves with the modeled wire."
+        );
+    }
     if let Some(path) = out {
         let manifest = SuiteManifest {
             suite: "engines".into(),
@@ -1231,6 +1380,7 @@ fn suite_cmd(args: &[String]) {
     let mut tolerance = 0.0f64;
     let mut saw_tolerance = false;
     let mut force_engine: Option<String> = None;
+    let mut net: Option<powersparse_engine::NetworkSpec> = None;
     let mut ignore_engine = false;
     let mut repeats = 1usize;
     let mut warmup = 0usize;
@@ -1270,6 +1420,19 @@ fn suite_cmd(args: &[String]) {
                     _ => spec = Some(value.clone()),
                 }
             }
+            "--net" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!(
+                        "--net requires a spec like \
+                         latency_us=200,bandwidth_bytes_per_s=16777216,jitter_seed=7"
+                    );
+                    std::process::exit(2);
+                });
+                net = Some(parse_net_spec(value).unwrap_or_else(|e| {
+                    eprintln!("cannot parse --net '{value}': {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--diff" => {
                 let (Some(old), Some(new)) = (it.next(), it.next()) else {
                     eprintln!("--diff requires two manifest paths: OLD.json NEW.json");
@@ -1297,7 +1460,8 @@ fn suite_cmd(args: &[String]) {
                 eprintln!(
                     "unknown suite argument '{other}' \
                      (usage: experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] \
-                     [--force-engine sequential|sharded|pooled|process] [--repeats R] [--warmup W] \
+                     [--force-engine sequential|sharded|pooled|process] [--net SPEC] \
+                     [--repeats R] [--warmup W] \
                      | suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine])"
                 );
                 std::process::exit(2);
@@ -1305,8 +1469,14 @@ fn suite_cmd(args: &[String]) {
         }
     }
     if let Some((old_path, new_path)) = diff {
-        if smoke || out.is_some() || spec.is_some() || force_engine.is_some() || saw_repeat_flags {
-            eprintln!("--diff compares two existing manifests; it cannot be combined with --smoke/--spec/--out/--force-engine/--repeats/--warmup");
+        if smoke
+            || out.is_some()
+            || spec.is_some()
+            || force_engine.is_some()
+            || net.is_some()
+            || saw_repeat_flags
+        {
+            eprintln!("--diff compares two existing manifests; it cannot be combined with --smoke/--spec/--out/--force-engine/--net/--repeats/--warmup");
             std::process::exit(2);
         }
         return diff_cmd(&old_path, &new_path, tolerance, ignore_engine);
@@ -1351,6 +1521,31 @@ fn suite_cmd(args: &[String]) {
             };
         }
         name = format!("{name}+force-{engine}");
+    }
+    // `--net` shapes the wire of every process-engine scenario (usually
+    // combined with `--force-engine process`). The engine contract
+    // promises shaping moves wall clock only, so a shaped suite still
+    // diffs cleanly against the mixed-engine baseline with
+    // `--ignore-engine` — the shaped-wire CI gate.
+    if let Some(spec) = net {
+        let mut shaped = 0usize;
+        for sc in &mut scenarios {
+            if matches!(sc.engine, EngineSpec::Process { .. }) {
+                sc.net = Some(spec);
+                shaped += 1;
+            }
+        }
+        if shaped == 0 {
+            eprintln!(
+                "--net shapes process-engine scenarios, but this suite has none \
+                 (combine with --force-engine process)"
+            );
+            std::process::exit(2);
+        }
+        name = format!(
+            "{name}+net(lat={}us,bw={},jit={})",
+            spec.latency_us, spec.bandwidth_bytes_per_s, spec.jitter_seed
+        );
     }
 
     let opts = RunOptions {

@@ -136,11 +136,32 @@
 //! * a child process dying (socket closed) → "child for shard _s_ died
 //!   mid-round (socket closed)";
 //! * a child that stops responding → "barrier timeout waiting on
-//!   shard _s_", bounded by the engine's configured barrier timeout.
+//!   shard _s_", bounded by the engine's configured barrier timeout;
+//! * a TCP connection lost to a peer (clean close or reset) → the same
+//!   "child for shard _s_ died mid-round (socket closed)" as a killed
+//!   child — a remote close reads as end-of-stream, and the contract
+//!   does not distinguish *why* the stream ended, only that it ended
+//!   mid-protocol.
+//!
+//! Two rules sharpen "fail closed" beyond the vocabulary above:
+//!
+//! * **Poisoning.** A fault that can strand the stream *inside* a frame
+//!   (a mid-frame read timeout) latches the transport: every subsequent
+//!   receive replays the original error. Once the frame boundary is
+//!   lost, resynchronizing on whatever bytes come next could silently
+//!   misparse a later frame, so the transport refuses to try — the
+//!   first error is the permanent answer for that link.
+//! * **Bounded trust in headers.** A declared payload length is
+//!   validated against the frame-size ceiling *before* any allocation,
+//!   and payloads are assembled in bounded chunks, so a corrupt or
+//!   hostile length header can never size an allocation.
 //!
 //! In-process backends have no transport and never raise these; the
 //! contract only requires that *if* a backend has a wire, its failures
-//! are loud, attributed, and bounded in time.
+//! are loud, attributed, and bounded in time. Wire *shaping* (modeled
+//! latency/bandwidth on the link) is explicitly not a failure: a shaped
+//! backend must produce bit-identical outputs, metrics and probe
+//! traces — only wall clock may move.
 //!
 //! # Writing engine-generic node programs
 //!

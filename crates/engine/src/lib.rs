@@ -73,6 +73,14 @@
 //! timeout", "checksum mismatch", …) instead of hanging or corrupting
 //! results; `tests/faults.rs` injects each fault and pins the error.
 //!
+//! The wire itself is configurable through
+//! [`process::ProcessOptions`]: child links can run over loopback TCP
+//! ([`wire::TcpTransport`], the multi-machine deployment shape) and/or
+//! be shaped by a [`wire::NetworkSpec`] ([`wire::ShapedTransport`]),
+//! charging every frame modeled latency + serialization delay so
+//! latency-scaling curves can be measured while every counter stays
+//! bit-for-bit identical.
+//!
 //! # Example
 //!
 //! ```
@@ -99,6 +107,7 @@ pub mod sharded;
 pub mod wire;
 
 pub use pooled::{PooledPhase, PooledSimulator};
-pub use process::{ProcessPhase, ProcessSimulator};
+pub use process::{ProcessOptions, ProcessPhase, ProcessSimulator};
 pub use routing::default_shards;
 pub use sharded::{ShardedPhase, ShardedSimulator};
+pub use wire::NetworkSpec;

@@ -10,6 +10,14 @@
 //! (identical outputs, identical [`Metrics`], identical probe traces)
 //! stays bit-for-bit intact.
 //!
+//! [`ProcessOptions`] extends the wire two ways without touching the
+//! contract: links can run over loopback TCP
+//! ([`ProcessSimulator::with_tcp_loopback`]) instead of socket pairs,
+//! and can be shaped by a [`NetworkSpec`]
+//! ([`ProcessSimulator::with_network`]) charging every frame modeled
+//! latency + serialization delay — the measurement surface for
+//! latency-scaling experiments, where only wall clock may move.
+//!
 //! # Division of labour
 //!
 //! CONGEST charges rounds and per-edge bandwidth; local computation is
@@ -52,8 +60,8 @@
 use crate::routing::{capped_default_shards, ShardLayout};
 use crate::wire::{
     decode_cells, decode_payload, encode_cells, encode_payload, get_varint, put_varint,
-    EngineError, Frame, FrameKind, PayloadSlab, StreamTransport, Transport, WireCell, WireError,
-    PROTOCOL_VERSION,
+    EngineError, Frame, FrameKind, NetworkSpec, PayloadSlab, ShapedTransport, StreamTransport,
+    TcpTransport, Transport, WireCell, WireError, PROTOCOL_VERSION,
 };
 use powersparse_congest::engine::{
     Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
@@ -64,6 +72,7 @@ use powersparse_congest::probe::{
 };
 use powersparse_congest::sim::SimConfig;
 use powersparse_graphs::{Graph, NodeId};
+use std::net::TcpListener;
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::panic::AssertUnwindSafe;
@@ -102,8 +111,10 @@ fn raise(shard: usize, error: WireError) -> ! {
 
 /// The child's whole life: a payload-opaque core servant.  It needs no
 /// graph, no message type and no metrics — just its local edge count
-/// and the bandwidth, delivered by `PhaseStart`.
-fn child_serve(shard: u16, t: &mut StreamTransport) -> Result<(), WireError> {
+/// and the bandwidth, delivered by `PhaseStart`.  Generic over the
+/// transport so the Unix-socket and TCP children share one protocol
+/// body.
+fn child_serve<T: Transport>(shard: u16, t: &mut T) -> Result<(), WireError> {
     let mut hello = Frame::control(FrameKind::Hello, shard, 0);
     put_varint(&mut hello.payload, PROTOCOL_VERSION);
     t.send(&hello.encode())?;
@@ -190,16 +201,15 @@ fn child_serve(shard: u16, t: &mut StreamTransport) -> Result<(), WireError> {
     }
 }
 
-/// Post-fork entry point.  Runs in the child, never returns.
-fn child_main(shard: u16, stream: UnixStream) -> ! {
+/// Common post-fork setup: die with the parent even if it crashes
+/// before Drop runs, and drop every inherited descriptor except `keep`
+/// — other engines' sockets (including other tests' in the same
+/// binary) must see EOF the moment *their* parent or child goes away,
+/// not be held open by an unrelated fork.  Pass `keep = -1` to close
+/// everything (the TCP child dials its own socket afterwards).
+fn child_enter(keep: i32) {
     unsafe {
-        // Die with the parent even if it crashes before Drop runs.
         sys::prctl(sys::PR_SET_PDEATHSIG, sys::SIGKILL as u64, 0, 0, 0);
-        // Drop every inherited descriptor except our own socket: other
-        // engines' sockets (including other tests' in the same binary)
-        // must see EOF the moment *their* parent or child goes away,
-        // not be held open by an unrelated fork.
-        let keep = stream.as_raw_fd();
         for fd in 3..4096 {
             if fd != keep {
                 sys::close(fd);
@@ -209,8 +219,12 @@ fn child_main(shard: u16, stream: UnixStream) -> ! {
     // Never unwind into the inherited test harness, and never write to
     // the shared stderr.
     std::panic::set_hook(Box::new(|_| {}));
-    let mut t = StreamTransport::new(stream);
-    let code = match std::panic::catch_unwind(AssertUnwindSafe(|| child_serve(shard, &mut t))) {
+}
+
+/// Common child tail: serve until shutdown or failure, report protocol
+/// errors on the wire, exit without unwinding.
+fn child_finish<T: Transport>(shard: u16, t: &mut T) -> ! {
+    let code = match std::panic::catch_unwind(AssertUnwindSafe(|| child_serve(shard, t))) {
         Ok(Ok(())) => 0,
         Ok(Err(e)) => {
             let mut f = Frame::control(FrameKind::Error, shard, 0);
@@ -221,6 +235,25 @@ fn child_main(shard: u16, stream: UnixStream) -> ! {
         Err(_) => 101,
     };
     unsafe { sys::_exit(code) }
+}
+
+/// Post-fork entry point.  Runs in the child, never returns.
+fn child_main(shard: u16, stream: UnixStream) -> ! {
+    child_enter(stream.as_raw_fd());
+    let mut t = StreamTransport::new(stream);
+    child_finish(shard, &mut t)
+}
+
+/// Post-fork entry point for the TCP backend.  The child keeps no
+/// inherited socket: it closes everything and dials the parent's
+/// loopback listener, running the transport-level `Hello` handshake
+/// before the protocol one.
+fn child_main_tcp(shard: u16, port: u16) -> ! {
+    child_enter(-1);
+    match TcpTransport::connect(("127.0.0.1", port), shard) {
+        Ok(mut t) => child_finish(shard, &mut t),
+        Err(_) => unsafe { sys::_exit(1) },
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -277,6 +310,22 @@ impl Drop for Children {
     }
 }
 
+/// Construction knobs for the process backend beyond
+/// graph/config/shards.  The defaults reproduce the classic engine:
+/// Unix socket pairs, unshaped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessOptions {
+    /// Latency/bandwidth shaping applied to every parent-side child
+    /// link (a [`ShapedTransport`] around the real socket); `None`
+    /// leaves the wire unshaped.  Shaping changes wall clock only —
+    /// outputs, metrics, probe traces and span structure stay
+    /// bit-for-bit identical (pinned by the conformance suite).
+    pub net: Option<NetworkSpec>,
+    /// Run each parent↔child link over loopback TCP
+    /// ([`TcpTransport`]) instead of a Unix socket pair.
+    pub tcp: bool,
+}
+
 /// The multi-process round engine: one forked child per shard, wire
 /// frames for every cross-shard byte.  See the module docs for the
 /// architecture and `crate::wire` for the protocol.
@@ -309,6 +358,43 @@ impl<'g> ProcessSimulator<'g> {
     pub fn with_shards(graph: &'g Graph, config: SimConfig, shards: usize) -> Self {
         Self::with_probe(graph, config, shards, NoProbe)
     }
+
+    /// Creates a process engine whose child links are shaped by `net`
+    /// (a [`ShapedTransport`] per shard).  Counters are unchanged;
+    /// only wall clock moves.
+    pub fn with_network(
+        graph: &'g Graph,
+        config: SimConfig,
+        shards: usize,
+        net: NetworkSpec,
+    ) -> Self {
+        Self::with_options(
+            graph,
+            config,
+            shards,
+            NoProbe,
+            ProcessOptions {
+                net: Some(net),
+                tcp: false,
+            },
+        )
+    }
+
+    /// Creates a process engine whose children connect over loopback
+    /// TCP instead of Unix socket pairs — the multi-machine deployment
+    /// shape, exercised end to end on one host.
+    pub fn with_tcp_loopback(graph: &'g Graph, config: SimConfig, shards: usize) -> Self {
+        Self::with_options(
+            graph,
+            config,
+            shards,
+            NoProbe,
+            ProcessOptions {
+                net: None,
+                tcp: true,
+            },
+        )
+    }
 }
 
 impl<'g, P: Probe> ProcessSimulator<'g, P> {
@@ -321,6 +407,25 @@ impl<'g, P: Probe> ProcessSimulator<'g, P> {
     ///
     /// As for [`ProcessSimulator::with_shards`].
     pub fn with_probe(graph: &'g Graph, config: SimConfig, shards: usize, probe: P) -> Self {
+        Self::with_options(graph, config, shards, probe, ProcessOptions::default())
+    }
+
+    /// The fully-general constructor: [`ProcessSimulator::with_probe`]
+    /// plus [`ProcessOptions`] selecting the transport (Unix socket
+    /// pair or loopback TCP) and optional link shaping.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ProcessSimulator::with_shards`]; additionally with an
+    /// [`EngineError`] if a TCP child fails to connect or handshake
+    /// within the barrier timeout.
+    pub fn with_options(
+        graph: &'g Graph,
+        config: SimConfig,
+        shards: usize,
+        probe: P,
+        options: ProcessOptions,
+    ) -> Self {
         let layout = ShardLayout::new(graph, shards);
         let mut sim = Self {
             graph,
@@ -333,20 +438,48 @@ impl<'g, P: Probe> ProcessSimulator<'g, P> {
             phases_opened: 0,
         };
         for w in 0..sim.layout.shards() {
-            let (parent_end, child_end) =
-                UnixStream::pair().expect("process engine: socketpair failed");
-            let pid = unsafe { sys::fork() };
-            assert!(pid >= 0, "process engine: fork failed");
-            if pid == 0 {
-                drop(parent_end);
-                child_main(w as u16, child_end);
-            }
-            drop(child_end);
-            let mut t = StreamTransport::new(parent_end);
-            t.set_timeout(Some(sim.barrier_timeout));
+            let (pid, transport) = if options.tcp {
+                // Bind before forking so the child can always reach the
+                // listener; the accept (and its handshake) is bounded
+                // by the barrier timeout, so a child that dies before
+                // connecting fails closed instead of hanging.
+                let listener =
+                    TcpListener::bind(("127.0.0.1", 0)).expect("process engine: tcp bind failed");
+                let port = listener
+                    .local_addr()
+                    .expect("process engine: tcp local_addr failed")
+                    .port();
+                let pid = unsafe { sys::fork() };
+                assert!(pid >= 0, "process engine: fork failed");
+                if pid == 0 {
+                    child_main_tcp(w as u16, port);
+                }
+                let t = TcpTransport::accept(&listener, w as u16, Some(sim.barrier_timeout))
+                    .unwrap_or_else(|e| raise(w, e));
+                (pid, Box::new(t) as Box<dyn Transport>)
+            } else {
+                let (parent_end, child_end) =
+                    UnixStream::pair().expect("process engine: socketpair failed");
+                let pid = unsafe { sys::fork() };
+                assert!(pid >= 0, "process engine: fork failed");
+                if pid == 0 {
+                    drop(parent_end);
+                    child_main(w as u16, child_end);
+                }
+                drop(child_end);
+                (
+                    pid,
+                    Box::new(StreamTransport::new(parent_end)) as Box<dyn Transport>,
+                )
+            };
+            let mut transport = match options.net {
+                Some(spec) => Box::new(ShapedTransport::new(transport, spec)) as Box<dyn Transport>,
+                None => transport,
+            };
+            transport.set_timeout(Some(sim.barrier_timeout));
             sim.children.0.push(ChildHandle {
                 pid,
-                transport: Some(Box::new(t)),
+                transport: Some(transport),
             });
             let hello = sim.recv_from(w);
             if hello.kind != FrameKind::Hello {
@@ -889,6 +1022,27 @@ mod tests {
             assert_eq!(got, want, "outputs diverged at {shards} shards");
             assert_eq!(got_m, want_m, "metrics diverged at {shards} shards");
         }
+    }
+
+    #[test]
+    fn shaped_and_tcp_links_preserve_parity() {
+        let g = generators::connected_gnp(60, 0.08, 4);
+        let config = SimConfig::with_bandwidth(16).with_per_edge_accounting();
+        let mut seq = Simulator::new(&g, config);
+        let (want, want_m) = echo_program(&mut seq, 3);
+        let net = NetworkSpec {
+            latency_us: 30,
+            bandwidth_bytes_per_s: 16 << 20,
+            jitter_seed: 7,
+        };
+        let mut shaped = ProcessSimulator::with_network(&g, config, 2, net);
+        let (got, got_m) = echo_program(&mut shaped, 3);
+        assert_eq!(got, want, "shaped outputs diverged");
+        assert_eq!(got_m, want_m, "shaped metrics diverged");
+        let mut tcp = ProcessSimulator::with_tcp_loopback(&g, config, 2);
+        let (got, got_m) = echo_program(&mut tcp, 3);
+        assert_eq!(got, want, "tcp outputs diverged");
+        assert_eq!(got_m, want_m, "tcp metrics diverged");
     }
 
     #[test]

@@ -33,9 +33,23 @@
 //! surfaced by the engine as an [`EngineError`] naming the shard — the
 //! parent never hangs (barrier reads are bounded by a timeout) and
 //! never delivers a wrong answer (a frame either authenticates whole or
-//! the round aborts).  [`FaultyTransport`] is the test shim that proves
+//! the round aborts).  After any `recv` failure a stream transport is
+//! **poisoned**: the frame boundary can no longer be trusted, so every
+//! later `recv` replays the first error instead of misparsing payload
+//! bytes as a header.  [`FaultyTransport`] is the test shim that proves
 //! this: it truncates, corrupts, duplicates or reorders exactly one
 //! frame at a chosen point in the stream.
+//!
+//! # Transports
+//!
+//! Three production transports share the codec: [`StreamTransport`]
+//! (Unix socket pair, the process backend's default),
+//! [`TcpTransport`] (same frames over loopback/remote TCP, with a
+//! version-checked `Hello` handshake at connect), and
+//! [`ShapedTransport`], a decorator charging every frame
+//! `latency + len/bandwidth` on a deterministic virtual clock
+//! ([`NetworkSpec`]) — the measurement shim for latency-scaling
+//! experiments.
 //!
 //! The frame layout is pinned by golden-byte tests
 //! (`tests/wire_codec.rs`); bump [`PROTOCOL_VERSION`] on any change.
@@ -44,8 +58,9 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Leading two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"PS";
@@ -54,6 +69,13 @@ pub const HEADER_LEN: usize = 21;
 /// Upper bound on a single frame payload; anything larger is rejected
 /// before allocation so a corrupt length field cannot OOM the parent.
 pub const MAX_PAYLOAD: usize = 256 << 20;
+/// Largest single read a transport `recv` issues while assembling a
+/// frame.  The length field is only authenticated by the CRC *after*
+/// the payload arrives, so the buffer grows chunk by chunk — a
+/// corrupted header claiming [`MAX_PAYLOAD`] can never force a
+/// quarter-GiB allocation up front; memory tracks bytes actually
+/// received.
+pub const RECV_CHUNK: usize = 64 << 10;
 /// Version negotiated in the `Hello` frame payload.
 pub const PROTOCOL_VERSION: u64 = 1;
 
@@ -112,6 +134,13 @@ pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Reads one LEB128 varint from the front of `bytes`, advancing it.
+///
+/// Only canonical encodings are accepted: a continuation-padded form
+/// like `[0x80, 0x00]` (value 0 spelled in two bytes) is a
+/// [`WireError::Varint`], never an alias of `[0x00]`.  This keeps
+/// decode∘encode injective — distinct frame bytes cannot decode to
+/// identical cells — which the checksum alone does not guarantee for
+/// payloads assembled outside [`put_varint`].
 pub fn get_varint(bytes: &mut &[u8]) -> Result<u64, WireError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
@@ -123,6 +152,12 @@ pub fn get_varint(bytes: &mut &[u8]) -> Result<u64, WireError> {
         }
         v |= u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
+            // A terminal 0x00 after at least one continuation byte is
+            // the non-canonical padding form; `put_varint` never emits
+            // it.
+            if byte == 0 && shift > 0 {
+                return Err(WireError::Varint);
+            }
             return Ok(v);
         }
         shift += 7;
@@ -162,6 +197,8 @@ pub enum WireError {
     UnexpectedKind { want: FrameKind, got: FrameKind },
     /// Frame addressed to / sent by the wrong shard.
     ShardMismatch { want: u16, got: u16 },
+    /// `Hello` handshake carried a different [`PROTOCOL_VERSION`].
+    VersionSkew { want: u64, got: u64 },
     /// Malformed varint in a payload.
     Varint,
     /// Payload did not decode under the expected schema.
@@ -190,6 +227,9 @@ impl fmt::Display for WireError {
             }
             WireError::ShardMismatch { want, got } => {
                 write!(f, "shard mismatch (want {want}, got {got})")
+            }
+            WireError::VersionSkew { want, got } => {
+                write!(f, "protocol version skew (want {want}, got {got})")
             }
             WireError::Varint => write!(f, "malformed varint"),
             WireError::Payload => write!(f, "malformed payload"),
@@ -383,14 +423,59 @@ fn io_err(e: std::io::Error) -> WireError {
     }
 }
 
+/// Reads one frame (header + payload) off `r`, growing the buffer in
+/// [`RECV_CHUNK`]-byte steps so the untrusted length field never
+/// triggers an allocation larger than the bytes actually on the wire.
+/// Shared by every stream-backed transport; no single `read` call is
+/// handed a buffer longer than `RECV_CHUNK`.
+pub fn read_frame_bytes<R: Read>(r: &mut R) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header).map_err(io_err)?;
+    if header[0..2] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let len = u32::from_le_bytes([header[13], header[14], header[15], header[16]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    let mut frame = Vec::with_capacity(HEADER_LEN + len.min(RECV_CHUNK));
+    frame.extend_from_slice(&header);
+    let mut remaining = len;
+    while remaining > 0 {
+        let chunk = remaining.min(RECV_CHUNK);
+        let start = frame.len();
+        frame.resize(start + chunk, 0);
+        r.read_exact(&mut frame[start..]).map_err(io_err)?;
+        remaining -= chunk;
+    }
+    Ok(frame)
+}
+
+/// A zero read timeout means "block forever" to the kernel, which is
+/// the opposite of the caller's intent; clamp upward instead.
+fn clamp_timeout(timeout: Option<Duration>) -> Option<Duration> {
+    timeout.map(|t| t.max(Duration::from_millis(1)))
+}
+
 /// The production transport: one Unix-domain socket end.
+///
+/// Fail-closed: after any `recv` error the frame boundary of the
+/// stream can no longer be trusted (a timeout or I/O fault may have
+/// torn a frame mid-read), so the transport latches the first error
+/// and every subsequent `recv` returns it unchanged.  Without this a
+/// retry after a mid-frame timeout would resynchronise on payload
+/// bytes and report a misleading `BadMagic` instead of the root cause.
 pub struct StreamTransport {
     stream: UnixStream,
+    poisoned: Option<WireError>,
 }
 
 impl StreamTransport {
     pub fn new(stream: UnixStream) -> Self {
-        StreamTransport { stream }
+        StreamTransport {
+            stream,
+            poisoned: None,
+        }
     }
 }
 
@@ -400,28 +485,294 @@ impl Transport for StreamTransport {
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, WireError> {
-        let mut header = [0u8; HEADER_LEN];
-        self.stream.read_exact(&mut header).map_err(io_err)?;
-        if header[0..2] != MAGIC {
-            return Err(WireError::BadMagic);
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
         }
-        let len = u32::from_le_bytes([header[13], header[14], header[15], header[16]]) as usize;
-        if len > MAX_PAYLOAD {
-            return Err(WireError::Oversize(len));
+        match read_frame_bytes(&mut self.stream) {
+            Ok(frame) => Ok(frame),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
         }
-        let mut frame = vec![0u8; HEADER_LEN + len];
-        frame[..HEADER_LEN].copy_from_slice(&header);
-        self.stream
-            .read_exact(&mut frame[HEADER_LEN..])
-            .map_err(io_err)?;
+    }
+
+    fn set_timeout(&mut self, timeout: Option<Duration>) {
+        let _ = self.stream.set_read_timeout(clamp_timeout(timeout));
+    }
+}
+
+/// The second production transport: the same frame codec over a TCP
+/// stream (loopback today, remote hosts tomorrow), with the same
+/// fail-closed semantics as [`StreamTransport`] — bounded reads,
+/// chunked payload assembly, and error latching after a torn frame.
+///
+/// Connection establishment performs a transport-level `Hello`
+/// handshake (the connector speaks first) carrying
+/// [`PROTOCOL_VERSION`] and the link's shard index, so a version-skewed
+/// or misrouted peer is rejected before any protocol traffic flows.
+pub struct TcpTransport {
+    stream: TcpStream,
+    poisoned: Option<WireError>,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` and runs the handshake: send our `Hello`,
+    /// then require the peer's.  Nagle is disabled — barrier frames
+    /// are latency-critical and tiny.
+    pub fn connect<A: ToSocketAddrs>(addr: A, shard: u16) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        let mut t = TcpTransport {
+            stream,
+            poisoned: None,
+        };
+        t.send(&Self::hello(shard).encode())?;
+        t.expect_hello(shard)?;
+        Ok(t)
+    }
+
+    /// Accepts one connection from `listener` and runs the mirror
+    /// handshake: require the connector's `Hello`, then reply with
+    /// ours.  With `timeout` set the accept poll and the handshake
+    /// reads are both bounded, so a child that never connects (or
+    /// connects and stalls) surfaces as [`WireError::Timeout`] instead
+    /// of a hang.
+    pub fn accept(
+        listener: &TcpListener,
+        shard: u16,
+        timeout: Option<Duration>,
+    ) -> Result<Self, WireError> {
+        let stream = match timeout {
+            None => listener.accept().map_err(io_err)?.0,
+            Some(limit) => {
+                listener.set_nonblocking(true).map_err(io_err)?;
+                let deadline = Instant::now() + limit;
+                let accepted = loop {
+                    match listener.accept() {
+                        Ok((s, _)) => break Ok(s),
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            if Instant::now() >= deadline {
+                                break Err(WireError::Timeout);
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(e) => break Err(io_err(e)),
+                    }
+                };
+                let _ = listener.set_nonblocking(false);
+                let stream = accepted?;
+                stream.set_nonblocking(false).map_err(io_err)?;
+                stream
+            }
+        };
+        stream.set_nodelay(true).map_err(io_err)?;
+        let mut t = TcpTransport {
+            stream,
+            poisoned: None,
+        };
+        t.set_timeout(timeout);
+        t.expect_hello(shard)?;
+        t.send(&Self::hello(shard).encode())?;
+        Ok(t)
+    }
+
+    fn hello(shard: u16) -> Frame {
+        let mut hello = Frame::control(FrameKind::Hello, shard, 0);
+        put_varint(&mut hello.payload, PROTOCOL_VERSION);
+        hello
+    }
+
+    fn expect_hello(&mut self, shard: u16) -> Result<(), WireError> {
+        let frame = Frame::decode(&self.recv()?)?;
+        if frame.kind != FrameKind::Hello {
+            return Err(WireError::UnexpectedKind {
+                want: FrameKind::Hello,
+                got: frame.kind,
+            });
+        }
+        if frame.shard != shard {
+            return Err(WireError::ShardMismatch {
+                want: shard,
+                got: frame.shard,
+            });
+        }
+        let mut payload = frame.payload.as_slice();
+        let got = get_varint(&mut payload)?;
+        if got != PROTOCOL_VERSION {
+            return Err(WireError::VersionSkew {
+                want: PROTOCOL_VERSION,
+                got,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.stream.write_all(bytes).map_err(io_err)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, WireError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match read_frame_bytes(&mut self.stream) {
+            Ok(frame) => Ok(frame),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn set_timeout(&mut self, timeout: Option<Duration>) {
+        let _ = self.stream.set_read_timeout(clamp_timeout(timeout));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency/bandwidth shaping
+// ---------------------------------------------------------------------------
+
+/// A modeled network profile for [`ShapedTransport`]: fixed per-frame
+/// latency plus byte throughput, with optional seeded jitter.  The
+/// charge for one `len`-byte frame is
+/// `latency_us·1000 + len·10⁹/bandwidth_bytes_per_s` nanoseconds
+/// (plus jitter), accumulated on a deterministic virtual clock — the
+/// same frame sequence always pays the same total, so shaped runs are
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetworkSpec {
+    /// Fixed one-way per-frame latency in microseconds.
+    pub latency_us: u64,
+    /// Link throughput in bytes per second; `0` models an
+    /// infinite-bandwidth link (no serialization delay).
+    pub bandwidth_bytes_per_s: u64,
+    /// Seed for the jitter RNG; `0` disables jitter.  Jitter is drawn
+    /// per frame, uniform in `[0, latency_us/4]` microseconds, from a
+    /// splitmix64 stream — deterministic for a given seed and frame
+    /// sequence.
+    pub jitter_seed: u64,
+}
+
+impl NetworkSpec {
+    /// A pure-latency profile: `latency_us` per frame, infinite
+    /// bandwidth, no jitter.
+    pub fn latency(latency_us: u64) -> Self {
+        NetworkSpec {
+            latency_us,
+            ..NetworkSpec::default()
+        }
+    }
+
+    /// Deterministic pre-jitter charge for one `len`-byte frame, in
+    /// nanoseconds.
+    pub fn charge_ns(&self, len: usize) -> u64 {
+        let mut ns = self.latency_us.saturating_mul(1_000);
+        if self.bandwidth_bytes_per_s > 0 {
+            let ser = len as u128 * 1_000_000_000 / self.bandwidth_bytes_per_s as u128;
+            ns = ns.saturating_add(u64::try_from(ser).unwrap_or(u64::MAX));
+        }
+        ns
+    }
+}
+
+/// One step of the splitmix64 generator — the standard seed-expansion
+/// PRNG; tiny, stateless beyond one word, and plenty for jitter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One direction of a shaped link: accumulates the virtual-clock
+/// charge and realizes it by sleeping.
+struct Shaper {
+    spec: NetworkSpec,
+    rng: u64,
+    charged_ns: u64,
+}
+
+impl Shaper {
+    fn new(spec: NetworkSpec) -> Self {
+        Shaper {
+            spec,
+            rng: spec.jitter_seed,
+            charged_ns: 0,
+        }
+    }
+
+    fn charge(&mut self, len: usize) {
+        let mut ns = self.spec.charge_ns(len);
+        if self.spec.jitter_seed != 0 {
+            let span = self.spec.latency_us.saturating_mul(1_000) / 4;
+            if span > 0 {
+                ns = ns.saturating_add(splitmix64(&mut self.rng) % (span + 1));
+            }
+        }
+        self.charged_ns = self.charged_ns.saturating_add(ns);
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+    }
+}
+
+/// A [`Transport`] decorator modeling link latency and throughput:
+/// every frame crossing it is charged `latency + len/bandwidth`
+/// (plus optional seeded jitter) on a per-direction virtual clock,
+/// realized as a sleep.  Shaping touches *time only* — bytes pass
+/// through untouched, so outputs, metrics, probe traces and span
+/// structure stay bit-for-bit identical to the unshaped link (the
+/// conformance suite pins this).  The added wall clock lands in the
+/// engine's barrier span, exactly where real wire latency would.
+pub struct ShapedTransport {
+    inner: Box<dyn Transport>,
+    tx: Shaper,
+    rx: Shaper,
+}
+
+impl ShapedTransport {
+    /// Shapes both directions with the same profile.
+    pub fn new(inner: Box<dyn Transport>, spec: NetworkSpec) -> Self {
+        Self::with_directions(inner, spec, spec)
+    }
+
+    /// Shapes send and receive with independent profiles (asymmetric
+    /// links).
+    pub fn with_directions(inner: Box<dyn Transport>, tx: NetworkSpec, rx: NetworkSpec) -> Self {
+        ShapedTransport {
+            inner,
+            tx: Shaper::new(tx),
+            rx: Shaper::new(rx),
+        }
+    }
+
+    /// Total virtual-clock charge so far, in nanoseconds, as
+    /// `(sent, received)`.
+    pub fn charged_ns(&self) -> (u64, u64) {
+        (self.tx.charged_ns, self.rx.charged_ns)
+    }
+}
+
+impl Transport for ShapedTransport {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.inner.send(bytes)?;
+        self.tx.charge(bytes.len());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, WireError> {
+        let frame = self.inner.recv()?;
+        self.rx.charge(frame.len());
         Ok(frame)
     }
 
     fn set_timeout(&mut self, timeout: Option<Duration>) {
-        // A zero timeout means "block forever" to the kernel, which is
-        // the opposite of the caller's intent; clamp upward instead.
-        let timeout = timeout.map(|t| t.max(Duration::from_millis(1)));
-        let _ = self.stream.set_read_timeout(timeout);
+        self.inner.set_timeout(timeout);
     }
 }
 
@@ -834,6 +1185,30 @@ mod tests {
     }
 
     #[test]
+    fn varint_rejects_non_canonical_encodings() {
+        // The padded spellings of 0 and 1 must not alias the canonical
+        // one-byte forms.
+        for bad in [
+            &[0x80, 0x00][..],
+            &[0x80, 0x80, 0x00][..],
+            &[0x81, 0x00][..],
+            &[0xFF, 0x80, 0x00][..],
+        ] {
+            let mut slice = bad;
+            assert_eq!(get_varint(&mut slice), Err(WireError::Varint), "{bad:?}");
+        }
+        // Canonical single-byte zero still decodes.
+        let mut slice: &[u8] = &[0x00];
+        assert_eq!(get_varint(&mut slice).unwrap(), 0);
+        // A terminal zero *without* continuation padding in the value's
+        // own bytes is fine when it carries real high bits: 1 << 7 is
+        // [0x80, 0x01], not a padded zero.
+        let mut out = Vec::new();
+        put_varint(&mut out, 128);
+        assert_eq!(out, [0x80, 0x01]);
+    }
+
+    #[test]
     fn crc32_matches_the_ieee_check_value() {
         assert_eq!(crc32_parts(&[b"123456789"]), 0xCBF4_3926);
         assert_eq!(crc32_parts(&[b"1234", b"56789"]), 0xCBF4_3926);
@@ -989,6 +1364,143 @@ mod tests {
         let mut t = FaultyTransport::new(Box::new(feed), 0, Fault::Truncate { drop: 2 });
         assert_eq!(Frame::decode(&t.recv().unwrap()), Err(WireError::Truncated));
         assert!(Frame::decode(&t.recv().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn shaped_charges_are_deterministic_per_seed() {
+        let spec = NetworkSpec {
+            latency_us: 10,
+            bandwidth_bytes_per_s: 1 << 20,
+            jitter_seed: 42,
+        };
+        // Pre-jitter charge: 10us latency + 1024B at 1 MiB/s.
+        assert_eq!(spec.charge_ns(0), 10_000);
+        assert_eq!(
+            spec.charge_ns(1024),
+            10_000 + 1024 * 1_000_000_000 / (1 << 20)
+        );
+        // Infinite bandwidth drops the serialization term.
+        assert_eq!(NetworkSpec::latency(7).charge_ns(1 << 20), 7_000);
+        // Two shapers with the same seed charge identically over the
+        // same frame sequence; a different seed diverges.
+        let (mut a, mut b, mut c) = (
+            Shaper::new(spec),
+            Shaper::new(spec),
+            Shaper::new(NetworkSpec {
+                jitter_seed: 43,
+                ..spec
+            }),
+        );
+        for len in [0usize, 21, 1024, 77] {
+            a.charge(len);
+            b.charge(len);
+            c.charge(len);
+        }
+        assert_eq!(a.charged_ns, b.charged_ns);
+        assert_ne!(a.charged_ns, c.charged_ns);
+        // Jitter stays within the documented bound.
+        let base: u64 = [0usize, 21, 1024, 77]
+            .iter()
+            .map(|&l| spec.charge_ns(l))
+            .sum();
+        assert!(a.charged_ns >= base);
+        assert!(a.charged_ns <= base + 4 * (10_000 / 4));
+    }
+
+    #[test]
+    fn shaped_transport_passes_bytes_through_unchanged() {
+        struct Feed(VecDeque<Vec<u8>>, Vec<Vec<u8>>);
+        impl Transport for Feed {
+            fn send(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+                self.1.push(bytes.to_vec());
+                Ok(())
+            }
+            fn recv(&mut self) -> Result<Vec<u8>, WireError> {
+                self.0.pop_front().ok_or(WireError::Eof)
+            }
+        }
+        let frame = Frame::control(FrameKind::Barrier, 1, 3).encode();
+        let feed = Feed(VecDeque::from([frame.clone()]), Vec::new());
+        let mut shaped = ShapedTransport::new(
+            Box::new(feed),
+            NetworkSpec {
+                latency_us: 1,
+                bandwidth_bytes_per_s: 0,
+                jitter_seed: 9,
+            },
+        );
+        shaped.send(&frame).unwrap();
+        assert_eq!(shaped.recv().unwrap(), frame);
+        assert_eq!(shaped.recv(), Err(WireError::Eof));
+        let (tx, rx) = shaped.charged_ns();
+        assert!(tx >= 1_000 && rx >= 1_000);
+    }
+
+    #[test]
+    fn tcp_transport_handshakes_and_round_trips() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let mut t = TcpTransport::connect(addr, 5).unwrap();
+            let echo = t.recv().unwrap();
+            t.send(&echo).unwrap();
+        });
+        let mut t = TcpTransport::accept(&listener, 5, Some(Duration::from_secs(10))).unwrap();
+        let frame = Frame {
+            kind: FrameKind::Sends,
+            shard: 5,
+            epoch: 1,
+            count: 1,
+            payload: vec![0xAB; 3 * RECV_CHUNK + 17],
+        }
+        .encode();
+        t.send(&frame).unwrap();
+        assert_eq!(t.recv().unwrap(), frame);
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_handshake_rejects_version_skew_and_wrong_shard() {
+        // Version skew: a raw peer speaks Hello with version 99.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut hello = Frame::control(FrameKind::Hello, 0, 0);
+            put_varint(&mut hello.payload, 99);
+            stream.write_all(&hello.encode()).unwrap();
+            // Hold the socket open until the accept side has judged.
+            let _ = read_frame_bytes(&mut stream);
+        });
+        let got = TcpTransport::accept(&listener, 0, Some(Duration::from_secs(10)));
+        assert!(matches!(
+            got,
+            Err(WireError::VersionSkew {
+                want: PROTOCOL_VERSION,
+                got: 99
+            })
+        ));
+        peer.join().unwrap();
+
+        // Shard mismatch: both sides well-versioned but misrouted.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || TcpTransport::connect(addr, 3));
+        let got = TcpTransport::accept(&listener, 4, Some(Duration::from_secs(10)));
+        assert_eq!(
+            got.err(),
+            Some(WireError::ShardMismatch { want: 4, got: 3 })
+        );
+        let _ = peer.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_accept_timeout_is_bounded() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let start = Instant::now();
+        let got = TcpTransport::accept(&listener, 0, Some(Duration::from_millis(50)));
+        assert_eq!(got.err(), Some(WireError::Timeout));
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

@@ -21,10 +21,15 @@
 //! * [`spans`] — span-structure invariance: per-round per-shard stage
 //!   spans have engine-invariant structure (timings stay backend-shaped
 //!   and are never compared).
+//! * [`shaped`] — the shaped-wire and TCP transports: shaping changes
+//!   wall clock only (counters, traces and span structure bit-for-bit
+//!   equal to the unshaped process backend), and loopback TCP passes
+//!   the full matrix.
 
 pub mod harness;
 mod matrix;
 mod negative;
 mod probe;
 mod random;
+mod shaped;
 mod spans;

@@ -15,9 +15,14 @@
 
 use powersparse_congest::engine::{RoundEngine, RoundPhase};
 use powersparse_congest::sim::{SimConfig, Simulator};
-use powersparse_engine::wire::{Fault, FaultyTransport};
+use powersparse_engine::wire::{
+    read_frame_bytes, EngineError, Fault, FaultyTransport, Frame, FrameKind, StreamTransport,
+    Transport, WireError, HEADER_LEN, MAX_PAYLOAD, RECV_CHUNK,
+};
 use powersparse_engine::ProcessSimulator;
 use powersparse_graphs::{generators, NodeId};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -179,6 +184,123 @@ fn wedged_child_trips_the_barrier_timeout() {
     assert!(
         start.elapsed() < Duration::from_secs(10),
         "timeout must be bounded by the configured barrier timeout"
+    );
+}
+
+/// The bounded-allocation pin: a header whose length field claims the
+/// full `MAX_PAYLOAD` (the CRC that would expose the lie only arrives
+/// *after* the payload) must not trigger a quarter-GiB allocation.
+/// `read_frame_bytes` grows the buffer chunk by chunk, so no single
+/// read request — and hence no single allocation step — exceeds
+/// `RECV_CHUNK`.
+#[test]
+fn oversize_header_cannot_force_an_upfront_allocation() {
+    struct MeteredFeed {
+        data: Vec<u8>,
+        pos: usize,
+        max_req: usize,
+    }
+    impl Read for MeteredFeed {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.max_req = self.max_req.max(buf.len());
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+    // A valid header claiming MAX_PAYLOAD bytes, with nothing behind it:
+    // the peer lied and hung up.
+    let mut header = Frame::control(FrameKind::Sends, 0, 0).encode();
+    header[13..17].copy_from_slice(&(MAX_PAYLOAD as u32).to_le_bytes());
+    let mut feed = MeteredFeed {
+        data: header,
+        pos: 0,
+        max_req: 0,
+    };
+    assert_eq!(read_frame_bytes(&mut feed), Err(WireError::Eof));
+    assert!(
+        feed.max_req <= RECV_CHUNK,
+        "recv requested a {}-byte read from an unauthenticated length field",
+        feed.max_req
+    );
+}
+
+/// The happy path of chunked assembly: a payload spanning several
+/// `RECV_CHUNK`s reassembles byte-identically.
+#[test]
+fn multi_chunk_payloads_reassemble_exactly() {
+    let frame = Frame {
+        kind: FrameKind::Deliveries,
+        shard: 1,
+        epoch: 2,
+        count: 3,
+        payload: (0..3 * RECV_CHUNK + 1234).map(|i| i as u8).collect(),
+    };
+    let bytes = frame.encode();
+    let mut cursor = std::io::Cursor::new(bytes.clone());
+    assert_eq!(read_frame_bytes(&mut cursor).unwrap(), bytes);
+    assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+}
+
+/// The poisoning pin: after a mid-frame timeout the stream is
+/// misaligned, so a retry used to resynchronise on payload bytes and
+/// report a misleading "bad frame magic".  The transport now latches
+/// the first error — the operator sees "barrier timeout", the root
+/// cause, on every subsequent read.
+#[test]
+fn mid_frame_timeout_poisons_the_transport() {
+    let (a, mut b) = UnixStream::pair().unwrap();
+    let mut t = StreamTransport::new(a);
+    t.set_timeout(Some(Duration::from_millis(50)));
+    let frame = Frame {
+        kind: FrameKind::Deliveries,
+        shard: 0,
+        epoch: 0,
+        count: 0,
+        payload: vec![7u8; 100],
+    }
+    .encode();
+    // The peer delivers the header and half the payload, then stalls.
+    b.write_all(&frame[..HEADER_LEN + 50]).unwrap();
+    assert_eq!(t.recv(), Err(WireError::Timeout));
+    // Late bytes arrive that a resynchronising recv would misparse as
+    // a header with bad magic.
+    b.write_all(&[0x55u8; 200]).unwrap();
+    assert_eq!(
+        t.recv(),
+        Err(WireError::Timeout),
+        "poisoned transport must replay the root cause, not BadMagic"
+    );
+    // Rendered through the engine error, the story stays "barrier
+    // timeout", never "bad frame magic".
+    let msg = EngineError {
+        shard: 1,
+        error: WireError::Timeout,
+    }
+    .to_string();
+    assert_eq!(msg, "process engine: barrier timeout waiting on shard 1");
+}
+
+/// TCP connection loss maps to the same stable "died mid-round" error
+/// as a Unix-socket child death: the fail-closed contract holds across
+/// transports.
+#[test]
+fn tcp_child_connection_loss_fails_closed() {
+    let g = generators::path(8);
+    let config = SimConfig::for_graph(&g);
+    let mut eng = ProcessSimulator::with_tcp_loopback(&g, config, 2)
+        .with_barrier_timeout(Duration::from_millis(300));
+    eng.kill_child(1);
+    let start = Instant::now();
+    let err = catch_unwind(AssertUnwindSafe(|| drive(&mut eng)))
+        .expect_err("a dead tcp child must abort the round");
+    assert!(start.elapsed() < Duration::from_secs(10));
+    drop(eng);
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert_eq!(
+        msg,
+        "process engine: child for shard 1 died mid-round (socket closed)"
     );
 }
 

@@ -129,6 +129,41 @@ proptest! {
         out.extend(std::iter::repeat_n(0u8, junk));
         prop_assert!(decode_cells(&out, cells.len()).is_err());
     }
+
+    /// Varint decode∘encode is injective: any byte string that decodes
+    /// re-encodes to exactly the bytes consumed.  This is the canonical
+    /// LEB128 property — without it, continuation-padded spellings like
+    /// `[0x80, 0x00]` would alias `[0x00]` and distinct frame bytes
+    /// could decode to identical cells.
+    #[test]
+    fn varint_decode_reencode_is_identity(bytes in proptest::collection::vec(any::<u8>(), 1..12)) {
+        let mut slice = bytes.as_slice();
+        if let Ok(v) = wire::get_varint(&mut slice) {
+            let consumed = bytes.len() - slice.len();
+            let mut canon = Vec::new();
+            wire::put_varint(&mut canon, v);
+            prop_assert_eq!(
+                &bytes[..consumed], canon.as_slice(),
+                "value {} decoded from a non-canonical spelling", v
+            );
+        }
+    }
+}
+
+/// The regression pin for the non-canonical-varint bug: padded
+/// spellings are rejected at the varint layer and therefore at the
+/// cell layer, instead of silently aliasing the canonical form.
+#[test]
+fn non_canonical_varints_are_rejected() {
+    let mut slice: &[u8] = &[0x80, 0x00];
+    assert_eq!(wire::get_varint(&mut slice), Err(WireError::Varint));
+    let mut slice: &[u8] = &[0x00];
+    assert_eq!(wire::get_varint(&mut slice), Ok(0));
+    // Through the cell codec: a padded edge id poisons the whole run.
+    // Canonical spelling of the same cell: [0x00, 0x01, 0x00, 0x00].
+    let padded = [0x80u8, 0x00, 0x01, 0x00, 0x00];
+    assert_eq!(decode_cells(&padded, 1), Err(WireError::Varint));
+    assert!(decode_cells(&padded[1..], 1).is_ok());
 }
 
 /// A near-max payload cell (1 MiB here; `MAX_PAYLOAD` itself would

@@ -72,7 +72,7 @@ pub use diff::{
 };
 pub use json::{Json, JsonError};
 pub use manifest::{
-    PhaseWall, ProfileStats, RunRecord, SuiteManifest, TraceRow, Validation, WallStats,
+    NetRecord, PhaseWall, ProfileStats, RunRecord, SuiteManifest, TraceRow, Validation, WallStats,
 };
 pub use profile::{breakdown, chrome_trace, profile_stats, ProfileBreakdown, ShardProfile};
 pub use runner::{

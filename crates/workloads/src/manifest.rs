@@ -212,6 +212,56 @@ impl ProfileStats {
     }
 }
 
+/// The optional wire section of a run: present only when the process
+/// engine ran with a non-default transport (loopback TCP and/or a
+/// shaped wire), so plain manifests stay byte-stable against older
+/// diff tooling. The shaping knobs mirror
+/// `powersparse_engine::NetworkSpec`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetRecord {
+    /// Child links ran over loopback TCP instead of Unix sockets.
+    pub tcp: bool,
+    /// Modeled one-way latency charged per frame, microseconds
+    /// (0 = no latency term).
+    pub latency_us: u64,
+    /// Modeled throughput in bytes per second (0 = infinite).
+    pub bandwidth_bytes_per_s: u64,
+    /// Seed of the deterministic jitter stream (0 = no jitter).
+    pub jitter_seed: u64,
+}
+
+impl NetRecord {
+    /// The section as a [`Json`] object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("tcp".into(), Json::Bool(self.tcp)),
+            ("latency_us".into(), Json::num(self.latency_us)),
+            (
+                "bandwidth_bytes_per_s".into(),
+                Json::num(self.bandwidth_bytes_per_s),
+            ),
+            ("jitter_seed".into(), Json::num(self.jitter_seed)),
+        ])
+    }
+
+    /// Parses the section back from its JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            tcp: doc
+                .get("tcp")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| missing("net.tcp"))?,
+            latency_us: req_u64(doc, "latency_us")?,
+            bandwidth_bytes_per_s: req_u64(doc, "bandwidth_bytes_per_s")?,
+            jitter_seed: req_u64(doc, "jitter_seed")?,
+        })
+    }
+}
+
 /// The validation verdict of one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Validation {
@@ -246,6 +296,9 @@ pub struct RunRecord {
     pub engine: String,
     /// Worker count (1 for sequential).
     pub shards: u64,
+    /// Optional wire configuration (absent unless the process engine
+    /// ran over TCP and/or a shaped wire).
+    pub net: Option<NetRecord>,
     /// CONGEST rounds executed (including charged rounds).
     pub rounds: u64,
     /// Of which charged analytically.
@@ -343,10 +396,10 @@ impl SuiteManifest {
 }
 
 impl RunRecord {
-    /// The record as a [`Json`] object. The optional keys (`alloc_*`
-    /// gauges, `profile`, `trace`) are emitted only when captured, so
-    /// plain manifests stay compact and byte-stable against older
-    /// builds' diff tooling.
+    /// The record as a [`Json`] object. The optional keys (`net`,
+    /// `alloc_*` gauges, `profile`, `trace`) are emitted only when
+    /// captured, so plain manifests stay compact and byte-stable
+    /// against older builds' diff tooling.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("name".into(), Json::str(&self.name)),
@@ -360,6 +413,11 @@ impl RunRecord {
             ("algorithm".into(), Json::str(&self.algorithm)),
             ("engine".into(), Json::str(&self.engine)),
             ("shards".into(), Json::num(self.shards)),
+        ];
+        if let Some(net) = &self.net {
+            fields.push(("net".into(), net.to_json()));
+        }
+        fields.extend([
             ("rounds".into(), Json::num(self.rounds)),
             ("charged_rounds".into(), Json::num(self.charged_rounds)),
             ("messages".into(), Json::num(self.messages)),
@@ -367,7 +425,7 @@ impl RunRecord {
             ("peak_queue_depth".into(), Json::num(self.peak_queue_depth)),
             ("arena_cells_peak".into(), Json::num(self.arena_cells_peak)),
             ("arena_bytes_peak".into(), Json::num(self.arena_bytes_peak)),
-        ];
+        ]);
         if self.alloc_count != 0 || self.alloc_bytes_peak != 0 {
             fields.push(("alloc_count".into(), Json::num(self.alloc_count)));
             fields.push(("alloc_bytes_peak".into(), Json::num(self.alloc_bytes_peak)));
@@ -414,10 +472,11 @@ impl RunRecord {
 
     /// Parses one record from its JSON object. The observability fields
     /// introduced with the probe layer (`arena_*_peak`, `wall_stats`,
-    /// `trace`) are optional, so manifests written by older builds
-    /// still parse: missing arena gauges read as zero, missing
-    /// statistics derive from the plain `wall_us.run` sample, and a
-    /// missing trace reads as "not captured".
+    /// `trace`) and the wire section (`net`) are optional, so manifests
+    /// written by older builds still parse: missing arena gauges read
+    /// as zero, missing statistics derive from the plain `wall_us.run`
+    /// sample, and a missing trace or `net` reads as "not captured" /
+    /// "default wire".
     ///
     /// # Errors
     ///
@@ -435,6 +494,10 @@ impl RunRecord {
                 ci95_us: req_f64(stats, "ci95_us")?,
                 samples: req_u64(stats, "samples")?,
             },
+        };
+        let net = match doc.get("net") {
+            None => None,
+            Some(section) => Some(NetRecord::from_json(section)?),
         };
         let profile = match doc.get("profile") {
             None => None,
@@ -462,6 +525,7 @@ impl RunRecord {
             algorithm: req_str(doc, "algorithm")?,
             engine: req_str(doc, "engine")?,
             shards: req_u64(doc, "shards")?,
+            net,
             rounds: req_u64(doc, "rounds")?,
             charged_rounds: req_u64(doc, "charged_rounds")?,
             messages: req_u64(doc, "messages")?,
@@ -545,6 +609,7 @@ mod tests {
                 algorithm: "luby_mis".into(),
                 engine: "sharded".into(),
                 shards: 4,
+                net: None,
                 rounds: 77,
                 charged_rounds: 0,
                 messages: 12345,
@@ -700,6 +765,26 @@ mod tests {
             barrier_share: 0.284,
         });
         let text = m.to_json_string();
+        let back = SuiteManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn net_section_round_trips_and_stays_optional() {
+        let mut m = sample();
+        // Plain record: no net key, so pre-PR-9 diff tooling sees
+        // byte-identical manifests.
+        let text = m.to_json_string();
+        assert!(!text.contains("\"net\""));
+        m.runs[0].net = Some(NetRecord {
+            tcp: true,
+            latency_us: 200,
+            bandwidth_bytes_per_s: 16 << 20,
+            jitter_seed: 7,
+        });
+        let text = m.to_json_string();
+        assert!(text.contains("\"net\""));
         let back = SuiteManifest::parse(&text).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.to_json_string(), text);

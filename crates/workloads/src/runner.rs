@@ -7,7 +7,9 @@
 //! slow, obviously-correct checkers agree (MIS independence + maximality,
 //! ruling-set packing + covering, sparsifier invariant I3 + domination).
 
-use crate::manifest::{PhaseWall, RunRecord, SuiteManifest, TraceRow, Validation, WallStats};
+use crate::manifest::{
+    NetRecord, PhaseWall, RunRecord, SuiteManifest, TraceRow, Validation, WallStats,
+};
 use crate::scenario::{AlgorithmSpec, EngineSpec, Scenario};
 use powersparse::mis::{beeping_mis, luby_mis, mis_power, PostShattering};
 use powersparse::nd::{diameter_bound, power_nd, NetworkDecomposition};
@@ -15,9 +17,9 @@ use powersparse::params::TheoryParams;
 use powersparse::ruling::{beta_ruling_set, det_ruling_set_k2};
 use powersparse::sparsify::{sparsify_power, SamplingStrategy, SparsifyOutcome};
 use powersparse_congest::engine::{Metrics, RoundEngine};
-use powersparse_congest::probe::{SpanProbe, TraceProbe};
+use powersparse_congest::probe::{NoProbe, SpanProbe, TraceProbe};
 use powersparse_congest::sim::{SimConfig, Simulator};
-use powersparse_engine::{PooledSimulator, ProcessSimulator, ShardedSimulator};
+use powersparse_engine::{PooledSimulator, ProcessOptions, ProcessSimulator, ShardedSimulator};
 use powersparse_graphs::{check, generators, power, Graph, NodeId};
 use std::time::Instant;
 
@@ -110,6 +112,15 @@ pub fn run_scenario(sc: &Scenario) -> Result<RunRecord, String> {
     run_scenario_with(sc, &RunOptions::default())
 }
 
+/// The wire options a scenario's process engine runs under (Unix
+/// socket vs loopback TCP, optional shaping).
+fn process_options(sc: &Scenario) -> ProcessOptions {
+    ProcessOptions {
+        net: sc.net,
+        tcp: sc.tcp,
+    }
+}
+
 /// One run-phase execution: builds a fresh engine for the scenario's
 /// backend, runs the algorithm, returns output + final metrics.
 fn execute(g: &Graph, config: SimConfig, sc: &Scenario) -> Result<(AlgOutput, Metrics), String> {
@@ -133,7 +144,8 @@ fn execute(g: &Graph, config: SimConfig, sc: &Scenario) -> Result<(AlgOutput, Me
             Ok((out, m))
         }
         EngineSpec::Process { shards } => {
-            let mut sim = ProcessSimulator::with_shards(g, config, shards);
+            let mut sim =
+                ProcessSimulator::with_options(g, config, shards, NoProbe, process_options(sc));
             let out = run_generic(&mut sim, sc)?;
             let m = RoundEngine::metrics(&sim).clone();
             Ok((out, m))
@@ -168,7 +180,13 @@ fn execute_traced(
             sim.into_probe()
         }
         EngineSpec::Process { shards } => {
-            let mut sim = ProcessSimulator::with_probe(g, config, shards, TraceProbe::new());
+            let mut sim = ProcessSimulator::with_options(
+                g,
+                config,
+                shards,
+                TraceProbe::new(),
+                process_options(sc),
+            );
             run_generic(&mut sim, sc)?;
             sim.into_probe()
         }
@@ -208,7 +226,13 @@ pub fn execute_spanned(g: &Graph, config: SimConfig, sc: &Scenario) -> Result<Sp
             Ok(sim.into_probe())
         }
         EngineSpec::Process { shards } => {
-            let mut sim = ProcessSimulator::with_probe(g, config, shards, SpanProbe::new());
+            let mut sim = ProcessSimulator::with_options(
+                g,
+                config,
+                shards,
+                SpanProbe::new(),
+                process_options(sc),
+            );
             run_generic(&mut sim, sc)?;
             Ok(sim.into_probe())
         }
@@ -507,6 +531,17 @@ fn record(
         algorithm: sc.algorithm.id(),
         engine: sc.engine.id().to_string(),
         shards: sc.engine.shards() as u64,
+        net: if sc.tcp || sc.net.is_some() {
+            let spec = sc.net.unwrap_or_default();
+            Some(NetRecord {
+                tcp: sc.tcp,
+                latency_us: spec.latency_us,
+                bandwidth_bytes_per_s: spec.bandwidth_bytes_per_s,
+                jitter_seed: spec.jitter_seed,
+            })
+        } else {
+            None
+        },
         rounds: metrics.rounds,
         charged_rounds: metrics.charged_rounds,
         messages: metrics.messages,
@@ -767,6 +802,51 @@ mod tests {
             };
             assert!(run_scenario_with(&sc, &opts).is_err());
         }
+    }
+
+    #[test]
+    fn shaped_and_tcp_process_scenarios_run_and_record_the_wire() {
+        use powersparse_engine::NetworkSpec;
+        let base = Scenario::new(GraphFamily::Grid { rows: 6, cols: 6 })
+            .seed(3)
+            .process(2);
+        let plain = run_scenario(&base.clone()).unwrap();
+        assert!(
+            plain.net.is_none(),
+            "default wire must not emit a net section"
+        );
+        let net = NetworkSpec {
+            latency_us: 15,
+            bandwidth_bytes_per_s: 32 << 20,
+            jitter_seed: 11,
+        };
+        let shaped = run_scenario(&base.clone().network(net)).unwrap();
+        let tcp = run_scenario(&base.tcp()).unwrap();
+        for rec in [&shaped, &tcp] {
+            assert!(
+                rec.validation.passed,
+                "{}: {}",
+                rec.name, rec.validation.detail
+            );
+            // The wire never touches a gated counter.
+            assert_eq!(rec.rounds, plain.rounds, "{}", rec.name);
+            assert_eq!(rec.messages, plain.messages, "{}", rec.name);
+            assert_eq!(rec.bits, plain.bits, "{}", rec.name);
+            assert_eq!(rec.peak_queue_depth, plain.peak_queue_depth, "{}", rec.name);
+            assert_eq!(rec.output_size, plain.output_size, "{}", rec.name);
+        }
+        let section = shaped.net.expect("shaped run must record its wire");
+        assert!(!section.tcp);
+        assert_eq!(section.latency_us, 15);
+        assert_eq!(section.bandwidth_bytes_per_s, 32 << 20);
+        assert_eq!(section.jitter_seed, 11);
+        assert!(shaped
+            .name
+            .ends_with("process2+net(lat=15us,bw=33554432,jit=11)"));
+        let section = tcp.net.expect("tcp run must record its wire");
+        assert!(section.tcp);
+        assert_eq!(section.latency_us, 0);
+        assert!(tcp.name.ends_with("process2+tcp"));
     }
 
     #[test]

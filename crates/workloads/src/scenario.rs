@@ -5,6 +5,7 @@
 //! A scenario is pure data — [`crate::runner`] turns it into a graph, an
 //! engine, a run and a validated [`crate::manifest::RunRecord`].
 
+use powersparse_engine::NetworkSpec;
 use powersparse_graphs::{generators, Graph};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -289,6 +290,14 @@ pub struct Scenario {
     pub algorithm: AlgorithmSpec,
     /// The engine backend.
     pub engine: EngineSpec,
+    /// Optional wire shaping (latency/bandwidth/jitter) for the
+    /// process engine's child links; `None` leaves the wire unshaped.
+    /// Shaping moves wall clock only — every counter stays bit-for-bit
+    /// identical (the engine contract).
+    pub net: Option<NetworkSpec>,
+    /// Run the process engine's child links over loopback TCP instead
+    /// of Unix sockets (the multi-machine deployment shape).
+    pub tcp: bool,
 }
 
 impl Scenario {
@@ -301,6 +310,8 @@ impl Scenario {
             seed: 1,
             algorithm: AlgorithmSpec::LubyMis,
             engine: EngineSpec::Sequential,
+            net: None,
+            tcp: false,
         }
     }
 
@@ -346,10 +357,26 @@ impl Scenario {
         self
     }
 
+    /// Shapes the process engine's wire with `net` (latency, finite
+    /// bandwidth, seeded jitter). Only valid on the process engine.
+    pub fn network(mut self, net: NetworkSpec) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Runs the process engine's child links over loopback TCP. Only
+    /// valid on the process engine.
+    pub fn tcp(mut self) -> Self {
+        self.tcp = true;
+        self
+    }
+
     /// Canonical run name, e.g.
-    /// `power_law(n=300,attach=3)/k2/luby_mis/sharded4`.
+    /// `power_law(n=300,attach=3)/k2/luby_mis/sharded4`; a shaped or
+    /// TCP wire is part of the identity, e.g.
+    /// `.../process2+tcp+net(lat=200us,bw=0,jit=0)`.
     pub fn name(&self) -> String {
-        format!(
+        let mut name = format!(
             "{}/k{}/{}/{}{}",
             self.family.label(),
             self.k,
@@ -361,22 +388,41 @@ impl Scenario {
                 | EngineSpec::Pooled { shards }
                 | EngineSpec::Process { shards } => shards.to_string(),
             }
-        )
+        );
+        if self.tcp {
+            name.push_str("+tcp");
+        }
+        if let Some(net) = self.net {
+            name.push_str(&format!(
+                "+net(lat={}us,bw={},jit={})",
+                net.latency_us, net.bandwidth_bytes_per_s, net.jitter_seed
+            ));
+        }
+        name
     }
 
     /// Checks that the scenario is executable as specified.
     ///
     /// # Errors
     ///
-    /// Returns a description of the problem (e.g. zero shards). Every
-    /// algorithm runs on every engine since the PR-3 step-API port, so
-    /// algorithm × engine combinations are no longer restricted.
+    /// Returns a description of the problem (e.g. zero shards, or wire
+    /// options on an in-process engine). Every algorithm runs on every
+    /// engine since the PR-3 step-API port, so algorithm × engine
+    /// combinations are no longer restricted.
     pub fn validate_spec(&self) -> Result<(), String> {
         if self.engine.shards() == 0 {
             return Err("shards must be >= 1".into());
         }
         if self.k == 0 {
             return Err("k must be >= 1".into());
+        }
+        if !matches!(self.engine, EngineSpec::Process { .. }) {
+            if self.net.is_some() {
+                return Err("`net` shaping requires the process engine".into());
+            }
+            if self.tcp {
+                return Err("`tcp` requires the process engine".into());
+            }
         }
         Ok(())
     }
@@ -555,13 +601,15 @@ pub fn builtin_suite(profile: SuiteProfile) -> Vec<Scenario> {
     ]
 }
 
-/// A value in a spec file: integer, float, string or bool.
+/// A value in a spec file: integer, float, string, bool or a flat
+/// inline table (`{ key = value, ... }` with scalar values only).
 #[derive(Debug, Clone, PartialEq)]
 enum SpecValue {
     Int(i64),
     Float(f64),
     Str(String),
     Bool(bool),
+    Table(BTreeMap<String, SpecValue>),
 }
 
 impl SpecValue {
@@ -571,6 +619,7 @@ impl SpecValue {
             Self::Float(_) => "float",
             Self::Str(_) => "string",
             Self::Bool(_) => "bool",
+            Self::Table(_) => "inline table",
         }
     }
 }
@@ -609,12 +658,21 @@ impl std::error::Error for SpecError {}
 ///                        # det_ruling_k2 | power_nd
 /// engine = "sharded"     # sequential | sharded | pooled | process
 /// shards = 4
+///
+/// [[scenario]]
+/// family = "grid"
+/// rows = 12
+/// cols = 12
+/// engine = "process"     # wire options are process-engine-only:
+/// tcp = true             # child links over loopback TCP
+/// net = { latency_us = 200, bandwidth_bytes_per_s = 16777216, jitter_seed = 7 }
 /// ```
 ///
 /// Supported: `[[scenario]]` table headers, `key = value` with integer,
-/// float, `"string"` and `true`/`false` values, `#` comments, blank
-/// lines. Unknown keys are errors (typos must not silently change an
-/// experiment).
+/// float, `"string"`, `true`/`false` and flat inline-table values
+/// (scalars only — `net = { ... }` is the one consumer), `#` comments,
+/// blank lines. Unknown keys are errors (typos must not silently change
+/// an experiment).
 ///
 /// # Errors
 ///
@@ -664,6 +722,38 @@ pub fn parse_suite(text: &str) -> Result<Vec<Scenario>, SpecError> {
 }
 
 fn parse_value(text: &str, line: usize) -> Result<SpecValue, SpecError> {
+    if let Some(stripped) = text.strip_prefix('{') {
+        let inner = stripped.strip_suffix('}').ok_or(SpecError {
+            line,
+            message: format!("unterminated inline table `{text}`"),
+        })?;
+        let mut kv = BTreeMap::new();
+        for entry in inner.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry.split_once('=').ok_or(SpecError {
+                line,
+                message: format!("expected `key = value` in inline table, got `{entry}`"),
+            })?;
+            let key = key.trim().to_string();
+            let value = parse_value(value.trim(), line)?;
+            if matches!(value, SpecValue::Table(_)) {
+                return Err(SpecError {
+                    line,
+                    message: "nested inline tables are not supported".into(),
+                });
+            }
+            if kv.insert(key.clone(), value).is_some() {
+                return Err(SpecError {
+                    line,
+                    message: format!("duplicate key `{key}` in inline table"),
+                });
+            }
+        }
+        return Ok(SpecValue::Table(kv));
+    }
     if let Some(stripped) = text.strip_prefix('"') {
         let inner = stripped.strip_suffix('"').ok_or(SpecError {
             line,
@@ -768,6 +858,42 @@ impl Block {
             }),
             None => Ok(default),
         }
+    }
+
+    /// The optional `net = { latency_us = N, ... }` inline table,
+    /// decoded into a [`NetworkSpec`]. `latency_us` is required;
+    /// `bandwidth_bytes_per_s` (0 = infinite) and `jitter_seed`
+    /// (0 = no jitter) default to 0; unknown keys are errors.
+    fn net_or(&mut self) -> Result<Option<NetworkSpec>, SpecError> {
+        let Some((line, value)) = self.take("net") else {
+            return Ok(None);
+        };
+        let SpecValue::Table(kv) = value else {
+            return Err(SpecError {
+                line,
+                message: format!(
+                    "`net` must be an inline table like \
+                     `{{ latency_us = 200 }}`, got {}",
+                    value.type_name()
+                ),
+            });
+        };
+        let mut inner = Block {
+            line,
+            kv: kv.into_iter().map(|(k, v)| (k, (line, v))).collect(),
+        };
+        let spec = NetworkSpec {
+            latency_us: inner.usize("latency_us")? as u64,
+            bandwidth_bytes_per_s: inner.usize_or("bandwidth_bytes_per_s", 0)? as u64,
+            jitter_seed: inner.usize_or("jitter_seed", 0)? as u64,
+        };
+        if let Some((key, (line, _))) = inner.kv.into_iter().next() {
+            return Err(SpecError {
+                line,
+                message: format!("unknown key `{key}` in `net` table"),
+            });
+        }
+        Ok(Some(spec))
     }
 
     fn str_or(&mut self, key: &str, default: &str) -> Result<String, SpecError> {
@@ -926,6 +1052,8 @@ fn scenario_from_kv(
         seed: b.usize_or("seed", 1)? as u64,
         algorithm,
         engine,
+        net: b.net_or()?,
+        tcp: b.bool_or("tcp", false)?,
     };
     b.finish()?;
     scenario
@@ -1158,6 +1286,82 @@ algorithm = "sparsify"   # randomized
             assert!(suite
                 .iter()
                 .any(|s| matches!(s.engine, EngineSpec::Process { .. })));
+        }
+    }
+
+    #[test]
+    fn wire_options_parse_build_and_name() {
+        let suite = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"process\"\nshards = 2\ntcp = true\n\
+             net = { latency_us = 200, bandwidth_bytes_per_s = 16777216, jitter_seed = 7 }\n\n\
+             [[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"process\"\nnet = { latency_us = 50 } # defaults: bw inf, no jitter\n",
+        )
+        .unwrap();
+        assert_eq!(
+            suite[0],
+            Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 })
+                .process(2)
+                .tcp()
+                .network(NetworkSpec {
+                    latency_us: 200,
+                    bandwidth_bytes_per_s: 16 << 20,
+                    jitter_seed: 7,
+                })
+        );
+        assert_eq!(
+            suite[0].name(),
+            "grid(4x4)/k1/luby_mis/process2+tcp+net(lat=200us,bw=16777216,jit=7)"
+        );
+        assert_eq!(
+            suite[1].net,
+            Some(NetworkSpec {
+                latency_us: 50,
+                bandwidth_bytes_per_s: 0,
+                jitter_seed: 0,
+            })
+        );
+        assert!(!suite[1].tcp);
+        assert_eq!(
+            suite[1].name(),
+            "grid(4x4)/k1/luby_mis/process4+net(lat=50us,bw=0,jit=0)"
+        );
+    }
+
+    #[test]
+    fn wire_options_are_process_engine_only() {
+        let shaped = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"sharded\"\nnet = { latency_us = 10 }\n",
+        )
+        .unwrap_err();
+        assert!(shaped.message.contains("process engine"), "{shaped}");
+        let tcp = parse_suite("[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\ntcp = true\n")
+            .unwrap_err();
+        assert!(tcp.message.contains("process engine"), "{tcp}");
+        // And through the builder path too.
+        let sc = Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 }).network(NetworkSpec {
+            latency_us: 10,
+            bandwidth_bytes_per_s: 0,
+            jitter_seed: 0,
+        });
+        assert!(sc.validate_spec().is_err());
+    }
+
+    #[test]
+    fn net_table_rejects_malformed_specs() {
+        let base = "[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\nengine = \"process\"\n";
+        for (bad, needle) in [
+            ("net = { latency_us = 10, bogus = 1 }\n", "bogus"),
+            ("net = { bandwidth_bytes_per_s = 8 }\n", "latency_us"),
+            ("net = { latency_us = 10\n", "unterminated"),
+            ("net = 10\n", "inline table"),
+            ("net = { latency_us = 10, latency_us = 20 }\n", "duplicate"),
+            ("net = { latency_us }\n", "key = value"),
+        ] {
+            let err = parse_suite(&format!("{base}{bad}")).unwrap_err();
+            assert!(err.message.contains(needle), "{bad:?}: {err}");
         }
     }
 

@@ -251,6 +251,7 @@ mod tests {
             algorithm: "luby_mis".into(),
             engine: "sequential".into(),
             shards: 1,
+            net: None,
             rounds,
             charged_rounds: 0,
             messages,
