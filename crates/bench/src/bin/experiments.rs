@@ -5,11 +5,13 @@
 //! experiments [all|table1-det|table1-mis|table1-ruling|fig1|sparsify|shattering|nd|derand] [--scale S]
 //! experiments engines [--out MANIFEST.json] [--net SPEC]...
 //! experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] [--force-engine ENGINE]
-//!                   [--net SPEC] [--repeats R] [--warmup W]
+//!                   [--net SPEC] [--chaos] [--chaos-seed S] [--chaos-kills N]
+//!                   [--chaos-corruptions N] [--repeats R] [--warmup W]
 //! experiments suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine]
 //! experiments trend [DIR] [--out REPORT.json]
 //! experiments trace SCENARIO [--limit N] [--out FILE.json]
 //! experiments profile SCENARIO [--repeats R] [--chrome-trace OUT.json]
+//! experiments chaos SCENARIO [--seed S] [--kills N] [--corruptions N]
 //! ```
 //!
 //! Output is markdown; EXPERIMENTS.md archives a run. The `suite`
@@ -32,6 +34,15 @@
 //! probe attached and prints the per-stage × per-shard wall breakdown
 //! (step/transfer/barrier, imbalance, barrier-overhead share);
 //! `--chrome-trace` exports a Perfetto-loadable trace-event file.
+//! `suite --chaos` installs a seeded `FaultPlan` on every process-engine
+//! scenario (kills + corruptions, upgrading fail-fast scenarios to the
+//! default recovery policy) — recovery is operational, not semantic, so
+//! a chaos-disturbed suite still diffs bit-for-bit against the
+//! committed baseline with `--ignore-engine`: the recovery CI gate.
+//! `chaos` runs one named builtin scenario under a seeded fault plan on
+//! the supervised process engine, prints the recovery event log, and
+//! exits nonzero if the recovered counters drift from a clean reference
+//! run of the same scenario.
 
 use powersparse::mis::{beeping_mis, luby_mis, mis_power, PostShattering};
 use powersparse::nd::{diameter_bound, power_nd};
@@ -70,6 +81,7 @@ fn main() {
         "trend" => trend_cmd(&args[1..]),
         "trace" => trace_cmd(&args[1..]),
         "profile" => profile_cmd(&args[1..]),
+        "chaos" => chaos_cmd(&args[1..]),
         "all" => {
             table1_det(scale);
             table1_mis(scale);
@@ -680,6 +692,7 @@ fn engines_exp(out: Option<&str>, nets: &[powersparse_engine::NetworkSpec]) {
             engine: engine.into(),
             shards: shards as u64,
             net: None,
+            recovery: None,
             rounds: metrics.rounds,
             charged_rounds: metrics.charged_rounds,
             messages: metrics.messages,
@@ -895,6 +908,7 @@ fn engines_exp(out: Option<&str>, nets: &[powersparse_engine::NetworkSpec]) {
             },
             trace: None,
             profile: false,
+            chaos: None,
         };
         for &net in nets {
             for (i, &shards) in scaling_shards.iter().enumerate() {
@@ -1106,6 +1120,7 @@ fn trace_cmd(args: &[String]) {
         repeat: Repeat::once(),
         trace: Some(limit),
         profile: false,
+        chaos: None,
     };
     let rec = run_scenario_with(sc, &opts).unwrap_or_else(|e| panic!("trace run failed: {e}"));
     let trace = rec.trace.as_ref().expect("trace was requested");
@@ -1361,13 +1376,177 @@ fn profile_cmd(args: &[String]) {
     }
 }
 
+/// E14 — `chaos`: one builtin scenario under a seeded fault plan on the
+/// supervised process engine. Runs a clean reference first, then the
+/// same scenario with the plan installed (kills, corruptions), prints
+/// the recovery event log the supervisor recorded (one row per respawn
+/// attempt), and exits nonzero if any recovered counter drifts from the
+/// clean reference — the single-scenario version of the suite-level
+/// recovery gate. Non-process scenarios are remapped onto the process
+/// engine (there is no wire to disturb otherwise).
+fn chaos_cmd(args: &[String]) {
+    use powersparse_workloads::{
+        run_chaos_scenario, run_scenario, ChaosSpec, EngineSpec, Scenario,
+    };
+
+    let mut target: Option<String> = None;
+    let mut chaos = ChaosSpec::default();
+    let usage = "usage: experiments chaos SCENARIO [--seed S] [--kills N] [--corruptions N]";
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" | "--kills" | "--corruptions" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("{arg} requires a value ({usage})");
+                    std::process::exit(2);
+                });
+                match arg.as_str() {
+                    "--seed" => {
+                        chaos.seed = value.parse::<u64>().unwrap_or_else(|_| {
+                            eprintln!("cannot parse seed '{value}' (a u64)");
+                            std::process::exit(2);
+                        });
+                    }
+                    _ => {
+                        let parsed = value.parse::<usize>().unwrap_or_else(|_| {
+                            eprintln!("cannot parse {arg} '{value}' (an event count)");
+                            std::process::exit(2);
+                        });
+                        if arg == "--kills" {
+                            chaos.kills = parsed;
+                        } else {
+                            chaos.corruptions = parsed;
+                        }
+                    }
+                }
+            }
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown chaos argument '{other}' ({usage})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("chaos requires a scenario name ({usage})");
+        std::process::exit(2);
+    };
+    let mut sc = find_builtin_scenario(&target);
+    if !matches!(sc.engine, EngineSpec::Process { .. }) {
+        let shards = sc.engine.shards().max(2);
+        println!("note: remapping `{target}` onto the process engine ({shards} shards) — chaos needs a wire to disturb");
+        sc.engine = EngineSpec::Process { shards };
+    }
+    let clean = run_scenario(&sc).unwrap_or_else(|e| panic!("clean reference failed: {e}"));
+    let (disturbed, events, fired) =
+        run_chaos_scenario(&sc, &chaos).unwrap_or_else(|e| panic!("chaos run failed: {e}"));
+    println!(
+        "\n## E14: Chaos — `{}` (seed {}, {} kills, {} corruptions planned; {fired} fired)\n",
+        Scenario::name(&sc),
+        chaos.seed,
+        chaos.kills,
+        chaos.corruptions
+    );
+    println!(
+        "{}",
+        row(&["round", "shard", "attempt", "backoff", "cause"].map(String::from))
+    );
+    println!("{}", row(&["---"; 5].map(String::from)));
+    for ev in &events {
+        println!(
+            "{}",
+            row(&[
+                ev.round.to_string(),
+                ev.shard.to_string(),
+                ev.attempt.to_string(),
+                format!("{}ns", ev.backoff_ns),
+                ev.cause.clone(),
+            ])
+        );
+    }
+    let recovery = disturbed
+        .recovery
+        .expect("a chaos run always records a recovery section");
+    println!(
+        "\n{} recovery events; policy: max_retries={} backoff={}ms checkpoint_every={}; \
+         validation: {}",
+        events.len(),
+        recovery.max_retries,
+        recovery.backoff_ms,
+        recovery.checkpoint_every,
+        disturbed.validation.detail
+    );
+    let mut bad = false;
+    if fired == 0 {
+        eprintln!(
+            "CHAOS VIOLATION: no planned fault fired — the run finished before any event round \
+             (raise --kills/--corruptions or pick a longer scenario)"
+        );
+        bad = true;
+    }
+    // Recovery must be invisible in every semantic counter: the replayed
+    // run has to land exactly where the clean reference did.
+    let counters = [
+        ("rounds", clean.rounds, disturbed.rounds),
+        (
+            "charged_rounds",
+            clean.charged_rounds,
+            disturbed.charged_rounds,
+        ),
+        ("messages", clean.messages, disturbed.messages),
+        ("bits", clean.bits, disturbed.bits),
+        (
+            "peak_queue_depth",
+            clean.peak_queue_depth,
+            disturbed.peak_queue_depth,
+        ),
+        (
+            "arena_cells_peak",
+            clean.arena_cells_peak,
+            disturbed.arena_cells_peak,
+        ),
+        (
+            "arena_bytes_peak",
+            clean.arena_bytes_peak,
+            disturbed.arena_bytes_peak,
+        ),
+        ("output_size", clean.output_size, disturbed.output_size),
+    ];
+    for (field, want, got) in counters {
+        if want != got {
+            eprintln!(
+                "CHAOS VIOLATION: {field} drifted under recovery — clean {want}, recovered {got}"
+            );
+            bad = true;
+        }
+    }
+    if !disturbed.validation.passed {
+        eprintln!(
+            "CHAOS VIOLATION: recovered run failed validation: {}",
+            disturbed.validation.detail
+        );
+        bad = true;
+    }
+    if bad {
+        eprintln!("chaos probe failed — see above");
+        std::process::exit(1);
+    }
+    println!(
+        "recovered run matches the clean reference on every counter \
+         ({} rounds, {} messages, {} bits)",
+        disturbed.rounds, disturbed.messages, disturbed.bits
+    );
+}
+
 /// E10 — The workload scenario suite: the declarative graph-family ×
 /// algorithm × engine matrix of `powersparse-workloads`, validated run
 /// by run, with a JSON manifest for `BENCH_*.json` trajectory tracking.
 fn suite_cmd(args: &[String]) {
     use powersparse_workloads::{
-        builtin_suite, parse_suite, run_scenario_with, run_suite_with, EngineSpec, Repeat,
-        RunOptions, SuiteManifest, SuiteProfile,
+        builtin_suite, parse_suite, run_scenario_with, run_suite_with, ChaosSpec, EngineSpec,
+        Repeat, RunOptions, SuiteManifest, SuiteProfile,
     };
 
     // Strict argument parsing: a mistyped flag must not silently fall
@@ -1385,11 +1564,40 @@ fn suite_cmd(args: &[String]) {
     let mut repeats = 1usize;
     let mut warmup = 0usize;
     let mut saw_repeat_flags = false;
+    let mut chaos: Option<ChaosSpec> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--ignore-engine" => ignore_engine = true,
+            "--chaos" => chaos = Some(chaos.unwrap_or_default()),
+            "--chaos-seed" | "--chaos-kills" | "--chaos-corruptions" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("{arg} requires a value");
+                    std::process::exit(2);
+                });
+                let mut spec = chaos.unwrap_or_default();
+                match arg.as_str() {
+                    "--chaos-seed" => {
+                        spec.seed = value.parse::<u64>().unwrap_or_else(|_| {
+                            eprintln!("cannot parse {arg} '{value}' (a u64 seed)");
+                            std::process::exit(2);
+                        });
+                    }
+                    _ => {
+                        let parsed = value.parse::<usize>().unwrap_or_else(|_| {
+                            eprintln!("cannot parse {arg} '{value}' (an event count)");
+                            std::process::exit(2);
+                        });
+                        if arg == "--chaos-kills" {
+                            spec.kills = parsed;
+                        } else {
+                            spec.corruptions = parsed;
+                        }
+                    }
+                }
+                chaos = Some(spec);
+            }
             "--repeats" | "--warmup" => {
                 let value = it.next().unwrap_or_else(|| {
                     eprintln!("{arg} requires a value");
@@ -1461,6 +1669,7 @@ fn suite_cmd(args: &[String]) {
                     "unknown suite argument '{other}' \
                      (usage: experiments suite [--smoke] [--spec FILE.toml] [--out MANIFEST.json] \
                      [--force-engine sequential|sharded|pooled|process] [--net SPEC] \
+                     [--chaos] [--chaos-seed S] [--chaos-kills N] [--chaos-corruptions N] \
                      [--repeats R] [--warmup W] \
                      | suite --diff OLD.json NEW.json [--tolerance FRACTION] [--ignore-engine])"
                 );
@@ -1474,9 +1683,10 @@ fn suite_cmd(args: &[String]) {
             || spec.is_some()
             || force_engine.is_some()
             || net.is_some()
+            || chaos.is_some()
             || saw_repeat_flags
         {
-            eprintln!("--diff compares two existing manifests; it cannot be combined with --smoke/--spec/--out/--force-engine/--net/--repeats/--warmup");
+            eprintln!("--diff compares two existing manifests; it cannot be combined with --smoke/--spec/--out/--force-engine/--net/--chaos/--repeats/--warmup");
             std::process::exit(2);
         }
         return diff_cmd(&old_path, &new_path, tolerance, ignore_engine);
@@ -1547,6 +1757,28 @@ fn suite_cmd(args: &[String]) {
             spec.latency_us, spec.bandwidth_bytes_per_s, spec.jitter_seed
         );
     }
+    // `--chaos` disturbs the wire of every process-engine scenario with a
+    // seeded fault plan and upgrades fail-fast scenarios to the default
+    // recovery policy (usually combined with `--force-engine process`).
+    // Recovery is operational, not semantic: the chaos-disturbed suite
+    // must still diff bit-for-bit against the committed baseline with
+    // `--ignore-engine` — the recovery CI gate.
+    if let Some(spec) = chaos {
+        if !scenarios
+            .iter()
+            .any(|sc| matches!(sc.engine, EngineSpec::Process { .. }))
+        {
+            eprintln!(
+                "--chaos disturbs process-engine scenarios, but this suite has none \
+                 (combine with --force-engine process)"
+            );
+            std::process::exit(2);
+        }
+        name = format!(
+            "{name}+chaos(seed={},kills={},corruptions={})",
+            spec.seed, spec.kills, spec.corruptions
+        );
+    }
 
     let opts = RunOptions {
         repeat: Repeat {
@@ -1556,6 +1788,7 @@ fn suite_cmd(args: &[String]) {
         },
         trace: None,
         profile: false,
+        chaos,
     };
     println!(
         "\n## E10: Workload suite `{name}` — {} scenarios{}\n",

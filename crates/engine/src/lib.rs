@@ -107,7 +107,7 @@ pub mod sharded;
 pub mod wire;
 
 pub use pooled::{PooledPhase, PooledSimulator};
-pub use process::{ProcessOptions, ProcessPhase, ProcessSimulator};
+pub use process::{ProcessOptions, ProcessPhase, ProcessSimulator, RecoveryPolicy};
 pub use routing::default_shards;
 pub use sharded::{ShardedPhase, ShardedSimulator};
-pub use wire::NetworkSpec;
+pub use wire::{FaultEvent, FaultKind, FaultPlan, NetworkSpec};

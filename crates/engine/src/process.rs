@@ -60,15 +60,16 @@
 use crate::routing::{capped_default_shards, ShardLayout};
 use crate::wire::{
     decode_cells, decode_payload, encode_cells, encode_payload, get_varint, put_varint,
-    EngineError, Frame, FrameKind, NetworkSpec, PayloadSlab, ShapedTransport, StreamTransport,
-    TcpTransport, Transport, WireCell, WireError, PROTOCOL_VERSION,
+    EngineError, Fault, FaultKind, FaultPlan, FaultyTransport, Frame, FrameKind, NetworkSpec,
+    PayloadSlab, ShapedTransport, StreamTransport, TcpTransport, Transport, WireCell, WireError,
+    HEADER_LEN, PROTOCOL_VERSION,
 };
 use powersparse_congest::engine::{
     Delivery, Message, Metrics, Outbox, RoundEngine, RoundPhase, SendRecord,
 };
 use powersparse_congest::msgcore::MsgCore;
 use powersparse_congest::probe::{
-    now_if, ns_between, probe_vec, NoProbe, PhaseObs, Probe, RoundObs, RoundSpans,
+    now_if, ns_between, probe_vec, NoProbe, PhaseObs, Probe, RecoveryObs, RoundObs, RoundSpans,
 };
 use powersparse_congest::sim::SimConfig;
 use powersparse_graphs::{Graph, NodeId};
@@ -190,6 +191,57 @@ fn child_serve<T: Transport>(shard: u16, t: &mut T) -> Result<(), WireError> {
                 };
                 t.send(&stats.encode())?;
             }
+            FrameKind::Checkpoint => {
+                if frame.payload.is_empty() {
+                    // Take: snapshot the core in delivery order. The
+                    // reply is byte-for-byte the restore frame the
+                    // parent will replay on a respawned child.
+                    let core = core.as_ref().ok_or(WireError::Payload)?;
+                    let mut cells: Vec<WireCell> = Vec::new();
+                    core.for_each_queued(|e, bits, from, payload| {
+                        cells.push(WireCell {
+                            edge: e as u64,
+                            bits,
+                            from: from.0,
+                            payload: payload.clone(),
+                        });
+                    });
+                    let mut p = Vec::new();
+                    put_varint(&mut p, core.edges() as u64);
+                    put_varint(&mut p, bw);
+                    put_varint(&mut p, u64::from(epoch));
+                    encode_cells(&cells, &mut p);
+                    let reply = Frame {
+                        kind: FrameKind::Checkpoint,
+                        shard,
+                        epoch: frame.epoch,
+                        count: cells.len() as u32,
+                        payload: p,
+                    };
+                    t.send(&reply.encode())?;
+                } else {
+                    // Restore: rebuild the core from a snapshot taken
+                    // by a previous incarnation of this shard.
+                    let mut p = frame.payload.as_slice();
+                    let edges = get_varint(&mut p)? as usize;
+                    bw = get_varint(&mut p)?;
+                    epoch = u32::try_from(get_varint(&mut p)?).map_err(|_| WireError::Payload)?;
+                    let cells = decode_cells(p, frame.count as usize)?;
+                    let mut c = MsgCore::new(edges);
+                    for cell in cells {
+                        if cell.edge as usize >= edges {
+                            return Err(WireError::Payload);
+                        }
+                        c.enqueue(
+                            cell.edge as usize,
+                            cell.bits,
+                            NodeId(cell.from),
+                            cell.payload,
+                        );
+                    }
+                    core = Some(c);
+                }
+            }
             FrameKind::Shutdown => return Ok(()),
             other => {
                 return Err(WireError::UnexpectedKind {
@@ -265,6 +317,11 @@ struct ChildHandle {
     /// `Option` so [`ProcessSimulator::wrap_transport`] can take and
     /// re-box it; always `Some` between public calls.
     transport: Option<Box<dyn Transport>>,
+    /// Set once `pid` has been `waitpid`ed. Guards every later signal
+    /// and wait: a reaped pid may be recycled by the kernel, so
+    /// signalling it again could hit an unrelated process, and
+    /// re-waiting it would spin on `ECHILD`.
+    reaped: bool,
 }
 
 impl ChildHandle {
@@ -290,6 +347,9 @@ impl Drop for Children {
             }
         }
         for child in &mut self.0 {
+            if child.reaped {
+                continue;
+            }
             let mut status = 0i32;
             let mut reaped = false;
             for _ in 0..500 {
@@ -310,9 +370,41 @@ impl Drop for Children {
     }
 }
 
+/// What the parent does when a shard child dies, wedges, or corrupts
+/// its stream mid-run.
+///
+/// Under [`RecoveryPolicy::Recover`] the parent reaps the dead child,
+/// forks a fresh one on a fresh link, and deterministically
+/// re-synchronizes it from the last per-round checkpoint plus a replay
+/// of every frame sent since — the child is a pure function of the
+/// frames it receives, so the resurrected shard is bit-for-bit the one
+/// that died.  Replayed rounds are not re-counted: no gated counter,
+/// output, or probe-trace entry can shift (the chaos conformance wall
+/// pins this).  Recovery is visible only through
+/// [`Metrics::recoveries`], [`RecoveryObs`] probe events, and wall
+/// clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Fail closed: any transport fault panics with its stable
+    /// [`EngineError`] display, exactly as before supervision existed.
+    #[default]
+    FailFast,
+    /// Supervise: respawn + replay up to `max_retries` times per
+    /// failure, sleeping `attempt * backoff` before each attempt.
+    /// Exhausting the budget fails closed with the pinned
+    /// "recovery exhausted after N attempts" error.
+    Recover {
+        /// Respawn attempts per failure before failing closed. Must be
+        /// at least 1.
+        max_retries: u32,
+        /// Base backoff; attempt `k` (1-based) sleeps `k * backoff`.
+        backoff: Duration,
+    },
+}
+
 /// Construction knobs for the process backend beyond
 /// graph/config/shards.  The defaults reproduce the classic engine:
-/// Unix socket pairs, unshaped.
+/// Unix socket pairs, unshaped, fail-fast.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcessOptions {
     /// Latency/bandwidth shaping applied to every parent-side child
@@ -324,6 +416,36 @@ pub struct ProcessOptions {
     /// Run each parent↔child link over loopback TCP
     /// ([`TcpTransport`]) instead of a Unix socket pair.
     pub tcp: bool,
+    /// Shard supervision policy. The default (`FailFast`) preserves the
+    /// classic pinned-panic failure semantics.
+    pub recovery: RecoveryPolicy,
+    /// Under [`RecoveryPolicy::Recover`], take a per-shard core
+    /// checkpoint every this many rounds, truncating the replay log.
+    /// `0` (the default) keeps no checkpoints: recovery replays from
+    /// the phase start. Ignored under `FailFast`.
+    pub checkpoint_every: u32,
+}
+
+/// Per-shard supervision state, present only under
+/// [`RecoveryPolicy::Recover`].
+struct Supervision {
+    /// Per-shard replay log: every frame (encoded bytes) sent to the
+    /// shard since its last checkpoint (or phase start). Entry 0 is the
+    /// `PhaseStart` frame or a `Checkpoint` restore frame.
+    logs: Vec<Vec<Vec<u8>>>,
+    /// Per-shard count of `Barrier` frames in the log whose two reply
+    /// frames were fully received — replays discard exactly that many
+    /// reply pairs.
+    consumed: Vec<u32>,
+    /// Rounds completed since phase start, for the checkpoint stride.
+    rounds_in_phase: u64,
+}
+
+/// Events fired so far from an installed [`FaultPlan`].
+struct ChaosState {
+    plan: FaultPlan,
+    cursor: usize,
+    fired: u64,
 }
 
 /// The multi-process round engine: one forked child per shard, wire
@@ -338,6 +460,84 @@ pub struct ProcessSimulator<'g, P: Probe = NoProbe> {
     barrier_timeout: Duration,
     probe: P,
     phases_opened: u64,
+    options: ProcessOptions,
+    supervision: Option<Supervision>,
+    chaos: Option<ChaosState>,
+    /// Every [`RecoveryObs`] emitted, in order — the engine's own copy
+    /// (the probe gets them too), so callers without a probe (the
+    /// `experiments chaos` event log) can still read the history.
+    recovery_log: Vec<RecoveryObs>,
+    /// Test hook: shards whose respawns are forced to fail, for pinning
+    /// the retry-exhaustion error.
+    respawn_broken: Vec<bool>,
+}
+
+/// Forks one shard child and returns its pid and (unshaped) parent-side
+/// transport.  Fallible so respawns under [`RecoveryPolicy::Recover`]
+/// can count a failed fork/accept as one attempt instead of panicking.
+fn spawn_shard_child(
+    w: usize,
+    tcp: bool,
+    barrier_timeout: Duration,
+) -> Result<(i32, Box<dyn Transport>), WireError> {
+    if tcp {
+        // Bind before forking so the child can always reach the
+        // listener; the accept (and its handshake) is bounded by the
+        // barrier timeout, so a child that dies before connecting fails
+        // closed instead of hanging.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(crate::wire::io_err)?;
+        let port = listener.local_addr().map_err(crate::wire::io_err)?.port();
+        let pid = unsafe { sys::fork() };
+        assert!(pid >= 0, "process engine: fork failed");
+        if pid == 0 {
+            child_main_tcp(w as u16, port);
+        }
+        match TcpTransport::accept(&listener, w as u16, Some(barrier_timeout)) {
+            Ok(t) => Ok((pid, Box::new(t) as Box<dyn Transport>)),
+            Err(e) => {
+                // The forked child is dialing a listener we are about
+                // to drop; reap it so a failed attempt leaves nothing
+                // behind.
+                unsafe {
+                    sys::kill(pid, sys::SIGKILL);
+                    let mut status = 0i32;
+                    sys::waitpid(pid, &mut status, 0);
+                }
+                Err(e)
+            }
+        }
+    } else {
+        let (parent_end, child_end) = UnixStream::pair().map_err(crate::wire::io_err)?;
+        let pid = unsafe { sys::fork() };
+        assert!(pid >= 0, "process engine: fork failed");
+        if pid == 0 {
+            drop(parent_end);
+            child_main(w as u16, child_end);
+        }
+        drop(child_end);
+        Ok((
+            pid,
+            Box::new(StreamTransport::new(parent_end)) as Box<dyn Transport>,
+        ))
+    }
+}
+
+/// Consumes and validates the child's `Hello` (protocol version check).
+fn consume_hello(t: &mut dyn Transport) -> Result<(), WireError> {
+    let hello = Frame::decode(&t.recv()?)?;
+    if hello.kind != FrameKind::Hello {
+        return Err(WireError::UnexpectedKind {
+            want: FrameKind::Hello,
+            got: hello.kind,
+        });
+    }
+    let mut p = hello.payload.as_slice();
+    let version = get_varint(&mut p)?;
+    assert_eq!(
+        version, PROTOCOL_VERSION,
+        "process engine: protocol version skew"
+    );
+    Ok(())
 }
 
 impl<'g> ProcessSimulator<'g> {
@@ -375,7 +575,7 @@ impl<'g> ProcessSimulator<'g> {
             NoProbe,
             ProcessOptions {
                 net: Some(net),
-                tcp: false,
+                ..ProcessOptions::default()
             },
         )
     }
@@ -390,8 +590,8 @@ impl<'g> ProcessSimulator<'g> {
             shards,
             NoProbe,
             ProcessOptions {
-                net: None,
                 tcp: true,
+                ..ProcessOptions::default()
             },
         )
     }
@@ -426,7 +626,19 @@ impl<'g, P: Probe> ProcessSimulator<'g, P> {
         probe: P,
         options: ProcessOptions,
     ) -> Self {
+        if let RecoveryPolicy::Recover { max_retries, .. } = options.recovery {
+            assert!(max_retries >= 1, "Recover needs max_retries >= 1");
+        }
         let layout = ShardLayout::new(graph, shards);
+        let shards = layout.shards();
+        let supervision = match options.recovery {
+            RecoveryPolicy::FailFast => None,
+            RecoveryPolicy::Recover { .. } => Some(Supervision {
+                logs: vec![Vec::new(); shards],
+                consumed: vec![0; shards],
+                rounds_in_phase: 0,
+            }),
+        };
         let mut sim = Self {
             graph,
             config,
@@ -436,69 +648,39 @@ impl<'g, P: Probe> ProcessSimulator<'g, P> {
             barrier_timeout: DEFAULT_BARRIER_TIMEOUT,
             probe,
             phases_opened: 0,
+            options,
+            supervision,
+            chaos: None,
+            recovery_log: Vec::new(),
+            respawn_broken: vec![false; shards],
         };
-        for w in 0..sim.layout.shards() {
-            let (pid, transport) = if options.tcp {
-                // Bind before forking so the child can always reach the
-                // listener; the accept (and its handshake) is bounded
-                // by the barrier timeout, so a child that dies before
-                // connecting fails closed instead of hanging.
-                let listener =
-                    TcpListener::bind(("127.0.0.1", 0)).expect("process engine: tcp bind failed");
-                let port = listener
-                    .local_addr()
-                    .expect("process engine: tcp local_addr failed")
-                    .port();
-                let pid = unsafe { sys::fork() };
-                assert!(pid >= 0, "process engine: fork failed");
-                if pid == 0 {
-                    child_main_tcp(w as u16, port);
-                }
-                let t = TcpTransport::accept(&listener, w as u16, Some(sim.barrier_timeout))
-                    .unwrap_or_else(|e| raise(w, e));
-                (pid, Box::new(t) as Box<dyn Transport>)
-            } else {
-                let (parent_end, child_end) =
-                    UnixStream::pair().expect("process engine: socketpair failed");
-                let pid = unsafe { sys::fork() };
-                assert!(pid >= 0, "process engine: fork failed");
-                if pid == 0 {
-                    drop(parent_end);
-                    child_main(w as u16, child_end);
-                }
-                drop(child_end);
-                (
-                    pid,
-                    Box::new(StreamTransport::new(parent_end)) as Box<dyn Transport>,
-                )
-            };
-            let mut transport = match options.net {
-                Some(spec) => Box::new(ShapedTransport::new(transport, spec)) as Box<dyn Transport>,
-                None => transport,
-            };
-            transport.set_timeout(Some(sim.barrier_timeout));
+        for w in 0..shards {
+            let (pid, transport) = sim.spawn_wrapped(w).unwrap_or_else(|e| raise(w, e));
+            // Push before the handshake so the drop glue reaps the
+            // child even if its `Hello` fails.
             sim.children.0.push(ChildHandle {
                 pid,
                 transport: Some(transport),
+                reaped: false,
             });
-            let hello = sim.recv_from(w);
-            if hello.kind != FrameKind::Hello {
-                raise(
-                    w,
-                    WireError::UnexpectedKind {
-                        want: FrameKind::Hello,
-                        got: hello.kind,
-                    },
-                );
-            }
-            let mut p = hello.payload.as_slice();
-            let version = get_varint(&mut p).unwrap_or_else(|e| raise(w, e));
-            assert_eq!(
-                version, PROTOCOL_VERSION,
-                "process engine: protocol version skew"
-            );
+            consume_hello(sim.children.0[w].transport()).unwrap_or_else(|e| raise(w, e));
         }
         sim
+    }
+
+    /// Forks shard `w`'s child, applies the configured shaping wrapper
+    /// and barrier timeout. Shared by construction and respawn.
+    fn spawn_wrapped(&self, w: usize) -> Result<(i32, Box<dyn Transport>), WireError> {
+        if self.respawn_broken[w] {
+            return Err(WireError::Eof);
+        }
+        let (pid, transport) = spawn_shard_child(w, self.options.tcp, self.barrier_timeout)?;
+        let mut transport = match self.options.net {
+            Some(spec) => Box::new(ShapedTransport::new(transport, spec)) as Box<dyn Transport>,
+            None => transport,
+        };
+        transport.set_timeout(Some(self.barrier_timeout));
+        Ok((pid, transport))
     }
 
     /// Number of shards (= child processes).
@@ -551,73 +733,310 @@ impl<'g, P: Probe> ProcessSimulator<'g, P> {
     }
 
     /// Test hook: SIGKILLs shard `w`'s child and reaps it, so the next
-    /// barrier read observes a closed socket.
+    /// barrier read observes a closed socket. No-op if the child was
+    /// already reaped (a reaped pid may have been recycled).
     pub fn kill_child(&mut self, shard: usize) {
-        let pid = self.children.0[shard].pid;
-        unsafe {
-            sys::kill(pid, sys::SIGKILL);
-            let mut status = 0i32;
-            sys::waitpid(pid, &mut status, 0);
+        let child = &mut self.children.0[shard];
+        if child.reaped {
+            return;
         }
+        unsafe {
+            sys::kill(child.pid, sys::SIGKILL);
+            let mut status = 0i32;
+            sys::waitpid(child.pid, &mut status, 0);
+        }
+        child.reaped = true;
     }
 
     /// Test hook: SIGSTOPs shard `w`'s child (alive but wedged), so the
     /// next barrier read runs into the timeout.
     pub fn stop_child(&mut self, shard: usize) {
+        let child = &self.children.0[shard];
+        if child.reaped {
+            return;
+        }
         unsafe {
-            sys::kill(self.children.0[shard].pid, sys::SIGSTOP);
+            sys::kill(child.pid, sys::SIGSTOP);
         }
     }
 
+    /// Test hook: shard `w`'s child pid, for asserting (in tests) that
+    /// replaced children do not linger as zombies.
+    pub fn child_pid(&self, shard: usize) -> i32 {
+        self.children.0[shard].pid
+    }
+
+    /// Test hook: makes every future respawn of shard `w` fail, for
+    /// pinning the retry-exhaustion error.
+    pub fn break_respawn(&mut self, shard: usize) {
+        self.respawn_broken[shard] = true;
+    }
+
+    /// Installs a seeded chaos plan: at the start of each round's wire
+    /// tail, every due [`FaultEvent`](crate::wire::FaultEvent) is
+    /// injected through the engine's own fault hooks (kill / corrupt /
+    /// stall). Pair with [`RecoveryPolicy::Recover`] — under `FailFast`
+    /// the first fired fault fails the run closed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.chaos = Some(ChaosState {
+            plan,
+            cursor: 0,
+            fired: 0,
+        });
+    }
+
+    /// Number of chaos-plan events injected so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.chaos.as_ref().map_or(0, |c| c.fired)
+    }
+
+    /// Every recovery attempt so far, in order (one entry per attempt,
+    /// successful or not) — the same events the probe sees through
+    /// [`Probe::on_recovery`].
+    pub fn recovery_log(&self) -> &[RecoveryObs] {
+        &self.recovery_log
+    }
+
+    fn recovery_enabled(&self) -> bool {
+        self.supervision.is_some()
+    }
+
+    /// Ships a protocol frame to shard `w`, appending it to the replay
+    /// log first under supervision — a frame in the log counts as
+    /// delivered even if this very send fails, because recovery replays
+    /// the whole log into the respawned child.
     fn send_to(&mut self, w: usize, frame: &Frame) {
-        if let Err(e) = self.children.0[w].transport().send(&frame.encode()) {
-            raise(w, e);
+        let bytes = frame.encode();
+        if let Some(sup) = &mut self.supervision {
+            sup.logs[w].push(bytes.clone());
+        }
+        if let Err(e) = self.children.0[w].transport().send(&bytes) {
+            if self.recovery_enabled() {
+                self.recover_shard(w, e);
+            } else {
+                raise(w, e);
+            }
         }
     }
 
-    fn recv_from(&mut self, w: usize) -> Frame {
-        let bytes = match self.children.0[w].transport().recv() {
-            Ok(b) => b,
-            Err(e) => raise(w, e),
-        };
-        match Frame::decode(&bytes) {
-            Ok(f) => f,
-            Err(e) => raise(w, e),
-        }
+    fn try_recv_from(&mut self, w: usize) -> Result<Frame, WireError> {
+        Frame::decode(&self.children.0[w].transport().recv()?)
     }
 
     /// Receives shard `w`'s next frame and holds it to the protocol
     /// state: an `Error` frame surfaces the child's own report, and any
     /// kind/epoch/shard skew (duplicated or reordered traffic) is a
     /// deterministic failure.
-    fn expect_frame(&mut self, w: usize, want: FrameKind, epoch: u32) -> Frame {
-        let f = self.recv_from(w);
+    fn try_expect_frame(
+        &mut self,
+        w: usize,
+        want: FrameKind,
+        epoch: u32,
+    ) -> Result<Frame, WireError> {
+        let f = self.try_recv_from(w)?;
         if f.kind == FrameKind::Error {
             let report = String::from_utf8_lossy(&f.payload).into_owned();
-            raise(w, WireError::ChildError(report));
+            return Err(WireError::ChildError(report));
         }
         if f.kind != want {
-            raise(w, WireError::UnexpectedKind { want, got: f.kind });
+            return Err(WireError::UnexpectedKind { want, got: f.kind });
         }
         if f.epoch != epoch {
-            raise(
-                w,
-                WireError::EpochMismatch {
-                    want: epoch,
-                    got: f.epoch,
-                },
-            );
+            return Err(WireError::EpochMismatch {
+                want: epoch,
+                got: f.epoch,
+            });
         }
         if f.shard as usize != w {
-            raise(
-                w,
-                WireError::ShardMismatch {
-                    want: w as u16,
-                    got: f.shard,
-                },
-            );
+            return Err(WireError::ShardMismatch {
+                want: w as u16,
+                got: f.shard,
+            });
         }
-        f
+        Ok(f)
+    }
+
+    /// Recovers shard `w` from `cause` or fails closed: under
+    /// `FailFast` this raises immediately with the classic pinned
+    /// error; under `Recover` it retries kill → respawn → replay up to
+    /// `max_retries` times, then panics with the pinned
+    /// "recovery exhausted" error.
+    fn recover_shard(&mut self, w: usize, cause: WireError) {
+        let (max_retries, backoff) = match self.options.recovery {
+            RecoveryPolicy::FailFast => raise(w, cause),
+            RecoveryPolicy::Recover {
+                max_retries,
+                backoff,
+            } => (max_retries, backoff),
+        };
+        let mut last = cause;
+        for attempt in 1..=max_retries {
+            let backoff_ns = backoff.as_nanos() as u64 * u64::from(attempt);
+            let obs = RecoveryObs {
+                round: self.metrics.rounds,
+                shard: w as u64,
+                cause: last.to_string(),
+                attempt,
+                backoff_ns,
+            };
+            self.recovery_log.push(obs.clone());
+            if P::ENABLED {
+                self.probe.on_recovery(obs);
+            }
+            if backoff_ns > 0 {
+                std::thread::sleep(Duration::from_nanos(backoff_ns));
+            }
+            match self.try_respawn(w) {
+                Ok(()) => {
+                    self.metrics.recoveries += 1;
+                    return;
+                }
+                Err(e) => last = e,
+            }
+        }
+        panic!(
+            "process engine: shard {w}: recovery exhausted after {max_retries} attempts \
+             (last error: {last})"
+        );
+    }
+
+    /// One respawn attempt: reap the failed child, fork a replacement
+    /// on a fresh link (re-accept for TCP), handshake, and replay the
+    /// shard's frame log — discarding the reply pairs of barriers whose
+    /// replies the parent already consumed, so the socket ends up
+    /// positioned exactly where the dead child's was.
+    fn try_respawn(&mut self, w: usize) -> Result<(), WireError> {
+        self.kill_child(w);
+        let (pid, transport) = self.spawn_wrapped(w)?;
+        let child = &mut self.children.0[w];
+        child.pid = pid;
+        child.transport = Some(transport);
+        child.reaped = false;
+        consume_hello(child.transport())?;
+        let sup = self
+            .supervision
+            .as_ref()
+            .expect("recovery without supervision");
+        let log: Vec<Vec<u8>> = sup.logs[w].clone();
+        let consumed = sup.consumed[w];
+        let mut barriers_seen = 0u32;
+        for bytes in &log {
+            self.children.0[w].transport().send(bytes)?;
+            // Drain each replayed barrier's reply pair immediately so
+            // unread child output never accumulates past one round
+            // (bounded socket buffers on both directions).
+            if bytes[2] == FrameKind::Barrier as u8 && barriers_seen < consumed {
+                for want in [FrameKind::Deliveries, FrameKind::RoundStats] {
+                    let f = self.try_recv_from(w)?;
+                    if f.kind != want {
+                        return Err(WireError::UnexpectedKind { want, got: f.kind });
+                    }
+                }
+                barriers_seen += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Receives and fully validates one shard's round replies
+    /// (`Deliveries` + `RoundStats`) without touching any engine state,
+    /// so a failure anywhere in the pair is recoverable: the cells and
+    /// the five stats varints come back decoded, bounds-checked, and
+    /// ready to apply.
+    fn try_collect_round(
+        &mut self,
+        w: usize,
+        epoch: u32,
+    ) -> Result<(Vec<WireCell>, [u64; 5]), WireError> {
+        let deliveries = self.try_expect_frame(w, FrameKind::Deliveries, epoch)?;
+        let cells = decode_cells(&deliveries.payload, deliveries.count as usize)?;
+        let edge_range = self.layout.edge_ranges[w].clone();
+        for cell in &cells {
+            if edge_range.start + cell.edge as usize >= edge_range.end {
+                return Err(WireError::Payload);
+            }
+        }
+        let stats = self.try_expect_frame(w, FrameKind::RoundStats, epoch)?;
+        let mut p = stats.payload.as_slice();
+        let mut st = [0u64; 5];
+        for s in &mut st {
+            *s = get_varint(&mut p)?;
+        }
+        Ok((cells, st))
+    }
+
+    /// Marks one more of shard `w`'s barriers fully consumed (both
+    /// reply frames received), for replay accounting.
+    fn note_barrier_consumed(&mut self, w: usize) {
+        if let Some(sup) = &mut self.supervision {
+            sup.consumed[w] += 1;
+        }
+    }
+
+    /// Takes a core checkpoint of shard `w` and truncates its replay
+    /// log to the returned restore frame. Retries through recovery on
+    /// any transport failure, so a fault during checkpointing costs a
+    /// respawn, never the run.
+    fn take_checkpoint(&mut self, w: usize) {
+        let epoch = self.metrics.rounds as u32;
+        loop {
+            let req = Frame::control(FrameKind::Checkpoint, w as u16, epoch);
+            // Not logged: a replayed request would elicit a reply the
+            // replay accounting does not expect.
+            if let Err(e) = self.children.0[w].transport().send(&req.encode()) {
+                self.recover_shard(w, e);
+                continue;
+            }
+            match self.try_expect_frame(w, FrameKind::Checkpoint, epoch) {
+                Ok(reply) => {
+                    let sup = self
+                        .supervision
+                        .as_mut()
+                        .expect("checkpoint without supervision");
+                    sup.logs[w] = vec![reply.encode()];
+                    sup.consumed[w] = 0;
+                    return;
+                }
+                Err(e) => self.recover_shard(w, e),
+            }
+        }
+    }
+
+    /// Fires every chaos-plan event due at the current round through
+    /// the engine's own fault hooks. Events are sorted by round, so a
+    /// cursor suffices; events for rounds the run never reaches simply
+    /// do not fire.
+    fn apply_due_faults(&mut self) {
+        let round = self.metrics.rounds;
+        let shards = self.layout.shards();
+        loop {
+            let (shard, kind) = {
+                let Some(chaos) = &mut self.chaos else { return };
+                let Some(ev) = chaos.plan.events.get(chaos.cursor) else {
+                    return;
+                };
+                if ev.round > round {
+                    return;
+                }
+                chaos.cursor += 1;
+                if ev.shard as usize >= shards {
+                    continue;
+                }
+                chaos.fired += 1;
+                (ev.shard as usize, ev.kind)
+            };
+            match kind {
+                FaultKind::Kill => self.kill_child(shard),
+                FaultKind::Corrupt => self.wrap_transport(shard, |t| {
+                    Box::new(FaultyTransport::new(
+                        t,
+                        0,
+                        Fault::FlipByte { offset: HEADER_LEN },
+                    ))
+                }),
+                FaultKind::Stall => self.stop_child(shard),
+            }
+        }
     }
 }
 
@@ -671,6 +1090,18 @@ impl<'g, P: Probe> RoundEngine for ProcessSimulator<'g, P> {
         );
         let epoch = self.metrics.rounds as u32;
         let bw = self.config.bandwidth as u64;
+        if let Some(sup) = &mut self.supervision {
+            // A new phase rebuilds every child core, so the previous
+            // phase's frames are dead weight: restart every replay log
+            // at this phase's `PhaseStart`.
+            for log in &mut sup.logs {
+                log.clear();
+            }
+            for c in &mut sup.consumed {
+                *c = 0;
+            }
+            sup.rounds_in_phase = 0;
+        }
         for w in 0..shards {
             let mut frame = Frame::control(FrameKind::PhaseStart, w as u16, epoch);
             put_varint(&mut frame.payload, self.layout.edge_ranges[w].len() as u64);
@@ -745,6 +1176,28 @@ impl<M: Message, P: Probe> ProcessPhase<'_, '_, M, P> {
         self.sim.kill_child(shard);
     }
 
+    /// Test hook: [`ProcessSimulator::stop_child`] through an open
+    /// phase.
+    pub fn stop_child(&mut self, shard: usize) {
+        self.sim.stop_child(shard);
+    }
+
+    /// Test hook: [`ProcessSimulator::wrap_transport`] through an open
+    /// phase.
+    pub fn wrap_transport(
+        &mut self,
+        shard: usize,
+        f: impl FnOnce(Box<dyn Transport>) -> Box<dyn Transport>,
+    ) {
+        self.sim.wrap_transport(shard, f);
+    }
+
+    /// Test hook: the current pid of shard `shard`'s child (changes
+    /// across respawns).
+    pub fn child_pid(&self, shard: usize) -> i32 {
+        self.sim.child_pid(shard)
+    }
+
     /// One round: step every node in ID order (timed per shard — node
     /// ranges are contiguous and ascending, so ID order visits shards
     /// in order), then run the wire tail.  Mirrors the sequential
@@ -785,6 +1238,10 @@ impl<M: Message, P: Probe> ProcessPhase<'_, '_, M, P> {
         let shards = self.sim.layout.shards();
         let per_edge = self.sim.metrics.per_edge;
         let epoch = self.sim.metrics.rounds as u32;
+
+        // Inject any chaos-plan faults due this round before the wire
+        // tail touches the children.
+        self.sim.apply_due_faults();
 
         // Bucket the round's sends per shard in one pass: nodes are
         // stepped in ID order and a node's out-edges all lie in its
@@ -841,15 +1298,21 @@ impl<M: Message, P: Probe> ProcessPhase<'_, '_, M, P> {
         let mut shard_splice = probe_vec::<u64, P>(shards);
         let mut msgs_total = 0u64;
         for w in 0..shards {
-            let deliveries = self.sim.expect_frame(w, FrameKind::Deliveries, epoch);
-            let cells = decode_cells(&deliveries.payload, deliveries.count as usize)
-                .unwrap_or_else(|e| raise(w, e));
+            // Parse before mutating: both reply frames are received,
+            // validated and decoded before any parent-side state is
+            // touched, so a recovery retry never observes a
+            // half-applied round.
+            let (cells, st) = loop {
+                match self.sim.try_collect_round(w, epoch) {
+                    Ok(x) => break x,
+                    Err(e) => self.sim.recover_shard(w, e),
+                }
+            };
+            self.sim.note_barrier_consumed(w);
+            let splice_count = cells.len() as u64;
             let edge_range = self.sim.layout.edge_ranges[w].clone();
             for cell in cells {
                 let edge = edge_range.start + cell.edge as usize;
-                if edge >= edge_range.end {
-                    raise(w, WireError::Payload);
-                }
                 let msg =
                     decode_payload(&cell.payload, &mut self.slab).unwrap_or_else(|e| raise(w, e));
                 self.sim.metrics.messages += 1;
@@ -864,11 +1327,7 @@ impl<M: Message, P: Probe> ProcessPhase<'_, '_, M, P> {
                 }
                 inbox.push((NodeId(cell.from), msg));
             }
-            let stats = self.sim.expect_frame(w, FrameKind::RoundStats, epoch);
-            let mut p = stats.payload.as_slice();
-            let mut next = || get_varint(&mut p).unwrap_or_else(|e| raise(w, e));
-            let (queued, peak, active_after, queued_after, child_transfer_ns) =
-                (next(), next(), next(), next(), next());
+            let [queued, peak, active_after, queued_after, child_transfer_ns] = st;
             self.sim.metrics.peak_queue_depth = self.sim.metrics.peak_queue_depth.max(peak);
             queued_total += queued;
             active_total += active_after;
@@ -876,7 +1335,7 @@ impl<M: Message, P: Probe> ProcessPhase<'_, '_, M, P> {
             if P::ENABLED {
                 transfer_ns[w] = child_transfer_ns;
                 arena_cells[w] = queued;
-                shard_splice[w] = deliveries.count as u64;
+                shard_splice[w] = splice_count;
             }
         }
         // The per-shard queued counts are sampled at each child's
@@ -913,6 +1372,20 @@ impl<M: Message, P: Probe> ProcessPhase<'_, '_, M, P> {
                 barrier_ns,
                 arena_cells,
             });
+        }
+        // Checkpoint stride: snapshot every child core and truncate the
+        // replay logs, bounding both replay time and log memory.
+        let stride = u64::from(self.sim.options.checkpoint_every);
+        let due = if let Some(sup) = &mut self.sim.supervision {
+            sup.rounds_in_phase += 1;
+            stride > 0 && sup.rounds_in_phase % stride == 0
+        } else {
+            false
+        };
+        if due {
+            for w in 0..shards {
+                self.sim.take_checkpoint(w);
+            }
         }
     }
 
@@ -1131,6 +1604,103 @@ mod tests {
         assert!(!RoundPhase::idle(&phase));
         phase.step(&mut unit, |_, _, _, _| {});
         assert!(RoundPhase::idle(&phase));
+    }
+
+    /// Scrubs the operational recovery counter so a disturbed run can
+    /// be compared bit-for-bit against an undisturbed reference.
+    fn scrub(m: Metrics) -> Metrics {
+        Metrics { recoveries: 0, ..m }
+    }
+
+    #[test]
+    fn seeded_kills_and_corruptions_recover_bit_for_bit() {
+        let g = generators::connected_gnp(80, 0.06, 5);
+        let config = SimConfig::with_bandwidth(16).with_per_edge_accounting();
+        let mut seq = Simulator::new(&g, config);
+        let (want, want_m) = echo_program(&mut seq, 4);
+        for shards in [2usize, 4] {
+            let opts = ProcessOptions {
+                recovery: RecoveryPolicy::Recover {
+                    max_retries: 3,
+                    backoff: Duration::ZERO,
+                },
+                checkpoint_every: 2,
+                ..ProcessOptions::default()
+            };
+            let mut pr = ProcessSimulator::with_options(&g, config, shards, NoProbe, opts);
+            pr.set_fault_plan(FaultPlan::seeded(42, shards as u16, 6, 2, 1, 0));
+            let (got, got_m) = echo_program(&mut pr, 4);
+            assert!(pr.faults_fired() > 0, "the chaos plan never fired");
+            assert!(
+                RoundEngine::metrics(&pr).recoveries > 0,
+                "no recovery actually happened at {shards} shards"
+            );
+            assert_eq!(
+                RoundEngine::metrics(&pr).recoveries,
+                pr.recovery_log().len() as u64,
+                "every attempt succeeded first try, so log length = recoveries"
+            );
+            assert_eq!(got, want, "outputs diverged under chaos at {shards} shards");
+            assert_eq!(
+                scrub(got_m),
+                want_m,
+                "metrics diverged under chaos at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn tcp_children_respawn_and_recover() {
+        let g = generators::connected_gnp(50, 0.08, 3);
+        let config = SimConfig::with_bandwidth(12).with_per_edge_accounting();
+        let mut seq = Simulator::new(&g, config);
+        let (want, want_m) = echo_program(&mut seq, 3);
+        let opts = ProcessOptions {
+            tcp: true,
+            recovery: RecoveryPolicy::Recover {
+                max_retries: 3,
+                backoff: Duration::ZERO,
+            },
+            checkpoint_every: 3,
+            ..ProcessOptions::default()
+        };
+        let mut pr = ProcessSimulator::with_options(&g, config, 2, NoProbe, opts);
+        pr.set_fault_plan(FaultPlan::seeded(7, 2, 4, 2, 0, 0));
+        let (got, got_m) = echo_program(&mut pr, 3);
+        assert!(RoundEngine::metrics(&pr).recoveries > 0);
+        assert_eq!(got, want, "tcp outputs diverged under chaos");
+        assert_eq!(scrub(got_m), want_m, "tcp metrics diverged under chaos");
+    }
+
+    #[test]
+    fn recovery_emits_probe_events_and_replaces_pids() {
+        let g = generators::cycle(12);
+        let config = SimConfig::with_bandwidth(8);
+        let opts = ProcessOptions {
+            recovery: RecoveryPolicy::Recover {
+                max_retries: 2,
+                backoff: Duration::ZERO,
+            },
+            ..ProcessOptions::default()
+        };
+        let mut pr = ProcessSimulator::with_options(&g, config, 2, NoProbe, opts);
+        let old_pid = pr.child_pid(1);
+        let mut unit = vec![(); 12];
+        let mut phase = pr.phase::<u8>();
+        phase.step(&mut unit, |_, v, _in, out| {
+            out.broadcast(v, v.0 as u8, 4);
+        });
+        phase.kill_child(1);
+        phase.step(&mut unit, |_, _, _, _| {});
+        phase.settle(64, &mut unit, |_, _, _| {});
+        drop(phase);
+        assert_ne!(pr.child_pid(1), old_pid, "child was not respawned");
+        assert_eq!(RoundEngine::metrics(&pr).recoveries, 1);
+        let log = pr.recovery_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].shard, 1);
+        assert_eq!(log[0].attempt, 1);
+        assert_eq!(log[0].cause, "socket closed");
     }
 
     #[test]

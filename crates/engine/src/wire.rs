@@ -76,8 +76,9 @@ pub const MAX_PAYLOAD: usize = 256 << 20;
 /// quarter-GiB allocation up front; memory tracks bytes actually
 /// received.
 pub const RECV_CHUNK: usize = 64 << 10;
-/// Version negotiated in the `Hello` frame payload.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Version negotiated in the `Hello` frame payload.  Bumped to 2 when
+/// the `Checkpoint` frame kind (shard supervision) joined the protocol.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE, reflected, polynomial 0xEDB88320)
@@ -302,6 +303,16 @@ pub enum FrameKind {
     /// Child → parent: the child hit a protocol error; payload is a
     /// UTF-8 description.  The child exits after sending it.
     Error = 8,
+    /// Bidirectional checkpoint traffic for shard supervision.  Parent
+    /// → child with an **empty** payload: take a checkpoint — the child
+    /// replies with its own `Checkpoint` frame whose payload is varint
+    /// local edge count + varint bandwidth + varint epoch +
+    /// [`encode_cells`] of every queued cell in delivery order (`count`
+    /// = cell count).  Parent → child with a **non-empty** payload (a
+    /// previously captured reply, at least 3 bytes): restore — the
+    /// child rebuilds its core from the snapshot.  Only spoken when a
+    /// recovery policy is active; `FailFast` runs never emit it.
+    Checkpoint = 9,
 }
 
 impl FrameKind {
@@ -315,6 +326,7 @@ impl FrameKind {
             6 => FrameKind::RoundStats,
             7 => FrameKind::Shutdown,
             8 => FrameKind::Error,
+            9 => FrameKind::Checkpoint,
             other => return Err(WireError::UnknownKind(other)),
         })
     }
@@ -413,7 +425,7 @@ pub trait Transport: Send {
     fn set_timeout(&mut self, _timeout: Option<Duration>) {}
 }
 
-fn io_err(e: std::io::Error) -> WireError {
+pub(crate) fn io_err(e: std::io::Error) -> WireError {
     match e.kind() {
         ErrorKind::UnexpectedEof | ErrorKind::BrokenPipe | ErrorKind::ConnectionReset => {
             WireError::Eof
@@ -853,6 +865,111 @@ impl Transport for FaultyTransport {
 
     fn set_timeout(&mut self, timeout: Option<Duration>) {
         self.inner.set_timeout(timeout);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded chaos plans
+// ---------------------------------------------------------------------------
+
+/// One chaos action a [`FaultPlan`] schedules against a running
+/// process engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// SIGKILL the shard child just before the round's sends go out;
+    /// the barrier read observes [`WireError::Eof`].
+    Kill,
+    /// Wrap the shard's transport so the next received frame has one
+    /// byte XOR-flipped; the barrier read observes
+    /// [`WireError::ChecksumMismatch`].
+    Corrupt,
+    /// SIGSTOP the shard child so it wedges past the barrier timeout;
+    /// the barrier read observes [`WireError::Timeout`].  Every stall
+    /// costs one full barrier timeout of wall clock, so chaos runs
+    /// that schedule stalls should shorten the timeout first.
+    Stall,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Kill => write!(f, "kill"),
+            FaultKind::Corrupt => write!(f, "corrupt"),
+            FaultKind::Stall => write!(f, "stall"),
+        }
+    }
+}
+
+/// One scheduled fault: `kind` strikes `shard` at the start of global
+/// round `round` (the engine's cumulative round counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Global round index (`Metrics::rounds` at the moment the round's
+    /// sends are about to ship).
+    pub round: u64,
+    /// Victim shard.
+    pub shard: u16,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A deterministic script of chaos events for the process backend's
+/// supervision layer: the same `(seed, shards, horizon, counts)` always
+/// yields the same schedule, so a chaos-disturbed run is exactly
+/// reproducible.  Events are sorted by round and deduplicated per
+/// `(round, shard)` slot — at most one fault strikes a given shard in a
+/// given round, which keeps cause attribution in the recovery log
+/// unambiguous.  Rounds the run never reaches simply leave their
+/// events unfired; the engine reports how many fired.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The schedule, sorted by `(round, shard)`.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Draws `kills + corruptions + stalls` events from a splitmix64
+    /// stream over rounds `[1, horizon]` and shards `[0, shards)`.
+    /// Collisions on a `(round, shard)` slot are resolved by redrawing,
+    /// so the requested counts are exact whenever `horizon × shards`
+    /// has room for them (it is capped to the available slots
+    /// otherwise).
+    pub fn seeded(
+        seed: u64,
+        shards: u16,
+        horizon: u64,
+        kills: usize,
+        corruptions: usize,
+        stalls: usize,
+    ) -> Self {
+        assert!(shards > 0, "fault plan needs at least one shard");
+        assert!(horizon > 0, "fault plan needs at least one round");
+        let slots = (horizon as u128 * shards as u128).min(usize::MAX as u128) as usize;
+        let want = (kills + corruptions + stalls).min(slots);
+        let mut rng = seed;
+        let mut events: Vec<FaultEvent> = Vec::with_capacity(want);
+        let kinds = [
+            (kills, FaultKind::Kill),
+            (corruptions, FaultKind::Corrupt),
+            (stalls, FaultKind::Stall),
+        ];
+        'outer: for (count, kind) in kinds {
+            for _ in 0..count {
+                if events.len() == want {
+                    break 'outer;
+                }
+                loop {
+                    let round = 1 + splitmix64(&mut rng) % horizon;
+                    let shard = (splitmix64(&mut rng) % u64::from(shards)) as u16;
+                    if !events.iter().any(|e| e.round == round && e.shard == shard) {
+                        events.push(FaultEvent { round, shard, kind });
+                        break;
+                    }
+                }
+            }
+        }
+        events.sort_by_key(|e| (e.round, e.shard));
+        FaultPlan { events }
     }
 }
 
@@ -1364,6 +1481,36 @@ mod tests {
         let mut t = FaultyTransport::new(Box::new(feed), 0, Fault::Truncate { drop: 2 });
         assert_eq!(Frame::decode(&t.recv().unwrap()), Err(WireError::Truncated));
         assert!(Frame::decode(&t.recv().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_exact_and_collision_free() {
+        let plan = FaultPlan::seeded(0xC0FFEE, 4, 10, 3, 2, 1);
+        assert_eq!(plan, FaultPlan::seeded(0xC0FFEE, 4, 10, 3, 2, 1));
+        assert_ne!(plan, FaultPlan::seeded(0xC0FFED, 4, 10, 3, 2, 1));
+        assert_eq!(plan.events.len(), 6);
+        let kills = plan
+            .events
+            .iter()
+            .filter(|e| e.kind == FaultKind::Kill)
+            .count();
+        let corruptions = plan
+            .events
+            .iter()
+            .filter(|e| e.kind == FaultKind::Corrupt)
+            .count();
+        assert_eq!((kills, corruptions), (3, 2));
+        for e in &plan.events {
+            assert!((1..=10).contains(&e.round), "{e:?}");
+            assert!(e.shard < 4, "{e:?}");
+        }
+        // Sorted, and no (round, shard) slot struck twice.
+        for pair in plan.events.windows(2) {
+            assert!((pair[0].round, pair[0].shard) < (pair[1].round, pair[1].shard));
+        }
+        // Requests beyond the slot grid are capped, not an infinite loop.
+        let capped = FaultPlan::seeded(1, 1, 2, 5, 5, 5);
+        assert_eq!(capped.events.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! The chaos wall: seeded fault plans against the supervised process
+//! backend must leave the engine contract untouched.
+//!
+//! Under `RecoveryPolicy::Recover` the supervisor reaps a killed,
+//! wedged or poisoned shard child, forks a replacement and re-drives it
+//! from the last per-round checkpoint plus the frame log.  Recovery may
+//! move **wall clock and `Metrics::recoveries` only**: outputs, every
+//! gated counter and the full probe trace (cores, phases, per-shard
+//! splice vectors) must stay bit-for-bit equal to an undisturbed run of
+//! the same case — at every shard count swept here.  Each disturbed run
+//! also has to prove the chaos actually landed (`faults_fired() > 0`,
+//! `recoveries > 0`), so the wall can never pass vacuously.
+
+use crate::harness::{case_config, full_matrix, Case};
+use powersparse_congest::engine::{Metrics, RoundEngine};
+use powersparse_congest::probe::TraceProbe;
+use powersparse_engine::{FaultPlan, ProcessOptions, ProcessSimulator, RecoveryPolicy};
+use std::time::Duration;
+
+/// The matrix slice the chaos sweep runs: one case per algorithm family
+/// with nontrivial round structure (the full matrix already runs
+/// undisturbed in `matrix.rs`; chaos multiplies wall clock by the
+/// respawn + replay cost, so the sweep stays representative, not
+/// exhaustive).
+const CHAOS_CASES: [&str; 4] = [
+    "luby/gnp-k2",
+    "shatter-1p/gnp-k1",
+    "detk2/grid-k2",
+    "sparsify-det/gnp-k1",
+];
+
+/// Shard counts for the chaos sweep.
+const CHAOS_SHARDS: [usize; 3] = [1, 2, 4];
+
+/// The supervision profile every disturbed run uses: aggressive
+/// checkpointing so replay suffixes stay short, zero backoff so the
+/// wall does not sleep its budget away.
+const RECOVERY: ProcessOptions = ProcessOptions {
+    recovery: RecoveryPolicy::Recover {
+        max_retries: 3,
+        backoff: Duration::ZERO,
+    },
+    checkpoint_every: 2,
+    net: None,
+    tcp: false,
+};
+
+fn chaos_cases(names: &[&str]) -> Vec<Case> {
+    let cases: Vec<Case> = full_matrix()
+        .into_iter()
+        .filter(|c| names.contains(&c.name))
+        .collect();
+    assert_eq!(cases.len(), names.len(), "matrix renamed a case");
+    cases
+}
+
+/// Metrics with the operational recovery counter zeroed: `recoveries`
+/// is the one field chaos is *allowed* to move, everything else is
+/// engine-invariant.
+fn scrub(m: Metrics) -> Metrics {
+    Metrics { recoveries: 0, ..m }
+}
+
+/// Runs `case` undisturbed and disturbed by `plan`, asserting the full
+/// contract: identical outputs, identical metrics modulo `recoveries`,
+/// identical probe traces, and non-vacuous chaos.
+fn assert_chaos_conformance(case: &Case, shards: usize, plan: FaultPlan, options: ProcessOptions) {
+    let config = case_config(case);
+
+    let mut clean = ProcessSimulator::with_probe(&case.graph, config, shards, TraceProbe::new());
+    let want_out = case.algorithm.run(&case.graph, &mut clean, case.seed);
+    let want_m = RoundEngine::metrics(&clean).clone();
+    let want_trace = clean.into_probe();
+
+    let mut chaotic =
+        ProcessSimulator::with_options(&case.graph, config, shards, TraceProbe::new(), options);
+    chaotic.set_fault_plan(plan);
+    let got_out = case.algorithm.run(&case.graph, &mut chaotic, case.seed);
+    assert_eq!(
+        got_out, want_out,
+        "{}: recovered output diverged at {shards} shards",
+        case.name
+    );
+    let got_m = RoundEngine::metrics(&chaotic).clone();
+    assert!(
+        chaotic.faults_fired() > 0,
+        "{}: fault plan never fired at {shards} shards — the wall is vacuous",
+        case.name
+    );
+    assert!(
+        got_m.recoveries > 0,
+        "{}: chaos fired but no recovery ran at {shards} shards",
+        case.name
+    );
+    assert_eq!(
+        got_m.recoveries,
+        chaotic.recovery_log().len() as u64,
+        "{}: recovery counter disagrees with the recovery log at {shards} shards",
+        case.name
+    );
+    assert_eq!(
+        scrub(got_m),
+        scrub(want_m),
+        "{}: recovered metrics diverged at {shards} shards",
+        case.name
+    );
+    assert_eq!(
+        chaotic.into_probe(),
+        want_trace,
+        "{}: recovered probe trace (cores, phases, splice vectors) \
+         diverged at {shards} shards",
+        case.name
+    );
+}
+
+/// The headline wall: seeded kills and frame corruptions across the
+/// chaos slice at 1/2/4 shards, bit-for-bit against the undisturbed
+/// process backend.
+#[test]
+fn seeded_chaos_recovers_bit_for_bit_across_the_matrix_slice() {
+    for case in &chaos_cases(&CHAOS_CASES) {
+        for &shards in &CHAOS_SHARDS {
+            let plan = FaultPlan::seeded(case.seed ^ 0x5EED_C0DE, shards as u16, 6, 2, 1, 0);
+            assert_chaos_conformance(case, shards, plan, RECOVERY);
+        }
+    }
+}
+
+/// Wedged children: a stalled shard (SIGSTOP) is only observable as a
+/// barrier timeout, so this row runs one representative case with a
+/// short timeout and a stall in the plan — proving the timeout path
+/// feeds the same respawn/replay machinery as a dead socket.
+#[test]
+fn stalled_children_recover_via_the_barrier_timeout() {
+    for case in &chaos_cases(&["luby/gnp-k2"]) {
+        for &shards in &[2usize, 4] {
+            let config = case_config(case);
+
+            let mut clean =
+                ProcessSimulator::with_probe(&case.graph, config, shards, TraceProbe::new());
+            let want_out = case.algorithm.run(&case.graph, &mut clean, case.seed);
+            let want_m = RoundEngine::metrics(&clean).clone();
+            let want_trace = clean.into_probe();
+
+            let mut chaotic = ProcessSimulator::with_options(
+                &case.graph,
+                config,
+                shards,
+                TraceProbe::new(),
+                RECOVERY,
+            )
+            .with_barrier_timeout(Duration::from_millis(300));
+            chaotic.set_fault_plan(FaultPlan::seeded(99, shards as u16, 4, 1, 0, 1));
+            let got_out = case.algorithm.run(&case.graph, &mut chaotic, case.seed);
+            assert_eq!(
+                got_out, want_out,
+                "{}: stalled-recovery output diverged at {shards} shards",
+                case.name
+            );
+            let got_m = RoundEngine::metrics(&chaotic).clone();
+            assert!(
+                got_m.recoveries >= 2,
+                "{}: expected the kill and the stall to both recover at \
+                 {shards} shards, saw {} recoveries",
+                case.name,
+                got_m.recoveries
+            );
+            assert_eq!(
+                scrub(got_m),
+                scrub(want_m),
+                "{}: stalled-recovery metrics diverged at {shards} shards",
+                case.name
+            );
+            assert_eq!(
+                chaotic.into_probe(),
+                want_trace,
+                "{}: stalled-recovery probe trace diverged at {shards} shards",
+                case.name
+            );
+        }
+    }
+}

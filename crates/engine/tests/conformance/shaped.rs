@@ -119,7 +119,7 @@ fn shaping_changes_wall_clock_only() {
                 TraceProbe::new(),
                 ProcessOptions {
                     net: Some(NET),
-                    tcp: false,
+                    ..ProcessOptions::default()
                 },
             );
             let t0 = Instant::now();
@@ -169,7 +169,7 @@ fn shaping_changes_wall_clock_only() {
                 SpanProbe::new(),
                 ProcessOptions {
                     net: Some(NET),
-                    tcp: false,
+                    ..ProcessOptions::default()
                 },
             );
             case.algorithm.run(&case.graph, &mut shaped, case.seed);
@@ -217,8 +217,8 @@ fn tcp_traces_match_the_unix_socket_wire() {
             2,
             TraceProbe::new(),
             ProcessOptions {
-                net: None,
                 tcp: true,
+                ..ProcessOptions::default()
             },
         );
         let tcp_out = case.algorithm.run(&case.graph, &mut tcp, case.seed);

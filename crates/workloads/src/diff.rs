@@ -386,6 +386,7 @@ mod tests {
             engine: "sequential".into(),
             shards: 1,
             net: None,
+            recovery: None,
             rounds,
             charged_rounds: 0,
             messages,

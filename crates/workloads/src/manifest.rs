@@ -262,6 +262,54 @@ impl NetRecord {
     }
 }
 
+/// The optional recovery section of a run: present only when the
+/// process engine ran under shard supervision
+/// (`crate::scenario::RecoverySpec`), so plain manifests stay
+/// byte-stable against older diff tooling. Carries the supervision
+/// policy plus the one measured outcome — how many recoveries actually
+/// ran. `recoveries` is operational (it moves with injected chaos, not
+/// with the algorithm) and is never regression-gated; everything the
+/// diff gate compares must stay identical whether or not this section
+/// is present.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// Respawn attempts per failure before failing closed.
+    pub max_retries: u64,
+    /// Backoff between attempts, milliseconds.
+    pub backoff_ms: u64,
+    /// Checkpoint cadence in rounds (0 = phase-start replay only).
+    pub checkpoint_every: u64,
+    /// Successful shard recoveries during the run (first invocation
+    /// when repeated).
+    pub recoveries: u64,
+}
+
+impl RecoveryRecord {
+    /// The section as a [`Json`] object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("max_retries".into(), Json::num(self.max_retries)),
+            ("backoff_ms".into(), Json::num(self.backoff_ms)),
+            ("checkpoint_every".into(), Json::num(self.checkpoint_every)),
+            ("recoveries".into(), Json::num(self.recoveries)),
+        ])
+    }
+
+    /// Parses the section back from its JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            max_retries: req_u64(doc, "max_retries")?,
+            backoff_ms: req_u64(doc, "backoff_ms")?,
+            checkpoint_every: req_u64(doc, "checkpoint_every")?,
+            recoveries: req_u64(doc, "recoveries")?,
+        })
+    }
+}
+
 /// The validation verdict of one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Validation {
@@ -299,6 +347,9 @@ pub struct RunRecord {
     /// Optional wire configuration (absent unless the process engine
     /// ran over TCP and/or a shaped wire).
     pub net: Option<NetRecord>,
+    /// Optional shard-supervision configuration and outcome (absent
+    /// unless the process engine ran under a recovery policy).
+    pub recovery: Option<RecoveryRecord>,
     /// CONGEST rounds executed (including charged rounds).
     pub rounds: u64,
     /// Of which charged analytically.
@@ -417,6 +468,9 @@ impl RunRecord {
         if let Some(net) = &self.net {
             fields.push(("net".into(), net.to_json()));
         }
+        if let Some(recovery) = &self.recovery {
+            fields.push(("recovery".into(), recovery.to_json()));
+        }
         fields.extend([
             ("rounds".into(), Json::num(self.rounds)),
             ("charged_rounds".into(), Json::num(self.charged_rounds)),
@@ -499,6 +553,10 @@ impl RunRecord {
             None => None,
             Some(section) => Some(NetRecord::from_json(section)?),
         };
+        let recovery = match doc.get("recovery") {
+            None => None,
+            Some(section) => Some(RecoveryRecord::from_json(section)?),
+        };
         let profile = match doc.get("profile") {
             None => None,
             Some(section) => Some(ProfileStats::from_json(section)?),
@@ -526,6 +584,7 @@ impl RunRecord {
             engine: req_str(doc, "engine")?,
             shards: req_u64(doc, "shards")?,
             net,
+            recovery,
             rounds: req_u64(doc, "rounds")?,
             charged_rounds: req_u64(doc, "charged_rounds")?,
             messages: req_u64(doc, "messages")?,
@@ -610,6 +669,7 @@ mod tests {
                 engine: "sharded".into(),
                 shards: 4,
                 net: None,
+                recovery: None,
                 rounds: 77,
                 charged_rounds: 0,
                 messages: 12345,
@@ -788,6 +848,29 @@ mod tests {
         let back = SuiteManifest::parse(&text).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn recovery_section_round_trips_and_stays_optional() {
+        let mut m = sample();
+        // Plain record: no recovery key, so pre-supervision diff
+        // tooling sees byte-identical manifests.
+        let text = m.to_json_string();
+        assert!(!text.contains("\"recovery\""));
+        m.runs[0].recovery = Some(RecoveryRecord {
+            max_retries: 3,
+            backoff_ms: 5,
+            checkpoint_every: 4,
+            recoveries: 2,
+        });
+        let text = m.to_json_string();
+        assert!(text.contains("\"recovery\""));
+        let back = SuiteManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_json_string(), text);
+        // A present-but-mistyped section is an error, not a silent skip.
+        let broken = text.replace("\"max_retries\": 3", "\"max_retries\": \"three\"");
+        assert!(SuiteManifest::parse(&broken).is_err());
     }
 
     #[test]

@@ -228,6 +228,38 @@ impl AlgorithmSpec {
     }
 }
 
+/// Supervision policy for the process engine's shard children: how many
+/// respawn attempts a failed shard gets, how long to back off between
+/// attempts, and how often the parent checkpoints child state so replay
+/// suffixes stay short.
+///
+/// Recovery is **operational, not semantic**: a recovered run produces
+/// bit-for-bit the outputs, counters and probe traces of an undisturbed
+/// one (only `Metrics::recoveries` moves), so a `RecoverySpec` is *not*
+/// part of the scenario identity ([`Scenario::name`]) and recovered
+/// manifests stay diffable against clean baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySpec {
+    /// Respawn attempts per failure before failing closed (>= 1).
+    pub max_retries: u32,
+    /// Sleep between attempts, in milliseconds (scaled linearly by the
+    /// attempt number).
+    pub backoff_ms: u64,
+    /// Checkpoint the children every this many rounds (0 = never:
+    /// recovery replays from the start of the current phase).
+    pub checkpoint_every: u32,
+}
+
+impl Default for RecoverySpec {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_ms: 0,
+            checkpoint_every: 4,
+        }
+    }
+}
+
 /// Which [`powersparse_congest::engine::RoundEngine`] backend executes
 /// the scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -298,6 +330,11 @@ pub struct Scenario {
     /// Run the process engine's child links over loopback TCP instead
     /// of Unix sockets (the multi-machine deployment shape).
     pub tcp: bool,
+    /// Optional shard supervision for the process engine: `None` is
+    /// fail-fast (a dead child aborts the run with the pinned error),
+    /// `Some` respawns and replays failed children. Operational only —
+    /// not part of the scenario identity.
+    pub recovery: Option<RecoverySpec>,
 }
 
 impl Scenario {
@@ -312,6 +349,7 @@ impl Scenario {
             engine: EngineSpec::Sequential,
             net: None,
             tcp: false,
+            recovery: None,
         }
     }
 
@@ -371,10 +409,21 @@ impl Scenario {
         self
     }
 
+    /// Supervises the process engine's shard children with `recovery`
+    /// (respawn + checkpoint/replay instead of fail-fast). Only valid
+    /// on the process engine.
+    pub fn recovery(mut self, recovery: RecoverySpec) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
     /// Canonical run name, e.g.
     /// `power_law(n=300,attach=3)/k2/luby_mis/sharded4`; a shaped or
     /// TCP wire is part of the identity, e.g.
-    /// `.../process2+tcp+net(lat=200us,bw=0,jit=0)`.
+    /// `.../process2+tcp+net(lat=200us,bw=0,jit=0)`. A [`RecoverySpec`]
+    /// is deliberately **not** — recovery cannot move any compared
+    /// counter, so recovered runs keep matching their clean baselines
+    /// under `suite --diff`.
     pub fn name(&self) -> String {
         let mut name = format!(
             "{}/k{}/{}/{}{}",
@@ -422,6 +471,14 @@ impl Scenario {
             }
             if self.tcp {
                 return Err("`tcp` requires the process engine".into());
+            }
+            if self.recovery.is_some() {
+                return Err("`recovery` supervision requires the process engine".into());
+            }
+        }
+        if let Some(r) = self.recovery {
+            if r.max_retries == 0 {
+                return Err("`recovery.max_retries` must be >= 1".into());
             }
         }
         Ok(())
@@ -666,6 +723,7 @@ impl std::error::Error for SpecError {}
 /// engine = "process"     # wire options are process-engine-only:
 /// tcp = true             # child links over loopback TCP
 /// net = { latency_us = 200, bandwidth_bytes_per_s = 16777216, jitter_seed = 7 }
+/// recovery = { max_retries = 3, backoff_ms = 0, checkpoint_every = 4 }
 /// ```
 ///
 /// Supported: `[[scenario]]` table headers, `key = value` with integer,
@@ -896,6 +954,46 @@ impl Block {
         Ok(Some(spec))
     }
 
+    /// The optional `recovery = { max_retries = N, ... }` inline table,
+    /// decoded into a [`RecoverySpec`]. Every key is optional (the
+    /// [`RecoverySpec::default`] supervision applies), so
+    /// `recovery = {}` is the shortest way to turn supervision on;
+    /// unknown keys are errors.
+    fn recovery_or(&mut self) -> Result<Option<RecoverySpec>, SpecError> {
+        let Some((line, value)) = self.take("recovery") else {
+            return Ok(None);
+        };
+        let SpecValue::Table(kv) = value else {
+            return Err(SpecError {
+                line,
+                message: format!(
+                    "`recovery` must be an inline table like \
+                     `{{ max_retries = 3 }}`, got {}",
+                    value.type_name()
+                ),
+            });
+        };
+        let mut inner = Block {
+            line,
+            kv: kv.into_iter().map(|(k, v)| (k, (line, v))).collect(),
+        };
+        let default = RecoverySpec::default();
+        let spec = RecoverySpec {
+            max_retries: inner.usize_or("max_retries", default.max_retries as usize)? as u32,
+            backoff_ms: inner.usize_or("backoff_ms", default.backoff_ms as usize)? as u64,
+            checkpoint_every: inner
+                .usize_or("checkpoint_every", default.checkpoint_every as usize)?
+                as u32,
+        };
+        if let Some((key, (line, _))) = inner.kv.into_iter().next() {
+            return Err(SpecError {
+                line,
+                message: format!("unknown key `{key}` in `recovery` table"),
+            });
+        }
+        Ok(Some(spec))
+    }
+
     fn str_or(&mut self, key: &str, default: &str) -> Result<String, SpecError> {
         match self.take(key) {
             Some((_, SpecValue::Str(v))) => Ok(v),
@@ -1054,6 +1152,7 @@ fn scenario_from_kv(
         engine,
         net: b.net_or()?,
         tcp: b.bool_or("tcp", false)?,
+        recovery: b.recovery_or()?,
     };
     b.finish()?;
     scenario
@@ -1347,6 +1446,62 @@ algorithm = "sparsify"   # randomized
             jitter_seed: 0,
         });
         assert!(sc.validate_spec().is_err());
+    }
+
+    #[test]
+    fn recovery_spec_parses_defaults_and_stays_out_of_the_name() {
+        let suite = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"process\"\nshards = 2\n\
+             recovery = { max_retries = 5, backoff_ms = 10, checkpoint_every = 2 }\n\n\
+             [[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"process\"\nrecovery = {}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            suite[0],
+            Scenario::new(GraphFamily::Grid { rows: 4, cols: 4 })
+                .process(2)
+                .recovery(RecoverySpec {
+                    max_retries: 5,
+                    backoff_ms: 10,
+                    checkpoint_every: 2,
+                })
+        );
+        // Recovery is operational, not semantic: the run name (and so
+        // the manifest diff identity) is the plain process run's.
+        assert_eq!(suite[0].name(), "grid(4x4)/k1/luby_mis/process2");
+        // `recovery = {}` turns supervision on with the defaults.
+        assert_eq!(suite[1].recovery, Some(RecoverySpec::default()));
+        assert_eq!(suite[1].recovery.unwrap().max_retries, 3);
+    }
+
+    #[test]
+    fn recovery_spec_is_process_engine_only_and_validated() {
+        let err = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"sharded\"\nrecovery = {}\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("process engine"), "{err}");
+        let err = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"process\"\nrecovery = { max_retries = 0 }\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("max_retries"), "{err}");
+        let err = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"process\"\nrecovery = { bogus = 1 }\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("bogus"), "{err}");
+        let err = parse_suite(
+            "[[scenario]]\nfamily = \"grid\"\nrows = 4\ncols = 4\n\
+             engine = \"process\"\nrecovery = 3\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("inline table"), "{err}");
     }
 
     #[test]
